@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Benchmarks regenerate every table/figure of the paper. Campaign results are
+cached under ``.repro_cache/`` (first run simulates, later runs reload), so
+each bench measures the regeneration of its artifact and prints the report.
+
+Knobs: ``REPRO_TRIALS`` / ``REPRO_TRIALS_HARDENED`` scale campaign sizes.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benched callable exactly once (campaigns are heavy)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

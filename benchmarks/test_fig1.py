@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 1 (application-level AVF vs SVF)."""
+
+from repro.experiments import fig1_app_avf_svf
+
+
+def test_fig1(once):
+    avf, svf = once(fig1_app_avf_svf.data)
+    print("\n" + fig1_app_avf_svf.run())
+
+    # Shape checks against the paper:
+    assert len(avf) == len(svf) == 11
+    # (1) absolute AVF values sit far below SVF values (hardware masking).
+    assert max(b.total for b in avf.values()) < max(b.total for b in svf.values())
+    # (2) K-Means is the suite's low-vulnerability anchor under both views.
+    svf_rank = sorted(svf, key=lambda a: svf[a].total)
+    assert "kmeans" in svf_rank[:4]
+    # (3) the workloads are not uniformly vulnerable.
+    totals = [b.total for b in svf.values()]
+    assert max(totals) > 2 * (min(totals) + 1e-9)

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 10 (per-structure AVF before/after TMR)."""
+
+from repro.arch.structures import Structure
+from repro.experiments import fig10_component_breakdown
+
+
+def test_fig10(once):
+    data = once(fig10_component_breakdown.data)
+    print("\n" + fig10_component_breakdown.run())
+
+    assert len(data) == 6  # the paper's representative kernels
+    # RF and SMEM have an "increased probability of getting SDCs without
+    # hardening" (paper) and TMR substantially reduces them; L1D — the
+    # least vulnerable structure — has the least to gain.
+    rf_smem_gain = 0.0
+    l1d_gain = 0.0
+    rf_smem_base_sdc = 0.0
+    l1d_base_sdc = 0.0
+    for per in data.values():
+        for s in (Structure.RF, Structure.SMEM):
+            rf_smem_gain += per[s]["base"].sdc - per[s]["tmr"].sdc
+            rf_smem_base_sdc += per[s]["base"].sdc
+        l1d_gain += per[Structure.L1D]["base"].sdc - per[Structure.L1D]["tmr"].sdc
+        l1d_base_sdc += per[Structure.L1D]["base"].sdc
+    assert rf_smem_base_sdc > l1d_base_sdc
+    assert rf_smem_gain > 0
+    assert rf_smem_gain >= l1d_gain
+    # L1D is the least vulnerable of the four structures (Fig. 10c).
+    l1d_total = sum(per[Structure.L1D]["base"].total for per in data.values())
+    rf_total = sum(per[Structure.RF]["base"].total for per in data.values())
+    assert l1d_total <= rf_total

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 11 (control-path-affected masked runs)."""
+
+from repro.experiments import fig11_control_path
+
+
+def test_fig11(once):
+    rows = once(fig11_control_path.data)
+    print("\n" + fig11_control_path.run())
+
+    assert len(rows) == 23
+    for r in rows.values():
+        assert 0.0 <= r["base"] <= 1.0
+        assert 0.0 <= r["tmr"] <= 1.0
+    # Some masked runs must show control-path perturbation somewhere in the
+    # suite (otherwise the proxy measures nothing).
+    assert any(r["base"] > 0 or r["tmr"] > 0 for r in rows.values())

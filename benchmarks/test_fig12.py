@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 12 (register reuse analyzer)."""
+
+from repro.experiments import fig12_register_reuse
+
+
+def test_fig12(once):
+    reports = once(fig12_register_reuse.data)
+    print("\n" + fig12_register_reuse.run())
+
+    assert len(reports) == 11
+    # Every application reuses registers: a single register fault reaches
+    # multiple dynamic instructions on average somewhere in the suite.
+    assert any(r.mean_reads_per_write > 1.0 for r in reports.values())
+    # And some writes are dead or single-use (the masking side).
+    assert all(r.mean_reads_per_write < 10.0 for r in reports.values())

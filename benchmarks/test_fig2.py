@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 2 (kernel-level AVF vs SVF, 23 kernels)."""
+
+from repro.experiments import fig2_kernel_avf_svf
+
+
+def test_fig2(once):
+    avf, svf = once(fig2_kernel_avf_svf.data)
+    print("\n" + fig2_kernel_avf_svf.run())
+
+    assert len(avf) == len(svf) == 23
+    # Both metrics must discriminate between kernels.
+    assert len({round(b.total, 6) for b in svf.values()}) > 5
+    # AVF magnitudes stay below SVF magnitudes at kernel level too.
+    assert max(b.total for b in avf.values()) < max(b.total for b in svf.values())

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 3 (utilization vs vulnerability for kernel pairs)."""
+
+from repro.experiments import fig3_utilization
+
+
+def test_fig3(once):
+    series = once(fig3_utilization.data)
+    print("\n" + fig3_utilization.run())
+
+    assert set(series) == {"3a", "3b", "3c"}
+    for name, (ka, kb, metrics) in series.items():
+        assert "AVF" in metrics and "SVF" in metrics
+        for metric, (a, b) in metrics.items():
+            assert abs(a + b - 100.0) < 1e-6, (name, metric)
+    # Fig. 3a's defining feature: HotSpot K1 dominates LUD K1 on most
+    # resource-utilization metrics (>50 % share on a majority of them).
+    _, _, metrics = series["3a"]
+    util = [a for m, (a, b) in metrics.items() if m not in ("AVF", "SVF")]
+    dominated = sum(1 for a in util if a > 50.0)
+    assert dominated >= len(util) // 2

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 5 (AVF-Cache vs SVF-LD per application)."""
+
+from repro.analysis.trends import compare_trends
+from repro.experiments import fig5_avf_cache_svf_ld
+
+
+def test_fig5(once):
+    avf_cache, svf_ld = once(fig5_avf_cache_svf_ld.data)
+    print("\n" + fig5_avf_cache_svf_ld.run())
+
+    assert len(avf_cache) == len(svf_ld) == 11
+    cmp = compare_trends(
+        {a: b.total for a, b in avf_cache.items()},
+        {a: b.total for a, b in svf_ld.items()},
+    )
+    # The memory-path comparison is the most erratic of the paper's four
+    # rows (58 % opposite). Require a strong divergence signal.
+    assert cmp.opposite >= 8
+    # Cache AVF magnitudes are tiny compared to load-value SVF.
+    assert max(b.total for b in avf_cache.values()) < max(
+        b.total for b in svf_ld.values()
+    )

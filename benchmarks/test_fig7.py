@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 7 (AVF and SVF with vs without TMR)."""
+
+from repro.experiments import fig7_hardened
+
+
+def test_fig7(once):
+    rows = once(fig7_hardened.data)
+    print("\n" + fig7_hardened.run())
+
+    assert len(rows) == 23
+    # TMR helps overall: the summed vulnerability falls under both views.
+    avf_sum = sum(r["avf"] for r in rows.values())
+    avf_tmr_sum = sum(r["avf_tmr"] for r in rows.values())
+    svf_sum = sum(r["svf"] for r in rows.values())
+    svf_tmr_sum = sum(r["svf_tmr"] for r in rows.values())
+    assert avf_tmr_sum < avf_sum
+    assert svf_tmr_sum < svf_sum

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 8 (SDC share of AVF, with vs without TMR)."""
+
+from repro.experiments import fig8_sdc_hardening
+
+
+def test_fig8(once):
+    rows = once(fig8_sdc_hardening.data)
+    print("\n" + fig8_sdc_hardening.run())
+
+    assert len(rows) == 23
+    base_sdc = sum(r["avf_sdc"] for r in rows.values())
+    tmr_sdc = sum(r["avf_sdc_tmr"] for r in rows.values())
+    # TMR eliminates the bulk of SDCs under AVF...
+    assert tmr_sdc < base_sdc
+    # ...and drives SVF SDCs to (near) zero: the software view declares the
+    # problem solved (paper insight #5, first half).
+    svf_tmr_sdc = sum(r["svf_sdc_tmr"] for r in rows.values())
+    svf_base_sdc = sum(r["svf_sdc"] for r in rows.values())
+    assert svf_tmr_sdc <= 0.1 * max(svf_base_sdc, 1e-12)

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 9 (Timeout+DUE of AVF/SVF, with vs without TMR)."""
+
+from repro.experiments import fig9_timeout_due
+
+
+def test_fig9(once):
+    rows = once(fig9_timeout_due.data)
+    print("\n" + fig9_timeout_due.run())
+
+    assert len(rows) == 23
+    # The paper's second half of insight #5: detected errors do NOT vanish
+    # under TMR the way SDCs do — for many kernels they persist or grow.
+    base = sum(r["svf_td"] for r in rows.values())
+    tmr = sum(r["svf_td_tmr"] for r in rows.values())
+    assert tmr > 0.25 * base  # nothing like the SDC elimination
+    grew = sum(1 for r in rows.values() if r["svf_td_tmr"] > r["svf_td"])
+    assert grew >= 3

@@ -1,0 +1,12 @@
+"""Bench: the paper's footnote-1 speed observation (AVF >> SVF cost)."""
+
+from repro.experiments import speed_gap
+
+
+def test_speed_gap(once):
+    d = once(speed_gap.data)
+    print(f"\nAVF characterisation: {d['avf_seconds']:.2f}s, "
+          f"SVF campaign: {d['svf_seconds']:.2f}s, ratio {d['ratio']:.1f}x")
+    # A full AVF characterisation (5 structures) costs several times one SVF
+    # campaign even on a shared substrate.
+    assert d["ratio"] > 2.0

@@ -1,0 +1,45 @@
+"""Cross-layer comparison on real benchmarks: when does SVF mislead?
+
+Runs AVF (all five hardware structures, GV100-like) and SVF (V100-like)
+campaigns for a few benchmark applications and prints the paper's
+ranking-divergence analysis: which application pairs the two methodologies
+order oppositely.
+
+Run: ``python examples/cross_layer_comparison.py``  (uses/creates the
+campaign cache, so repeated runs are instant).
+"""
+
+from repro.analysis.trends import compare_trends
+from repro.experiments.common import app_label, collect_suite
+
+APPS = ["hotspot", "lud", "kmeans", "scp", "va"]
+TRIALS = 48
+
+
+def main() -> None:
+    suite = collect_suite(hardened=False, trials=TRIALS, with_ld=False,
+                          apps=APPS)
+    avf = {a: b for a, b in suite.app_avf().items() if a in APPS}
+    svf = {a: b for a, b in suite.app_svf().items() if a in APPS}
+
+    print(f"{'application':<12} {'AVF %':>10} {'SVF %':>8}")
+    for app in APPS:
+        print(f"{app_label(app):<12} {avf[app].total * 100:>10.4f} "
+              f"{svf[app].total * 100:>8.2f}")
+
+    cmp = compare_trends(
+        {a: b.total for a, b in avf.items()},
+        {a: b.total for a, b in svf.items()},
+    )
+    print(f"\npairs ranked consistently: {cmp.consistent}")
+    print(f"pairs ranked oppositely:   {cmp.opposite}")
+    for x, y in cmp.opposite_pairs:
+        print(f"  - {app_label(x)} vs {app_label(y)}: "
+              f"AVF says {'former' if avf[x].total > avf[y].total else 'latter'} "
+              f"is more vulnerable, SVF says the opposite")
+    print("\nThe paper's Table I finds 42% of application pairs opposite — "
+          "software-only measurements can invert protection priorities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Register-reuse analyzer demo (the paper's Section V-B / Figure 12).
+
+Shows, for a real kernel, which instructions a single register fault would
+propagate into (static view), and measures dynamic register reuse across
+benchmarks (how many instructions read each written value before it dies) —
+the replication factor naive software-level fault models under-count.
+
+Run: ``python examples/register_reuse_demo.py``
+"""
+
+from repro.analysis.reuse import RegisterReuseAnalyzer, affected_instructions
+from repro.arch import quadro_gv100_like
+from repro.kernels import get_application
+from repro.kernels.hotspot import _HOTSPOT_K1
+
+
+def main() -> None:
+    program = _HOTSPOT_K1
+    print(f"kernel: {program.name} ({len(program)} instructions)\n")
+
+    # Static view: pick the address register produced early in the kernel
+    # and list every instruction a fault in it would reach (Fig. 12).
+    target = next(i for i, ins in enumerate(program.instructions)
+                  if ins.dst == 9)  # R9 = byte offset of this thread's cell
+    reg = 9
+    print(f"fault in R{reg} written by /*{target:04d}*/ "
+          f"{program[target].render()}")
+    for idx in affected_instructions(program, target, reg):
+        print(f"  would corrupt /*{idx:04d}*/ {program[idx].render()}")
+
+    # Dynamic view across a few applications.
+    analyzer = RegisterReuseAnalyzer(quadro_gv100_like())
+    print(f"\n{'application':<12} {'reads/write':>12} {'multi-read':>11} "
+          f"{'dead writes':>12}")
+    for name in ("va", "hotspot", "lud", "bfs", "sradv1"):
+        report = analyzer.analyze(get_application(name))
+        print(f"{name:<12} {report.mean_reads_per_write:>12.2f} "
+              f"{report.fraction_multi_read:>11.1%} "
+              f"{report.fraction_dead_write:>12.1%}")
+
+    print("\nValues read more than once mean one register fault corrupts "
+          "several dynamic instructions; dead writes are faults software-"
+          "level injection can never even observe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — cross-layer GPU reliability assessment.
+
+A from-scratch reproduction of "GPU Reliability Assessment: Insights Across
+the Abstraction Layers" (IEEE CLUSTER 2024): a SIMT GPU microarchitecture
+simulator, the paper's 23-kernel benchmark suite, gpuFI-4-style and
+NVBitFI-style fault injectors, AVF/SVF analysis, TMR hardening, and
+experiment drivers regenerating every table and figure.
+
+Public entry points:
+
+* :mod:`repro.isa` — assemble kernels.
+* :mod:`repro.sim` — the simulated GPU.
+* :mod:`repro.arch` — device configurations.
+* :mod:`repro.kernels` — the benchmark suite.
+* :mod:`repro.fi` — fault-injection campaigns and vulnerability math.
+* :mod:`repro.hardening` — TMR.
+* :mod:`repro.experiments` — one driver per paper artifact.
+* ``python -m repro.cli`` — command-line front end.
+"""
+
+__version__ = "1.0.0"

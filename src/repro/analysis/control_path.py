@@ -1,0 +1,27 @@
+"""Control-path analysis (Figure 11 of the paper).
+
+The paper uses the executed cycle count as a proxy for the control path: a
+*masked* injection whose run used a different number of cycles than the
+fault-free run took a different control path yet still produced the correct
+output — hardening visibly increases this class because the redundant
+threads absorb control corruption.
+"""
+
+from __future__ import annotations
+
+from repro.fi.campaign import CampaignResult
+
+
+def control_path_rate(result: CampaignResult) -> float:
+    """Fraction of campaign runs that were masked with a changed cycle count."""
+    if result.trials == 0:
+        return 0.0
+    return result.control_path_masked / result.trials
+
+
+def control_path_rate_merged(results: list[CampaignResult]) -> float:
+    """Pooled control-path-affected masked rate over several campaigns."""
+    trials = sum(r.trials for r in results)
+    if trials == 0:
+        return 0.0
+    return sum(r.control_path_masked for r in results) / trials

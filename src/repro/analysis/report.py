@@ -1,0 +1,57 @@
+"""Plain-text rendering of tables and figure series.
+
+The experiment drivers print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """ASCII bar for a value in [0, 1]."""
+    fraction = max(0.0, min(1.0, fraction))
+    n = round(fraction * width)
+    return fill * n + "." * (width - n)
+
+
+def stacked_row(
+    label: str,
+    breakdown,
+    scale: float,
+    width: int = 40,
+    label_width: int = 16,
+) -> str:
+    """One stacked SDC/Timeout/DUE bar, like the paper's figure bars.
+
+    ``scale`` is the full-width value (e.g. the maximum total in the chart);
+    the three classes render as ``s``/``t``/``d`` segments.
+    """
+    if scale <= 0:
+        scale = 1.0
+    seg = []
+    for value, char in ((breakdown.sdc, "s"), (breakdown.timeout, "t"),
+                        (breakdown.due, "d")):
+        seg.append(char * round(width * value / scale))
+    body = "".join(seg)[:width].ljust(width, ".")
+    return (
+        f"{label:<{label_width}} |{body}| "
+        f"total={breakdown.total * 100:6.3f}% "
+        f"(sdc={breakdown.sdc * 100:.3f} t/o={breakdown.timeout * 100:.3f} "
+        f"due={breakdown.due * 100:.3f})"
+    )

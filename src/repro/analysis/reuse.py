@@ -1,0 +1,124 @@
+"""Register-reuse analysis (Section V-B / Figure 12 of the paper).
+
+The paper proposes augmenting software-level fault injection with a
+*register reuse analyzer*: a fault placed in a register should affect every
+subsequent instruction that reads the register until it is next written.
+This module implements that analyzer over a dynamic trace of the simulator:
+for every dynamic register write it counts how many dynamic reads consume
+the value before it is overwritten — the replication factor that a
+single-instruction fault model under-counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class TraceRecorder:
+    """GPU tracer hook collecting per-warp dynamic register def/use events.
+
+    Attach as ``gpu.tracer`` for an analysis run; cost is paid only when
+    tracing (campaigns never enable it).
+    """
+
+    def __init__(self):
+        # (warp_uid, reg) -> (static instr index of last write, read count)
+        self._last_write: dict[tuple[int, int], list] = {}
+        # static instr index -> list of read counts of the values it produced
+        self.reads_per_write: dict[int, list[int]] = defaultdict(list)
+        self.dynamic_instructions = 0
+
+    def record(self, instr_index: int, instr, warp, gm: np.ndarray) -> None:
+        if not gm.any():
+            return
+        self.dynamic_instructions += 1
+        uid = warp.uid
+        for reg in instr.source_registers():
+            entry = self._last_write.get((uid, reg))
+            if entry is not None:
+                entry[1] += 1
+        for reg in instr.dest_registers():
+            key = (uid, reg)
+            prev = self._last_write.get(key)
+            if prev is not None:
+                self.reads_per_write[prev[0]].append(prev[1])
+            self._last_write[key] = [instr_index, 0]
+
+    def finish(self) -> None:
+        """Flush still-live values (reads observed so far count)."""
+        for (uid, reg), (idx, reads) in self._last_write.items():
+            self.reads_per_write[idx].append(reads)
+        self._last_write.clear()
+
+
+@dataclass
+class ReuseReport:
+    """Aggregated reuse statistics of one kernel/application."""
+
+    per_instruction: dict[int, float] = field(default_factory=dict)
+    mean_reads_per_write: float = 0.0
+    fraction_multi_read: float = 0.0  # writes read 2+ times
+    fraction_dead_write: float = 0.0  # writes never read
+
+    def summary(self) -> str:
+        return (
+            f"mean reads/write = {self.mean_reads_per_write:.2f}, "
+            f"multi-read writes = {self.fraction_multi_read:.1%}, "
+            f"dead writes = {self.fraction_dead_write:.1%}"
+        )
+
+
+class RegisterReuseAnalyzer:
+    """Runs an application under tracing and aggregates reuse statistics."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def analyze(self, app) -> ReuseReport:
+        from repro.sim.gpu import GPU
+
+        gpu = GPU(self.config)
+        recorder = TraceRecorder()
+        gpu.tracer = recorder
+        try:
+            app.run(gpu)
+        finally:
+            gpu.tracer = None
+        recorder.finish()
+        all_counts: list[int] = []
+        per_instruction: dict[int, float] = {}
+        for idx, counts in recorder.reads_per_write.items():
+            per_instruction[idx] = float(np.mean(counts))
+            all_counts.extend(counts)
+        if not all_counts:
+            return ReuseReport()
+        arr = np.asarray(all_counts)
+        return ReuseReport(
+            per_instruction=per_instruction,
+            mean_reads_per_write=float(arr.mean()),
+            fraction_multi_read=float((arr >= 2).mean()),
+            fraction_dead_write=float((arr == 0).mean()),
+        )
+
+
+def affected_instructions(program, start_index: int, reg: int) -> list[int]:
+    """Static forward scan (Fig. 12): instructions reading ``reg`` after
+    ``start_index`` until the first rewrite, along the fall-through path.
+
+    This mirrors the paper's illustrative example: a fault in the output
+    register of instruction ``start_index`` should be replicated into every
+    returned instruction.
+    """
+    affected: list[int] = []
+    for idx in range(start_index + 1, len(program)):
+        instr = program[idx]
+        if reg in instr.source_registers():
+            affected.append(idx)
+        if reg in instr.dest_registers():
+            break
+        if instr.info.is_branch:
+            break  # conservative: stop at control flow
+    return affected

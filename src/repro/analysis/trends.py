@@ -1,0 +1,67 @@
+"""Pairwise vulnerability-trend comparison (Table I of the paper).
+
+Two workloads form a *consistent* pair if both metrics rank them the same
+way (or either metric ties them), and an *opposite* pair if the rankings
+strictly conflict — the paper's headline evidence that SVF misleads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+def _sign(x: float, tol: float = 1e-12) -> int:
+    if x > tol:
+        return 1
+    if x < -tol:
+        return -1
+    return 0
+
+
+@dataclass
+class TrendComparison:
+    """Result of comparing two metrics over the same workload set."""
+
+    consistent: int = 0
+    opposite: int = 0
+    opposite_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.consistent + self.opposite
+
+    @property
+    def opposite_fraction(self) -> float:
+        return self.opposite / self.total if self.total else 0.0
+
+    def row(self) -> str:
+        t = self.total or 1
+        return (
+            f"{self.consistent} ({self.consistent / t:.0%}) | "
+            f"{self.opposite} ({self.opposite / t:.0%})"
+        )
+
+
+def compare_trends(
+    metric_a: dict[str, float], metric_b: dict[str, float]
+) -> TrendComparison:
+    """Compare rankings of two metrics over all workload pairs.
+
+    Both dicts must cover the same workload names. A pair is opposite iff
+    the two metrics order it in strictly conflicting directions.
+    """
+    if set(metric_a) != set(metric_b):
+        missing = set(metric_a) ^ set(metric_b)
+        raise ValueError(f"metric key mismatch: {sorted(missing)}")
+    names = sorted(metric_a)
+    result = TrendComparison()
+    for x, y in itertools.combinations(names, 2):
+        sa = _sign(metric_a[x] - metric_a[y])
+        sb = _sign(metric_b[x] - metric_b[y])
+        if sa * sb < 0:
+            result.opposite += 1
+            result.opposite_pairs.append((x, y))
+        else:
+            result.consistent += 1
+    return result

@@ -1,0 +1,83 @@
+"""Resource-utilization correlation (Figure 3 of the paper).
+
+For a pair of kernels, every metric is normalised by the pair's sum:
+``norm(x1) = x1 / (x1 + x2)`` — 50 % means the kernels tie on that metric.
+The paper uses this view to show that resource utilization is an indicator
+(but not a determinant) of AVF/SVF trends.
+"""
+
+from __future__ import annotations
+
+from repro.fi.campaign import AppProfile
+
+#: Metrics displayed in Fig. 3, in presentation order. Each maps to a key of
+#: the kernel-metric dict produced by :func:`kernel_metrics`.
+FIG3_METRICS = (
+    "occupancy",
+    "rf_derating",
+    "smem_derating",
+    "l1d_accesses",
+    "l1d_miss_rate",
+    "l1d_misses",
+    "l2_accesses",
+    "l2_miss_rate",
+    "l2_misses",
+    "l2_pending_hits",
+    "l2_reservation_fails",
+    "load_instructions",
+    "shared_instructions",
+    "store_instructions",
+    "memory_read_bytes",
+    "memory_write_bytes",
+)
+
+
+def kernel_metrics(profile: AppProfile, kernel: str, config) -> dict[str, float]:
+    """Aggregate fault-free performance metrics over a kernel's launches."""
+    from repro.arch.structures import Structure
+    from repro.fi.avf import derating_factor
+
+    launches = profile.kernel_launches(kernel)
+    if not launches:
+        raise ValueError(f"kernel {kernel!r} not in profile of {profile.app_name}")
+    indices = [l["index"] for l in launches]
+    stats = [profile.stats_by_launch[i] for i in indices]
+    cycles = [max(s["cycles"], 1) for s in stats]
+    total_cycles = sum(cycles)
+
+    def summed(key: str) -> float:
+        return float(sum(s[key] for s in stats))
+
+    def cycle_weighted(key: str) -> float:
+        return sum(s[key] * c for s, c in zip(stats, cycles)) / total_cycles
+
+    l1d_acc = summed("l1d_accesses")
+    l2_acc = summed("l2_accesses")
+    return {
+        "cycles": float(total_cycles),
+        "occupancy": cycle_weighted("occupancy"),
+        "rf_derating": derating_factor(Structure.RF, launches, config),
+        "smem_derating": derating_factor(Structure.SMEM, launches, config),
+        "l1d_accesses": l1d_acc,
+        "l1d_misses": summed("l1d_misses"),
+        "l1d_miss_rate": summed("l1d_misses") / l1d_acc if l1d_acc else 0.0,
+        "l2_accesses": l2_acc,
+        "l2_misses": summed("l2_misses"),
+        "l2_miss_rate": summed("l2_misses") / l2_acc if l2_acc else 0.0,
+        "l2_pending_hits": summed("l2_pending_hits"),
+        "l2_reservation_fails": summed("l2_reservation_fails"),
+        "load_instructions": summed("load_instructions"),
+        "shared_instructions": summed("shared_instructions"),
+        "store_instructions": summed("store_instructions"),
+        "memory_read_bytes": summed("memory_read_bytes"),
+        "memory_write_bytes": summed("memory_write_bytes"),
+        "thread_instructions": summed("thread_instructions"),
+    }
+
+
+def normalized_pair(value_a: float, value_b: float) -> tuple[float, float]:
+    """The paper's pair normalisation: each value over the pair's sum (%)."""
+    total = value_a + value_b
+    if total == 0:
+        return 50.0, 50.0
+    return 100.0 * value_a / total, 100.0 * value_b / total

@@ -1,0 +1,21 @@
+"""GPU architecture model: configuration presets and hardware structures."""
+
+from repro.arch.config import (
+    CacheGeometry,
+    GPUConfig,
+    Latencies,
+    quadro_gv100_like,
+    tesla_v100_like,
+)
+from repro.arch.structures import Structure, structure_bits, structure_inventory
+
+__all__ = [
+    "CacheGeometry",
+    "GPUConfig",
+    "Latencies",
+    "quadro_gv100_like",
+    "tesla_v100_like",
+    "Structure",
+    "structure_bits",
+    "structure_inventory",
+]

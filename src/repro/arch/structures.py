@@ -1,0 +1,67 @@
+"""Hardware-structure inventory for fault targeting and AVF size-weighting.
+
+The paper injects into five structures: register files (RF), shared memory
+(SMEM), L1 data caches (L1D), L1 texture caches (L1T), and L2 caches. The
+full-chip AVF weights each structure's AVF by its bit count; this module is
+the single source of truth for those bit counts.
+
+Only *data* arrays are modelled as fault targets (as in gpuFI-4); tag/state
+bits are excluded, and the L1 instruction cache is excluded to keep the
+comparison with software-level injection fair (Section II-B of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.arch.config import GPUConfig
+
+
+class Structure(enum.Enum):
+    """Fault-injectable hardware structures."""
+
+    RF = "rf"
+    SMEM = "smem"
+    L1D = "l1d"
+    L1T = "l1t"
+    L2 = "l2"
+
+    @property
+    def per_sm(self) -> bool:
+        """True if the structure is replicated per SM (vs chip-shared)."""
+        return self is not Structure.L2
+
+    @property
+    def uses_derating(self) -> bool:
+        """True for structures whose simulator state only holds live entries.
+
+        GPGPU-Sim allocates registers per live thread and shared memory per
+        live CTA, so injection can only target live entries; the AVF of these
+        structures is the measured failure rate multiplied by a derating
+        factor (Section II-B of the paper).
+        """
+        return self in (Structure.RF, Structure.SMEM)
+
+
+#: Structures whose AVF is grouped as "AVF-Cache" in the Fig. 5 comparison.
+CACHE_STRUCTURES = (Structure.L1D, Structure.L1T, Structure.L2)
+
+
+def structure_bits(structure: Structure, config: GPUConfig) -> int:
+    """Total bits of a structure across the whole chip."""
+    if structure is Structure.RF:
+        return config.rf_bytes_per_sm * 8 * config.num_sms
+    if structure is Structure.SMEM:
+        return config.smem_bytes_per_sm * 8 * config.num_sms
+    if structure is Structure.L1D:
+        return config.l1d.size_bytes * 8 * config.num_sms
+    if structure is Structure.L1T:
+        return config.l1t.size_bytes * 8 * config.num_sms
+    if structure is Structure.L2:
+        return config.l2.size_bytes * 8
+    raise ValueError(f"unknown structure {structure}")
+
+
+def structure_inventory(config: GPUConfig) -> dict[Structure, int]:
+    """Bit counts of every injectable structure, for chip-AVF weighting."""
+    return {s: structure_bits(s, config) for s in Structure}

@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table1 fig1 fig8
+    python -m repro.cli run all --trials 64
+    python -m repro.cli apps
+    python -m repro.cli disasm hotspot
+
+The underlying campaigns cache under ``.repro_cache/``, so repeated
+invocations are cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+#: Experiment id -> module path (each module exposes ``run(...) -> str``).
+EXPERIMENTS = {
+    "fig1": "repro.experiments.fig1_app_avf_svf",
+    "fig2": "repro.experiments.fig2_kernel_avf_svf",
+    "fig3": "repro.experiments.fig3_utilization",
+    "fig4": "repro.experiments.fig4_avf_rf",
+    "fig5": "repro.experiments.fig5_avf_cache_svf_ld",
+    "table1": "repro.experiments.table1_trends",
+    "fig7": "repro.experiments.fig7_hardened",
+    "fig8": "repro.experiments.fig8_sdc_hardening",
+    "fig9": "repro.experiments.fig9_timeout_due",
+    "fig10": "repro.experiments.fig10_component_breakdown",
+    "fig11": "repro.experiments.fig11_control_path",
+    "fig12": "repro.experiments.fig12_register_reuse",
+    "svf-fix": "repro.experiments.svf_fix",
+    "protection": "repro.experiments.protection_study",
+    "speed-gap": "repro.experiments.speed_gap",
+}
+
+#: Experiments whose run() accepts a ``trials`` keyword.
+_TRIALS_AWARE = {
+    "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "svf-fix",
+}
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, module_path in EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<{width}}  {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        kwargs = {}
+        if args.trials is not None and name in _TRIALS_AWARE:
+            kwargs["trials"] = args.trials
+        print(module.run(**kwargs))
+        print()
+    return 0
+
+
+def _cmd_apps(_args) -> int:
+    from repro.kernels import all_applications
+
+    for app in all_applications():
+        print(app.describe())
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.arch.config import quadro_gv100_like
+    from repro.kernels import get_application
+    from repro.sim import GPU
+
+    app = get_application(args.app)
+    gpu = GPU(quadro_gv100_like())
+    app.run(gpu)
+    seen: set[str] = set()
+    import importlib as _imp
+
+    module = _imp.import_module(type(app).__module__)
+    for attr in dir(module):
+        value = getattr(module, attr)
+        if hasattr(value, "disassemble") and hasattr(value, "instructions"):
+            if value.name not in seen:
+                seen.add(value.name)
+                print(value.disassemble())
+                print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cross-layer GPU reliability assessment"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment", nargs="+",
+                            help="experiment ids, or 'all'")
+    run_parser.add_argument("--trials", type=int, default=None,
+                            help="injections per campaign cell")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sub.add_parser("apps", help="list benchmark applications").set_defaults(
+        func=_cmd_apps
+    )
+    disasm_parser = sub.add_parser("disasm", help="disassemble an app's kernels")
+    disasm_parser.add_argument("app")
+    disasm_parser.set_defaults(func=_cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

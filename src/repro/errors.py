@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Simulator-raised errors are part of the fault-effect classification: an
+:class:`IllegalMemoryAccess` or any other :class:`ExecutionError` escaping a
+kernel run is classified as a DUE (Detected Unrecoverable Error), mirroring
+how a kernel crash surfaces on real hardware and in GPGPU-Sim.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be parsed or resolved."""
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to / decoded from bits."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid GPU or campaign configuration."""
+
+
+class LaunchError(ReproError):
+    """Raised when a kernel launch is malformed (grid/block/resources)."""
+
+
+class ExecutionError(ReproError):
+    """Base class for errors raised *during* simulated kernel execution.
+
+    These model catastrophic events that abort the kernel: they are caught by
+    the fault-injection harness and classified as DUE outcomes.
+    """
+
+
+class IllegalMemoryAccess(ExecutionError):
+    """Out-of-bounds or misaligned access to simulated global memory."""
+
+    def __init__(self, address: int, size: int, reason: str = "out of bounds"):
+        self.address = address
+        self.size = size
+        self.reason = reason
+        super().__init__(f"illegal memory access at 0x{address:08x} ({size} bytes): {reason}")
+
+
+class IllegalSharedAccess(ExecutionError):
+    """Out-of-bounds access to a CTA's shared-memory window."""
+
+    def __init__(self, offset: int, size: int, limit: int):
+        self.offset = offset
+        self.size = size
+        self.limit = limit
+        super().__init__(
+            f"illegal shared-memory access at offset {offset} ({size} bytes), window {limit} bytes"
+        )
+
+
+class IllegalInstruction(ExecutionError):
+    """Executed an instruction the pipeline cannot interpret."""
+
+
+class DeadlockError(ExecutionError):
+    """All warps blocked (e.g. barrier that can never be satisfied)."""
+
+
+class SimTimeout(ExecutionError):
+    """Simulated execution exceeded the configured cycle budget.
+
+    Distinguished from other :class:`ExecutionError` subclasses by the
+    campaign classifier: it maps to the Timeout fault-effect class, not DUE.
+    """
+
+    def __init__(self, cycles: int, limit: int):
+        self.cycles = cycles
+        self.limit = limit
+        super().__init__(f"execution exceeded cycle budget ({cycles} >= {limit})")

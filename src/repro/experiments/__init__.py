@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes ``run(trials=None) -> str`` producing the text report
+with the same rows/series as the paper's artifact, plus a data accessor used
+by the test suite. Campaign results are cached on disk, so the full set of
+experiments shares one round of simulation.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

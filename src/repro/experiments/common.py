@@ -1,0 +1,203 @@
+"""Shared campaign orchestration for the experiment drivers.
+
+``collect_suite`` runs (or loads from cache) the campaigns every figure
+shares: per kernel, microarchitecture-level FI on all five structures on the
+GV100-like configuration and software-level FI (plus the loads-only SVF-LD
+variant) on the V100-like configuration — the paper's tool pairing.
+
+Hardened variants run the same applications through the TMR harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.arch.config import quadro_gv100_like, tesla_v100_like
+from repro.arch.structures import Structure
+from repro.fi.avf import (
+    VulnBreakdown,
+    avf_of_application,
+    avf_of_cache_group,
+    avf_of_chip,
+    avf_of_structure,
+)
+from repro.fi.campaign import (
+    CampaignResult,
+    default_trials,
+    profile_app,
+    run_microarch_campaign,
+    run_software_campaign,
+)
+from repro.fi.svf import svf_of_application, svf_of_kernel
+from repro.hardening import tmr_harness_factory
+from repro.kernels import all_applications
+
+#: Paper's figure/application ordering.
+APP_ORDER = (
+    "sradv1", "sradv2", "kmeans", "hotspot", "lud",
+    "scp", "va", "nw", "pathfinder", "backprop", "bfs",
+)
+
+
+def hardened_trials() -> int:
+    """Hardened apps simulate ~3.5x slower; default to a smaller n."""
+    env = os.environ.get("REPRO_TRIALS_HARDENED")
+    if env:
+        return int(env)
+    return max(16, default_trials() * 5 // 8)
+
+
+@dataclass
+class KernelData:
+    """Everything the figures need about one kernel."""
+
+    app_name: str
+    kernel: str
+    uarch: dict[Structure, CampaignResult]
+    sw: CampaignResult
+    sw_ld: CampaignResult | None = None
+
+    avf: VulnBreakdown = field(default_factory=VulnBreakdown)
+    avf_rf: VulnBreakdown = field(default_factory=VulnBreakdown)
+    avf_cache: VulnBreakdown = field(default_factory=VulnBreakdown)
+    svf: VulnBreakdown = field(default_factory=VulnBreakdown)
+    svf_ld: VulnBreakdown = field(default_factory=VulnBreakdown)
+
+    @property
+    def cycles(self) -> int:
+        return next(iter(self.uarch.values())).kernel_cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.sw.kernel_instructions
+
+
+@dataclass
+class SuiteData:
+    """All per-kernel campaign data for one (hardened or not) suite pass."""
+
+    kernels: dict[tuple[str, str], KernelData]
+    hardened: bool
+
+    def kernel_order(self) -> list[tuple[str, str]]:
+        return sorted(self.kernels, key=lambda k: (APP_ORDER.index(k[0]), k[1]))
+
+    def app_avf(self) -> dict[str, VulnBreakdown]:
+        out: dict[str, VulnBreakdown] = {}
+        for app in APP_ORDER:
+            items = {k: d for (a, k), d in self.kernels.items() if a == app}
+            if items:
+                out[app] = avf_of_application(
+                    {k: d.avf for k, d in items.items()},
+                    {k: d.cycles for k, d in items.items()},
+                )
+        return out
+
+    def app_svf(self) -> dict[str, VulnBreakdown]:
+        out: dict[str, VulnBreakdown] = {}
+        for app in APP_ORDER:
+            items = {k: d for (a, k), d in self.kernels.items() if a == app}
+            if items:
+                out[app] = svf_of_application(
+                    {k: d.svf for k, d in items.items()},
+                    {k: d.instructions for k, d in items.items()},
+                )
+        return out
+
+    def app_breakdown(self, which: str) -> dict[str, VulnBreakdown]:
+        """App-level aggregation of one sub-metric ('avf_rf', 'avf_cache',
+        'svf_ld', ...), weighted as its base metric prescribes."""
+        out: dict[str, VulnBreakdown] = {}
+        for app in APP_ORDER:
+            items = {k: d for (a, k), d in self.kernels.items() if a == app}
+            if not items:
+                continue
+            values = {k: getattr(d, which) for k, d in items.items()}
+            if which.startswith("avf"):
+                out[app] = avf_of_application(
+                    values, {k: d.cycles for k, d in items.items()}
+                )
+            else:
+                out[app] = svf_of_application(
+                    values, {k: d.instructions for k, d in items.items()}
+                )
+        return out
+
+
+def collect_suite(
+    hardened: bool = False,
+    trials: int | None = None,
+    with_ld: bool = True,
+    apps: list[str] | None = None,
+    seed: int = 1,
+) -> SuiteData:
+    """Run/load the campaign grid for the whole benchmark suite."""
+    if trials is None:
+        trials = hardened_trials() if hardened else default_trials()
+    uarch_config = quadro_gv100_like()
+    sw_config = tesla_v100_like()
+    factory = tmr_harness_factory if hardened else None
+    kernels: dict[tuple[str, str], KernelData] = {}
+    for app in all_applications():
+        if apps is not None and app.name not in apps:
+            continue
+
+        # Profiles are simulated lazily: a fully-cached suite pass never
+        # touches the simulator.
+        profiles: dict[str, object] = {}
+
+        def supplier(config, _app=app, _profiles=profiles):
+            def get():
+                if config.name not in _profiles:
+                    _profiles[config.name] = profile_app(_app, config, factory)
+                return _profiles[config.name]
+
+            return get
+
+        for kernel in app.kernel_names:
+            uarch = {
+                s: run_microarch_campaign(
+                    app, kernel, s, uarch_config, trials=trials, seed=seed,
+                    harness_factory=factory, hardened=hardened,
+                    profile_supplier=supplier(uarch_config),
+                )
+                for s in Structure
+            }
+            sw = run_software_campaign(
+                app, kernel, sw_config, trials=trials, seed=seed,
+                harness_factory=factory, hardened=hardened,
+                profile_supplier=supplier(sw_config),
+            )
+            sw_ld = None
+            if with_ld:
+                sw_ld = run_software_campaign(
+                    app, kernel, sw_config, trials=trials, seed=seed,
+                    loads_only=True, harness_factory=factory,
+                    hardened=hardened, profile_supplier=supplier(sw_config),
+                )
+            data = KernelData(app.name, kernel, uarch, sw, sw_ld)
+            data.avf = avf_of_chip(uarch, uarch_config)
+            data.avf_rf = avf_of_structure(uarch[Structure.RF])
+            data.avf_cache = avf_of_cache_group(uarch, uarch_config)
+            data.svf = svf_of_kernel(sw)
+            if sw_ld is not None:
+                data.svf_ld = svf_of_kernel(sw_ld)
+            kernels[(app.name, kernel)] = data
+    return SuiteData(kernels=kernels, hardened=hardened)
+
+
+def kernel_label(app: str, kernel: str) -> str:
+    """Paper-style label, e.g. ('sradv1', 'sradv1_k4') -> 'SRADv1 K4'."""
+    pretty = {
+        "sradv1": "SRADv1", "sradv2": "SRADv2", "kmeans": "K-Means",
+        "hotspot": "HotSpot", "lud": "LUD", "scp": "SCP", "va": "VA",
+        "nw": "NW", "pathfinder": "PathFinder", "backprop": "BackProp",
+        "bfs": "BFS",
+    }[app]
+    suffix = kernel.rsplit("_k", 1)[-1]
+    return f"{pretty} K{suffix}"
+
+
+def app_label(app: str) -> str:
+    return kernel_label(app, "x_k").split(" ")[0]

@@ -1,0 +1,64 @@
+"""Figure 10: per-structure AVF (RF / SMEM / L1D / L2) before and after TMR
+for representative kernels.
+
+The paper's representative set: LUD K2, SCP K1, NW K2, BackProp K2,
+SRADv1 K2, K-Means K2. The shape to reproduce: TMR's gains concentrate in
+RF and SMEM; L1D carries the smallest vulnerability; L2 can gain *new*
+vulnerability under hardening.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.arch.structures import Structure
+from repro.experiments.common import collect_suite, kernel_label
+from repro.fi.avf import avf_of_structure
+
+KERNELS = (
+    ("lud", "lud_k2"),
+    ("scp", "scp_k1"),
+    ("nw", "nw_k2"),
+    ("backprop", "backprop_k2"),
+    ("sradv1", "sradv1_k2"),
+    ("kmeans", "kmeans_k2"),
+)
+
+STRUCTURES = (Structure.RF, Structure.SMEM, Structure.L1D, Structure.L2)
+
+
+def data(trials: int | None = None, trials_hardened: int | None = None):
+    base = collect_suite(hardened=False, trials=trials, with_ld=False)
+    hard = collect_suite(hardened=True, trials=trials_hardened, with_ld=False)
+    out = {}
+    for a, k in KERNELS:
+        per = {}
+        for s in STRUCTURES:
+            per[s] = {
+                "base": avf_of_structure(base.kernels[(a, k)].uarch[s]),
+                "tmr": avf_of_structure(hard.kernels[(a, k)].uarch[s]),
+            }
+        out[kernel_label(a, k)] = per
+    return out
+
+
+def run(trials: int | None = None, trials_hardened: int | None = None) -> str:
+    lines = ["== Figure 10: per-structure AVF before/after TMR =="]
+    for s in STRUCTURES:
+        rows = []
+        for label, per in data(trials, trials_hardened).items():
+            b, t = per[s]["base"], per[s]["tmr"]
+            rows.append([
+                label,
+                f"{b.sdc * 100:7.4f}", f"{b.timeout * 100:7.4f}", f"{b.due * 100:7.4f}",
+                f"{t.sdc * 100:7.4f}", f"{t.timeout * 100:7.4f}", f"{t.due * 100:7.4f}",
+            ])
+        lines.append(f"-- {s.name} --")
+        lines.append(format_table(
+            ["kernel", "SDC%", "T/O%", "DUE%", "SDC+TMR%", "T/O+TMR%", "DUE+TMR%"],
+            rows,
+        ))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

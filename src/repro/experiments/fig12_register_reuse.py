@@ -1,0 +1,61 @@
+"""Figure 12: the register reuse analyzer.
+
+The paper's illustrative SASS example shows a fault in the destination
+register of one instruction that should be replicated into every subsequent
+read until the register is rewritten. This experiment (a) reproduces the
+static illustration on real kernel code and (b) quantifies dynamic register
+reuse across the whole suite — the replication factor a single-instruction
+software fault model under-counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.reuse import RegisterReuseAnalyzer, affected_instructions
+from repro.arch.config import quadro_gv100_like
+from repro.kernels import all_applications
+from repro.kernels.vectoradd import _VA_K1
+
+
+def static_example() -> str:
+    """The Fig. 12 illustration on the VA kernel: a fault in R4 (the byte
+    offset) written by SHL propagates into the three address additions."""
+    program = _VA_K1
+    target_index = next(
+        i for i, ins in enumerate(program.instructions) if ins.dst == 4
+    )
+    affected = affected_instructions(program, target_index, 4)
+    lines = [f"fault target: /*{target_index:04d}*/ "
+             f"{program[target_index].render()}"]
+    for idx in affected:
+        lines.append(f"  affected -> /*{idx:04d}*/ {program[idx].render()}")
+    return "\n".join(lines)
+
+
+def data():
+    analyzer = RegisterReuseAnalyzer(quadro_gv100_like())
+    return {app.name: analyzer.analyze(app) for app in all_applications()}
+
+
+def run(trials: int | None = None) -> str:
+    reports = data()
+    table = format_table(
+        ["application", "mean reads/write", "multi-read writes", "dead writes"],
+        [
+            [name, f"{r.mean_reads_per_write:5.2f}",
+             f"{r.fraction_multi_read:6.1%}", f"{r.fraction_dead_write:6.1%}"]
+            for name, r in reports.items()
+        ],
+    )
+    return (
+        "== Figure 12: register reuse analyzer ==\n"
+        "-- static illustration (paper's Fig. 12, on va_k1) --\n"
+        + static_example()
+        + "\n-- dynamic reuse across the suite --\n" + table
+        + "\nreads/write > 1 means a register fault affects multiple "
+        "dynamic instructions — the effect single-instruction SVF models miss."
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,38 @@
+"""Figure 1: application-level AVF (bottom) vs SVF (top).
+
+Stacked SDC/Timeout/DUE per application. The paper's headline qualitative
+claims, checked by the bench: SVF absolute values are far larger than AVF
+(hardware masking), and several application pairs rank oppositely.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import stacked_row
+from repro.experiments.common import app_label, collect_suite
+
+
+def data(trials: int | None = None):
+    suite = collect_suite(hardened=False, trials=trials, with_ld=False)
+    return suite.app_avf(), suite.app_svf()
+
+
+def run(trials: int | None = None) -> str:
+    avf, svf = data(trials)
+    lines = ["== Figure 1: application-level AVF vs SVF =="]
+    lines.append("-- SVF (software-level, V100-like) --")
+    scale = max(b.total for b in svf.values()) or 1.0
+    for app, b in svf.items():
+        lines.append(stacked_row(app_label(app), b, scale))
+    lines.append("-- AVF (cross-layer, GV100-like) --")
+    scale = max(b.total for b in avf.values()) or 1.0
+    for app, b in avf.items():
+        lines.append(stacked_row(app_label(app), b, scale))
+    lines.append(
+        "note: AVF magnitudes are far below SVF because AVF includes "
+        "hardware masking (paper: different vertical scales)."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

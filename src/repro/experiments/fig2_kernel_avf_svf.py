@@ -1,0 +1,32 @@
+"""Figure 2: kernel-level AVF (bottom) vs SVF (top) for all 23 kernels."""
+
+from __future__ import annotations
+
+from repro.analysis.report import stacked_row
+from repro.experiments.common import collect_suite, kernel_label
+
+
+def data(trials: int | None = None):
+    suite = collect_suite(hardened=False, trials=trials, with_ld=False)
+    order = suite.kernel_order()
+    avf = {kernel_label(a, k): suite.kernels[(a, k)].avf for a, k in order}
+    svf = {kernel_label(a, k): suite.kernels[(a, k)].svf for a, k in order}
+    return avf, svf
+
+
+def run(trials: int | None = None) -> str:
+    avf, svf = data(trials)
+    lines = ["== Figure 2: kernel-level AVF vs SVF (23 kernels) =="]
+    lines.append("-- SVF --")
+    scale = max(b.total for b in svf.values()) or 1.0
+    for label, b in svf.items():
+        lines.append(stacked_row(label, b, scale))
+    lines.append("-- AVF --")
+    scale = max(b.total for b in avf.values()) or 1.0
+    for label, b in avf.items():
+        lines.append(stacked_row(label, b, scale))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,65 @@
+"""Figure 3: AVF, SVF, and normalised resource-utilization metrics for
+three kernel pairs.
+
+* 3a — HotSpot K1 vs LUD K1 (the paper's opposite-trend example)
+* 3b — LUD K2 vs LUD K1 (consistent trend, utilization tracks both)
+* 3c — VA K1 vs SCP K1 (opposite trend, mixed utilization signals)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.utilization import FIG3_METRICS, kernel_metrics, normalized_pair
+from repro.arch.config import quadro_gv100_like
+from repro.experiments.common import collect_suite, kernel_label
+from repro.fi.campaign import profile_app
+from repro.kernels import get_application
+
+PAIRS = (
+    ("3a", ("hotspot", "hotspot_k1"), ("lud", "lud_k1")),
+    ("3b", ("lud", "lud_k2"), ("lud", "lud_k1")),
+    ("3c", ("va", "va_k1"), ("scp", "scp_k1")),
+)
+
+
+def pair_series(ka, kb, suite, profiles, config):
+    """Normalised (AVF, SVF, metrics...) percentages for one kernel pair."""
+    da, db = suite.kernels[ka], suite.kernels[kb]
+    ma = kernel_metrics(profiles[ka[0]], ka[1], config)
+    mb = kernel_metrics(profiles[kb[0]], kb[1], config)
+    series = {
+        "AVF": normalized_pair(da.avf.total, db.avf.total),
+        "SVF": normalized_pair(da.svf.total, db.svf.total),
+    }
+    for metric in FIG3_METRICS:
+        series[metric] = normalized_pair(ma[metric], mb[metric])
+    return series
+
+
+def data(trials: int | None = None):
+    suite = collect_suite(hardened=False, trials=trials, with_ld=False)
+    config = quadro_gv100_like()
+    needed = {ka[0] for _, ka, kb in PAIRS} | {kb[0] for _, ka, kb in PAIRS}
+    profiles = {
+        app_name: profile_app(get_application(app_name), config)
+        for app_name in sorted(needed)
+    }
+    return {
+        name: (ka, kb, pair_series(ka, kb, suite, profiles, config))
+        for name, ka, kb in PAIRS
+    }
+
+
+def run(trials: int | None = None) -> str:
+    lines = ["== Figure 3: utilization as a vulnerability-trend indicator =="]
+    for name, (ka, kb, series) in data(trials).items():
+        la, lb = kernel_label(*ka), kernel_label(*kb)
+        lines.append(f"-- Fig. {name}: {la} vs {lb} (normalised %, pair sums to 100) --")
+        rows = [[metric, f"{a:5.1f}", f"{b:5.1f}"]
+                for metric, (a, b) in series.items()]
+        lines.append(format_table(["metric", la, lb], rows))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

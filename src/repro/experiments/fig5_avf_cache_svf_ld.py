@@ -1,0 +1,42 @@
+"""Figure 5: AVF-Cache (L1D+L1T+L2, bottom) vs SVF-LD (loads only, top).
+
+Memory-related sub-metrics diverge even more than the register-file
+comparison: the paper reports 58 % opposite pairs here.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import stacked_row
+from repro.analysis.trends import compare_trends
+from repro.experiments.common import app_label, collect_suite
+
+
+def data(trials: int | None = None):
+    suite = collect_suite(hardened=False, trials=trials, with_ld=True)
+    return suite.app_breakdown("avf_cache"), suite.app_breakdown("svf_ld")
+
+
+def run(trials: int | None = None) -> str:
+    avf_cache, svf_ld = data(trials)
+    lines = ["== Figure 5: AVF-Cache vs SVF-LD (application level) =="]
+    lines.append("-- SVF-LD (bit flips in loaded values only) --")
+    scale = max(b.total for b in svf_ld.values()) or 1.0
+    for app, b in svf_ld.items():
+        lines.append(stacked_row(app_label(app), b, scale))
+    lines.append("-- AVF-Cache (L1D + L1T + L2) --")
+    scale = max(b.total for b in avf_cache.values()) or 1.0
+    for app, b in avf_cache.items():
+        lines.append(stacked_row(app_label(app), b, scale))
+    cmp = compare_trends(
+        {a: b.total for a, b in avf_cache.items()},
+        {a: b.total for a, b in svf_ld.items()},
+    )
+    lines.append(
+        f"trend comparison: {cmp.consistent} consistent / {cmp.opposite} "
+        f"opposite pairs (paper: 23/32)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,52 @@
+"""Figure 7: kernel AVF and SVF with and without TMR hardening.
+
+The paper's expectation: most kernels improve under TMR, but some *increase*
+in vulnerability, and the two methodologies disagree about which.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.common import collect_suite, kernel_label
+
+
+def data(trials: int | None = None, trials_hardened: int | None = None):
+    base = collect_suite(hardened=False, trials=trials, with_ld=False)
+    hard = collect_suite(hardened=True, trials=trials_hardened, with_ld=False)
+    order = base.kernel_order()
+    rows = {}
+    for a, k in order:
+        rows[kernel_label(a, k)] = {
+            "avf": base.kernels[(a, k)].avf.total,
+            "avf_tmr": hard.kernels[(a, k)].avf.total,
+            "svf": base.kernels[(a, k)].svf.total,
+            "svf_tmr": hard.kernels[(a, k)].svf.total,
+        }
+    return rows
+
+
+def run(trials: int | None = None, trials_hardened: int | None = None) -> str:
+    rows = data(trials, trials_hardened)
+    table_rows = []
+    for label, r in rows.items():
+        table_rows.append([
+            label,
+            f"{r['avf'] * 100:7.4f}", f"{r['avf_tmr'] * 100:7.4f}",
+            "worse" if r["avf_tmr"] > r["avf"] else "better/equal",
+            f"{r['svf'] * 100:6.2f}", f"{r['svf_tmr'] * 100:6.2f}",
+            "worse" if r["svf_tmr"] > r["svf"] else "better/equal",
+        ])
+    header = ["kernel", "AVF%", "AVF+TMR%", "AVF verdict",
+              "SVF%", "SVF+TMR%", "SVF verdict"]
+    worse_avf = sum(1 for r in rows.values() if r["avf_tmr"] > r["avf"])
+    worse_svf = sum(1 for r in rows.values() if r["svf_tmr"] > r["svf"])
+    return (
+        "== Figure 7: AVF and SVF with vs without TMR hardening ==\n"
+        + format_table(header, table_rows)
+        + f"\nkernels made worse by TMR: AVF {worse_avf}, SVF {worse_svf} "
+        f"(paper: a handful under each, and they disagree)"
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,50 @@
+"""Figure 9: Timeout and DUE percentages of AVF and SVF, with and without
+TMR hardening.
+
+The paper: SDCs convert into DUEs under TMR — detected-unrecoverable rates
+grow for many kernels, so the "protected" application can end up *more*
+vulnerable overall.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.common import collect_suite, kernel_label
+
+
+def data(trials: int | None = None, trials_hardened: int | None = None):
+    base = collect_suite(hardened=False, trials=trials, with_ld=False)
+    hard = collect_suite(hardened=True, trials=trials_hardened, with_ld=False)
+    rows = {}
+    for a, k in base.kernel_order():
+        b, h = base.kernels[(a, k)], hard.kernels[(a, k)]
+        rows[kernel_label(a, k)] = {
+            "avf_td": b.avf.timeout + b.avf.due,
+            "avf_td_tmr": h.avf.timeout + h.avf.due,
+            "svf_td": b.svf.timeout + b.svf.due,
+            "svf_td_tmr": h.svf.timeout + h.svf.due,
+        }
+    return rows
+
+
+def run(trials: int | None = None, trials_hardened: int | None = None) -> str:
+    rows = data(trials, trials_hardened)
+    table = format_table(
+        ["kernel", "AVF T/O+DUE%", "+TMR%", "SVF T/O+DUE%", "+TMR%"],
+        [
+            [label, f"{r['avf_td'] * 100:8.4f}", f"{r['avf_td_tmr'] * 100:8.4f}",
+             f"{r['svf_td'] * 100:6.2f}", f"{r['svf_td_tmr'] * 100:6.2f}"]
+            for label, r in rows.items()
+        ],
+    )
+    grew = sum(1 for r in rows.values() if r["svf_td_tmr"] > r["svf_td"])
+    return (
+        "== Figure 9: Timeout+DUE of AVF and SVF, with vs without TMR ==\n"
+        + table
+        + f"\nkernels whose SVF Timeout+DUE grew under TMR: {grew}/23 "
+        "(paper: DUEs increase for most kernels)"
+    )
+
+
+if __name__ == "__main__":
+    print(run())

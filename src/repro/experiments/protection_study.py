@@ -1,0 +1,84 @@
+"""Budgeted-protection case study: the cost of trusting SVF.
+
+Section III-A of the paper argues that SVF-guided partial protection wastes
+resources: "software designers may decide to protect ... the most vulnerable
+application, LUD ... However, since AVF shows that the SDC rate is extremely
+low, protecting this application is unnecessary".
+
+This experiment makes that argument quantitative. With a budget to apply
+TMR to ``k`` of the 11 applications, compare three selection policies:
+
+* **SVF-guided** — protect the top-k applications by SVF,
+* **AVF-guided** — protect the top-k by ground-truth AVF,
+* **oracle** — the k applications whose protection minimises residual AVF.
+
+Residual vulnerability = the sum of per-application chip AVF totals, using
+the hardened AVF for protected applications and the baseline AVF otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.report import format_table
+from repro.experiments.common import app_label, collect_suite
+
+
+def data(trials: int | None = None, trials_hardened: int | None = None,
+         budget: int = 3):
+    base = collect_suite(hardened=False, trials=trials, with_ld=False)
+    hard = collect_suite(hardened=True, trials=trials_hardened, with_ld=False)
+    base_avf = {a: b.total for a, b in base.app_avf().items()}
+    hard_avf = {a: b.total for a, b in hard.app_avf().items()}
+    base_svf = {a: b.total for a, b in base.app_svf().items()}
+
+    def residual(protected: set[str]) -> float:
+        return sum(
+            hard_avf[a] if a in protected else base_avf[a] for a in base_avf
+        )
+
+    svf_choice = set(sorted(base_svf, key=base_svf.get, reverse=True)[:budget])
+    avf_choice = set(sorted(base_avf, key=base_avf.get, reverse=True)[:budget])
+    oracle_choice = min(
+        (set(c) for c in itertools.combinations(base_avf, budget)),
+        key=residual,
+    )
+    return {
+        "budget": budget,
+        "unprotected": residual(set()),
+        "svf_choice": sorted(svf_choice),
+        "avf_choice": sorted(avf_choice),
+        "oracle_choice": sorted(oracle_choice),
+        "svf_residual": residual(svf_choice),
+        "avf_residual": residual(avf_choice),
+        "oracle_residual": residual(oracle_choice),
+    }
+
+
+def run(trials: int | None = None, trials_hardened: int | None = None,
+        budget: int = 3) -> str:
+    d = data(trials, trials_hardened, budget)
+    rows = [
+        ["no protection", "-", f"{d['unprotected'] * 100:.4f}"],
+        ["SVF-guided", ", ".join(app_label(a) for a in d["svf_choice"]),
+         f"{d['svf_residual'] * 100:.4f}"],
+        ["AVF-guided", ", ".join(app_label(a) for a in d["avf_choice"]),
+         f"{d['avf_residual'] * 100:.4f}"],
+        ["oracle", ", ".join(app_label(a) for a in d["oracle_choice"]),
+         f"{d['oracle_residual'] * 100:.4f}"],
+    ]
+    table = format_table(
+        ["policy", f"protected apps (budget={d['budget']})",
+         "residual AVF sum %"], rows,
+    )
+    waste = d["svf_residual"] - d["avf_residual"]
+    return (
+        "== Budgeted protection study: who should get TMR? ==\n" + table
+        + f"\nSVF-guided selection leaves {waste * 100:.4f} pp more residual "
+        "vulnerability than AVF-guided selection — the paper's 'misguided "
+        "decisions' made quantitative."
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,55 @@
+"""Table I: consistent vs opposite vulnerability trends.
+
+Four rows, as in the paper: application-level AVF vs SVF, kernel-level AVF
+vs SVF, AVF-RF vs SVF, and AVF-Cache vs SVF-LD. The paper finds ~42 %/43 %
+opposite pairs for the first two rows and 58 % for the cache comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.trends import TrendComparison, compare_trends
+from repro.experiments.common import collect_suite, kernel_label
+
+
+def data(trials: int | None = None) -> dict[str, TrendComparison]:
+    suite = collect_suite(hardened=False, trials=trials, with_ld=True)
+    app_avf = {a: b.total for a, b in suite.app_avf().items()}
+    app_svf = {a: b.total for a, b in suite.app_svf().items()}
+    order = suite.kernel_order()
+    kernel_avf = {kernel_label(a, k): suite.kernels[(a, k)].avf.total
+                  for a, k in order}
+    kernel_svf = {kernel_label(a, k): suite.kernels[(a, k)].svf.total
+                  for a, k in order}
+    app_avf_rf = {a: b.total for a, b in suite.app_breakdown("avf_rf").items()}
+    app_avf_cache = {a: b.total
+                     for a, b in suite.app_breakdown("avf_cache").items()}
+    app_svf_ld = {a: b.total for a, b in suite.app_breakdown("svf_ld").items()}
+    return {
+        "Application-Level": compare_trends(app_avf, app_svf),
+        "Kernel-Level": compare_trends(kernel_avf, kernel_svf),
+        "AVF-RF vs. SVF": compare_trends(app_avf_rf, app_svf),
+        "AVF-Cache vs. SVF-LD": compare_trends(app_avf_cache, app_svf_ld),
+    }
+
+
+def run(trials: int | None = None) -> str:
+    rows = data(trials)
+    table = format_table(
+        ["Comparison", "Consistent Trend", "Opposite Trend"],
+        [
+            [name, f"{c.consistent} ({c.consistent / c.total:.0%})",
+             f"{c.opposite} ({c.opposite / c.total:.0%})"]
+            for name, c in rows.items()
+        ],
+    )
+    paper = (
+        "paper: 32(58%)/23(42%), 144(57%)/109(43%), "
+        "32(58%)/23(42%), 23(42%)/32(58%)"
+    )
+    return "== Table I: opposite trends in application/kernel pairs ==\n" \
+        + table + "\n" + paper
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,40 @@
+"""Fault injection: microarchitecture-level (gpuFI-4-style, AVF) and
+software-level (NVBitFI-style, SVF) injectors plus campaign orchestration."""
+
+from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.fi.gpufi import MicroarchFaultPlan, MicroarchInjector
+from repro.fi.nvbitfi import SoftwareFaultPlan, SoftwareInjector
+from repro.fi.campaign import (
+    AppProfile,
+    CampaignResult,
+    profile_app,
+    run_microarch_campaign,
+    run_software_campaign,
+)
+from repro.fi.avf import (
+    avf_of_application,
+    avf_of_chip,
+    avf_of_structure,
+    derating_factor,
+)
+from repro.fi.svf import svf_of_application, svf_of_kernel
+
+__all__ = [
+    "FaultOutcome",
+    "OutcomeCounts",
+    "MicroarchFaultPlan",
+    "MicroarchInjector",
+    "SoftwareFaultPlan",
+    "SoftwareInjector",
+    "AppProfile",
+    "CampaignResult",
+    "profile_app",
+    "run_microarch_campaign",
+    "run_software_campaign",
+    "avf_of_application",
+    "avf_of_chip",
+    "avf_of_structure",
+    "derating_factor",
+    "svf_of_application",
+    "svf_of_kernel",
+]

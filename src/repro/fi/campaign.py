@@ -1,0 +1,476 @@
+"""Statistical fault-injection campaigns.
+
+A campaign profiles the application fault-free (golden outputs, per-launch
+cycles and dynamic-instruction counts), then runs N injected trials, each on
+a reset device with one planned fault, and tallies the outcome classes.
+
+Results are cached as JSON under ``.repro_cache/`` keyed by every parameter
+that affects the outcome, so experiments and benchmarks sharing campaigns
+(Figs. 1, 2, 4, 5, Table I all reuse the same base campaigns) never redo
+simulation work.
+
+Environment knobs:
+
+* ``REPRO_TRIALS`` — override the default trials per campaign cell.
+* ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.arch.config import GPUConfig
+from repro.arch.structures import Structure
+from repro.errors import ExecutionError, SimTimeout
+from repro.fi.gpufi import MicroarchInjector, plan_microarch_fault
+from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
+from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.kernels.base import DeviceHarness, GPUApplication, outputs_equal
+from repro.sim.gpu import GPU
+from repro.utils.rng import spawn_seeds
+
+#: Bump to invalidate every cached campaign result after a model change.
+CACHE_VERSION = 8
+
+#: Paper: 3000 trials per cell (±2.35 % @ 99 %). Scaled for one CPU core;
+#: the experiment reports quote the margin of error for the n actually used.
+DEFAULT_TRIALS = 64
+
+
+def default_trials() -> int:
+    env = os.environ.get("REPRO_TRIALS")
+    return int(env) if env else DEFAULT_TRIALS
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _matches_kernel(launch_name: str, kernel: str) -> bool:
+    """A launch belongs to a kernel if it is the kernel or its vote step."""
+    return launch_name == kernel or launch_name.startswith(kernel + "@")
+
+
+@dataclass
+class AppProfile:
+    """Fault-free profile of one application on one configuration."""
+
+    app_name: str
+    config_name: str
+    launches: list[dict]  # per-launch: index,name,cycles,injectable,...
+    golden: dict  # output name -> ndarray
+    total_cycles: int
+    stats_by_launch: list[dict]
+
+    def kernel_launches(self, kernel: str, include_post: bool = True
+                        ) -> list[dict]:
+        """Launches of a kernel; ``include_post=False`` drops hardening
+        post-processing steps (``<kernel>@vote``) — the software-level
+        injector only sees the computational kernel (NVBitFI instruments
+        the kernel, not the TMR vote), while the cross-layer evaluation
+        covers the whole hardened unit."""
+        recs = [l for l in self.launches if _matches_kernel(l["name"], kernel)]
+        if not include_post:
+            recs = [l for l in recs if "@" not in l["name"]]
+        return recs
+
+    def kernel_cycles(self, kernel: str) -> int:
+        return sum(l["cycles"] for l in self.kernel_launches(kernel))
+
+    def kernel_instructions(self, kernel: str) -> int:
+        return sum(l["injectable"] for l in self.kernel_launches(kernel))
+
+    def kernel_loads(self, kernel: str) -> int:
+        return sum(l["injectable_loads"] for l in self.kernel_launches(kernel))
+
+
+def profile_app(
+    app: GPUApplication,
+    config: GPUConfig,
+    harness_factory=None,
+) -> AppProfile:
+    """Run the application fault-free and collect its profile."""
+    gpu = GPU(config)
+    harness = harness_factory() if harness_factory else DeviceHarness()
+    golden = app.run(gpu, harness)
+    harness.finalize(gpu)
+    launches = []
+    stats_by_launch = []
+    for rec in gpu.launch_records:
+        launches.append(
+            {
+                "index": rec.index,
+                "name": rec.name,
+                "cycles": rec.stats.cycles,
+                "injectable": rec.stats.sw_injectable_instructions,
+                "injectable_loads": rec.stats.sw_injectable_loads,
+                "threads": rec.stats.threads_launched,
+                "ctas": rec.stats.ctas_launched,
+                "regs_per_thread": rec.stats.regs_per_thread,
+                "smem_bytes_per_cta": rec.stats.smem_bytes_per_cta,
+            }
+        )
+        stats_by_launch.append(rec.stats.snapshot(config))
+    return AppProfile(
+        app_name=app.name,
+        config_name=config.name,
+        launches=launches,
+        golden=golden,
+        total_cycles=sum(l["cycles"] for l in launches),
+        stats_by_launch=stats_by_launch,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Outcome tally + the profile-derived weights the AVF/SVF math needs."""
+
+    app_name: str
+    kernel: str
+    injector: str  # "uarch" | "sw" | "sw-ld"
+    structure: str | None
+    trials: int
+    seed: int
+    config_name: str
+    counts: OutcomeCounts
+    derating_factor: float = 1.0
+    kernel_cycles: int = 0
+    kernel_instructions: int = 0
+    control_path_masked: int = 0  # masked trials whose cycle count changed
+    hardened: bool = False
+
+    def to_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["counts"] = self.counts.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignResult":
+        d = dict(d)
+        d["counts"] = OutcomeCounts.from_dict(d["counts"])
+        return cls(**d)
+
+
+def _cache_key(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def _cache_load(key: str) -> dict | None:
+    path = cache_dir() / f"{key}.json"
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+    return None
+
+
+def _cache_store(key: str, payload: dict) -> None:
+    d = cache_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    (d / f"{key}.json").write_text(json.dumps(payload, sort_keys=True))
+
+
+def _budget_fn(profile: AppProfile, config: GPUConfig):
+    cycles = [l["cycles"] for l in profile.launches]
+
+    def fn(launch_index: int, kernel_name: str) -> int:
+        if launch_index < len(cycles):
+            return config.timeout_cycles(cycles[launch_index])
+        # Extra, unprofiled launches (fault-perturbed host loops) get the
+        # budget of the longest profiled launch.
+        return config.timeout_cycles(max(cycles) if cycles else 0)
+
+    return fn
+
+
+def _classify(app, gpu, harness, golden) -> tuple[FaultOutcome, int]:
+    """Run once under injection; returns (outcome, total cycles executed)."""
+    try:
+        outputs = app.run(gpu, harness)
+        harness.finalize(gpu)
+    except SimTimeout:
+        return FaultOutcome.TIMEOUT, _total_cycles(gpu)
+    except ExecutionError:
+        return FaultOutcome.DUE, _total_cycles(gpu)
+    cycles = _total_cycles(gpu)
+    if outputs_equal(outputs, golden):
+        return FaultOutcome.MASKED, cycles
+    return FaultOutcome.SDC, cycles
+
+
+def _total_cycles(gpu: GPU) -> int:
+    return sum(rec.stats.cycles for rec in gpu.launch_records)
+
+
+def run_microarch_campaign(
+    app: GPUApplication,
+    kernel: str,
+    structure: Structure,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    harness_factory=None,
+    hardened: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+    profile_supplier=None,
+    num_bits: int = 1,
+    ecc_protected: bool = False,
+) -> CampaignResult:
+    """Statistical microarchitecture-level FI against one kernel/structure.
+
+    ``profile_supplier`` is an optional zero-arg callable evaluated only on a
+    cache miss (keeps cache-hit paths free of simulation work).
+    ``num_bits`` selects the fault model (1 = single-bit, 2 = adjacent
+    double-bit); ``ecc_protected`` applies the SECDED model to the target
+    structure (single-bit faults corrected without simulation, multi-bit
+    faults detected as DUEs).
+    """
+    from repro.fi.avf import derating_factor  # local: avoid import cycle
+
+    trials = trials if trials is not None else default_trials()
+    key = _cache_key(
+        {
+            "v": CACHE_VERSION,
+            "kind": "uarch",
+            "app": app.name,
+            "app_seed": app.seed,
+            "kernel": kernel,
+            "structure": structure.value,
+            "config": config.name,
+            "trials": trials,
+            "seed": seed,
+            "hardened": hardened,
+            "num_bits": num_bits,
+            "ecc": ecc_protected,
+        }
+    )
+    if use_cache:
+        cached = _cache_load(key)
+        if cached is not None:
+            return CampaignResult.from_dict(cached)
+
+    if profile is None:
+        profile = (profile_supplier() if profile_supplier is not None
+                   else profile_app(app, config, harness_factory))
+    launches = profile.kernel_launches(kernel)
+    if not launches:
+        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+
+    counts = OutcomeCounts()
+    control_path_masked = 0
+    gpu = GPU(config)
+    gpu.cycle_budget_fn = _budget_fn(profile, config)
+    tag = f"{app.name}/{kernel}/uarch/{structure.value}/{config.name}/{hardened}"
+    for trial_seed in spawn_seeds(seed, tag, trials):
+        plan = plan_microarch_fault(launches, structure, trial_seed,
+                                    num_bits, ecc_protected)
+        if plan.corrected_by_ecc:
+            # Provably architecturally silent: no need to simulate.
+            counts.add(FaultOutcome.MASKED)
+            continue
+        gpu.reset()
+        gpu.uarch_injector = MicroarchInjector(plan)
+        harness = harness_factory() if harness_factory else DeviceHarness()
+        try:
+            outcome, cycles = _classify(app, gpu, harness, profile.golden)
+        finally:
+            gpu.uarch_injector = None
+        counts.add(outcome)
+        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
+            control_path_masked += 1
+
+    result = CampaignResult(
+        app_name=app.name,
+        kernel=kernel,
+        injector="uarch",
+        structure=structure.value,
+        trials=trials,
+        seed=seed,
+        config_name=config.name,
+        counts=counts,
+        derating_factor=derating_factor(structure, launches, config),
+        kernel_cycles=profile.kernel_cycles(kernel),
+        kernel_instructions=profile.kernel_instructions(kernel),
+        control_path_masked=control_path_masked,
+        hardened=hardened,
+    )
+    if use_cache:
+        _cache_store(key, result.to_dict())
+    return result
+
+
+def run_software_campaign(
+    app: GPUApplication,
+    kernel: str,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    loads_only: bool = False,
+    harness_factory=None,
+    hardened: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+    profile_supplier=None,
+) -> CampaignResult:
+    """Statistical software-level (NVBitFI-style) FI against one kernel.
+
+    ``profile_supplier`` is an optional zero-arg callable evaluated only on a
+    cache miss.
+    """
+    trials = trials if trials is not None else default_trials()
+    injector_kind = "sw-ld" if loads_only else "sw"
+    key = _cache_key(
+        {
+            "v": CACHE_VERSION,
+            "kind": injector_kind,
+            "app": app.name,
+            "app_seed": app.seed,
+            "kernel": kernel,
+            "config": config.name,
+            "trials": trials,
+            "seed": seed,
+            "hardened": hardened,
+        }
+    )
+    if use_cache:
+        cached = _cache_load(key)
+        if cached is not None:
+            return CampaignResult.from_dict(cached)
+
+    if profile is None:
+        profile = (profile_supplier() if profile_supplier is not None
+                   else profile_app(app, config, harness_factory))
+    launches = profile.kernel_launches(kernel)
+    if not launches:
+        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+
+    counts = OutcomeCounts()
+    control_path_masked = 0
+    gpu = GPU(config)
+    gpu.cycle_budget_fn = _budget_fn(profile, config)
+    sw_launches = profile.kernel_launches(kernel, include_post=False)
+    tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
+    for trial_seed in spawn_seeds(seed, tag, trials):
+        plan = plan_software_fault(sw_launches, trial_seed, loads_only)
+        gpu.reset()
+        gpu.sw_injector = SoftwareInjector(plan)
+        harness = harness_factory() if harness_factory else DeviceHarness()
+        try:
+            outcome, cycles = _classify(app, gpu, harness, profile.golden)
+        finally:
+            gpu.sw_injector = None
+        counts.add(outcome)
+        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
+            control_path_masked += 1
+
+    result = CampaignResult(
+        app_name=app.name,
+        kernel=kernel,
+        injector=injector_kind,
+        structure=None,
+        trials=trials,
+        seed=seed,
+        config_name=config.name,
+        counts=counts,
+        derating_factor=1.0,  # software-level FI needs no derating (paper II-C)
+        kernel_cycles=profile.kernel_cycles(kernel),
+        kernel_instructions=sum(
+            l["injectable_loads" if loads_only else "injectable"]
+            for l in sw_launches
+        ),
+        control_path_masked=control_path_masked,
+        hardened=hardened,
+    )
+    if use_cache:
+        _cache_store(key, result.to_dict())
+    return result
+
+
+def run_source_campaign(
+    app: GPUApplication,
+    kernel: str,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    sticky: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+) -> CampaignResult:
+    """Source-register software-level FI (the paper's Section V-B models).
+
+    ``sticky=False`` is the naive model (the fault affects one dynamic
+    instruction only); ``sticky=True`` is the register-reuse-augmented model
+    (the fault persists until the register is overwritten, as a hardware
+    register fault would). Comparing the two isolates the error the paper
+    attributes to ignoring register reuse.
+    """
+    from repro.fi.svf_modes import SourceInjector, plan_source_fault
+
+    trials = trials if trials is not None else default_trials()
+    injector_kind = "sw-src-sticky" if sticky else "sw-src-transient"
+    key = _cache_key(
+        {
+            "v": CACHE_VERSION,
+            "kind": injector_kind,
+            "app": app.name,
+            "app_seed": app.seed,
+            "kernel": kernel,
+            "config": config.name,
+            "trials": trials,
+            "seed": seed,
+        }
+    )
+    if use_cache:
+        cached = _cache_load(key)
+        if cached is not None:
+            return CampaignResult.from_dict(cached)
+
+    if profile is None:
+        profile = profile_app(app, config)
+    launches = profile.kernel_launches(kernel)
+    if not launches:
+        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+
+    counts = OutcomeCounts()
+    control_path_masked = 0
+    gpu = GPU(config)
+    gpu.cycle_budget_fn = _budget_fn(profile, config)
+    tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
+    for trial_seed in spawn_seeds(seed, tag, trials):
+        plan = plan_source_fault(launches, trial_seed, sticky)
+        gpu.reset()
+        gpu.sw_injector = SourceInjector(plan)
+        harness = DeviceHarness()
+        try:
+            outcome, cycles = _classify(app, gpu, harness, profile.golden)
+        finally:
+            gpu.sw_injector = None
+        counts.add(outcome)
+        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
+            control_path_masked += 1
+
+    result = CampaignResult(
+        app_name=app.name,
+        kernel=kernel,
+        injector=injector_kind,
+        structure=None,
+        trials=trials,
+        seed=seed,
+        config_name=config.name,
+        counts=counts,
+        derating_factor=1.0,
+        kernel_cycles=profile.kernel_cycles(kernel),
+        kernel_instructions=profile.kernel_instructions(kernel),
+        control_path_masked=control_path_masked,
+        hardened=False,
+    )
+    if use_cache:
+        _cache_store(key, result.to_dict())
+    return result

@@ -1,0 +1,160 @@
+"""Microarchitecture-level fault injector (the gpuFI-4 analogue).
+
+A fault plan names one launch of the target kernel, one injection cycle
+within it, and a hardware structure. When the simulated clock reaches the
+cycle, one uniformly-chosen bit of that structure is flipped:
+
+* **RF / SMEM** — among the *live* banks/windows at the injection cycle
+  (GPGPU-Sim only materialises live registers and allocated shared memory;
+  the derating factor of :mod:`repro.fi.avf` compensates).
+* **L1D / L1T / L2** — among *all* data-array bits of the structure, valid
+  or not, across every instance on the chip (ground-truth coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.structures import Structure
+from repro.errors import ExecutionError
+from repro.utils.bitops import flip_bit_in_bytes
+from repro.utils.rng import derive_rng
+
+
+class ECCUncorrectableError(ExecutionError):
+    """Multi-bit fault detected by SECDED: a DUE by definition."""
+
+
+@dataclass
+class MicroarchFaultPlan:
+    """One planned microarchitecture-level injection.
+
+    ``num_bits`` selects the fault model: 1 = the paper's single-bit flips;
+    2 = adjacent double-bit upsets (Section II-A notes beam studies find
+    multi-bit flips confined to adjacent cells of one structure).
+
+    ``ecc_protected`` models SECDED on the target structure: single-bit
+    faults are corrected in place (no flip happens — the campaign classifies
+    the trial Masked without simulating), and multi-bit faults raise a
+    detected-uncorrectable error (DUE).
+    """
+
+    launch_index: int
+    cycle: int
+    structure: Structure
+    seed: int
+    num_bits: int = 1
+    ecc_protected: bool = False
+    fired: bool = field(default=False)
+    hit_live_target: bool = field(default=True)
+    description: str = field(default="")
+
+    @property
+    def corrected_by_ecc(self) -> bool:
+        """True when the fault provably has no architectural effect."""
+        return self.ecc_protected and self.num_bits == 1
+
+    def _bits(self, first_bit: int, space_bits: int) -> list[int]:
+        """The adjacent bit group of this fault within one storage space."""
+        return [(first_bit + i) % space_bits for i in range(self.num_bits)]
+
+    def fire(self, gpu) -> None:
+        """Flip the planned bit(s); called by the GPU clock at ``cycle``."""
+        self.fired = True
+        if self.corrected_by_ecc:
+            self.description = "ECC corrected single-bit fault"
+            return
+        if self.ecc_protected and self.num_bits > 1:
+            raise ECCUncorrectableError(
+                f"{self.num_bits}-bit fault in ECC-protected "
+                f"{self.structure.value}"
+            )
+        rng = derive_rng(self.seed, "uarch-fire")
+        structure = self.structure
+        if structure is Structure.RF:
+            banks = gpu.live_rf_banks()
+            sizes = [bank.regs.size * 32 for bank in banks]
+            total = sum(sizes)
+            if total == 0:
+                self.hit_live_target = False
+                return
+            bit = int(rng.integers(total))
+            for bank, size in zip(banks, sizes):
+                if bit < size:
+                    for b in self._bits(bit, size):
+                        flip_bit_in_bytes(bank.regs.view(np.uint8), b)
+                    self.description = f"RF bank bit {bit} x{self.num_bits}"
+                    return
+                bit -= size
+        elif structure is Structure.SMEM:
+            windows = gpu.live_smem_windows()
+            sizes = [w.size * 8 for w in windows]
+            total = sum(sizes)
+            if total == 0:
+                self.hit_live_target = False
+                return
+            bit = int(rng.integers(total))
+            for window, size in zip(windows, sizes):
+                if bit < size:
+                    for b in self._bits(bit, size):
+                        flip_bit_in_bytes(window.data, b)
+                    self.description = f"SMEM window bit {bit} x{self.num_bits}"
+                    return
+                bit -= size
+        else:
+            caches = gpu.cache_instances(structure)
+            total = sum(c.total_bits for c in caches)
+            bit = int(rng.integers(total))
+            for cache in caches:
+                if bit < cache.total_bits:
+                    for b in self._bits(bit, cache.total_bits):
+                        cache.flip_bit(b)
+                    self.description = f"{cache.name} bit {bit} x{self.num_bits}"
+                    return
+                bit -= cache.total_bits
+
+
+class MicroarchInjector:
+    """GPU hook object carrying one :class:`MicroarchFaultPlan` per app run."""
+
+    def __init__(self, plan: MicroarchFaultPlan):
+        self.plan = plan
+
+    def arm(self, launch_index: int, kernel_name: str, gpu):
+        """Called by the GPU at launch start; returns the active plan or None."""
+        if launch_index == self.plan.launch_index and not self.plan.fired:
+            return self.plan
+        return None
+
+
+def plan_microarch_fault(
+    launches: list[dict],
+    structure: Structure,
+    seed: int,
+    num_bits: int = 1,
+    ecc_protected: bool = False,
+) -> MicroarchFaultPlan:
+    """Draw one fault plan, uniform over the target kernel's execution time.
+
+    ``launches`` are the profile records of the target kernel. Launch
+    instances are weighted by their cycle counts and the injection cycle is
+    uniform within the chosen launch — together a uniform draw over all
+    cycles the kernel was resident, the paper's fault model.
+    """
+    rng = derive_rng(seed, "uarch-plan")
+    if not launches:
+        raise ValueError("no launches to plan against")
+    weights = np.array([max(rec["cycles"], 1) for rec in launches], dtype=float)
+    idx = int(rng.choice(len(launches), p=weights / weights.sum()))
+    chosen = launches[idx]
+    cycle = int(rng.integers(max(chosen["cycles"], 1)))
+    return MicroarchFaultPlan(
+        launch_index=chosen["index"],
+        cycle=cycle,
+        structure=structure,
+        seed=seed,
+        num_bits=num_bits,
+        ecc_protected=ecc_protected,
+    )

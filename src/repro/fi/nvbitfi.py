@@ -1,0 +1,99 @@
+"""Software-level fault injector (the NVBitFI analogue).
+
+The fault model is NVBitFI's: pick one dynamic instance of a general-purpose
+instruction (one thread of one executed instruction) in the target kernel
+and flip one bit of its *destination register value* right after the write.
+Only live, software-visible data is ever touched — no dead registers, no
+cache lines, no instruction encodings — which is precisely the blindness to
+hardware state the paper shows makes SVF diverge from AVF.
+
+``loads_only=True`` restricts candidates to memory loads (LD/LDS/LDT
+destinations) and yields the paper's SVF-LD metric (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class SoftwareFaultPlan:
+    """One planned software-level injection."""
+
+    launch_index: int
+    candidate_index: int  # thread-level dynamic-instruction candidate number
+    bit: int  # 0..31 within the destination value
+    loads_only: bool = False
+    fired: bool = field(default=False)
+    description: str = field(default="")
+
+
+class SoftwareInjector:
+    """GPU hook receiving ``after_write`` for every injectable instruction."""
+
+    #: Destination-register model: the SM skips the source-injection hooks.
+    wants_sources = False
+
+    def __init__(self, plan: SoftwareFaultPlan):
+        self.plan = plan
+        self._active = False
+        self._counter = 0
+
+    def begin_launch(self, launch_index: int, kernel_name: str) -> None:
+        self._active = launch_index == self.plan.launch_index and not self.plan.fired
+        self._counter = 0
+
+    def after_write(self, warp, dst: int, gm: np.ndarray, n_exec: int,
+                    is_load: bool) -> None:
+        """Hot-path hook: count candidates; flip when the target is reached."""
+        if not self._active:
+            return
+        plan = self.plan
+        if plan.loads_only and not is_load:
+            return
+        start = self._counter
+        self._counter = start + n_exec
+        k = plan.candidate_index
+        if start <= k < start + n_exec:
+            lane = int(np.nonzero(gm)[0][k - start])
+            warp.bank.regs[dst, lane] ^= np.uint32(1 << plan.bit)
+            plan.fired = True
+            plan.description = (
+                f"warp {warp.uid} lane {lane} R{dst} bit {plan.bit}"
+            )
+            self._active = False
+
+
+def plan_software_fault(
+    launches: list[dict],
+    seed: int,
+    loads_only: bool = False,
+) -> SoftwareFaultPlan:
+    """Draw one fault plan, uniform over the kernel's dynamic candidates.
+
+    ``launches`` are the profile records of the target kernel; instances are
+    weighted by their candidate counts so the draw is uniform over all
+    dynamic candidates of the kernel across its launches.
+    """
+    rng = derive_rng(seed, "sw-plan")
+    key = "injectable_loads" if loads_only else "injectable"
+    launches = [rec for rec in launches if rec[key] > 0]
+    if not launches:
+        raise ValueError(
+            f"no injectable candidates ({'loads' if loads_only else 'all'})"
+        )
+    weights = np.array([rec[key] for rec in launches], dtype=float)
+    idx = int(rng.choice(len(launches), p=weights / weights.sum()))
+    chosen = launches[idx]
+    candidate = int(rng.integers(chosen[key]))
+    bit = int(rng.integers(32))
+    return SoftwareFaultPlan(
+        launch_index=chosen["index"],
+        candidate_index=candidate,
+        bit=bit,
+        loads_only=loads_only,
+    )

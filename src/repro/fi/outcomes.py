@@ -1,0 +1,91 @@
+"""Fault-effect classification.
+
+The four classes of the paper (Section II-A):
+
+* **Masked** — no observable effect.
+* **SDC** — run completes, output differs bitwise from the fault-free run.
+* **Timeout** — run exceeds the cycle budget derived from the fault-free run.
+* **DUE** — a catastrophic event aborts execution (illegal memory access,
+  deadlock, control flow off the program, TMR vote failure, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultOutcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    TIMEOUT = "timeout"
+    DUE = "due"
+
+
+@dataclass
+class OutcomeCounts:
+    """Tally of outcomes over a statistical campaign."""
+
+    masked: int = 0
+    sdc: int = 0
+    timeout: int = 0
+    due: int = 0
+
+    def add(self, outcome: FaultOutcome) -> None:
+        if outcome is FaultOutcome.MASKED:
+            self.masked += 1
+        elif outcome is FaultOutcome.SDC:
+            self.sdc += 1
+        elif outcome is FaultOutcome.TIMEOUT:
+            self.timeout += 1
+        else:
+            self.due += 1
+
+    @property
+    def total(self) -> int:
+        return self.masked + self.sdc + self.timeout + self.due
+
+    def rate(self, outcome: FaultOutcome) -> float:
+        n = self.total
+        if n == 0:
+            return 0.0
+        return {
+            FaultOutcome.MASKED: self.masked,
+            FaultOutcome.SDC: self.sdc,
+            FaultOutcome.TIMEOUT: self.timeout,
+            FaultOutcome.DUE: self.due,
+        }[outcome] / n
+
+    @property
+    def failure_rate(self) -> float:
+        """FR = Pct(SDC) + Pct(Timeout) + Pct(DUE)."""
+        n = self.total
+        return (self.sdc + self.timeout + self.due) / n if n else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        return {o.value: self.rate(o) for o in FaultOutcome}
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "masked": self.masked,
+            "sdc": self.sdc,
+            "timeout": self.timeout,
+            "due": self.due,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OutcomeCounts":
+        return cls(
+            masked=int(d["masked"]),
+            sdc=int(d["sdc"]),
+            timeout=int(d["timeout"]),
+            due=int(d["due"]),
+        )
+
+    def __add__(self, other: "OutcomeCounts") -> "OutcomeCounts":
+        return OutcomeCounts(
+            self.masked + other.masked,
+            self.sdc + other.sdc,
+            self.timeout + other.timeout,
+            self.due + other.due,
+        )

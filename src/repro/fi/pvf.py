@@ -1,0 +1,64 @@
+"""PVF — Program Vulnerability Factor (Sridharan & Kaeli, related work §VII).
+
+PVF is the microarchitecture-independent portion of AVF: the probability
+that a fault in an *architecturally visible* resource affects execution. In
+this model the architecturally visible register state is exactly the live
+register banks (allocated per thread), so:
+
+``PVF(RF) = FR`` measured over live-register injections (no derating), and
+``AVF(RF) = PVF(RF) x DF(RF)`` — the hardware-utilisation derating is the
+microarchitecture-dependent factor PVF deliberately excludes.
+
+This module exposes that decomposition over existing campaign results, plus
+a convenience runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GPUConfig
+from repro.arch.structures import Structure
+from repro.fi.campaign import CampaignResult, run_microarch_campaign
+from repro.kernels.base import GPUApplication
+
+
+@dataclass(frozen=True)
+class PVFResult:
+    """PVF of one kernel with its relation to AVF-RF."""
+
+    kernel: str
+    pvf: float  # failure rate over architecturally-visible (live) registers
+    derating_factor: float
+
+    @property
+    def avf_rf(self) -> float:
+        """AVF recovered from PVF: the Sridharan decomposition."""
+        return self.pvf * self.derating_factor
+
+
+def pvf_from_campaign(result: CampaignResult) -> PVFResult:
+    """Derive the PVF view from a register-file microarch campaign."""
+    if result.injector != "uarch" or result.structure != Structure.RF.value:
+        raise ValueError("PVF derives from a register-file uarch campaign")
+    return PVFResult(
+        kernel=result.kernel,
+        pvf=result.counts.failure_rate,
+        derating_factor=result.derating_factor,
+    )
+
+
+def run_pvf_campaign(
+    app: GPUApplication,
+    kernel: str,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    use_cache: bool = True,
+) -> PVFResult:
+    """Measure PVF for one kernel (a live-register injection campaign)."""
+    result = run_microarch_campaign(
+        app, kernel, Structure.RF, config, trials=trials, seed=seed,
+        use_cache=use_cache,
+    )
+    return pvf_from_campaign(result)

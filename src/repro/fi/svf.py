@@ -1,0 +1,38 @@
+"""SVF (Software Vulnerability Factor) mathematics.
+
+Section II-C of the paper: the SVF of a kernel is simply the failure rate of
+destination-register injections (no derating factor is applicable), and the
+application SVF weights kernels by their dynamic instruction counts,
+assuming a uniform fault distribution across time.
+"""
+
+from __future__ import annotations
+
+from repro.fi.avf import VulnBreakdown
+from repro.fi.campaign import CampaignResult
+
+
+def svf_of_kernel(result: CampaignResult) -> VulnBreakdown:
+    """SVF of one kernel: the raw class rates of software-level injection."""
+    if result.injector not in ("sw", "sw-ld"):
+        raise ValueError("svf_of_kernel needs a software-level campaign")
+    counts = result.counts
+    n = counts.total
+    if n == 0:
+        return VulnBreakdown()
+    return VulnBreakdown(
+        sdc=counts.sdc / n,
+        timeout=counts.timeout / n,
+        due=counts.due / n,
+    )
+
+
+def svf_of_application(
+    kernel_svfs: dict[str, VulnBreakdown], kernel_instructions: dict[str, int]
+) -> VulnBreakdown:
+    """Application SVF: kernel SVFs weighted by dynamic instruction counts."""
+    kernels = list(kernel_svfs)
+    return VulnBreakdown.combine(
+        [kernel_svfs[k] for k in kernels],
+        [max(kernel_instructions[k], 1) for k in kernels],
+    )

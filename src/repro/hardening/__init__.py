@@ -1,0 +1,5 @@
+"""Software-based hardening transforms (Section IV of the paper)."""
+
+from repro.hardening.tmr import TMRHarness, TMRVoteError, tmr_harness_factory
+
+__all__ = ["TMRHarness", "TMRVoteError", "tmr_harness_factory"]

@@ -1,0 +1,37 @@
+"""A small SASS-flavoured ISA for the simulated GPU.
+
+The instruction set covers the subset of NVIDIA SASS that the paper's 23
+Rodinia/CUDA-SDK kernels exercise: integer/float ALU ops, fused multiply-add,
+special-function unit ops, predication, global/shared/texture memory access,
+barriers and branches. Instructions encode to 128-bit words like real Volta
+SASS; the assembler is two-pass (labels then code).
+"""
+
+from repro.isa.opcodes import Opcode, OpInfo, OPCODE_INFO
+from repro.isa.instruction import (
+    Instruction,
+    Operand,
+    OperandKind,
+    PT,
+    RZ,
+    SpecialReg,
+)
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.program import Program
+
+__all__ = [
+    "Opcode",
+    "OpInfo",
+    "OPCODE_INFO",
+    "Instruction",
+    "Operand",
+    "OperandKind",
+    "PT",
+    "RZ",
+    "SpecialReg",
+    "assemble",
+    "encode_instruction",
+    "decode_instruction",
+    "Program",
+]

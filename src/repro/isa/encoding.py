@@ -1,0 +1,202 @@
+"""128-bit instruction encoding, mirroring Volta's 128-bit SASS words.
+
+The encoding exists for model completeness (the paper deliberately excludes
+instruction-cache faults from both injectors, and so do we) and is exercised
+by round-trip property tests: ``decode(encode(i)) == i`` for every
+assembleable instruction.
+
+Field layout (bit offsets within the 128-bit word):
+
+======  =====  ==========================================================
+offset  width  field
+======  =====  ==========================================================
+0       8      opcode
+8       3      guard predicate index
+11      1      guard negate
+12      8      dst register (0xFF = none; RZ encodes as 0xFE)
+20      8      src_a (kind:2 discarded — see payload table below)
+...
+======  =====  ==========================================================
+
+Operands are encoded as (kind, payload) pairs; payloads wider than their
+field (32-bit immediates and constant offsets) live in the upper half of the
+word. Exactly one "wide" operand per instruction is supported, which matches
+the real ISA restriction of one immediate/constant slot per instruction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import RZ, Instruction, Operand, OperandKind
+from repro.isa.opcodes import Opcode
+
+_NONE_REG = 0xFF
+_RZ_ENC = 0xFE
+_NONE_PRED = 0xF
+
+_MODIFIER_IDS: dict[str, int] = {}
+_MODIFIER_NAMES: dict[int, str] = {}
+
+
+def _register_modifiers() -> None:
+    """Assign a stable id to every modifier spelling across all opcodes."""
+    from repro.isa.opcodes import OPCODE_INFO
+
+    names = sorted({m for info in OPCODE_INFO.values() for m in info.modifiers})
+    for i, name in enumerate(names, start=1):
+        _MODIFIER_IDS[name] = i
+        _MODIFIER_NAMES[i] = name
+
+
+_register_modifiers()
+
+
+def _enc_reg(reg: int | None) -> int:
+    if reg is None:
+        return _NONE_REG
+    if reg == RZ:
+        return _RZ_ENC
+    return reg
+
+
+def _dec_reg(enc: int) -> int | None:
+    if enc == _NONE_REG:
+        return None
+    if enc == _RZ_ENC:
+        return RZ
+    return enc
+
+
+def _enc_pred(pred: int | None, neg: bool) -> int:
+    if pred is None:
+        return _NONE_PRED
+    return (pred & 0x7) | (0x8 if neg else 0)
+
+
+def _dec_pred(enc: int) -> tuple[int | None, bool]:
+    if enc == _NONE_PRED:
+        return None, False
+    return enc & 0x7, bool(enc & 0x8)
+
+
+def _operand_fields(op: Operand) -> tuple[int, int, int]:
+    """Return (kind, narrow_payload, wide_payload)."""
+    if op.kind in (OperandKind.IMM, OperandKind.CONST):
+        return int(op.kind), 0, op.value
+    if op.kind == OperandKind.REG:
+        return int(op.kind), _enc_reg(op.value), 0
+    return int(op.kind), op.value, 0
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Pack an instruction into a 128-bit integer."""
+    wide_payload = 0
+    wide_slot = 3  # 3 = none, 0/1/2 = src_a/b/c carries the wide payload
+    kinds: list[int] = []
+    narrows: list[int] = []
+    for slot, op in enumerate((instr.src_a, instr.src_b, instr.src_c)):
+        kind, narrow, wide = _operand_fields(op)
+        if op.kind in (OperandKind.IMM, OperandKind.CONST):
+            if wide_slot != 3:
+                raise EncodingError(
+                    f"instruction has two wide operands: {instr.render()}"
+                )
+            wide_slot = slot
+            wide_payload = wide
+        kinds.append(kind)
+        narrows.append(narrow)
+
+    if instr.opcode == Opcode.BRA:
+        if instr.target is None:
+            raise EncodingError("cannot encode unresolved branch")
+        wide_payload = instr.target
+        wide_slot = 3  # BRA's payload is the target, flagged by the opcode
+
+    word = 0
+    word |= int(instr.opcode) & 0xFF
+    word |= (instr.guard_pred & 0x7) << 8
+    word |= (1 if instr.guard_neg else 0) << 11
+    word |= _enc_reg(instr.dst) << 12
+    word |= (kinds[0] & 0x7) << 20
+    word |= (narrows[0] & 0xFF) << 23
+    word |= (kinds[1] & 0x7) << 31
+    word |= (narrows[1] & 0xFF) << 34
+    word |= (kinds[2] & 0x7) << 42
+    word |= (narrows[2] & 0xFF) << 45
+    word |= (wide_slot & 0x3) << 53
+    mod_id = _MODIFIER_IDS.get(instr.modifier, 0) if instr.modifier else 0
+    if instr.modifier and mod_id == 0:
+        raise EncodingError(f"unregistered modifier {instr.modifier!r}")
+    word |= (mod_id & 0x3F) << 55
+    word |= _enc_pred(instr.dst_pred, False) << 61
+    word |= _enc_pred(instr.src_pred, instr.src_pred_neg) << 65
+    word |= _enc_pred(instr.src_pred2, instr.src_pred2_neg) << 69
+    word |= (instr.mem_offset & 0xFFFF) << 73
+    word |= (wide_payload & 0xFFFFFFFF) << 89
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Unpack a 128-bit integer back into an :class:`Instruction`.
+
+    Branch labels are not recoverable (only the resolved target index is),
+    so the decoded instruction of a BRA has an empty ``label``.
+    """
+    try:
+        opcode = Opcode(word & 0xFF)
+    except ValueError:
+        raise EncodingError(f"invalid opcode byte {word & 0xFF}") from None
+    guard_pred = (word >> 8) & 0x7
+    guard_neg = bool((word >> 11) & 0x1)
+    dst = _dec_reg((word >> 12) & 0xFF)
+    kinds = [(word >> 20) & 0x7, (word >> 31) & 0x7, (word >> 42) & 0x7]
+    narrows = [(word >> 23) & 0xFF, (word >> 34) & 0xFF, (word >> 45) & 0xFF]
+    wide_slot = (word >> 53) & 0x3
+    mod_id = (word >> 55) & 0x3F
+    dst_pred, _ = _dec_pred((word >> 61) & 0xF)
+    src_pred, src_pred_neg = _dec_pred((word >> 65) & 0xF)
+    src_pred2, src_pred2_neg = _dec_pred((word >> 69) & 0xF)
+    mem_offset = (word >> 73) & 0xFFFF
+    if mem_offset & 0x8000:
+        mem_offset -= 0x10000
+    wide_payload = (word >> 89) & 0xFFFFFFFF
+
+    ops: list[Operand] = []
+    for slot in range(3):
+        kind = OperandKind(kinds[slot])
+        if kind == OperandKind.NONE:
+            ops.append(Operand.none())
+        elif kind == OperandKind.REG:
+            reg = _dec_reg(narrows[slot])
+            if reg is None:
+                raise EncodingError("register operand decodes to none")
+            ops.append(Operand.reg(reg))
+        elif kind in (OperandKind.IMM, OperandKind.CONST):
+            if wide_slot != slot:
+                raise EncodingError("wide operand kind without wide payload slot")
+            if kind == OperandKind.IMM:
+                ops.append(Operand.imm(wide_payload))
+            else:
+                ops.append(Operand.const(wide_payload))
+        else:  # SPECIAL
+            ops.append(Operand(OperandKind.SPECIAL, narrows[slot]))
+
+    target = wide_payload if opcode == Opcode.BRA else None
+    modifier = _MODIFIER_NAMES.get(mod_id, "") if mod_id else ""
+    return Instruction(
+        opcode=opcode,
+        modifier=modifier,
+        dst=dst,
+        dst_pred=dst_pred,
+        src_a=ops[0],
+        src_b=ops[1],
+        src_c=ops[2],
+        src_pred=src_pred,
+        src_pred_neg=src_pred_neg,
+        src_pred2=src_pred2,
+        src_pred2_neg=src_pred2_neg,
+        guard_pred=guard_pred,
+        guard_neg=guard_neg,
+        mem_offset=mem_offset,
+        target=target,
+    )

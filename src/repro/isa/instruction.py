@@ -1,0 +1,221 @@
+"""Instruction and operand representation.
+
+An :class:`Instruction` is a fully-resolved machine instruction: labels have
+been turned into instruction indices and every operand is a tagged
+:class:`Operand`. Instances are immutable so programs can be shared freely
+between fault-free profiling runs and thousands of injection runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import AssemblerError
+from repro.isa.opcodes import OPCODE_INFO, Opcode
+
+#: Register index of RZ, the hard-wired zero register (reads 0, writes drop).
+RZ = 255
+#: Predicate index of PT, the hard-wired true predicate.
+PT = 7
+
+#: Highest architectural general-purpose register a kernel may use.
+MAX_GPR = 200
+
+
+class OperandKind(enum.IntEnum):
+    """Tag of an :class:`Operand`."""
+
+    NONE = 0
+    REG = 1  # general-purpose register
+    IMM = 2  # 32-bit immediate (bits; floats are pre-bitcast)
+    CONST = 3  # constant bank c[0][offset], offset in bytes
+    SPECIAL = 4  # special register (S2R source)
+
+
+class SpecialReg(enum.IntEnum):
+    """Special registers readable via S2R."""
+
+    TID_X = 0
+    TID_Y = 1
+    TID_Z = 2
+    CTAID_X = 3
+    CTAID_Y = 4
+    CTAID_Z = 5
+    NTID_X = 6
+    NTID_Y = 7
+    NTID_Z = 8
+    NCTAID_X = 9
+    NCTAID_Y = 10
+    NCTAID_Z = 11
+    LANEID = 12
+    WARPID = 13
+
+
+_SPECIAL_NAMES = {
+    "SR_TID.X": SpecialReg.TID_X,
+    "SR_TID.Y": SpecialReg.TID_Y,
+    "SR_TID.Z": SpecialReg.TID_Z,
+    "SR_CTAID.X": SpecialReg.CTAID_X,
+    "SR_CTAID.Y": SpecialReg.CTAID_Y,
+    "SR_CTAID.Z": SpecialReg.CTAID_Z,
+    "SR_NTID.X": SpecialReg.NTID_X,
+    "SR_NTID.Y": SpecialReg.NTID_Y,
+    "SR_NTID.Z": SpecialReg.NTID_Z,
+    "SR_NCTAID.X": SpecialReg.NCTAID_X,
+    "SR_NCTAID.Y": SpecialReg.NCTAID_Y,
+    "SR_NCTAID.Z": SpecialReg.NCTAID_Z,
+    "SR_LANEID": SpecialReg.LANEID,
+    "SR_WARPID": SpecialReg.WARPID,
+}
+SPECIAL_NAME_BY_ID = {v: k for k, v in _SPECIAL_NAMES.items()}
+
+
+def special_reg_by_name(name: str) -> SpecialReg:
+    """Look up a special register by its assembly spelling (e.g. SR_TID.X)."""
+    try:
+        return _SPECIAL_NAMES[name.upper()]
+    except KeyError:
+        raise AssemblerError(f"unknown special register {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A tagged source operand."""
+
+    kind: OperandKind = OperandKind.NONE
+    value: int = 0
+
+    @staticmethod
+    def none() -> "Operand":
+        return Operand(OperandKind.NONE, 0)
+
+    @staticmethod
+    def reg(index: int) -> "Operand":
+        if not (0 <= index < MAX_GPR or index == RZ):
+            raise AssemblerError(f"register index {index} out of range")
+        return Operand(OperandKind.REG, index)
+
+    @staticmethod
+    def imm(bits: int) -> "Operand":
+        return Operand(OperandKind.IMM, bits & 0xFFFFFFFF)
+
+    @staticmethod
+    def const(offset: int) -> "Operand":
+        if offset < 0 or offset % 4:
+            raise AssemblerError(f"constant offset {offset} must be word-aligned and >= 0")
+        return Operand(OperandKind.CONST, offset)
+
+    @staticmethod
+    def special(sr: SpecialReg) -> "Operand":
+        return Operand(OperandKind.SPECIAL, int(sr))
+
+    def render(self) -> str:
+        """Assembly spelling of this operand."""
+        if self.kind == OperandKind.NONE:
+            return "<none>"
+        if self.kind == OperandKind.REG:
+            return "RZ" if self.value == RZ else f"R{self.value}"
+        if self.kind == OperandKind.IMM:
+            return f"0x{self.value:x}"
+        if self.kind == OperandKind.CONST:
+            return f"c[0x0][0x{self.value:x}]"
+        return SPECIAL_NAME_BY_ID[SpecialReg(self.value)]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One resolved machine instruction.
+
+    ``target`` (for BRA) is an instruction index within the program.
+    ``mem_offset`` is the signed byte offset of ``[Ra+ofs]`` addressing.
+    ``dst_pred``/``src_pred`` carry predicate-file indices where applicable.
+    """
+
+    opcode: Opcode
+    modifier: str = ""
+    dst: int | None = None
+    dst_pred: int | None = None
+    src_a: Operand = field(default_factory=Operand.none)
+    src_b: Operand = field(default_factory=Operand.none)
+    src_c: Operand = field(default_factory=Operand.none)
+    src_pred: int | None = None
+    src_pred_neg: bool = False
+    src_pred2: int | None = None
+    src_pred2_neg: bool = False
+    guard_pred: int = PT
+    guard_neg: bool = False
+    mem_offset: int = 0
+    target: int | None = None
+    label: str = ""  # original branch-target label, for disassembly only
+
+    @property
+    def info(self):
+        return OPCODE_INFO[self.opcode]
+
+    def with_target(self, target: int) -> "Instruction":
+        return replace(self, target=target)
+
+    def dest_registers(self) -> tuple[int, ...]:
+        """GPR(s) written, excluding RZ (writes to RZ are dropped)."""
+        if self.dst is not None and self.dst != RZ:
+            return (self.dst,)
+        return ()
+
+    def source_registers(self) -> tuple[int, ...]:
+        """GPRs read by this instruction (deduplicated, excluding RZ)."""
+        regs: list[int] = []
+        for op in (self.src_a, self.src_b, self.src_c):
+            if op.kind == OperandKind.REG and op.value != RZ:
+                regs.append(op.value)
+        # Stores read their data register through src_b/src_c by convention;
+        # nothing extra to add here.
+        out: list[int] = []
+        for r in regs:
+            if r not in out:
+                out.append(r)
+        return tuple(out)
+
+    def max_register(self) -> int:
+        """Highest GPR index referenced (or -1 if none). Sizes the RF."""
+        regs = [*self.dest_registers(), *self.source_registers()]
+        return max(regs) if regs else -1
+
+    def render(self) -> str:
+        """Human-readable disassembly of this instruction."""
+        parts: list[str] = []
+        if not (self.guard_pred == PT and not self.guard_neg):
+            neg = "!" if self.guard_neg else ""
+            parts.append(f"@{neg}P{self.guard_pred}")
+        mnem = self.info.mnemonic + (f".{self.modifier}" if self.modifier else "")
+        parts.append(mnem)
+        ops: list[str] = []
+        if self.dst_pred is not None:
+            ops.append("PT" if self.dst_pred == PT else f"P{self.dst_pred}")
+        if self.dst is not None:
+            ops.append("RZ" if self.dst == RZ else f"R{self.dst}")
+        if self.opcode in (Opcode.LD, Opcode.LDS, Opcode.LDT):
+            ops.append(_render_mem(self.src_a, self.mem_offset))
+        elif self.opcode in (Opcode.ST, Opcode.STS):
+            ops.append(_render_mem(self.src_a, self.mem_offset))
+            ops.append(self.src_b.render())
+        elif self.opcode == Opcode.BRA:
+            ops.append(self.label or f"#{self.target}")
+        else:
+            for op in (self.src_a, self.src_b, self.src_c):
+                if op.kind != OperandKind.NONE:
+                    ops.append(op.render())
+            for pred, neg_flag in ((self.src_pred, self.src_pred_neg),
+                                   (self.src_pred2, self.src_pred2_neg)):
+                if pred is not None:
+                    neg = "!" if neg_flag else ""
+                    ops.append(f"{neg}" + ("PT" if pred == PT else f"P{pred}"))
+        return " ".join(parts) + (" " + ", ".join(ops) if ops else "")
+
+
+def _render_mem(base: Operand, offset: int) -> str:
+    base_txt = base.render()
+    if offset == 0:
+        return f"[{base_txt}]"
+    sign = "+" if offset > 0 else "-"
+    return f"[{base_txt}{sign}0x{abs(offset):x}]"

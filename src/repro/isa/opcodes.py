@@ -1,0 +1,258 @@
+"""Opcode inventory and static per-opcode metadata.
+
+``OPCODE_INFO`` drives the assembler (operand arity), the executor (dispatch
+and latency class), the tracer (which dynamic instructions are injectable by
+the software-level injector) and the encoder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.IntEnum):
+    """All opcodes of the mini-ISA. Values are stable: they are the encoding."""
+
+    # Data movement / special registers
+    NOP = 0
+    MOV = 1
+    S2R = 2
+    SEL = 3
+    # Integer ALU
+    IADD = 10
+    ISUB = 11
+    IMUL = 12
+    IMAD = 13
+    ISCADD = 14
+    IMNMX = 15
+    SHL = 16
+    SHR = 17
+    AND = 18
+    OR = 19
+    XOR = 20
+    NOT = 21
+    ISETP = 22
+    IABS = 23
+    # Float ALU
+    FADD = 30
+    FMUL = 31
+    FSUB = 29
+    FFMA = 32
+    FMNMX = 33
+    FSETP = 34
+    FABS = 35
+    FNEG = 36
+    MUFU = 37
+    F2I = 38
+    I2F = 39
+    # Memory
+    LD = 50
+    ST = 51
+    LDS = 52
+    STS = 53
+    LDT = 54
+    # Control
+    BRA = 60
+    EXIT = 61
+    BAR = 62
+    VOTE = 63
+    # Predicate manipulation
+    PSETP = 70
+
+
+class LatencyClass(enum.Enum):
+    """Coarse functional-unit class used by the timing model."""
+
+    ALU = "alu"  # integer / simple float pipe
+    FMA = "fma"  # fused multiply-add pipe
+    SFU = "sfu"  # special function unit (MUFU)
+    MEM = "mem"  # memory pipeline (latency from hierarchy)
+    CTRL = "ctrl"  # branches, barriers, exit
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    has_dst: bool = False
+    writes_pred: bool = False
+    reads_pred_src: bool = False
+    num_srcs: int = 0  # register/operand sources (excl. predicate source)
+    is_float: bool = False
+    is_memory: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_shared: bool = False
+    is_texture: bool = False
+    is_branch: bool = False
+    latency_class: LatencyClass = LatencyClass.ALU
+    modifiers: tuple[str, ...] = field(default=())
+    requires_modifier: bool = False
+    # NVBitFI-style injectability: dynamic instances of this opcode with a
+    # general-purpose destination register are candidates for software-level
+    # destination-register bit flips.
+    sw_injectable: bool = False
+
+
+_CMP = ("LT", "LE", "GT", "GE", "EQ", "NE")
+
+OPCODE_INFO: dict[Opcode, OpInfo] = {
+    Opcode.NOP: OpInfo("NOP", latency_class=LatencyClass.CTRL),
+    Opcode.MOV: OpInfo("MOV", has_dst=True, num_srcs=1, sw_injectable=True),
+    Opcode.S2R: OpInfo("S2R", has_dst=True, num_srcs=1, sw_injectable=True),
+    Opcode.SEL: OpInfo(
+        "SEL", has_dst=True, num_srcs=2, reads_pred_src=True, sw_injectable=True
+    ),
+    Opcode.IADD: OpInfo("IADD", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.ISUB: OpInfo("ISUB", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.IMUL: OpInfo(
+        "IMUL", has_dst=True, num_srcs=2, latency_class=LatencyClass.FMA, sw_injectable=True
+    ),
+    Opcode.IMAD: OpInfo(
+        "IMAD", has_dst=True, num_srcs=3, latency_class=LatencyClass.FMA, sw_injectable=True
+    ),
+    Opcode.ISCADD: OpInfo("ISCADD", has_dst=True, num_srcs=3, sw_injectable=True),
+    Opcode.IMNMX: OpInfo(
+        "IMNMX",
+        has_dst=True,
+        num_srcs=2,
+        modifiers=("MIN", "MAX"),
+        requires_modifier=True,
+        sw_injectable=True,
+    ),
+    Opcode.SHL: OpInfo("SHL", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.SHR: OpInfo(
+        "SHR", has_dst=True, num_srcs=2, modifiers=("U32", "S32"), sw_injectable=True
+    ),
+    Opcode.AND: OpInfo("AND", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.OR: OpInfo("OR", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.XOR: OpInfo("XOR", has_dst=True, num_srcs=2, sw_injectable=True),
+    Opcode.NOT: OpInfo("NOT", has_dst=True, num_srcs=1, sw_injectable=True),
+    Opcode.ISETP: OpInfo(
+        "ISETP",
+        writes_pred=True,
+        num_srcs=2,
+        modifiers=_CMP + tuple(f"{c}.U32" for c in _CMP),
+        requires_modifier=True,
+    ),
+    Opcode.IABS: OpInfo("IABS", has_dst=True, num_srcs=1, sw_injectable=True),
+    Opcode.FADD: OpInfo("FADD", has_dst=True, num_srcs=2, is_float=True, sw_injectable=True),
+    Opcode.FSUB: OpInfo("FSUB", has_dst=True, num_srcs=2, is_float=True, sw_injectable=True),
+    Opcode.FMUL: OpInfo(
+        "FMUL",
+        has_dst=True,
+        num_srcs=2,
+        is_float=True,
+        latency_class=LatencyClass.FMA,
+        sw_injectable=True,
+    ),
+    Opcode.FFMA: OpInfo(
+        "FFMA",
+        has_dst=True,
+        num_srcs=3,
+        is_float=True,
+        latency_class=LatencyClass.FMA,
+        sw_injectable=True,
+    ),
+    Opcode.FMNMX: OpInfo(
+        "FMNMX",
+        has_dst=True,
+        num_srcs=2,
+        is_float=True,
+        modifiers=("MIN", "MAX"),
+        requires_modifier=True,
+        sw_injectable=True,
+    ),
+    Opcode.FSETP: OpInfo(
+        "FSETP",
+        writes_pred=True,
+        num_srcs=2,
+        is_float=True,
+        modifiers=_CMP,
+        requires_modifier=True,
+    ),
+    Opcode.FABS: OpInfo("FABS", has_dst=True, num_srcs=1, is_float=True, sw_injectable=True),
+    Opcode.FNEG: OpInfo("FNEG", has_dst=True, num_srcs=1, is_float=True, sw_injectable=True),
+    Opcode.MUFU: OpInfo(
+        "MUFU",
+        has_dst=True,
+        num_srcs=1,
+        is_float=True,
+        latency_class=LatencyClass.SFU,
+        modifiers=("RCP", "SQRT", "RSQ", "EX2", "LG2"),
+        requires_modifier=True,
+        sw_injectable=True,
+    ),
+    Opcode.F2I: OpInfo("F2I", has_dst=True, num_srcs=1, is_float=True, sw_injectable=True),
+    Opcode.I2F: OpInfo("I2F", has_dst=True, num_srcs=1, is_float=True, sw_injectable=True),
+    Opcode.LD: OpInfo(
+        "LD",
+        has_dst=True,
+        num_srcs=1,
+        is_memory=True,
+        is_load=True,
+        latency_class=LatencyClass.MEM,
+        modifiers=("CG", "CA"),
+        sw_injectable=True,
+    ),
+    Opcode.ST: OpInfo(
+        "ST",
+        num_srcs=2,
+        is_memory=True,
+        is_store=True,
+        latency_class=LatencyClass.MEM,
+        modifiers=("CG", "WB"),
+    ),
+    Opcode.LDS: OpInfo(
+        "LDS",
+        has_dst=True,
+        num_srcs=1,
+        is_memory=True,
+        is_load=True,
+        is_shared=True,
+        latency_class=LatencyClass.MEM,
+        sw_injectable=True,
+    ),
+    Opcode.STS: OpInfo(
+        "STS",
+        num_srcs=2,
+        is_memory=True,
+        is_store=True,
+        is_shared=True,
+        latency_class=LatencyClass.MEM,
+    ),
+    Opcode.LDT: OpInfo(
+        "LDT",
+        has_dst=True,
+        num_srcs=1,
+        is_memory=True,
+        is_load=True,
+        is_texture=True,
+        latency_class=LatencyClass.MEM,
+        sw_injectable=True,
+    ),
+    Opcode.BRA: OpInfo("BRA", is_branch=True, latency_class=LatencyClass.CTRL),
+    Opcode.EXIT: OpInfo("EXIT", latency_class=LatencyClass.CTRL),
+    Opcode.BAR: OpInfo("BAR", latency_class=LatencyClass.CTRL, modifiers=("SYNC",)),
+    Opcode.VOTE: OpInfo(
+        "VOTE",
+        writes_pred=True,
+        reads_pred_src=True,
+        latency_class=LatencyClass.CTRL,
+        modifiers=("ANY", "ALL"),
+        requires_modifier=True,
+    ),
+    Opcode.PSETP: OpInfo(
+        "PSETP",
+        writes_pred=True,
+        reads_pred_src=True,
+        modifiers=("AND", "OR", "XOR", "MOV", "NOT"),
+        requires_modifier=True,
+    ),
+}
+
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {
+    info.mnemonic: op for op, info in OPCODE_INFO.items()
+}

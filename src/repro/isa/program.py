@@ -1,0 +1,86 @@
+"""Program container: an assembled kernel body plus static properties."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable, fully-resolved kernel program.
+
+    ``num_regs`` (registers per thread) sizes the register-file allocation at
+    launch, exactly as ``-maxrregcount``/compiler output does on real GPUs;
+    it therefore also determines the RF derating factor of AVF analysis.
+    """
+
+    name: str
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.instructions)
+        for i, instr in enumerate(self.instructions):
+            if instr.opcode == Opcode.BRA:
+                if instr.target is None or not 0 <= instr.target < n:
+                    raise AssemblerError(
+                        f"{self.name}: instruction {i} branches out of program"
+                    )
+        if not any(i.opcode == Opcode.EXIT for i in self.instructions):
+            raise AssemblerError(f"{self.name}: program has no EXIT")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    @cached_property
+    def num_regs(self) -> int:
+        """Architectural registers per thread (highest index used + 1)."""
+        highest = max((i.max_register() for i in self.instructions), default=-1)
+        return highest + 1
+
+    @cached_property
+    def uses_shared(self) -> bool:
+        return any(i.info.is_shared for i in self.instructions)
+
+    @cached_property
+    def uses_texture(self) -> bool:
+        return any(i.info.is_texture for i in self.instructions)
+
+    @cached_property
+    def has_barrier(self) -> bool:
+        return any(i.opcode == Opcode.BAR for i in self.instructions)
+
+    def static_counts(self) -> dict[str, int]:
+        """Static opcode-category counts (used for documentation/analysis)."""
+        counts = {"total": len(self.instructions), "load": 0, "store": 0,
+                  "shared": 0, "texture": 0, "branch": 0, "float": 0}
+        for instr in self.instructions:
+            info = instr.info
+            counts["load"] += info.is_load
+            counts["store"] += info.is_store
+            counts["shared"] += info.is_shared
+            counts["texture"] += info.is_texture
+            counts["branch"] += info.is_branch
+            counts["float"] += info.is_float
+        return counts
+
+    def disassemble(self) -> str:
+        """Render the program as annotated assembly text."""
+        index_to_labels: dict[int, list[str]] = {}
+        for label, idx in self.labels.items():
+            index_to_labels.setdefault(idx, []).append(label)
+        lines: list[str] = [f"# kernel {self.name} ({len(self)} instructions, "
+                            f"{self.num_regs} regs/thread)"]
+        for i, instr in enumerate(self.instructions):
+            for label in sorted(index_to_labels.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    /*{i:04d}*/ {instr.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""The paper's benchmark suite: 11 applications, 23 kernels.
+
+Each application is a host driver (buffer management + kernel launches in
+our SASS-like ISA) with a deterministic input generator and a NumPy golden
+reference used by the test suite to validate kernel correctness.
+"""
+
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.registry import (
+    all_applications,
+    application_names,
+    get_application,
+    kernel_index,
+)
+
+__all__ = [
+    "DeviceHarness",
+    "GPUApplication",
+    "all_applications",
+    "application_names",
+    "get_application",
+    "kernel_index",
+]

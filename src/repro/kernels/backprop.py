@@ -1,0 +1,206 @@
+"""BackProp — neural-network training step (Rodinia ``backprop``). Two kernels.
+
+* K1 ``backprop_k1`` (``layerforward``): each thread multiplies one
+  input x weight pair into shared memory; a barrier tree reduction folds the
+  input dimension; thread 0 of each hidden column stores the partial sum.
+  The host applies the sigmoid squash (as Rodinia does).
+* K2 ``backprop_k2`` (``adjust_weights``): applies the delta rule with
+  momentum to the weight matrix (including the bias row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_IN = 32  # input layer size (power of two for the fold)
+_HID = 4  # hidden layer size
+_ETA = np.float32(0.3)
+_MOMENTUM = np.float32(0.3)
+
+_BP_K1 = assemble(
+    """
+    # partial[ty] = sum_tx input[tx] * w[(tx+1)*(HID+1) + ty+1]
+    # params: 0x0=input 0x4=weights 0x8=partial_out
+    S2R R0, SR_TID.X                 # tx (input index)
+    S2R R1, SR_TID.Y                 # ty (hidden index)
+    SHL R2, R0, 0x2
+    IADD R2, R2, c[0x0][0x0]
+    LD R3, [R2]                      # x
+    IADD R4, R0, 0x1
+    IMUL R5, R4, 0x5                 # (tx+1)*(HID+1)
+    IADD R6, R1, 0x1
+    IADD R5, R5, R6
+    SHL R7, R5, 0x2
+    IADD R7, R7, c[0x0][0x4]
+    LD R8, [R7]                      # w
+    FMUL R9, R3, R8
+    SHL R10, R1, 0x5                 # ty*32
+    IADD R10, R10, R0
+    SHL R11, R10, 0x2                # smem slot
+    STS [R11], R9
+    BAR.SYNC
+    MOV R12, 0x10                    # s = 16
+fold:
+    ISETP.GE P0, R0, R12
+@!P0 SHL R13, R12, 0x2
+@!P0 IADD R14, R11, R13
+@!P0 LDS R15, [R14]
+@!P0 LDS R16, [R11]
+@!P0 FADD R16, R16, R15
+@!P0 STS [R11], R16
+    BAR.SYNC
+    SHR R12, R12, 0x1
+    ISETP.GE P1, R12, 0x1
+@P1 BRA fold
+    ISETP.NE P2, R0, RZ
+@P2 EXIT
+    LDS R17, [R11]
+    SHL R18, R1, 0x2
+    IADD R18, R18, c[0x0][0x8]
+    ST [R18], R17
+    EXIT
+""",
+    name="backprop_k1",
+)
+
+_BP_K2 = assemble(
+    """
+    # w[idx] += eta*delta[ty+1]*ly[tx+1] + momentum*oldw[idx]; oldw[idx]=dw
+    # thread tx==0 additionally updates the bias row (ly[0] == 1).
+    # params: 0x0=w 0x4=oldw 0x8=delta 0xc=ly 0x10=eta 0x14=momentum
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    IADD R4, R0, 0x1
+    IMUL R5, R4, 0x5
+    IADD R6, R1, 0x1
+    IADD R5, R5, R6                  # idx
+    SHL R7, R6, 0x2
+    IADD R7, R7, c[0x0][0x8]
+    LDT R8, [R7]                     # delta[ty+1]
+    SHL R9, R4, 0x2
+    IADD R9, R9, c[0x0][0xc]
+    LDT R10, [R9]                    # ly[tx+1]
+    FMUL R11, R8, c[0x0][0x10]       # eta*delta
+    FMUL R12, R11, R10               # *ly
+    SHL R13, R5, 0x2
+    IADD R14, R13, c[0x0][0x4]
+    LD R15, [R14]                    # oldw[idx]
+    FMUL R16, R15, c[0x0][0x14]      # momentum*oldw
+    FADD R17, R12, R16               # dw
+    IADD R18, R13, c[0x0][0x0]
+    LD R19, [R18]
+    FADD R19, R19, R17
+    ST [R18], R19
+    ST [R14], R17
+    ISETP.NE P0, R0, RZ
+@P0 EXIT
+    SHL R20, R6, 0x2                 # bias index = ty+1
+    IADD R21, R20, c[0x0][0x4]
+    LD R22, [R21]
+    FMUL R23, R22, c[0x0][0x14]
+    FADD R24, R11, R23               # eta*delta*1 + momentum*oldw
+    IADD R25, R20, c[0x0][0x0]
+    LD R26, [R25]
+    FADD R26, R26, R24
+    ST [R25], R26
+    ST [R21], R24
+    EXIT
+""",
+    name="backprop_k2",
+)
+
+
+def _squash(x: np.ndarray) -> np.ndarray:
+    """Rodinia's sigmoid, in float32 (host-side in both run and reference)."""
+    return (np.float32(1.0) / (np.float32(1.0) + np.exp(-x))).astype(np.float32)
+
+
+class BackProp(GPUApplication):
+    """One forward + weight-adjust step of a 2-layer perceptron."""
+
+    name = "backprop"
+    kernel_names = ("backprop_k1", "backprop_k2")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "input": rng.random(_IN, dtype=np.float32),
+            # (IN+1) x (HID+1): row 0 is the bias row, column 0 unused.
+            "weights": (rng.random((_IN + 1, _HID + 1), dtype=np.float32)
+                        - np.float32(0.5)),
+            "target": rng.random(_HID, dtype=np.float32),
+        }
+
+    def _host_post(self, partial: np.ndarray, weights: np.ndarray):
+        """Sigmoid + error deltas (host side, shared with the reference)."""
+        sums = (partial + weights[0, 1:]).astype(np.float32)
+        hidden = _squash(sums)
+        target = self.inputs["target"]
+        err = (target - hidden).astype(np.float32)
+        one = np.float32(1.0)
+        delta = (hidden * (one - hidden) * err).astype(np.float32)
+        ly = np.concatenate(
+            ([np.float32(1.0)], self.inputs["input"])
+        ).astype(np.float32)
+        delta_padded = np.concatenate(([np.float32(0.0)], delta)).astype(np.float32)
+        return hidden, delta_padded, ly
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_in = h.upload(gpu, inp["input"])
+        buf_w = h.upload(gpu, inp["weights"])
+        buf_oldw = h.upload(gpu, np.zeros((_IN + 1, _HID + 1), dtype=np.float32))
+        buf_partial = h.alloc(gpu, 4 * _HID)
+        h.launch(
+            gpu, _BP_K1, (1, 1), (_IN, _HID),
+            [buf_in, buf_w, buf_partial],
+            smem_bytes=4 * _IN * _HID,
+            name="backprop_k1", outputs=(buf_partial,),
+        )
+        partial = h.download(gpu, buf_partial, np.float32, _HID)
+        hidden, delta, ly = self._host_post(partial, inp["weights"])
+        buf_delta = h.upload(gpu, delta)
+        buf_ly = h.upload(gpu, ly)
+        h.launch(
+            gpu, _BP_K2, (1, 1), (_IN, _HID),
+            [buf_w, buf_oldw, buf_delta, buf_ly, _ETA, _MOMENTUM],
+            name="backprop_k2", outputs=(buf_w, buf_oldw),
+        )
+        w = h.download(gpu, buf_w, np.float32, (_IN + 1) * (_HID + 1))
+        oldw = h.download(gpu, buf_oldw, np.float32, (_IN + 1) * (_HID + 1))
+        return {
+            "hidden": hidden,
+            "weights": w.reshape(_IN + 1, _HID + 1),
+            "oldw": oldw.reshape(_IN + 1, _HID + 1),
+        }
+
+    def reference(self):
+        inp = self.inputs
+        x = inp["input"]
+        w0 = inp["weights"]
+        # K1 mirror: products then tree fold over the input dimension.
+        prod = (x[:, None] * w0[1:, 1:]).astype(np.float32)  # (IN, HID)
+        acc = prod.copy()
+        s = _IN // 2
+        while s >= 1:
+            acc[:s] = acc[:s] + acc[s : 2 * s]
+            s //= 2
+        partial = acc[0].copy()
+        hidden, delta, ly = self._host_post(partial, w0)
+        # K2 mirror.
+        w = w0.copy()
+        oldw = np.zeros_like(w)
+        ed = (delta[1:] * _ETA).astype(np.float32)  # eta*delta[ty+1]
+        dw_main = (ed[None, :] * ly[1:, None] + oldw[1:, 1:] * _MOMENTUM).astype(
+            np.float32
+        )
+        w[1:, 1:] = w[1:, 1:] + dw_main
+        oldw_new = np.zeros_like(w)
+        oldw_new[1:, 1:] = dw_main
+        dw_bias = (ed + oldw[0, 1:] * _MOMENTUM).astype(np.float32)
+        w[0, 1:] = w0[0, 1:] + dw_bias
+        oldw_new[0, 1:] = dw_bias
+        return {"hidden": hidden, "weights": w, "oldw": oldw_new}

@@ -1,0 +1,124 @@
+"""Application base class and the device harness indirection.
+
+Applications route every device interaction (alloc / upload / download /
+launch) through a :class:`DeviceHarness`. The plain harness forwards to the
+GPU directly; the TMR harness (:mod:`repro.hardening.tmr`) transparently
+triplicates buffers and launches and votes kernel outputs on-device — so the
+*same* application source runs hardened or unhardened, exactly the paper's
+"same hardened application evaluated for AVF and SVF" requirement.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.sim.gpu import GPU, Buffer
+from repro.utils.rng import derive_rng
+
+
+class DeviceHarness:
+    """Plain pass-through harness: the unhardened execution path."""
+
+    def alloc(self, gpu: GPU, nbytes: int) -> Buffer:
+        return gpu.malloc(nbytes)
+
+    def upload(self, gpu: GPU, array: np.ndarray) -> Buffer:
+        return gpu.upload(array)
+
+    def download(self, gpu: GPU, buf: Buffer, dtype=np.uint32,
+                 count: int | None = None) -> np.ndarray:
+        return gpu.memcpy_dtoh(buf, dtype, count)
+
+    def htod(self, gpu: GPU, buf: Buffer, array: np.ndarray) -> None:
+        """Host write into an existing buffer (TMR mirrors it to all copies)."""
+        gpu.memcpy_htod(buf, array)
+
+    def launch(
+        self,
+        gpu: GPU,
+        program,
+        grid: tuple[int, int],
+        block: tuple[int, int],
+        params=(),
+        smem_bytes: int = 0,
+        name: str | None = None,
+        outputs: tuple[Buffer, ...] = (),
+    ) -> None:
+        """Launch a kernel. ``outputs`` names the buffers the kernel writes;
+        the plain harness ignores it, the TMR harness votes on them."""
+        gpu.launch(program, grid, block, params, smem_bytes, name)
+
+    def finalize(self, gpu: GPU) -> None:
+        """Called after the application's device phase completes.
+
+        The plain harness does nothing; the TMR harness raises a DUE here if
+        any majority vote observed a three-way disagreement.
+        """
+
+
+class GPUApplication(abc.ABC):
+    """One benchmark application.
+
+    Subclasses define:
+
+    * ``name`` — application id (e.g. ``"hotspot"``).
+    * ``kernel_names`` — kernel ids in K1..Kn order (e.g. ``("hotspot_k1",)``).
+    * :meth:`make_inputs` — deterministic input generation.
+    * :meth:`run` — the host driver (device phase).
+    * :meth:`reference` — NumPy golden outputs (test oracle).
+    """
+
+    name: str = "app"
+    kernel_names: tuple[str, ...] = ()
+
+    def __init__(self, seed: int = 2024):
+        self.seed = seed
+        self._inputs: dict | None = None
+
+    @property
+    def inputs(self) -> dict:
+        """Lazily-generated deterministic inputs."""
+        if self._inputs is None:
+            rng = derive_rng(self.seed, f"inputs/{self.name}")
+            self._inputs = self.make_inputs(rng)
+        return self._inputs
+
+    @abc.abstractmethod
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        """Produce the input arrays/scalars for one deterministic instance."""
+
+    @abc.abstractmethod
+    def run(self, gpu: GPU, harness: DeviceHarness | None = None
+            ) -> dict[str, np.ndarray]:
+        """Execute the device phase; returns named output arrays."""
+
+    @abc.abstractmethod
+    def reference(self) -> dict[str, np.ndarray]:
+        """Compute the expected outputs with NumPy (bitwise oracle)."""
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        ks = ", ".join(self.kernel_names)
+        return f"{self.name} ({len(self.kernel_names)} kernels: {ks})"
+
+
+def outputs_equal(a: dict[str, np.ndarray], b: dict[str, np.ndarray]) -> bool:
+    """Bitwise equality of two output dicts (the SDC criterion).
+
+    Bitwise (not tolerance-based) comparison matches fault-injection
+    practice: the fault-free run is the oracle and any deviation is an SDC.
+    """
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        x, y = a[key], b[key]
+        if x.shape != y.shape:
+            return False
+        if not np.array_equal(
+            np.ascontiguousarray(x).view(np.uint8),
+            np.ascontiguousarray(y).view(np.uint8),
+        ):
+            return False
+    return True

@@ -1,0 +1,193 @@
+"""BFS — breadth-first search (Rodinia ``bfs``). Two kernels.
+
+* K1 ``bfs_k1``: every frontier node relaxes its out-edges, writing the new
+  cost and raising the neighbours' updating flags (per-lane divergent edge
+  loops, graph structure read through the texture path).
+* K2 ``bfs_k2``: promotes updating flags into the next frontier, marks
+  visited, and raises the host's continue flag.
+
+The host iterates until the continue flag stays low. Corrupted node offsets
+or edge indices send loads out of bounds — BFS is the suite's DUE-heavy
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_NODES = 64
+_EXTRA_EDGES = 48
+_BLOCK = 64
+_SRC = 0
+
+_BFS_K1 = assemble(
+    """
+    # params: 0x0=starts 0x4=counts 0x8=edges 0xc=frontier 0x10=updating
+    #         0x14=visited 0x18=cost 0x1c=nnodes
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1              # node id
+    ISETP.GE P0, R3, c[0x0][0x1c]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0xc]         # &frontier[n]
+    LD R6, [R5]
+    ISETP.EQ P1, R6, RZ
+@P1 EXIT
+    ST [R5], RZ                      # frontier[n] = 0
+    IADD R7, R4, c[0x0][0x18]
+    LD R8, [R7]                      # cost[n]
+    IADD R8, R8, 0x1                 # neighbour cost
+    IADD R9, R4, c[0x0][0x0]
+    LDT R10, [R9]                    # start
+    IADD R11, R4, c[0x0][0x4]
+    LDT R12, [R11]                   # count
+    IADD R12, R10, R12               # end
+eloop:
+    ISETP.GE P2, R10, R12
+@P2 EXIT
+    SHL R13, R10, 0x2
+    IADD R13, R13, c[0x0][0x8]
+    LDT R14, [R13]                   # neighbour id
+    SHL R15, R14, 0x2
+    IADD R16, R15, c[0x0][0x14]
+    LD R17, [R16]                    # visited[nb]
+    ISETP.EQ P3, R17, RZ
+@P3 IADD R18, R15, c[0x0][0x18]
+@P3 ST [R18], R8                     # cost[nb] = cost[n]+1
+@P3 IADD R19, R15, c[0x0][0x10]
+@P3 MOV R20, 0x1
+@P3 ST [R19], R20                    # updating[nb] = 1
+    IADD R10, R10, 0x1
+    BRA eloop
+""",
+    name="bfs_k1",
+)
+
+_BFS_K2 = assemble(
+    """
+    # params: 0x0=frontier 0x4=updating 0x8=visited 0xc=continue 0x10=nnodes
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0x10]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x4]
+    LD R6, [R5]
+    ISETP.EQ P1, R6, RZ
+@P1 EXIT
+    MOV R7, 0x1
+    IADD R8, R4, c[0x0][0x0]
+    ST [R8], R7                      # frontier[n] = 1
+    IADD R9, R4, c[0x0][0x8]
+    ST [R9], R7                      # visited[n] = 1
+    ST [R5], RZ                      # updating[n] = 0
+    IADD R10, RZ, c[0x0][0xc]
+    ST [R10], R7                     # continue = 1
+    EXIT
+""",
+    name="bfs_k2",
+)
+
+
+def _build_graph(rng: np.random.Generator):
+    """Random connected undirected graph in CSR form."""
+    edges: set[tuple[int, int]] = set()
+    for node in range(1, _NODES):
+        parent = int(rng.integers(node))
+        edges.add((parent, node))
+    for _ in range(_EXTRA_EDGES):
+        a = int(rng.integers(_NODES))
+        b = int(rng.integers(_NODES))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    adjacency: list[list[int]] = [[] for _ in range(_NODES)]
+    for a, b in sorted(edges):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    starts = np.zeros(_NODES, dtype=np.int32)
+    counts = np.zeros(_NODES, dtype=np.int32)
+    flat: list[int] = []
+    for node, nbrs in enumerate(adjacency):
+        starts[node] = len(flat)
+        counts[node] = len(nbrs)
+        flat.extend(nbrs)
+    return starts, counts, np.asarray(flat, dtype=np.int32), adjacency
+
+
+class BFS(GPUApplication):
+    """Level-synchronous breadth-first search from node 0."""
+
+    name = "bfs"
+    kernel_names = ("bfs_k1", "bfs_k2")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        starts, counts, edges, adjacency = _build_graph(rng)
+        return {
+            "starts": starts,
+            "counts": counts,
+            "edges": edges,
+            "adjacency": adjacency,
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_starts = h.upload(gpu, inp["starts"])
+        buf_counts = h.upload(gpu, inp["counts"])
+        buf_edges = h.upload(gpu, inp["edges"])
+        frontier = np.zeros(_NODES, dtype=np.int32)
+        frontier[_SRC] = 1
+        visited = np.zeros(_NODES, dtype=np.int32)
+        visited[_SRC] = 1
+        cost = np.full(_NODES, -1, dtype=np.int32)
+        cost[_SRC] = 0
+        buf_frontier = h.upload(gpu, frontier)
+        buf_updating = h.upload(gpu, np.zeros(_NODES, dtype=np.int32))
+        buf_visited = h.upload(gpu, visited)
+        buf_cost = h.upload(gpu, cost)
+        buf_flag = h.alloc(gpu, 4)
+        grid = (-(-_NODES // _BLOCK), 1)
+        zero = np.zeros(1, dtype=np.uint32)
+        for _ in range(_NODES):  # bounded level loop
+            h.htod(gpu, buf_flag, zero)
+            h.launch(
+                gpu, _BFS_K1, grid, (_BLOCK, 1),
+                [buf_starts, buf_counts, buf_edges, buf_frontier,
+                 buf_updating, buf_visited, buf_cost, _NODES],
+                name="bfs_k1",
+                outputs=(buf_frontier, buf_updating, buf_cost),
+            )
+            h.launch(
+                gpu, _BFS_K2, grid, (_BLOCK, 1),
+                [buf_frontier, buf_updating, buf_visited, buf_flag, _NODES],
+                name="bfs_k2",
+                outputs=(buf_frontier, buf_updating, buf_visited, buf_flag),
+            )
+            flag = h.download(gpu, buf_flag, np.uint32, 1)
+            if int(flag[0]) == 0:
+                break
+        return {"cost": h.download(gpu, buf_cost, np.int32, _NODES)}
+
+    def reference(self):
+        adjacency = self.inputs["adjacency"]
+        cost = np.full(_NODES, -1, dtype=np.int32)
+        cost[_SRC] = 0
+        frontier = [_SRC]
+        level = 0
+        while frontier:
+            level += 1
+            nxt = []
+            for node in frontier:
+                for nb in adjacency[node]:
+                    if cost[nb] == -1:
+                        cost[nb] = level
+                        nxt.append(nb)
+            frontier = nxt
+        return {"cost": cost}

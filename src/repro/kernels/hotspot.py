@@ -1,0 +1,182 @@
+"""HotSpot — thermal simulation stencil (Rodinia ``hotspot``). One kernel.
+
+Each CTA loads its 8x8 temperature tile into shared memory; neighbour reads
+come from the tile where possible and from global memory (or the replicated
+boundary) at tile edges. The power grid is read through the texture path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_W = 16
+_H = 16
+_TILE = 8
+_ITERS = 2
+
+# Physical-ish constants (float32), passed as kernel parameters.
+_C0 = np.float32(0.08)   # step / capacitance
+_C1 = np.float32(0.25)   # 1/Ry
+_C2 = np.float32(0.25)   # 1/Rx
+_C3 = np.float32(0.10)   # 1/Rz
+_AMB = np.float32(80.0)  # ambient temperature
+
+_HOTSPOT_K1 = assemble(
+    """
+    # params: 0x0=temp_in 0x4=power 0x8=temp_out 0xc=width
+    #         0x10=c0 0x14=c1 0x18=c2 0x1c=c3 0x20=amb 0x24=height
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    S2R R4, SR_NTID.X
+    IMAD R5, R2, R4, R0          # gx
+    S2R R6, SR_NTID.Y
+    IMAD R7, R3, R6, R1          # gy
+    IMAD R8, R7, c[0x0][0xc], R5 # idx = gy*width + gx
+    SHL R9, R8, 0x2
+    IADD R10, R9, c[0x0][0x0]
+    LD R11, [R10]                # t = temp_in[idx]
+    IADD R12, R9, c[0x0][0x4]
+    LDT R13, [R12]               # p = power[idx] (texture path)
+    IMAD R14, R1, R4, R0         # local index ty*TILE+tx
+    SHL R15, R14, 0x2
+    STS [R15], R11
+    BAR.SYNC
+
+    # ---- north neighbour -> R16
+    MOV R16, R11                 # default: replicate own value
+    ISETP.GE P0, R1, 0x1         # ty >= 1: read from the tile
+@P0 IADD R17, R15, -0x20
+@P0 LDS R16, [R17]
+    ISETP.GE P1, R7, 0x1         # gy >= 1 and tile edge: global read
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 MOV R18, c[0x0][0xc]
+@P2 SHL R18, R18, 0x2
+@P2 ISUB R19, R10, R18
+@P2 LD R16, [R19]
+
+    # ---- south neighbour -> R20
+    MOV R20, R11
+    S2R R21, SR_NTID.Y
+    IADD R22, R21, -0x1          # TILE-1
+    ISETP.LT P0, R1, R22         # ty < TILE-1
+@P0 IADD R17, R15, 0x20
+@P0 LDS R20, [R17]
+    MOV R23, c[0x0][0x24]
+    IADD R23, R23, -0x1          # height-1
+    ISETP.LT P1, R7, R23
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 MOV R18, c[0x0][0xc]
+@P2 SHL R18, R18, 0x2
+@P2 IADD R19, R10, R18
+@P2 LD R20, [R19]
+
+    # ---- west neighbour -> R24
+    MOV R24, R11
+    ISETP.GE P0, R0, 0x1
+@P0 IADD R17, R15, -0x4
+@P0 LDS R24, [R17]
+    ISETP.GE P1, R5, 0x1
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 IADD R19, R10, -0x4
+@P2 LD R24, [R19]
+
+    # ---- east neighbour -> R25
+    MOV R25, R11
+    S2R R26, SR_NTID.X
+    IADD R26, R26, -0x1
+    ISETP.LT P0, R0, R26
+@P0 IADD R17, R15, 0x4
+@P0 LDS R25, [R17]
+    MOV R27, c[0x0][0xc]
+    IADD R27, R27, -0x1          # width-1
+    ISETP.LT P1, R5, R27
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 IADD R19, R10, 0x4
+@P2 LD R25, [R19]
+
+    # ---- update formula
+    FADD R28, R16, R20           # tN + tS
+    FADD R29, R11, R11           # 2t
+    FSUB R28, R28, R29
+    FMUL R28, R28, c[0x0][0x14]  # c1 * (tN+tS-2t)
+    FADD R30, R25, R24           # tE + tW
+    FSUB R30, R30, R29
+    FMUL R30, R30, c[0x0][0x18]  # c2 * (tE+tW-2t)
+    FSUB R31, c[0x0][0x20], R11  # amb - t
+    FMUL R31, R31, c[0x0][0x1c]  # c3 * (amb-t)
+    FADD R32, R13, R28
+    FADD R32, R32, R30
+    FADD R32, R32, R31
+    FMUL R32, R32, c[0x0][0x10]  # c0 * (...)
+    FADD R33, R11, R32           # t_new
+    IADD R34, R9, c[0x0][0x8]
+    ST [R34], R33
+    EXIT
+""",
+    name="hotspot_k1",
+)
+
+
+def _step_reference(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """One stencil step, mirroring the kernel's float32 operation order."""
+    ys = np.arange(_H)
+    xs = np.arange(_W)
+    t_n = temp[np.maximum(ys - 1, 0)][:, xs]
+    t_s = temp[np.minimum(ys + 1, _H - 1)][:, xs]
+    t_w = temp[:, np.maximum(xs - 1, 0)]
+    t_e = temp[:, np.minimum(xs + 1, _W - 1)]
+    two_t = temp + temp
+    m_ns = ((t_n + t_s) - two_t) * _C1
+    m_ew = ((t_e + t_w) - two_t) * _C2
+    m_z = (_AMB - temp) * _C3
+    acc = ((power + m_ns) + m_ew) + m_z
+    return temp + acc * _C0
+
+
+class HotSpot(GPUApplication):
+    """2D thermal stencil with shared-memory tiling."""
+
+    name = "hotspot"
+    kernel_names = ("hotspot_k1",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "temp": (rng.random((_H, _W), dtype=np.float32) * np.float32(40.0)
+                     + np.float32(60.0)),
+            "power": rng.random((_H, _W), dtype=np.float32) * np.float32(5.0),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_t0 = h.upload(gpu, inp["temp"])
+        buf_pw = h.upload(gpu, inp["power"])
+        buf_t1 = h.alloc(gpu, 4 * _W * _H)
+        grid = (_W // _TILE, _H // _TILE)
+        src, dst = buf_t0, buf_t1
+        for _ in range(_ITERS):
+            h.launch(
+                gpu, _HOTSPOT_K1, grid, (_TILE, _TILE),
+                [src, buf_pw, dst, _W, _C0, _C1, _C2, _C3, _AMB, _H],
+                smem_bytes=4 * _TILE * _TILE,
+                name="hotspot_k1", outputs=(dst,),
+            )
+            src, dst = dst, src
+        out = h.download(gpu, src, np.float32, _W * _H)
+        return {"temp": out.reshape(_H, _W)}
+
+    def reference(self):
+        inp = self.inputs
+        temp = inp["temp"].copy()
+        for _ in range(_ITERS):
+            temp = _step_reference(temp, inp["power"])
+        return {"temp": temp}

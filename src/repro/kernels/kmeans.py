@@ -1,0 +1,148 @@
+"""K-Means — clustering (Rodinia ``kmeans``). Two kernels.
+
+* K1 ``kmeans_k1`` (``invert_mapping``): transposes the feature matrix from
+  point-major to feature-major layout (pure data movement).
+* K2 ``kmeans_k2`` (``kmeansPoint``): assigns each point to its nearest
+  cluster centre (squared Euclidean distance, argmin with strict <).
+
+The membership output is an index array, so most data-value corruptions are
+masked — K-Means is the suite's low-vulnerability anchor (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_NPOINTS = 128
+_NFEATURES = 4
+_NCLUSTERS = 3
+_BLOCK = 64
+
+_KMEANS_K1 = assemble(
+    """
+    # feat_inv[f*N+p] = feat[p*F+f]
+    # params: 0x0=feat 0x4=feat_inv 0x8=npoints 0xc=nfeatures
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1              # point index p
+    ISETP.GE P0, R3, c[0x0][0x8]
+@P0 EXIT
+    MOV R4, 0x0                      # f
+floop:
+    IMUL R5, R3, c[0x0][0xc]         # p*F
+    IADD R5, R5, R4
+    SHL R6, R5, 0x2
+    IADD R6, R6, c[0x0][0x0]
+    LD R7, [R6]
+    IMUL R8, R4, c[0x0][0x8]         # f*N
+    IADD R8, R8, R3
+    SHL R9, R8, 0x2
+    IADD R9, R9, c[0x0][0x4]
+    ST [R9], R7
+    IADD R4, R4, 0x1
+    ISETP.LT P1, R4, c[0x0][0xc]
+@P1 BRA floop
+    EXIT
+""",
+    name="kmeans_k1",
+)
+
+_KMEANS_K2 = assemble(
+    """
+    # membership[p] = argmin_c sum_f (feat_inv[f*N+p] - clusters[c*F+f])^2
+    # params: 0x0=feat_inv 0x4=clusters 0x8=membership 0xc=npoints
+    #         0x10=nclusters 0x14=nfeatures
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1              # p
+    ISETP.GE P0, R3, c[0x0][0xc]
+@P0 EXIT
+    MOV R4, 0x0                      # best index
+    MOV R5, 0f7f800000               # best dist = +inf
+    MOV R6, 0x0                      # c
+cloop:
+    MOV R7, 0f00000000               # dist = 0.0
+    MOV R8, 0x0                      # f
+floop:
+    IMUL R9, R8, c[0x0][0xc]         # f*N
+    IADD R9, R9, R3
+    SHL R10, R9, 0x2
+    IADD R10, R10, c[0x0][0x0]
+    LD R11, [R10]                    # x
+    IMUL R12, R6, c[0x0][0x14]       # c*F
+    IADD R12, R12, R8
+    SHL R13, R12, 0x2
+    IADD R13, R13, c[0x0][0x4]
+    LDT R14, [R13]                   # cluster value (texture path)
+    FSUB R15, R11, R14
+    FFMA R7, R15, R15, R7
+    IADD R8, R8, 0x1
+    ISETP.LT P1, R8, c[0x0][0x14]
+@P1 BRA floop
+    FSETP.LT P2, R7, R5
+@P2 MOV R5, R7
+@P2 MOV R4, R6
+    IADD R6, R6, 0x1
+    ISETP.LT P3, R6, c[0x0][0x10]
+@P3 BRA cloop
+    SHL R16, R3, 0x2
+    IADD R16, R16, c[0x0][0x8]
+    ST [R16], R4
+    EXIT
+""",
+    name="kmeans_k2",
+)
+
+
+class KMeans(GPUApplication):
+    """One assignment step of k-means clustering."""
+
+    name = "kmeans"
+    kernel_names = ("kmeans_k1", "kmeans_k2")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "features": rng.random((_NPOINTS, _NFEATURES), dtype=np.float32),
+            "clusters": rng.random((_NCLUSTERS, _NFEATURES), dtype=np.float32),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_feat = h.upload(gpu, inp["features"])
+        buf_inv = h.alloc(gpu, 4 * _NPOINTS * _NFEATURES)
+        buf_clusters = h.upload(gpu, inp["clusters"])
+        buf_member = h.alloc(gpu, 4 * _NPOINTS)
+        grid = (-(-_NPOINTS // _BLOCK), 1)
+        h.launch(
+            gpu, _KMEANS_K1, grid, (_BLOCK, 1),
+            [buf_feat, buf_inv, _NPOINTS, _NFEATURES],
+            name="kmeans_k1", outputs=(buf_inv,),
+        )
+        h.launch(
+            gpu, _KMEANS_K2, grid, (_BLOCK, 1),
+            [buf_inv, buf_clusters, buf_member, _NPOINTS, _NCLUSTERS, _NFEATURES],
+            name="kmeans_k2", outputs=(buf_member,),
+        )
+        return {"membership": h.download(gpu, buf_member, np.int32, _NPOINTS)}
+
+    def reference(self):
+        inp = self.inputs
+        feats = inp["features"]  # (P, F) float32
+        clusters = inp["clusters"]
+        best_idx = np.zeros(_NPOINTS, dtype=np.int32)
+        best = np.full(_NPOINTS, np.float32(np.inf), dtype=np.float32)
+        for c in range(_NCLUSTERS):
+            dist = np.zeros(_NPOINTS, dtype=np.float32)
+            for f in range(_NFEATURES):
+                d = feats[:, f] - clusters[c, f]
+                dist = (d * d) + dist  # mirror FFMA's two-step rounding
+            better = dist < best
+            best[better] = dist[better]
+            best_idx[better] = c
+        return {"membership": best_idx}

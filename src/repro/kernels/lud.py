@@ -1,0 +1,433 @@
+"""LUD — blocked LU decomposition (Rodinia ``lud``). Three kernels.
+
+The N x N matrix is factored in-place in 8x8 blocks:
+
+* K1 ``lud_k1`` (``lud_diagonal``): one CTA factors the step's diagonal
+  block in shared memory (Doolittle, unit lower diagonal).
+* K2 ``lud_k2`` (``lud_perimeter``): one CTA per remaining block pair solves
+  the U row-blocks (forward substitution) and L column-blocks (with the
+  reciprocal of the diagonal), 2B threads per CTA.
+* K3 ``lud_k3`` (``lud_internal``): one CTA per trailing block performs the
+  rank-B update A -= L U with both tiles staged in shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_N = 16
+_B = 8
+_NB = _N // _B
+
+# --------------------------------------------------------------------- #
+# K1: diagonal block factorisation (1 CTA, B threads, tile in smem)
+# --------------------------------------------------------------------- #
+_LUD_K1 = assemble(
+    """
+    # params: 0x0=m 0x4=N 0x8=k
+    S2R R0, SR_TID.X                 # tx = row within the block
+    MOV R1, c[0x0][0x8]
+    SHL R1, R1, 0x3                  # base = k*B
+    # ---- load row tx of the diagonal block into smem
+    IADD R2, R1, R0                  # global row
+    IMUL R3, R2, c[0x0][0x4]
+    IADD R3, R3, R1                  # row*N + base
+    SHL R3, R3, 0x2
+    IADD R3, R3, c[0x0][0x0]         # global byte addr of row start
+    SHL R4, R0, 0x5                  # smem row byte offset (tx*8*4)
+    MOV R5, 0x0                      # j
+load:
+    SHL R6, R5, 0x2
+    IADD R7, R3, R6
+    LD R8, [R7]
+    IADD R9, R4, R6
+    STS [R9], R8
+    IADD R5, R5, 0x1
+    ISETP.LT P0, R5, 0x8
+@P0 BRA load
+    BAR.SYNC
+    # ---- Doolittle elimination: i = 0..B-2
+    MOV R10, 0x0                     # i
+elim:
+    ISETP.LE P1, R0, R10             # tx <= i: spectate
+@P1 BRA elimsync
+    IMAD R11, R10, 0x8, R10          # i*8+i
+    SHL R11, R11, 0x2
+    LDS R12, [R11]                   # pivot
+    MUFU.RCP R13, R12
+    IMAD R14, R0, 0x8, R10           # tx*8+i
+    SHL R14, R14, 0x2
+    LDS R15, [R14]
+    FMUL R15, R15, R13               # L[tx][i]
+    STS [R14], R15
+    IADD R16, R10, 0x1               # j = i+1
+inner:
+    IMAD R17, R10, 0x8, R16          # i*8+j
+    SHL R17, R17, 0x2
+    LDS R18, [R17]                   # U[i][j]
+    FMUL R19, R15, R18
+    IMAD R20, R0, 0x8, R16           # tx*8+j
+    SHL R20, R20, 0x2
+    LDS R21, [R20]
+    FSUB R21, R21, R19
+    STS [R20], R21
+    IADD R16, R16, 0x1
+    ISETP.LT P2, R16, 0x8
+@P2 BRA inner
+elimsync:
+    BAR.SYNC
+    IADD R10, R10, 0x1
+    ISETP.LT P3, R10, 0x7
+@P3 BRA elim
+    # ---- write the row back
+    MOV R5, 0x0
+store:
+    SHL R6, R5, 0x2
+    IADD R9, R4, R6
+    LDS R8, [R9]
+    IADD R7, R3, R6
+    ST [R7], R8
+    IADD R5, R5, 0x1
+    ISETP.LT P4, R5, 0x8
+@P4 BRA store
+    EXIT
+""",
+    name="lud_k1",
+)
+
+# --------------------------------------------------------------------- #
+# K2: perimeter blocks (grid = remaining blocks, 2B threads)
+# smem: diag tile at 0x0 (64 words), U row-block tile at 0x100,
+#       L col-block tile at 0x200.
+# --------------------------------------------------------------------- #
+_LUD_K2 = assemble(
+    """
+    # params: 0x0=m 0x4=N 0x8=k
+    S2R R0, SR_TID.X                 # 0..15
+    S2R R1, SR_CTAID.X               # peer block index (0-based)
+    MOV R2, c[0x0][0x8]
+    SHL R3, R2, 0x3                  # kb = k*B
+    IADD R4, R2, 0x1
+    IADD R4, R4, R1
+    SHL R4, R4, 0x3                  # mb = (k+1+bx)*B
+    AND R5, R0, 0x7                  # lane-within-half: column/row id c
+    # ---- threads 0..7 load diag tile row c; also U tile row c; L tile row c
+    ISETP.GE P0, R0, 0x8
+@P0 BRA loadl
+    # diag row c: m[kb+c][kb+j]
+    IADD R6, R3, R5
+    IMUL R7, R6, c[0x0][0x4]
+    IADD R8, R7, R3
+    SHL R8, R8, 0x2
+    IADD R8, R8, c[0x0][0x0]
+    SHL R9, R5, 0x5                  # smem row offset
+    MOV R10, 0x0
+dload:
+    SHL R11, R10, 0x2
+    IADD R12, R8, R11
+    LD R13, [R12]
+    IADD R14, R9, R11
+    STS [R14], R13
+    IADD R10, R10, 0x1
+    ISETP.LT P1, R10, 0x8
+@P1 BRA dload
+    # U row-block row c: m[kb+c][mb+j] -> smem 0x100
+    IADD R15, R7, R4
+    SHL R15, R15, 0x2
+    IADD R15, R15, c[0x0][0x0]
+    MOV R10, 0x0
+uload:
+    SHL R11, R10, 0x2
+    IADD R12, R15, R11
+    LD R13, [R12]
+    IADD R14, R9, R11
+    IADD R14, R14, 0x100
+    STS [R14], R13
+    IADD R10, R10, 0x1
+    ISETP.LT P1, R10, 0x8
+@P1 BRA uload
+    BRA loaded
+loadl:
+    # threads 8..15 load L col-block row c: m[mb+c][kb+j] -> smem 0x200
+    IADD R6, R4, R5
+    IMUL R7, R6, c[0x0][0x4]
+    IADD R8, R7, R3
+    SHL R8, R8, 0x2
+    IADD R8, R8, c[0x0][0x0]
+    SHL R9, R5, 0x5
+    MOV R10, 0x0
+lload:
+    SHL R11, R10, 0x2
+    IADD R12, R8, R11
+    LD R13, [R12]
+    IADD R14, R9, R11
+    IADD R14, R14, 0x200
+    STS [R14], R13
+    IADD R10, R10, 0x1
+    ISETP.LT P1, R10, 0x8
+@P1 BRA lload
+loaded:
+    BAR.SYNC
+    ISETP.GE P0, R0, 0x8
+@P0 BRA lsolve
+    # ---- U solve (thread c handles column c): forward substitution
+    MOV R10, 0x1                     # i
+usolve:
+    MOV R16, 0x0                     # j
+ujloop:
+    IMAD R17, R10, 0x8, R16          # diag L[i][j]
+    SHL R17, R17, 0x2
+    LDS R18, [R17]
+    IMAD R19, R16, 0x8, R5           # u[j][c]
+    SHL R19, R19, 0x2
+    IADD R19, R19, 0x100
+    LDS R20, [R19]
+    FMUL R21, R18, R20
+    IMAD R22, R10, 0x8, R5           # u[i][c]
+    SHL R22, R22, 0x2
+    IADD R22, R22, 0x100
+    LDS R23, [R22]
+    FSUB R23, R23, R21
+    STS [R22], R23
+    IADD R16, R16, 0x1
+    ISETP.LT P1, R16, R10
+@P1 BRA ujloop
+    IADD R10, R10, 0x1
+    ISETP.LT P2, R10, 0x8
+@P2 BRA usolve
+    BRA writeback
+lsolve:
+    # ---- L solve (thread c handles row c of the col-block)
+    MOV R10, 0x0                     # j
+ljloop:
+    MOV R16, 0x0                     # t
+ltloop:
+    ISETP.GE P1, R16, R10
+@P1 BRA ltdone
+    IMAD R17, R5, 0x8, R16           # l[c][t]
+    SHL R17, R17, 0x2
+    IADD R17, R17, 0x200
+    LDS R18, [R17]
+    IMAD R19, R16, 0x8, R10          # diag U[t][j]
+    SHL R19, R19, 0x2
+    LDS R20, [R19]
+    FMUL R21, R18, R20
+    IMAD R22, R5, 0x8, R10           # l[c][j]
+    SHL R22, R22, 0x2
+    IADD R22, R22, 0x200
+    LDS R23, [R22]
+    FSUB R23, R23, R21
+    STS [R22], R23
+    IADD R16, R16, 0x1
+    BRA ltloop
+ltdone:
+    IMAD R24, R10, 0x8, R10          # diag U[j][j]
+    SHL R24, R24, 0x2
+    LDS R25, [R24]
+    MUFU.RCP R26, R25
+    IMAD R22, R5, 0x8, R10
+    SHL R22, R22, 0x2
+    IADD R22, R22, 0x200
+    LDS R23, [R22]
+    FMUL R23, R23, R26
+    STS [R22], R23
+    IADD R10, R10, 0x1
+    ISETP.LT P2, R10, 0x8
+@P2 BRA ljloop
+writeback:
+    BAR.SYNC
+    ISETP.GE P0, R0, 0x8
+@P0 BRA wl
+    # write U row-block row c back
+    IADD R6, R3, R5
+    IMUL R7, R6, c[0x0][0x4]
+    IADD R15, R7, R4
+    SHL R15, R15, 0x2
+    IADD R15, R15, c[0x0][0x0]
+    SHL R9, R5, 0x5
+    MOV R10, 0x0
+uwb:
+    SHL R11, R10, 0x2
+    IADD R14, R9, R11
+    IADD R14, R14, 0x100
+    LDS R13, [R14]
+    IADD R12, R15, R11
+    ST [R12], R13
+    IADD R10, R10, 0x1
+    ISETP.LT P1, R10, 0x8
+@P1 BRA uwb
+    EXIT
+wl:
+    IADD R6, R4, R5
+    IMUL R7, R6, c[0x0][0x4]
+    IADD R8, R7, R3
+    SHL R8, R8, 0x2
+    IADD R8, R8, c[0x0][0x0]
+    SHL R9, R5, 0x5
+    MOV R10, 0x0
+lwb:
+    SHL R11, R10, 0x2
+    IADD R14, R9, R11
+    IADD R14, R14, 0x200
+    LDS R13, [R14]
+    IADD R12, R8, R11
+    ST [R12], R13
+    IADD R10, R10, 0x1
+    ISETP.LT P1, R10, 0x8
+@P1 BRA lwb
+    EXIT
+""",
+    name="lud_k2",
+)
+
+# --------------------------------------------------------------------- #
+# K3: internal blocks (grid = remaining x remaining, B x B threads)
+# smem: L tile at 0x0, U tile at 0x100.
+# --------------------------------------------------------------------- #
+_LUD_K3 = assemble(
+    """
+    # params: 0x0=m 0x4=N 0x8=k
+    S2R R0, SR_TID.X                 # tx = column in tile
+    S2R R1, SR_TID.Y                 # ty = row in tile
+    S2R R2, SR_CTAID.X               # bx
+    S2R R3, SR_CTAID.Y               # by
+    MOV R4, c[0x0][0x8]
+    SHL R5, R4, 0x3                  # kb
+    IADD R6, R4, 0x1
+    IADD R7, R6, R2
+    SHL R7, R7, 0x3                  # col-block base cb
+    IADD R8, R6, R3
+    SHL R8, R8, 0x3                  # row-block base rb
+    # smem L[ty][tx] = m[rb+ty][kb+tx]
+    IADD R9, R8, R1
+    IMUL R10, R9, c[0x0][0x4]
+    IADD R11, R10, R5
+    IADD R11, R11, R0
+    SHL R11, R11, 0x2
+    IADD R11, R11, c[0x0][0x0]
+    LD R12, [R11]
+    IMAD R13, R1, 0x8, R0
+    SHL R13, R13, 0x2
+    STS [R13], R12
+    # smem U[ty][tx] = m[kb+ty][cb+tx]
+    IADD R14, R5, R1
+    IMUL R15, R14, c[0x0][0x4]
+    IADD R16, R15, R7
+    IADD R16, R16, R0
+    SHL R16, R16, 0x2
+    IADD R16, R16, c[0x0][0x0]
+    LD R17, [R16]
+    IADD R18, R13, 0x100
+    STS [R18], R17
+    BAR.SYNC
+    # acc = m[rb+ty][cb+tx]
+    IADD R19, R10, R7
+    IADD R19, R19, R0
+    SHL R19, R19, 0x2
+    IADD R19, R19, c[0x0][0x0]
+    LD R20, [R19]
+    MOV R21, 0x0                     # t
+dot:
+    IMAD R22, R1, 0x8, R21           # L[ty][t]
+    SHL R22, R22, 0x2
+    LDS R23, [R22]
+    IMAD R24, R21, 0x8, R0           # U[t][tx]
+    SHL R24, R24, 0x2
+    IADD R24, R24, 0x100
+    LDS R25, [R24]
+    FMUL R26, R23, R25
+    FSUB R20, R20, R26
+    IADD R21, R21, 0x1
+    ISETP.LT P0, R21, 0x8
+@P0 BRA dot
+    ST [R19], R20
+    EXIT
+""",
+    name="lud_k3",
+)
+
+
+def _reference_lud(matrix: np.ndarray) -> np.ndarray:
+    """Blocked LU mirroring the kernels' float32 operation order."""
+    m = matrix.copy()
+    one = np.float32(1.0)
+    for k in range(_NB):
+        kb = k * _B
+        # K1 mirror: Doolittle on the diagonal block.
+        tile = m[kb : kb + _B, kb : kb + _B]
+        for i in range(_B - 1):
+            inv = one / tile[i, i]
+            for tx in range(i + 1, _B):
+                lval = tile[tx, i] * inv
+                tile[tx, i] = lval
+                for j in range(i + 1, _B):
+                    tile[tx, j] = tile[tx, j] - (lval * tile[i, j])
+        rem = _NB - k - 1
+        if rem == 0:
+            continue
+        diag = tile
+        for b in range(rem):
+            mb = (k + 1 + b) * _B
+            # K2 mirror, U part: forward substitution per column.
+            u = m[kb : kb + _B, mb : mb + _B]
+            for i in range(1, _B):
+                for j in range(i):
+                    u[i, :] = u[i, :] - (diag[i, j] * u[j, :])
+            # K2 mirror, L part: per row, solve against U with reciprocal.
+            l = m[mb : mb + _B, kb : kb + _B]
+            for j in range(_B):
+                for t in range(j):
+                    l[:, j] = l[:, j] - (l[:, t] * diag[t, j])
+                l[:, j] = l[:, j] * (one / diag[j, j])
+        # K3 mirror: trailing update.
+        for by in range(rem):
+            rb = (k + 1 + by) * _B
+            for bx in range(rem):
+                cb = (k + 1 + bx) * _B
+                acc = m[rb : rb + _B, cb : cb + _B]
+                ltile = m[rb : rb + _B, kb : kb + _B]
+                utile = m[kb : kb + _B, cb : cb + _B]
+                for t in range(_B):
+                    acc[:, :] = acc - (ltile[:, t : t + 1] * utile[t : t + 1, :])
+        # (K3 reads the post-K2 L/U tiles, as on the device.)
+    return m
+
+
+class LUD(GPUApplication):
+    """In-place blocked LU decomposition."""
+
+    name = "lud"
+    kernel_names = ("lud_k1", "lud_k2", "lud_k3")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        m = rng.random((_N, _N), dtype=np.float32) + np.float32(0.1)
+        m += np.eye(_N, dtype=np.float32) * np.float32(float(_N))
+        return {"matrix": m.astype(np.float32)}
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        buf_m = h.upload(gpu, self.inputs["matrix"])
+        for k in range(_NB):
+            h.launch(
+                gpu, _LUD_K1, (1, 1), (_B, 1), [buf_m, _N, k],
+                smem_bytes=4 * _B * _B, name="lud_k1", outputs=(buf_m,),
+            )
+            rem = _NB - k - 1
+            if rem == 0:
+                continue
+            h.launch(
+                gpu, _LUD_K2, (rem, 1), (2 * _B, 1), [buf_m, _N, k],
+                smem_bytes=0x200 + 4 * _B * _B, name="lud_k2", outputs=(buf_m,),
+            )
+            h.launch(
+                gpu, _LUD_K3, (rem, rem), (_B, _B), [buf_m, _N, k],
+                smem_bytes=0x100 + 4 * _B * _B, name="lud_k3", outputs=(buf_m,),
+            )
+        out = h.download(gpu, buf_m, np.float32, _N * _N)
+        return {"matrix": out.reshape(_N, _N)}
+
+    def reference(self):
+        return {"matrix": _reference_lud(self.inputs["matrix"])}

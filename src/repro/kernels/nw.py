@@ -1,0 +1,248 @@
+"""NW — Needleman-Wunsch sequence alignment (Rodinia ``nw``). Two kernels.
+
+The score matrix is processed in 8x8 tiles along anti-diagonals: K1 sweeps
+the upper-left tile diagonals (growing grids), K2 the lower-right ones
+(shrinking grids) — the paper's example of a kernel launched with varying
+grid geometry. Within a tile, 8 threads walk the cell anti-diagonals in
+shared memory with a barrier per wavefront.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_N = 32  # sequence length; matrix is (N+1)^2
+_B = 8  # tile size
+_PENALTY = 10
+_NCOLS = _N + 1
+_NBLOCKS = _N // _B
+
+# smem layout: temp (B+1)x(B+1) ints at byte 0 (stride 9 words),
+#              ref  BxB ints at byte 0x180.
+_SMEM_BYTES = 0x180 + _B * _B * 4
+
+
+def _tile_body() -> str:
+    """Shared tile-processing body; expects tile_x in R2 and tile_y in R3."""
+    return """
+    # tx0/ty0: matrix coordinates of the tile's first column/row
+    SHL R4, R2, 0x3
+    IADD R4, R4, 0x1                 # tx0
+    SHL R5, R3, 0x3
+    IADD R5, R5, 0x1                 # ty0
+
+    # ---- load boundary: top row temp[0][tx+1] = M[ty0-1, tx0+tx]
+    IADD R6, R5, -0x1                # ty0-1
+    IMUL R7, R6, 0x21                # (ty0-1)*33
+    IADD R8, R4, R0                  # tx0+tx
+    IADD R9, R7, R8
+    SHL R9, R9, 0x2
+    IADD R9, R9, c[0x0][0x0]
+    LD R10, [R9]
+    IADD R11, R0, 0x1
+    SHL R12, R11, 0x2                # temp[0][tx+1]
+    STS [R12], R10
+
+    # ---- corner temp[0][0] = M[ty0-1, tx0-1] (thread 0 only)
+    ISETP.EQ P0, R0, RZ
+@P0 IADD R13, R4, -0x1
+@P0 IADD R13, R7, R13
+@P0 SHL R13, R13, 0x2
+@P0 IADD R13, R13, c[0x0][0x0]
+@P0 LD R14, [R13]
+@P0 STS [RZ], R14
+
+    # ---- left column temp[tx+1][0] = M[ty0+tx, tx0-1]
+    IADD R15, R5, R0                 # ty0+tx
+    IMUL R16, R15, 0x21
+    IADD R17, R4, -0x1
+    IADD R16, R16, R17
+    SHL R16, R16, 0x2
+    IADD R16, R16, c[0x0][0x0]
+    LD R18, [R16]
+    IMUL R19, R11, 0x9               # (tx+1)*9
+    SHL R19, R19, 0x2
+    STS [R19], R18
+
+    # ---- reference tile: ref[ty][tx] = R[ty0+ty, tx0+tx] (texture path)
+    MOV R20, 0x0                     # ty
+refload:
+    IADD R21, R5, R20
+    IMUL R22, R21, 0x21
+    IADD R22, R22, R8
+    SHL R22, R22, 0x2
+    IADD R22, R22, c[0x0][0x4]
+    LDT R23, [R22]
+    SHL R24, R20, 0x3
+    IADD R24, R24, R0
+    SHL R24, R24, 0x2
+    IADD R24, R24, 0x180
+    STS [R24], R23
+    IADD R20, R20, 0x1
+    ISETP.LT P1, R20, 0x8
+@P1 BRA refload
+    BAR.SYNC
+
+    # ---- first wavefront: m = 0..B-1, thread tx computes (i,j)=(m-tx+1, tx+1)
+    MOV R25, 0x0                     # m
+wave1:
+    ISETP.GT P2, R0, R25             # tx > m: idle this wavefront
+@P2 BRA wave1sync
+    ISUB R26, R25, R0
+    IADD R26, R26, 0x1               # i
+    IADD R27, R0, 0x1                # j
+    IMAD R28, R26, 0x9, R27          # i*9+j
+    SHL R29, R28, 0x2                # temp[i][j] byte
+    IADD R30, R29, -0x28
+    LDS R31, [R30]                   # temp[i-1][j-1]
+    IMAD R32, R26, 0x8, R27
+    SHL R33, R32, 0x2
+    IADD R33, R33, 0x15c             # ref[i-1][j-1] byte
+    LDS R34, [R33]
+    IADD R31, R31, R34               # nw + ref
+    IADD R35, R29, -0x4
+    LDS R36, [R35]                   # temp[i][j-1]
+    ISUB R36, R36, c[0x0][0xc]
+    IADD R37, R29, -0x24
+    LDS R38, [R37]                   # temp[i-1][j]
+    ISUB R38, R38, c[0x0][0xc]
+    IMNMX.MAX R39, R31, R36
+    IMNMX.MAX R39, R39, R38
+    STS [R29], R39
+wave1sync:
+    BAR.SYNC
+    IADD R25, R25, 0x1
+    ISETP.LT P3, R25, 0x8
+@P3 BRA wave1
+
+    # ---- second wavefront: m = B-2..0, (i,j) = (B-tx, tx+B-m)
+    MOV R25, 0x6                     # m = B-2
+wave2:
+    ISETP.GT P2, R0, R25
+@P2 BRA wave2sync
+    MOV R26, 0x8
+    ISUB R26, R26, R0                # i = B - tx
+    IADD R27, R0, 0x8
+    ISUB R27, R27, R25               # j = tx + B - m
+    IMAD R28, R26, 0x9, R27
+    SHL R29, R28, 0x2
+    IADD R30, R29, -0x28
+    LDS R31, [R30]
+    IMAD R32, R26, 0x8, R27
+    SHL R33, R32, 0x2
+    IADD R33, R33, 0x15c
+    LDS R34, [R33]
+    IADD R31, R31, R34
+    IADD R35, R29, -0x4
+    LDS R36, [R35]
+    ISUB R36, R36, c[0x0][0xc]
+    IADD R37, R29, -0x24
+    LDS R38, [R37]
+    ISUB R38, R38, c[0x0][0xc]
+    IMNMX.MAX R39, R31, R36
+    IMNMX.MAX R39, R39, R38
+    STS [R29], R39
+wave2sync:
+    BAR.SYNC
+    IADD R25, R25, -0x1
+    ISETP.GE P3, R25, RZ
+@P3 BRA wave2
+
+    # ---- write back temp[1..B][1..B] to the matrix
+    MOV R20, 0x0
+wb:
+    IADD R21, R20, 0x1               # i = ty+1
+    IMAD R22, R21, 0x9, R11          # i*9 + (tx+1)
+    SHL R22, R22, 0x2
+    LDS R23, [R22]
+    IADD R24, R5, R20                # ty0+ty
+    IMUL R40, R24, 0x21
+    IADD R40, R40, R8
+    SHL R40, R40, 0x2
+    IADD R40, R40, c[0x0][0x0]
+    ST [R40], R23
+    IADD R20, R20, 0x1
+    ISETP.LT P4, R20, 0x8
+@P4 BRA wb
+    EXIT
+"""
+
+
+_NW_K1 = assemble(
+    """
+    # Upper-left diagonal sweep. params: 0x0=M 0x4=R 0x8=ncols 0xc=penalty
+    #                                    0x10=diag index i
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, R1                       # tile_x = bx
+    MOV R3, c[0x0][0x10]
+    ISUB R3, R3, R1                  # tile_y = i - bx
+"""
+    + _tile_body(),
+    name="nw_k1",
+)
+
+_NW_K2 = assemble(
+    """
+    # Lower-right diagonal sweep. params as K1 but 0x10=offset (nblocks-i),
+    # 0x14 = nblocks-1.
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    IADD R2, R1, c[0x0][0x10]        # tile_x = bx + offset
+    MOV R3, c[0x0][0x14]
+    ISUB R3, R3, R1                  # tile_y = (nblocks-1) - bx
+"""
+    + _tile_body(),
+    name="nw_k2",
+)
+
+
+class NeedlemanWunsch(GPUApplication):
+    """Global sequence alignment score matrix."""
+
+    name = "nw"
+    kernel_names = ("nw_k1", "nw_k2")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        ref = np.zeros((_NCOLS, _NCOLS), dtype=np.int32)
+        ref[1:, 1:] = rng.integers(-6, 7, size=(_N, _N), dtype=np.int32)
+        matrix = np.zeros((_NCOLS, _NCOLS), dtype=np.int32)
+        matrix[0, :] = -np.arange(_NCOLS, dtype=np.int32) * _PENALTY
+        matrix[:, 0] = -np.arange(_NCOLS, dtype=np.int32) * _PENALTY
+        return {"reference": ref, "matrix": matrix}
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_m = h.upload(gpu, inp["matrix"])
+        buf_r = h.upload(gpu, inp["reference"])
+        for i in range(_NBLOCKS):  # growing diagonals: 1..nblocks CTAs
+            h.launch(
+                gpu, _NW_K1, (i + 1, 1), (_B, 1),
+                [buf_m, buf_r, _NCOLS, _PENALTY, i],
+                smem_bytes=_SMEM_BYTES, name="nw_k1", outputs=(buf_m,),
+            )
+        for i in range(_NBLOCKS - 1, 0, -1):  # shrinking diagonals
+            h.launch(
+                gpu, _NW_K2, (i, 1), (_B, 1),
+                [buf_m, buf_r, _NCOLS, _PENALTY, _NBLOCKS - i, _NBLOCKS - 1],
+                smem_bytes=_SMEM_BYTES, name="nw_k2", outputs=(buf_m,),
+            )
+        out = h.download(gpu, buf_m, np.int32, _NCOLS * _NCOLS)
+        return {"matrix": out.reshape(_NCOLS, _NCOLS)}
+
+    def reference(self):
+        inp = self.inputs
+        m = inp["matrix"].astype(np.int64).copy()
+        ref = inp["reference"]
+        for i in range(1, _NCOLS):
+            for j in range(1, _NCOLS):
+                m[i, j] = max(
+                    m[i - 1, j - 1] + ref[i, j],
+                    m[i, j - 1] - _PENALTY,
+                    m[i - 1, j] - _PENALTY,
+                )
+        return {"matrix": m.astype(np.int32)}

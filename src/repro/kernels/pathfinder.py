@@ -1,0 +1,137 @@
+"""PathFinder — grid dynamic programming (Rodinia ``pathfinder``). One kernel.
+
+Each launch advances the DP ``h`` rows (the ghost-zone / pyramid technique):
+a CTA's 64 threads cover its 60-column core plus a 2-column halo on each
+side, iterate ``h`` steps entirely in shared memory with barriers, and only
+the core columns commit results. The wall matrix is read through the
+texture path (read-only data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_ROWS = 8
+_COLS = 120
+_BLOCK = 64
+_PYRAMID = 2  # halo / max steps per launch
+_CORE = _BLOCK - 2 * _PYRAMID  # 60 committed columns per CTA
+
+_PF_K1 = assemble(
+    """
+    # params: 0x0=wall 0x4=src_row 0x8=dst_row 0xc=cols 0x10=base_row
+    #         0x14=h 0x18=core
+    # smem: prev[64] at 0x0, cur[64] at 0x100
+    S2R R0, SR_TID.X                 # tx
+    S2R R1, SR_CTAID.X               # bx
+    MOV R2, c[0x0][0x18]
+    IMUL R2, R2, R1                  # bx*core
+    IADD R2, R2, R0
+    ISUB R2, R2, c[0x0][0x14]        # xc = bx*core + tx - h
+    IMNMX.MAX R3, R2, RZ
+    MOV R4, c[0x0][0xc]
+    IADD R4, R4, -0x1                # cols-1
+    IMNMX.MIN R3, R3, R4             # xclamp
+    SHL R5, R3, 0x2
+    IADD R5, R5, c[0x0][0x4]
+    LD R6, [R5]                      # src[xclamp]
+    SHL R7, R0, 0x2                  # this thread's smem slot
+    STS [R7], R6
+    BAR.SYNC
+    MOV R8, 0x0                      # step k
+steploop:
+    MOV R9, c[0x0][0x10]
+    IADD R9, R9, 0x1
+    IADD R9, R9, R8                  # row = base_row + 1 + k
+    IMAD R10, R9, c[0x0][0xc], R3
+    SHL R10, R10, 0x2
+    IADD R10, R10, c[0x0][0x0]
+    LDT R11, [R10]                   # wall[row, xclamp]
+    IADD R12, R0, -0x1
+    IMNMX.MAX R12, R12, RZ           # left smem index
+    ISETP.LE P0, R2, RZ              # global left boundary -> own column
+@P0 MOV R12, R0
+    IADD R13, R0, 0x1
+    MOV R14, 0x3f
+    IMNMX.MIN R13, R13, R14          # right smem index
+    ISETP.GE P1, R2, R4              # global right boundary -> own column
+@P1 MOV R13, R0
+    SHL R15, R12, 0x2
+    LDS R16, [R15]                   # left
+    LDS R17, [R7]                    # centre
+    SHL R18, R13, 0x2
+    LDS R19, [R18]                   # right
+    IMNMX.MIN R20, R16, R17
+    IMNMX.MIN R20, R20, R19
+    IADD R21, R11, R20               # new value
+    IADD R22, R7, 0x100
+    STS [R22], R21
+    BAR.SYNC
+    LDS R23, [R22]
+    STS [R7], R23                    # prev <- cur
+    BAR.SYNC
+    IADD R8, R8, 0x1
+    ISETP.LT P2, R8, c[0x0][0x14]
+@P2 BRA steploop
+    # Commit only the core columns: h <= tx < h+core and xc < cols.
+    ISETP.GE P3, R0, c[0x0][0x14]
+    MOV R24, c[0x0][0x14]
+    IADD R24, R24, c[0x0][0x18]
+    ISETP.LT P4, R0, R24
+    PSETP.AND P3, P3, P4
+    ISETP.LT P5, R2, c[0x0][0xc]
+    PSETP.AND P3, P3, P5
+@!P3 EXIT
+    SHL R25, R2, 0x2
+    IADD R25, R25, c[0x0][0x8]
+    LDS R26, [R7]
+    ST [R25], R26
+    EXIT
+""",
+    name="pathfinder_k1",
+)
+
+
+class PathFinder(GPUApplication):
+    """Shortest weighted descent through a grid, row by row."""
+
+    name = "pathfinder"
+    kernel_names = ("pathfinder_k1",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "wall": rng.integers(0, 10, size=(_ROWS, _COLS), dtype=np.int32)
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        wall = self.inputs["wall"]
+        buf_wall = h.upload(gpu, wall)
+        buf_a = h.upload(gpu, wall[0].copy())  # DP state = row 0
+        buf_b = h.alloc(gpu, 4 * _COLS)
+        grid = (-(-_COLS // _CORE), 1)
+        src, dst = buf_a, buf_b
+        row = 0
+        while row < _ROWS - 1:
+            steps = min(_PYRAMID, _ROWS - 1 - row)
+            h.launch(
+                gpu, _PF_K1, grid, (_BLOCK, 1),
+                [buf_wall, src, dst, _COLS, row, steps, _CORE],
+                smem_bytes=4 * 2 * _BLOCK,  # prev at 0x0, cur at 0x100
+                name="pathfinder_k1", outputs=(dst,),
+            )
+            src, dst = dst, src
+            row += steps
+        return {"result": h.download(gpu, src, np.int32, _COLS)}
+
+    def reference(self):
+        wall = self.inputs["wall"]
+        dp = wall[0].astype(np.int32).copy()
+        for r in range(1, _ROWS):
+            left = np.concatenate(([dp[0]], dp[:-1]))
+            right = np.concatenate((dp[1:], [dp[-1]]))
+            dp = wall[r] + np.minimum(np.minimum(left, dp), right)
+        return {"result": dp}

@@ -1,0 +1,57 @@
+"""Registry of the paper's 11 benchmark applications (23 kernels).
+
+Applications register lazily so importing the registry stays cheap; kernel
+programs are assembled at first module import.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.kernels.base import GPUApplication
+
+#: app name -> (module, class name). Order matches the paper's figures.
+_APPS: dict[str, tuple[str, str]] = {
+    "sradv1": ("repro.kernels.srad_v1", "SradV1"),
+    "sradv2": ("repro.kernels.srad_v2", "SradV2"),
+    "kmeans": ("repro.kernels.kmeans", "KMeans"),
+    "hotspot": ("repro.kernels.hotspot", "HotSpot"),
+    "lud": ("repro.kernels.lud", "LUD"),
+    "scp": ("repro.kernels.scp", "ScalarProd"),
+    "va": ("repro.kernels.vectoradd", "VectorAdd"),
+    "nw": ("repro.kernels.nw", "NeedlemanWunsch"),
+    "pathfinder": ("repro.kernels.pathfinder", "PathFinder"),
+    "backprop": ("repro.kernels.backprop", "BackProp"),
+    "bfs": ("repro.kernels.bfs", "BFS"),
+}
+
+
+def application_names() -> list[str]:
+    """All application ids, in the paper's presentation order."""
+    return list(_APPS)
+
+
+def get_application(name: str, seed: int = 2024) -> GPUApplication:
+    """Instantiate one benchmark application by id."""
+    try:
+        module_name, class_name = _APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {', '.join(_APPS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return getattr(module, class_name)(seed=seed)
+
+
+def all_applications(seed: int = 2024) -> list[GPUApplication]:
+    """Instantiate the full suite."""
+    return [get_application(name, seed) for name in _APPS]
+
+
+def kernel_index(seed: int = 2024) -> list[tuple[str, str]]:
+    """Flat list of (app name, kernel name) over the whole suite (23 kernels)."""
+    pairs: list[tuple[str, str]] = []
+    for app in all_applications(seed):
+        for kernel in app.kernel_names:
+            pairs.append((app.name, kernel))
+    return pairs

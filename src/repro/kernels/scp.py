@@ -1,0 +1,96 @@
+"""SCP — scalar products of vector pairs (CUDA SDK ``scalarProd``).
+
+One CTA per vector pair: each thread multiplies one element pair into
+shared memory, a barrier-synchronised tree reduction folds the products and
+thread 0 stores the dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_PAIRS = 4
+_ELEMS = 64  # == block size; one element per thread
+
+_SCP_K1 = assemble(
+    """
+    # out[pair] = dot(A[pair], B[pair]) via shared-memory tree reduction
+    # params: 0x0=A 0x4=B 0x8=out
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R1, R2, R0          # element index
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x0]
+    IADD R6, R4, c[0x0][0x4]
+    LD R7, [R5]
+    LD R8, [R6]
+    FMUL R9, R7, R8
+    SHL R10, R0, 0x2             # smem byte offset of this thread
+    STS [R10], R9
+    BAR.SYNC
+    MOV R11, 0x20                # stride s = 32
+reduce:
+    ISETP.GE P0, R0, R11
+@!P0 SHL R12, R11, 0x2
+@!P0 IADD R13, R10, R12
+@!P0 LDS R14, [R13]
+@!P0 LDS R15, [R10]
+@!P0 FADD R15, R15, R14
+@!P0 STS [R10], R15
+    BAR.SYNC
+    SHR R11, R11, 0x1
+    ISETP.GE P1, R11, 0x1
+@P1 BRA reduce
+    ISETP.NE P2, R0, RZ
+@P2 EXIT
+    LDS R16, [R10]
+    SHL R17, R1, 0x2
+    IADD R18, R17, c[0x0][0x8]
+    ST [R18], R16
+    EXIT
+""",
+    name="scp_k1",
+)
+
+
+class ScalarProd(GPUApplication):
+    """Batch of dot products with shared-memory reduction."""
+
+    name = "scp"
+    kernel_names = ("scp_k1",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        shape = (_PAIRS, _ELEMS)
+        return {
+            "a": rng.standard_normal(shape, dtype=np.float32),
+            "b": rng.standard_normal(shape, dtype=np.float32),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_a = h.upload(gpu, inp["a"])
+        buf_b = h.upload(gpu, inp["b"])
+        buf_out = h.alloc(gpu, 4 * _PAIRS)
+        h.launch(
+            gpu, _SCP_K1, (_PAIRS, 1), (_ELEMS, 1),
+            [buf_a, buf_b, buf_out],
+            smem_bytes=4 * _ELEMS,
+            name="scp_k1", outputs=(buf_out,),
+        )
+        return {"dot": h.download(gpu, buf_out, np.float32, _PAIRS)}
+
+    def reference(self):
+        inp = self.inputs
+        partial = inp["a"] * inp["b"]  # float32, one product per thread
+        # Mirror the tree reduction order exactly (s = 32, 16, ..., 1).
+        acc = partial.copy()
+        s = _ELEMS // 2
+        while s >= 1:
+            acc[:, :s] = acc[:, :s] + acc[:, s : 2 * s]
+            s //= 2
+        return {"dot": acc[:, 0].copy()}

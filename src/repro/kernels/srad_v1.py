@@ -1,0 +1,455 @@
+"""SRADv1 — speckle-reducing anisotropic diffusion (Rodinia ``srad_v1``).
+
+Six kernels, matching Rodinia's decomposition:
+
+* K1 ``sradv1_k1`` (extract): I = exp(I/255)
+* K2 ``sradv1_k2`` (prepare): sums = I, sums2 = I*I
+* K3 ``sradv1_k3`` (reduce): per-block tree reduction of sums/sums2
+* K4 ``sradv1_k4`` (srad): diffusion coefficient + directional derivatives
+* K5 ``sradv1_k5`` (srad2): divergence update of the image
+* K6 ``sradv1_k6`` (compress): I = log(I)*255
+
+The host finishes the reduction (float32), derives ``q0sqr`` per iteration,
+and feeds it to K4. Neighbour index arrays (iN/iS/jW/jE, clamped at the
+borders) are read through the texture path, as is Rodinia custom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_ROWS = 16
+_COLS = 16
+_SIZE = _ROWS * _COLS
+_BLOCK = 64
+_NBLOCKS = _SIZE // _BLOCK
+_ITERS = 2
+_LAMBDA = np.float32(0.5)
+_LAM4 = np.float32(0.25) * _LAMBDA
+
+_INV255 = np.float32(1.0 / 255.0)
+_LOG2E = np.float32(1.4426950408889634)
+_LN2_255 = np.float32(0.6931471805599453 * 255.0)
+_LOG2COLS = 4
+_COLSMASK = _COLS - 1
+
+_K1 = assemble(
+    """
+    # I[i] = exp(I[i]/255) == exp2((I[i]*inv255)*log2e)
+    # params: 0x0=I 0x4=n 0x8=inv255 0xc=log2e
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0x4]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R4, R4, c[0x0][0x0]
+    LD R5, [R4]
+    FMUL R5, R5, c[0x0][0x8]
+    FMUL R5, R5, c[0x0][0xc]
+    MUFU.EX2 R5, R5
+    ST [R4], R5
+    EXIT
+""",
+    name="sradv1_k1",
+)
+
+_K2 = assemble(
+    """
+    # sums[i] = I[i]; sums2[i] = I[i]*I[i]
+    # params: 0x0=I 0x4=sums 0x8=sums2 0xc=n
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0xc]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x0]
+    LD R6, [R5]
+    IADD R7, R4, c[0x0][0x4]
+    ST [R7], R6
+    FMUL R8, R6, R6
+    IADD R9, R4, c[0x0][0x8]
+    ST [R9], R8
+    EXIT
+""",
+    name="sradv1_k2",
+)
+
+_K3 = assemble(
+    """
+    # per-block tree reduction of sums and sums2 -> psum[bx], psum2[bx]
+    # params: 0x0=sums 0x4=sums2 0x8=psum 0xc=psum2
+    # smem: s1[64] at 0x0, s2[64] at 0x100
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R1, R2, R0
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x0]
+    LD R6, [R5]
+    IADD R7, R4, c[0x0][0x4]
+    LD R8, [R7]
+    SHL R9, R0, 0x2
+    STS [R9], R6
+    IADD R10, R9, 0x100
+    STS [R10], R8
+    BAR.SYNC
+    MOV R11, 0x20
+fold:
+    ISETP.GE P0, R0, R11
+@!P0 SHL R12, R11, 0x2
+@!P0 IADD R13, R9, R12
+@!P0 LDS R14, [R13]
+@!P0 LDS R15, [R9]
+@!P0 FADD R15, R15, R14
+@!P0 STS [R9], R15
+@!P0 IADD R16, R10, R12
+@!P0 LDS R17, [R16]
+@!P0 LDS R18, [R10]
+@!P0 FADD R18, R18, R17
+@!P0 STS [R10], R18
+    BAR.SYNC
+    SHR R11, R11, 0x1
+    ISETP.GE P1, R11, 0x1
+@P1 BRA fold
+    ISETP.NE P2, R0, RZ
+@P2 EXIT
+    LDS R19, [R9]
+    LDS R20, [R10]
+    SHL R21, R1, 0x2
+    IADD R22, R21, c[0x0][0x8]
+    ST [R22], R19
+    IADD R23, R21, c[0x0][0xc]
+    ST [R23], R20
+    EXIT
+""",
+    name="sradv1_k3",
+)
+
+_K4 = assemble(
+    """
+    # diffusion coefficient + directional derivatives
+    # params: 0x0=I 0x4=dN 0x8=dS 0xc=dW 0x10=dE 0x14=c 0x18=iN 0x1c=iS
+    #         0x20=jW 0x24=jE 0x28=cols 0x2c=n 0x30=q0sqr 0x34=log2cols
+    #         0x38=colsmask
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1              # i
+    ISETP.GE P0, R3, c[0x0][0x2c]
+@P0 EXIT
+    SHR R4, R3, c[0x0][0x34]         # row
+    AND R5, R3, c[0x0][0x38]         # col
+    SHL R6, R3, 0x2
+    IADD R7, R6, c[0x0][0x0]
+    LD R8, [R7]                      # Jc
+    # north
+    SHL R9, R4, 0x2
+    IADD R10, R9, c[0x0][0x18]
+    LDT R11, [R10]                   # iN[row]
+    IMAD R12, R11, c[0x0][0x28], R5
+    SHL R12, R12, 0x2
+    IADD R12, R12, c[0x0][0x0]
+    LD R13, [R12]
+    FSUB R13, R13, R8                # dN
+    # south
+    IADD R14, R9, c[0x0][0x1c]
+    LDT R15, [R14]
+    IMAD R16, R15, c[0x0][0x28], R5
+    SHL R16, R16, 0x2
+    IADD R16, R16, c[0x0][0x0]
+    LD R17, [R16]
+    FSUB R17, R17, R8                # dS
+    # west
+    SHL R18, R5, 0x2
+    IADD R19, R18, c[0x0][0x20]
+    LDT R20, [R19]
+    IMAD R21, R4, c[0x0][0x28], R20
+    SHL R21, R21, 0x2
+    IADD R21, R21, c[0x0][0x0]
+    LD R22, [R21]
+    FSUB R22, R22, R8                # dW
+    # east
+    IADD R23, R18, c[0x0][0x24]
+    LDT R24, [R23]
+    IMAD R25, R4, c[0x0][0x28], R24
+    SHL R25, R25, 0x2
+    IADD R25, R25, c[0x0][0x0]
+    LD R26, [R25]
+    FSUB R26, R26, R8                # dE
+    # G2 = (dN^2+dS^2+dW^2+dE^2) / Jc^2
+    FMUL R27, R13, R13
+    FMUL R28, R17, R17
+    FADD R27, R27, R28
+    FMUL R29, R22, R22
+    FADD R27, R27, R29
+    FMUL R30, R26, R26
+    FADD R27, R27, R30
+    MUFU.RCP R31, R8
+    FMUL R32, R31, R31
+    FMUL R27, R27, R32               # G2
+    # L = (dN+dS+dW+dE)/Jc
+    FADD R33, R13, R17
+    FADD R33, R33, R22
+    FADD R33, R33, R26
+    FMUL R33, R33, R31               # L
+    # num = 0.5*G2 - (1/16)*L^2 ; den = 1 + 0.25*L ; qsqr = num/den^2
+    FMUL R34, R27, 0f3f000000
+    FMUL R35, R33, R33
+    FMUL R36, R35, 0f3d800000
+    FSUB R34, R34, R36               # num
+    FMUL R37, R33, 0f3e800000
+    FADD R37, R37, 0f3f800000        # den
+    FMUL R38, R37, R37
+    MUFU.RCP R39, R38
+    FMUL R40, R34, R39               # qsqr
+    # c = 1 / (1 + (qsqr - q0sqr)/(q0sqr*(1+q0sqr)))
+    FSUB R41, R40, c[0x0][0x30]
+    MOV R42, c[0x0][0x30]
+    FADD R43, R42, 0f3f800000
+    FMUL R43, R42, R43
+    MUFU.RCP R44, R43
+    FMUL R45, R41, R44
+    FADD R45, R45, 0f3f800000
+    MUFU.RCP R46, R45
+    FMNMX.MIN R46, R46, 0f3f800000
+    FMNMX.MAX R46, R46, 0f00000000
+    # stores
+    IADD R47, R6, c[0x0][0x14]
+    ST [R47], R46
+    IADD R48, R6, c[0x0][0x4]
+    ST [R48], R13
+    IADD R49, R6, c[0x0][0x8]
+    ST [R49], R17
+    IADD R50, R6, c[0x0][0xc]
+    ST [R50], R22
+    IADD R51, R6, c[0x0][0x10]
+    ST [R51], R26
+    EXIT
+""",
+    name="sradv1_k4",
+)
+
+_K5 = assemble(
+    """
+    # divergence update: I += lam4 * (cN*dN + cS*dS + cW*dW + cE*dE)
+    # params: 0x0=I 0x4=dN 0x8=dS 0xc=dW 0x10=dE 0x14=c 0x18=iS 0x1c=jE
+    #         0x20=cols 0x24=n 0x28=lam4 0x2c=log2cols 0x30=colsmask
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0x24]
+@P0 EXIT
+    SHR R4, R3, c[0x0][0x2c]
+    AND R5, R3, c[0x0][0x30]
+    SHL R6, R3, 0x2
+    IADD R7, R6, c[0x0][0x14]
+    LD R8, [R7]                      # cN = cW = c[i]
+    SHL R9, R4, 0x2
+    IADD R9, R9, c[0x0][0x18]
+    LDT R10, [R9]                    # iS[row]
+    IMAD R11, R10, c[0x0][0x20], R5
+    SHL R11, R11, 0x2
+    IADD R11, R11, c[0x0][0x14]
+    LD R12, [R11]                    # cS
+    SHL R13, R5, 0x2
+    IADD R13, R13, c[0x0][0x1c]
+    LDT R14, [R13]                   # jE[col]
+    IMAD R15, R4, c[0x0][0x20], R14
+    SHL R15, R15, 0x2
+    IADD R15, R15, c[0x0][0x14]
+    LD R16, [R15]                    # cE
+    IADD R17, R6, c[0x0][0x4]
+    LD R18, [R17]                    # dN
+    IADD R19, R6, c[0x0][0x8]
+    LD R20, [R19]                    # dS
+    IADD R21, R6, c[0x0][0xc]
+    LD R22, [R21]                    # dW
+    IADD R23, R6, c[0x0][0x10]
+    LD R24, [R23]                    # dE
+    FMUL R25, R8, R18
+    FMUL R26, R12, R20
+    FADD R25, R25, R26
+    FMUL R27, R8, R22
+    FADD R25, R25, R27
+    FMUL R28, R16, R24
+    FADD R25, R25, R28               # D
+    FMUL R25, R25, c[0x0][0x28]
+    IADD R29, R6, c[0x0][0x0]
+    LD R30, [R29]
+    FADD R30, R30, R25
+    ST [R29], R30
+    EXIT
+""",
+    name="sradv1_k5",
+)
+
+_K6 = assemble(
+    """
+    # I[i] = log(I[i])*255 == log2(I[i]) * (ln2*255)
+    # params: 0x0=I 0x4=n 0x8=ln2_255
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0x4]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R4, R4, c[0x0][0x0]
+    LD R5, [R4]
+    MUFU.LG2 R5, R5
+    FMUL R5, R5, c[0x0][0x8]
+    ST [R4], R5
+    EXIT
+""",
+    name="sradv1_k6",
+)
+
+
+def _tree_sum_blocks(values: np.ndarray) -> np.ndarray:
+    """Mirror K3: per-64-element-block tree reduction, float32."""
+    acc = values.reshape(_NBLOCKS, _BLOCK).copy()
+    s = _BLOCK // 2
+    while s >= 1:
+        acc[:, :s] = acc[:, :s] + acc[:, s : 2 * s]
+        s //= 2
+    return acc[:, 0].copy()
+
+
+def _host_q0sqr(psum: np.ndarray, psum2: np.ndarray) -> np.float32:
+    """Host-side statistics shared by run() and reference() (float32)."""
+    total = np.float32(0.0)
+    total2 = np.float32(0.0)
+    for b in range(_NBLOCKS):
+        total = total + psum[b]
+        total2 = total2 + psum2[b]
+    size = np.float32(_SIZE)
+    mean = total / size
+    var = total2 / size - mean * mean
+    return np.float32(var / (mean * mean))
+
+
+def _neighbor_tables():
+    i_n = np.maximum(np.arange(_ROWS, dtype=np.int32) - 1, 0)
+    i_s = np.minimum(np.arange(_ROWS, dtype=np.int32) + 1, _ROWS - 1)
+    j_w = np.maximum(np.arange(_COLS, dtype=np.int32) - 1, 0)
+    j_e = np.minimum(np.arange(_COLS, dtype=np.int32) + 1, _COLS - 1)
+    return i_n, i_s, j_w, j_e
+
+
+def _k4_mirror(img: np.ndarray, q0sqr: np.float32):
+    """Vectorised float32 mirror of K4 over the flattened image."""
+    i_n, i_s, j_w, j_e = _neighbor_tables()
+    grid = img.reshape(_ROWS, _COLS)
+    jc = grid
+    d_n = grid[i_n][:, np.arange(_COLS)] - jc
+    d_s = grid[i_s][:, np.arange(_COLS)] - jc
+    d_w = grid[:, j_w] - jc
+    d_e = grid[:, j_e] - jc
+    g2 = ((d_n * d_n + d_s * d_s) + d_w * d_w) + d_e * d_e
+    rjc = np.float32(1.0) / jc
+    g2 = g2 * (rjc * rjc)
+    l = ((d_n + d_s) + d_w) + d_e
+    l = l * rjc
+    num = g2 * np.float32(0.5) - (l * l) * np.float32(0.0625)
+    den = l * np.float32(0.25) + np.float32(1.0)
+    qsqr = num * (np.float32(1.0) / (den * den))
+    t = qsqr - q0sqr
+    denom = q0sqr * (q0sqr + np.float32(1.0))
+    cval = np.float32(1.0) / (t * (np.float32(1.0) / denom) + np.float32(1.0))
+    cval = np.fmax(np.fmin(cval, np.float32(1.0)), np.float32(0.0))
+    return cval, d_n, d_s, d_w, d_e
+
+
+def _k5_mirror(img, cmat, d_n, d_s, d_w, d_e):
+    i_n, i_s, j_w, j_e = _neighbor_tables()
+    c_n = cmat
+    c_s = cmat[i_s][:, np.arange(_COLS)]
+    c_w = cmat
+    c_e = cmat[:, j_e]
+    div = ((c_n * d_n + c_s * d_s) + c_w * d_w) + c_e * d_e
+    return img + (div * _LAM4).reshape(-1)
+
+
+class SradV1(GPUApplication):
+    """Speckle-reducing anisotropic diffusion, unsliced variant."""
+
+    name = "sradv1"
+    kernel_names = (
+        "sradv1_k1", "sradv1_k2", "sradv1_k3",
+        "sradv1_k4", "sradv1_k5", "sradv1_k6",
+    )
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "image": (rng.random(_SIZE, dtype=np.float32) * np.float32(255.0))
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        img = self.inputs["image"]
+        i_n, i_s, j_w, j_e = _neighbor_tables()
+        buf_i = h.upload(gpu, img)
+        buf_dn = h.alloc(gpu, 4 * _SIZE)
+        buf_ds = h.alloc(gpu, 4 * _SIZE)
+        buf_dw = h.alloc(gpu, 4 * _SIZE)
+        buf_de = h.alloc(gpu, 4 * _SIZE)
+        buf_c = h.alloc(gpu, 4 * _SIZE)
+        buf_sums = h.alloc(gpu, 4 * _SIZE)
+        buf_sums2 = h.alloc(gpu, 4 * _SIZE)
+        buf_ps = h.alloc(gpu, 4 * _NBLOCKS)
+        buf_ps2 = h.alloc(gpu, 4 * _NBLOCKS)
+        buf_in = h.upload(gpu, i_n)
+        buf_is = h.upload(gpu, i_s)
+        buf_jw = h.upload(gpu, j_w)
+        buf_je = h.upload(gpu, j_e)
+        grid = (_NBLOCKS, 1)
+        block = (_BLOCK, 1)
+
+        h.launch(gpu, _K1, grid, block, [buf_i, _SIZE, _INV255, _LOG2E],
+                 name="sradv1_k1", outputs=(buf_i,))
+        for _ in range(_ITERS):
+            h.launch(gpu, _K2, grid, block, [buf_i, buf_sums, buf_sums2, _SIZE],
+                     name="sradv1_k2", outputs=(buf_sums, buf_sums2))
+            h.launch(gpu, _K3, grid, block,
+                     [buf_sums, buf_sums2, buf_ps, buf_ps2],
+                     smem_bytes=0x100 + 4 * _BLOCK,
+                     name="sradv1_k3", outputs=(buf_ps, buf_ps2))
+            psum = h.download(gpu, buf_ps, np.float32, _NBLOCKS)
+            psum2 = h.download(gpu, buf_ps2, np.float32, _NBLOCKS)
+            q0sqr = _host_q0sqr(psum, psum2)
+            h.launch(gpu, _K4, grid, block,
+                     [buf_i, buf_dn, buf_ds, buf_dw, buf_de, buf_c,
+                      buf_in, buf_is, buf_jw, buf_je, _COLS, _SIZE,
+                      q0sqr, _LOG2COLS, _COLSMASK],
+                     name="sradv1_k4",
+                     outputs=(buf_c, buf_dn, buf_ds, buf_dw, buf_de))
+            h.launch(gpu, _K5, grid, block,
+                     [buf_i, buf_dn, buf_ds, buf_dw, buf_de, buf_c,
+                      buf_is, buf_je, _COLS, _SIZE, _LAM4,
+                      _LOG2COLS, _COLSMASK],
+                     name="sradv1_k5", outputs=(buf_i,))
+        h.launch(gpu, _K6, grid, block, [buf_i, _SIZE, _LN2_255],
+                 name="sradv1_k6", outputs=(buf_i,))
+        return {"image": h.download(gpu, buf_i, np.float32, _SIZE)}
+
+    def reference(self):
+        img = self.inputs["image"].copy()
+        img = np.exp2((img * _INV255) * _LOG2E)  # K1 mirror
+        for _ in range(_ITERS):
+            sums = img.copy()  # K2 mirror
+            sums2 = img * img
+            psum = _tree_sum_blocks(sums)  # K3 mirror
+            psum2 = _tree_sum_blocks(sums2)
+            q0sqr = _host_q0sqr(psum, psum2)
+            cval, d_n, d_s, d_w, d_e = _k4_mirror(img, q0sqr)
+            img = _k5_mirror(img, cval, d_n, d_s, d_w, d_e)
+        img = np.log2(img) * _LN2_255  # K6 mirror
+        return {"image": img.astype(np.float32)}

@@ -1,0 +1,285 @@
+"""SRADv2 — tiled speckle-reducing anisotropic diffusion (Rodinia ``srad_v2``).
+
+Two kernels, both operating on 8x8 shared-memory tiles:
+
+* K1 ``sradv2_k1``: stages the image tile in shared memory, forms the four
+  directional derivatives (tile reads where possible, global reads at tile
+  edges, replicated values at image borders) and the diffusion coefficient.
+* K2 ``sradv2_k2``: stages the coefficient tile and applies the divergence
+  update to the image.
+
+Image extraction/compression and the per-iteration ``q0sqr`` statistics run
+on the host (as in Rodinia's v2 driver), shared bit-for-bit with the NumPy
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.srad_v1 import _k4_mirror, _k5_mirror
+
+_ROWS = 16
+_COLS = 16
+_TILE = 8
+_SIZE = _ROWS * _COLS
+_ITERS = 2
+_LAMBDA = np.float32(0.5)
+_LAM4 = np.float32(0.25) * _LAMBDA
+_INV255 = np.float32(1.0 / 255.0)
+_LOG2E = np.float32(1.4426950408889634)
+_LN2_255 = np.float32(0.6931471805599453 * 255.0)
+
+# 2D prologue + tile staging shared by both kernels (image or c matrix from
+# param 0x0; width at 0x18, height at 0x1c).
+_PROLOGUE = """
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    S2R R4, SR_NTID.X
+    IMAD R5, R2, R4, R0              # gx
+    S2R R6, SR_NTID.Y
+    IMAD R7, R3, R6, R1              # gy
+    IMAD R8, R7, c[0x0][0x18], R5    # idx
+    SHL R9, R8, 0x2
+    IADD R10, R9, c[0x0][0x0]
+    LD R11, [R10]                    # centre value
+    IMAD R14, R1, R4, R0
+    SHL R15, R14, 0x2
+    STS [R15], R11
+    BAR.SYNC
+"""
+
+_SRADV2_K1 = assemble(
+    _PROLOGUE
+    + """
+    # params: 0x0=I 0x4=dN 0x8=dS 0xc=dW 0x10=dE 0x14=c 0x18=cols 0x1c=rows
+    #         0x20=q0sqr
+    # ---- north neighbour -> R16
+    MOV R16, R11
+    ISETP.GE P0, R1, 0x1
+@P0 IADD R17, R15, -0x20
+@P0 LDS R16, [R17]
+    ISETP.GE P1, R7, 0x1
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 MOV R18, c[0x0][0x18]
+@P2 SHL R18, R18, 0x2
+@P2 ISUB R19, R10, R18
+@P2 LD R16, [R19]
+    # ---- south neighbour -> R20
+    MOV R20, R11
+    IADD R22, R6, -0x1
+    ISETP.LT P0, R1, R22
+@P0 IADD R17, R15, 0x20
+@P0 LDS R20, [R17]
+    MOV R23, c[0x0][0x1c]
+    IADD R23, R23, -0x1
+    ISETP.LT P1, R7, R23
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 MOV R18, c[0x0][0x18]
+@P2 SHL R18, R18, 0x2
+@P2 IADD R19, R10, R18
+@P2 LD R20, [R19]
+    # ---- west neighbour -> R24
+    MOV R24, R11
+    ISETP.GE P0, R0, 0x1
+@P0 IADD R17, R15, -0x4
+@P0 LDS R24, [R17]
+    ISETP.GE P1, R5, 0x1
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 IADD R19, R10, -0x4
+@P2 LD R24, [R19]
+    # ---- east neighbour -> R25
+    MOV R25, R11
+    IADD R26, R4, -0x1
+    ISETP.LT P0, R0, R26
+@P0 IADD R17, R15, 0x4
+@P0 LDS R25, [R17]
+    MOV R27, c[0x0][0x18]
+    IADD R27, R27, -0x1
+    ISETP.LT P1, R5, R27
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 IADD R19, R10, 0x4
+@P2 LD R25, [R19]
+    # ---- derivatives
+    FSUB R30, R16, R11               # dN
+    FSUB R31, R20, R11               # dS
+    FSUB R32, R24, R11               # dW
+    FSUB R33, R25, R11               # dE
+    # ---- G2 and L
+    FMUL R34, R30, R30
+    FMUL R35, R31, R31
+    FADD R34, R34, R35
+    FMUL R35, R32, R32
+    FADD R34, R34, R35
+    FMUL R35, R33, R33
+    FADD R34, R34, R35
+    MUFU.RCP R36, R11
+    FMUL R37, R36, R36
+    FMUL R34, R34, R37               # G2
+    FADD R38, R30, R31
+    FADD R38, R38, R32
+    FADD R38, R38, R33
+    FMUL R38, R38, R36               # L
+    # ---- q and the coefficient
+    FMUL R39, R34, 0f3f000000
+    FMUL R40, R38, R38
+    FMUL R41, R40, 0f3d800000
+    FSUB R39, R39, R41               # num
+    FMUL R42, R38, 0f3e800000
+    FADD R42, R42, 0f3f800000        # den
+    FMUL R43, R42, R42
+    MUFU.RCP R44, R43
+    FMUL R45, R39, R44               # qsqr
+    FSUB R46, R45, c[0x0][0x20]
+    MOV R47, c[0x0][0x20]
+    FADD R48, R47, 0f3f800000
+    FMUL R48, R47, R48
+    MUFU.RCP R49, R48
+    FMUL R50, R46, R49
+    FADD R50, R50, 0f3f800000
+    MUFU.RCP R51, R50
+    FMNMX.MIN R51, R51, 0f3f800000
+    FMNMX.MAX R51, R51, 0f00000000
+    # ---- stores
+    IADD R52, R9, c[0x0][0x14]
+    ST [R52], R51
+    IADD R52, R9, c[0x0][0x4]
+    ST [R52], R30
+    IADD R52, R9, c[0x0][0x8]
+    ST [R52], R31
+    IADD R52, R9, c[0x0][0xc]
+    ST [R52], R32
+    IADD R52, R9, c[0x0][0x10]
+    ST [R52], R33
+    EXIT
+""",
+    name="sradv2_k1",
+)
+
+_SRADV2_K2 = assemble(
+    _PROLOGUE
+    + """
+    # params: 0x0=c 0x4=dN 0x8=dS 0xc=dW 0x10=dE 0x14=I 0x18=cols 0x1c=rows
+    #         0x20=lam4
+    # R11 = cc (this pixel's coefficient). cN = cW = cc.
+    # ---- south coefficient -> R16
+    MOV R16, R11
+    IADD R17, R6, -0x1
+    ISETP.LT P0, R1, R17
+@P0 IADD R18, R15, 0x20
+@P0 LDS R16, [R18]
+    MOV R19, c[0x0][0x1c]
+    IADD R19, R19, -0x1
+    ISETP.LT P1, R7, R19
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 MOV R20, c[0x0][0x18]
+@P2 SHL R20, R20, 0x2
+@P2 IADD R21, R10, R20
+@P2 LD R16, [R21]
+    # ---- east coefficient -> R22
+    MOV R22, R11
+    IADD R23, R4, -0x1
+    ISETP.LT P0, R0, R23
+@P0 IADD R18, R15, 0x4
+@P0 LDS R22, [R18]
+    MOV R24, c[0x0][0x18]
+    IADD R24, R24, -0x1
+    ISETP.LT P1, R5, R24
+    PSETP.NOT P2, P0
+    PSETP.AND P2, P2, P1
+@P2 IADD R21, R10, 0x4
+@P2 LD R22, [R21]
+    # ---- derivatives from global
+    IADD R25, R9, c[0x0][0x4]
+    LD R26, [R25]                    # dN
+    IADD R25, R9, c[0x0][0x8]
+    LD R27, [R25]                    # dS
+    IADD R25, R9, c[0x0][0xc]
+    LD R28, [R25]                    # dW
+    IADD R25, R9, c[0x0][0x10]
+    LD R29, [R25]                    # dE
+    # ---- divergence and update
+    FMUL R30, R11, R26
+    FMUL R31, R16, R27
+    FADD R30, R30, R31
+    FMUL R32, R11, R28
+    FADD R30, R30, R32
+    FMUL R33, R22, R29
+    FADD R30, R30, R33
+    FMUL R30, R30, c[0x0][0x20]
+    IADD R34, R9, c[0x0][0x14]
+    LD R35, [R34]
+    FADD R35, R35, R30
+    ST [R34], R35
+    EXIT
+""",
+    name="sradv2_k2",
+)
+
+
+def _image_stats_q0sqr(img: np.ndarray) -> np.float32:
+    """Host statistics of the current image (shared with the reference)."""
+    total = np.add.reduce(img.ravel(), dtype=np.float32)
+    total2 = np.add.reduce((img * img).ravel(), dtype=np.float32)
+    size = np.float32(img.size)
+    mean = total / size
+    var = total2 / size - mean * mean
+    return np.float32(var / (mean * mean))
+
+
+class SradV2(GPUApplication):
+    """Speckle-reducing anisotropic diffusion, shared-memory tiled variant."""
+
+    name = "sradv2"
+    kernel_names = ("sradv2_k1", "sradv2_k2")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "image": (rng.random(_SIZE, dtype=np.float32) * np.float32(255.0))
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        img = np.exp2((self.inputs["image"] * _INV255) * _LOG2E)  # host extract
+        buf_i = h.upload(gpu, img)
+        buf_dn = h.alloc(gpu, 4 * _SIZE)
+        buf_ds = h.alloc(gpu, 4 * _SIZE)
+        buf_dw = h.alloc(gpu, 4 * _SIZE)
+        buf_de = h.alloc(gpu, 4 * _SIZE)
+        buf_c = h.alloc(gpu, 4 * _SIZE)
+        grid = (_COLS // _TILE, _ROWS // _TILE)
+        block = (_TILE, _TILE)
+        for _ in range(_ITERS):
+            current = h.download(gpu, buf_i, np.float32, _SIZE)
+            q0sqr = _image_stats_q0sqr(current)
+            h.launch(gpu, _SRADV2_K1, grid, block,
+                     [buf_i, buf_dn, buf_ds, buf_dw, buf_de, buf_c,
+                      _COLS, _ROWS, q0sqr],
+                     smem_bytes=4 * _TILE * _TILE,
+                     name="sradv2_k1",
+                     outputs=(buf_c, buf_dn, buf_ds, buf_dw, buf_de))
+            h.launch(gpu, _SRADV2_K2, grid, block,
+                     [buf_c, buf_dn, buf_ds, buf_dw, buf_de, buf_i,
+                      _COLS, _ROWS, _LAM4],
+                     smem_bytes=4 * _TILE * _TILE,
+                     name="sradv2_k2", outputs=(buf_i,))
+        out = h.download(gpu, buf_i, np.float32, _SIZE)
+        out = (np.log2(out) * _LN2_255).astype(np.float32)  # host compress
+        return {"image": out}
+
+    def reference(self):
+        img = np.exp2((self.inputs["image"] * _INV255) * _LOG2E)
+        for _ in range(_ITERS):
+            q0sqr = _image_stats_q0sqr(img)
+            cval, d_n, d_s, d_w, d_e = _k4_mirror(img, q0sqr)
+            img = _k5_mirror(img, cval, d_n, d_s, d_w, d_e)
+        return {"image": (np.log2(img) * _LN2_255).astype(np.float32)}

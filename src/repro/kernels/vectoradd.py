@@ -1,0 +1,65 @@
+"""VA — vector addition (CUDA SDK ``vectorAdd``). One kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+
+_N = 192
+_BLOCK = 64
+
+_VA_K1 = assemble(
+    """
+    # C[i] = A[i] + B[i]
+    # params: 0x0=A 0x4=B 0x8=C 0xc=n
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0xc]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x0]
+    IADD R6, R4, c[0x0][0x4]
+    IADD R7, R4, c[0x0][0x8]
+    LD R8, [R5]
+    LD R9, [R6]
+    FADD R10, R8, R9
+    ST [R7], R10
+    EXIT
+""",
+    name="va_k1",
+)
+
+
+class VectorAdd(GPUApplication):
+    """Element-wise float vector addition."""
+
+    name = "va"
+    kernel_names = ("va_k1",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "a": rng.random(_N, dtype=np.float32),
+            "b": rng.random(_N, dtype=np.float32),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_a = h.upload(gpu, inp["a"])
+        buf_b = h.upload(gpu, inp["b"])
+        buf_c = h.alloc(gpu, 4 * _N)
+        grid = (-(-_N // _BLOCK), 1)
+        h.launch(
+            gpu, _VA_K1, grid, (_BLOCK, 1),
+            [buf_a, buf_b, buf_c, _N],
+            name="va_k1", outputs=(buf_c,),
+        )
+        return {"c": h.download(gpu, buf_c, np.float32, _N)}
+
+    def reference(self):
+        inp = self.inputs
+        return {"c": inp["a"] + inp["b"]}

@@ -1,0 +1,14 @@
+"""Microarchitecture-level GPU simulator.
+
+A from-scratch SIMT simulator playing the role GPGPU-Sim 4.0 plays in the
+paper: it executes assembled kernels on a modelled GPU with per-SM register
+files, shared memory, L1 data/texture caches and a shared write-back L2 —
+all holding *real data bytes*, so a flipped bit anywhere in the hierarchy
+propagates (or is masked) exactly the way the paper's cross-layer analysis
+requires.
+"""
+
+from repro.sim.gpu import GPU, Buffer, KernelLaunch, LaunchRecord
+from repro.sim.stats import LaunchStats
+
+__all__ = ["GPU", "Buffer", "KernelLaunch", "LaunchRecord", "LaunchStats"]

@@ -1,0 +1,302 @@
+"""Set-associative cache model with real data storage.
+
+Every line stores its actual data bytes, so microarchitecture-level fault
+injection can flip any bit of the data array — valid or not — and the flip
+propagates to subsequent loads, is silently discarded when a clean line is
+evicted (hardware masking, Section V-B of the paper), or reaches DRAM when a
+dirty line is written back (the paper's software-invisible SDC mechanism).
+
+The timing side models fills in flight: an access to a line whose fill has
+not yet completed is a *pending hit*; a miss that finds all MSHR entries
+occupied is a *reservation fail* — both are counters Figure 3 correlates
+with vulnerability trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import CacheGeometry
+from repro.sim.stats import CacheStats
+
+
+class DRAMInterface:
+    """Adapter between the last-level cache and :class:`GlobalMemory`."""
+
+    def __init__(self, memory, latency: int, stats_ref):
+        self.memory = memory
+        self.latency = latency
+        self.stats = stats_ref  # LaunchStats; swapped per launch
+
+    def read_line(self, line_addr: int, line_bytes: int, now: int):
+        if self.stats is not None:
+            self.stats.memory_read_bytes += line_bytes
+        return self.memory.read_line(line_addr, line_bytes), self.latency
+
+    def write_line(self, line_addr: int, payload: np.ndarray) -> None:
+        if self.stats is not None:
+            self.stats.memory_write_bytes += payload.size
+        self.memory.write_line(line_addr, payload)
+
+
+class Cache:
+    """One cache instance (an SM's L1D/L1T, or the chip-shared L2)."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        hit_latency: int,
+        below,
+        write_back: bool,
+    ):
+        self.name = name
+        self.geo = geometry
+        self.hit_latency = hit_latency
+        self.below = below  # Cache or DRAMInterface
+        self.write_back = write_back
+        self.stats = CacheStats()
+
+        n, lb = geometry.num_lines, geometry.line_bytes
+        self.data = np.zeros((n, lb), dtype=np.uint8)
+        self.tags = np.full(n, -1, dtype=np.int64)
+        self.valid = np.zeros(n, dtype=bool)
+        self.dirty = np.zeros(n, dtype=bool)
+        self.lru = np.zeros(n, dtype=np.int64)
+        self.fill_done = np.zeros(n, dtype=np.int64)
+        self._lru_clock = 0
+        self._fills_in_flight: list[int] = []
+        # Hot-path copies of the geometry (avoid property lookups).
+        self._line_bytes = geometry.line_bytes
+        self._num_sets = geometry.num_sets
+        self._assoc = geometry.assoc
+
+    # ------------------------------------------------------------------ #
+    # Lookup helpers
+    # ------------------------------------------------------------------ #
+    def _set_range(self, line_addr: int) -> tuple[int, int]:
+        set_idx = (line_addr // self._line_bytes) % self._num_sets
+        start = set_idx * self._assoc
+        return start, start + self._assoc
+
+    def _find(self, line_addr: int) -> int | None:
+        start, end = self._set_range(line_addr)
+        for way in range(start, end):
+            if self.valid[way] and self.tags[way] == line_addr:
+                return way
+        return None
+
+    def _touch(self, way: int) -> None:
+        self._lru_clock += 1
+        self.lru[way] = self._lru_clock
+
+    def _prune_fills(self, now: int) -> None:
+        if self._fills_in_flight:
+            self._fills_in_flight = [c for c in self._fills_in_flight if c > now]
+
+    def _victim(self, line_addr: int) -> int:
+        start, end = self._set_range(line_addr)
+        for way in range(start, end):
+            if not self.valid[way]:
+                return way
+        ways = range(start, end)
+        return min(ways, key=lambda w: self.lru[w])
+
+    def _evict(self, way: int) -> None:
+        if self.valid[way]:
+            self.stats.evictions += 1
+            if self.write_back and self.dirty[way]:
+                self.stats.writebacks += 1
+                self.below.write_line(int(self.tags[way]), self.data[way].copy())
+        self.valid[way] = False
+        self.dirty[way] = False
+        self.tags[way] = -1
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def read_line(self, line_addr: int, line_bytes: int, now: int):
+        """Return ``(line_bytes_view, latency)`` for one line-sized request.
+
+        ``line_bytes`` must equal this cache's line size; the parameter keeps
+        the interface uniform with :class:`DRAMInterface`.
+        """
+        assert line_bytes == self.geo.line_bytes
+        self.stats.accesses += 1
+        way = self._find(line_addr)
+        if way is not None:
+            self._touch(way)
+            if self.fill_done[way] > now:
+                # Fill still in flight: pending (secondary) hit.
+                self.stats.pending_hits += 1
+                return self.data[way], int(self.fill_done[way] - now) + 1
+            self.stats.hits += 1
+            return self.data[way], self.hit_latency
+
+        # Miss.
+        self.stats.misses += 1
+        self._prune_fills(now)
+        extra = 0
+        if len(self._fills_in_flight) >= self.geo.mshr_entries:
+            # No MSHR available: the request stalls until the oldest
+            # outstanding fill retires, then is replayed.
+            self.stats.reservation_fails += 1
+            oldest = min(self._fills_in_flight)
+            extra = max(0, oldest - now)
+        payload, below_latency = self.below.read_line(line_addr, line_bytes, now)
+        latency = self.hit_latency + below_latency + extra
+        way = self._victim(line_addr)
+        self._evict(way)
+        self.data[way] = payload
+        self.tags[way] = line_addr
+        self.valid[way] = True
+        self.dirty[way] = False
+        self.fill_done[way] = now + latency
+        self._touch(way)
+        self._fills_in_flight.append(now + latency)
+        return self.data[way], latency
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def write_word(self, addr: int, word: int, now: int) -> int:
+        """Write one 32-bit word; returns the latency charged to the warp.
+
+        Write-back caches allocate on write; write-through caches update a
+        present line (keeping it coherent) and forward the word below.
+        """
+        line_addr = addr - addr % self.geo.line_bytes
+        offset = addr - line_addr
+        self.stats.accesses += 1
+        way = self._find(line_addr)
+        if self.write_back:
+            if way is None:
+                self.stats.misses += 1
+                payload, below_latency = self.below.read_line(
+                    line_addr, self.geo.line_bytes, now
+                )
+                way = self._victim(line_addr)
+                self._evict(way)
+                self.data[way] = payload
+                self.tags[way] = line_addr
+                self.valid[way] = True
+                self.fill_done[way] = now + below_latency
+                latency = self.hit_latency + below_latency
+            else:
+                self.stats.hits += 1
+                latency = self.hit_latency
+            self._touch(way)
+            self.data[way, offset : offset + 4] = np.frombuffer(
+                int(word & 0xFFFFFFFF).to_bytes(4, "little"), dtype=np.uint8
+            )
+            self.dirty[way] = True
+            return latency
+
+        # Write-through (L1): update in place if present, always forward.
+        if way is not None:
+            self.stats.hits += 1
+            self._touch(way)
+            self.data[way, offset : offset + 4] = np.frombuffer(
+                int(word & 0xFFFFFFFF).to_bytes(4, "little"), dtype=np.uint8
+            )
+        else:
+            self.stats.misses += 1
+        below_latency = self.below.write_word(addr, word, now)
+        return self.hit_latency + below_latency
+
+    def write_words_line(
+        self, line_addr: int, offsets: np.ndarray, values: np.ndarray, now: int
+    ) -> int:
+        """Coalesced store of several words into one line (write-back caches).
+
+        ``offsets`` are byte offsets within the line; later entries win on
+        conflicts (deterministic lane ordering). Counts one cache access per
+        line request, like coalesced hardware transactions.
+        """
+        assert self.write_back
+        self.stats.accesses += 1
+        way = self._find(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            payload, below_latency = self.below.read_line(
+                line_addr, self.geo.line_bytes, now
+            )
+            way = self._victim(line_addr)
+            self._evict(way)
+            self.data[way] = payload
+            self.tags[way] = line_addr
+            self.valid[way] = True
+            self.fill_done[way] = now + below_latency
+            latency = self.hit_latency + below_latency
+        else:
+            self.stats.hits += 1
+            latency = self.hit_latency
+        self._touch(way)
+        words = self.data[way].view("<u4")
+        words[offsets >> 2] = values
+        self.dirty[way] = True
+        return latency
+
+    def update_words_if_present(
+        self, line_addr: int, offsets: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Write-through coherence update (L1): patch the line if resident.
+
+        Counts an access (hit or miss) but never allocates — the L1s are
+        write-through/no-write-allocate, as on Volta.
+        """
+        assert not self.write_back
+        self.stats.accesses += 1
+        way = self._find(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            return
+        self.stats.hits += 1
+        self._touch(way)
+        words = self.data[way].view("<u4")
+        words[offsets >> 2] = values
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Write every dirty line below (keeps lines valid)."""
+        if self.write_back:
+            for way in np.nonzero(self.valid & self.dirty)[0]:
+                self.stats.writebacks += 1
+                self.below.write_line(int(self.tags[way]), self.data[way].copy())
+                self.dirty[way] = False
+
+    def invalidate_all(self) -> None:
+        """Drop every line without writeback (caller flushes first if needed)."""
+        self.valid[:] = False
+        self.dirty[:] = False
+        self.tags[:] = -1
+        self.fill_done[:] = 0
+        self._fills_in_flight.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def new_clock_epoch(self) -> None:
+        """Forget in-flight fill timing (the launch clock restarts at 0).
+
+        Without this, ``fill_done`` timestamps from a previous launch would
+        read as fills still in flight under the new launch's clock and turn
+        warm hits into huge pending-hit latencies.
+        """
+        self.fill_done[:] = 0
+        self._fills_in_flight.clear()
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bits(self) -> int:
+        return self.geo.size_bytes * 8
+
+    def flip_bit(self, bit_index: int) -> None:
+        """Flip one bit of the data array (any line, valid or not)."""
+        from repro.utils.bitops import flip_bit_in_bytes
+
+        flip_bit_in_bytes(self.data, bit_index)

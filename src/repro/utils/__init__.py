@@ -1,0 +1,32 @@
+"""Shared low-level helpers: bit manipulation, RNG plumbing, statistics."""
+
+from repro.utils.bitops import (
+    bitcast_f2u,
+    bitcast_u2f,
+    flip_bit_in_bytes,
+    flip_bit_u32,
+    get_bit_u32,
+    popcount_u32,
+)
+from repro.utils.rng import derive_rng, spawn_seeds
+from repro.utils.stats import (
+    margin_of_error,
+    proportion_ci,
+    required_trials,
+    weighted_mean,
+)
+
+__all__ = [
+    "bitcast_f2u",
+    "bitcast_u2f",
+    "flip_bit_in_bytes",
+    "flip_bit_u32",
+    "get_bit_u32",
+    "popcount_u32",
+    "derive_rng",
+    "spawn_seeds",
+    "margin_of_error",
+    "proportion_ci",
+    "required_trials",
+    "weighted_mean",
+]

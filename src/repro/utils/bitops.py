@@ -1,0 +1,77 @@
+"""Bit-level helpers used by the simulator and both fault injectors.
+
+All simulated machine words are 32-bit. Values are carried as Python ints in
+``[0, 2**32)`` or as ``numpy.uint32`` arrays; floats cross into the bit domain
+only through the explicit bitcasts below, so a single-bit flip is exact and
+reversible regardless of the architectural type of the datum.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+U32_MASK = 0xFFFFFFFF
+WORD_BITS = 32
+
+
+def bitcast_f2u(value: float) -> int:
+    """Reinterpret a Python float as the bits of an IEEE-754 binary32 word."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bitcast_u2f(word: int) -> float:
+    """Reinterpret a 32-bit word as an IEEE-754 binary32 value."""
+    return struct.unpack("<f", struct.pack("<I", word & U32_MASK))[0]
+
+
+def flip_bit_u32(word: int, bit: int) -> int:
+    """Flip bit ``bit`` (0 = LSB) of a 32-bit word."""
+    if not 0 <= bit < WORD_BITS:
+        raise ValueError(f"bit index {bit} outside [0, {WORD_BITS})")
+    return (word ^ (1 << bit)) & U32_MASK
+
+
+def get_bit_u32(word: int, bit: int) -> int:
+    """Return bit ``bit`` (0 = LSB) of a 32-bit word."""
+    if not 0 <= bit < WORD_BITS:
+        raise ValueError(f"bit index {bit} outside [0, {WORD_BITS})")
+    return (word >> bit) & 1
+
+
+def popcount_u32(word: int) -> int:
+    """Number of set bits in a 32-bit word."""
+    return int(word & U32_MASK).bit_count()
+
+
+def flip_bit_in_bytes(buf: np.ndarray, bit_index: int) -> None:
+    """Flip one bit of a ``uint8`` array in place.
+
+    ``bit_index`` addresses the flat bit space of the buffer: byte
+    ``bit_index // 8``, bit ``bit_index % 8`` within that byte. This is the
+    primitive the microarchitecture-level injector uses against cache data
+    arrays, shared memory, and DRAM-resident buffers.
+    """
+    if buf.dtype != np.uint8:
+        raise TypeError(f"expected uint8 buffer, got {buf.dtype}")
+    nbits = buf.size * 8
+    if not 0 <= bit_index < nbits:
+        raise ValueError(f"bit index {bit_index} outside [0, {nbits})")
+    byte, bit = divmod(bit_index, 8)
+    flat = buf.reshape(-1)
+    flat[byte] ^= np.uint8(1 << bit)
+
+
+def bytes_to_words(buf: np.ndarray) -> np.ndarray:
+    """View a uint8 buffer (length multiple of 4) as little-endian uint32."""
+    if buf.dtype != np.uint8:
+        raise TypeError(f"expected uint8 buffer, got {buf.dtype}")
+    if buf.size % 4:
+        raise ValueError("buffer length must be a multiple of 4")
+    return buf.view("<u4")
+
+
+def words_to_bytes(words: np.ndarray) -> np.ndarray:
+    """View a uint32 array as its little-endian byte representation."""
+    return np.ascontiguousarray(words, dtype="<u4").view(np.uint8)

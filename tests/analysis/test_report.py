@@ -1,0 +1,40 @@
+from repro.analysis.control_path import control_path_rate, control_path_rate_merged
+from repro.analysis.report import bar, format_table, stacked_row
+from repro.fi.avf import VulnBreakdown
+from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import OutcomeCounts
+
+
+def test_format_table_aligned():
+    text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(l) for l in lines)) == 1  # all rows equal width
+
+
+def test_bar_bounds():
+    assert bar(0.0) == "." * 30
+    assert bar(1.0) == "#" * 30
+    assert bar(2.0) == "#" * 30
+    assert len(bar(0.5)) == 30
+
+
+def test_stacked_row_contains_classes():
+    row = stacked_row("k", VulnBreakdown(sdc=0.5, timeout=0.25, due=0.25), 1.0)
+    assert "s" in row and "t" in row and "d" in row
+    assert "total=100.000%" in row
+
+
+def _result(trials, cp):
+    return CampaignResult(
+        app_name="a", kernel="k", injector="uarch", structure="rf",
+        trials=trials, seed=0, config_name="c",
+        counts=OutcomeCounts(masked=trials), control_path_masked=cp,
+    )
+
+
+def test_control_path_rates():
+    assert control_path_rate(_result(100, 25)) == 0.25
+    assert control_path_rate(_result(0, 0)) == 0.0
+    merged = control_path_rate_merged([_result(100, 25), _result(100, 75)])
+    assert merged == 0.5

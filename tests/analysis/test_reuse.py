@@ -1,0 +1,72 @@
+import numpy as np
+
+from repro.analysis.reuse import (
+    RegisterReuseAnalyzer,
+    TraceRecorder,
+    affected_instructions,
+)
+from repro.arch.config import quadro_gv100_like
+from repro.isa import assemble
+from repro.kernels import get_application
+from repro.sim import GPU
+
+
+def test_affected_instructions_until_rewrite():
+    prog = assemble(
+        """
+        MOV R1, 0x1      # 0: write R1
+        IADD R2, R1, R1  # 1: reads R1
+        IADD R3, R1, 0x2 # 2: reads R1
+        MOV R1, 0x5      # 3: rewrites R1 (stop)
+        IADD R4, R1, R3  # 4: reads the NEW R1 -> not affected
+        EXIT
+    """
+    )
+    assert affected_instructions(prog, 0, 1) == [1, 2]
+
+
+def test_affected_instructions_stop_at_branch():
+    prog = assemble(
+        """
+        MOV R1, 0x1
+        BRA end
+        IADD R2, R1, R1
+    end:
+        EXIT
+    """
+    )
+    assert affected_instructions(prog, 0, 1) == []
+
+
+def test_trace_recorder_counts_reads():
+    prog = assemble(
+        """
+        S2R R0, SR_TID.X
+        IADD R1, R0, 0x1
+        IADD R2, R1, R1
+        IADD R3, R1, 0x2
+        SHL R4, R0, 0x2
+        IADD R4, R4, c[0x0][0x0]
+        ST [R4], R3
+        EXIT
+    """,
+        name="t",
+    )
+    gpu = GPU(quadro_gv100_like())
+    recorder = TraceRecorder()
+    gpu.tracer = recorder
+    out = gpu.malloc(4 * 32)
+    gpu.launch(prog, (1, 1), (32, 1), [out])
+    recorder.finish()
+    # Instruction 1 writes R1, read by instructions 2 and 3 -> 2 reads.
+    assert recorder.reads_per_write[1] == [2]
+    assert recorder.dynamic_instructions > 0
+
+
+def test_analyzer_over_application():
+    analyzer = RegisterReuseAnalyzer(quadro_gv100_like())
+    report = analyzer.analyze(get_application("va"))
+    assert report.mean_reads_per_write > 0
+    assert 0.0 <= report.fraction_multi_read <= 1.0
+    assert 0.0 <= report.fraction_dead_write <= 1.0
+    assert report.per_instruction

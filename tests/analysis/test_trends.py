@@ -1,0 +1,57 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.trends import compare_trends
+
+
+def test_identical_metrics_all_consistent():
+    m = {"a": 1.0, "b": 2.0, "c": 3.0}
+    cmp = compare_trends(m, m)
+    assert cmp.consistent == 3 and cmp.opposite == 0
+
+
+def test_reversed_metrics_all_opposite():
+    a = {"a": 1.0, "b": 2.0, "c": 3.0}
+    b = {"a": 3.0, "b": 2.0, "c": 1.0}
+    cmp = compare_trends(a, b)
+    assert cmp.opposite == 3
+    assert cmp.opposite_fraction == 1.0
+
+
+def test_tie_counts_as_consistent():
+    a = {"a": 1.0, "b": 1.0}
+    b = {"a": 0.0, "b": 5.0}
+    assert compare_trends(a, b).consistent == 1
+
+
+def test_pair_count_is_n_choose_2():
+    m = {f"k{i}": float(i) for i in range(23)}
+    cmp = compare_trends(m, m)
+    assert cmp.total == 253  # the paper's kernel-pair count
+
+
+def test_key_mismatch_rejected():
+    with pytest.raises(ValueError):
+        compare_trends({"a": 1.0}, {"b": 1.0})
+
+
+def test_opposite_pairs_reported():
+    a = {"x": 1.0, "y": 2.0}
+    b = {"x": 2.0, "y": 1.0}
+    cmp = compare_trends(a, b)
+    assert cmp.opposite_pairs == [("x", "y")]
+
+
+@given(st.dictionaries(st.sampled_from("abcdefgh"), st.floats(0, 1),
+                       min_size=2, max_size=8))
+def test_partition_property(metric):
+    cmp = compare_trends(metric, metric)
+    n = len(metric)
+    assert cmp.total == n * (n - 1) // 2
+    assert cmp.opposite == 0
+
+
+def test_row_rendering():
+    cmp = compare_trends({"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 1.0})
+    assert "100%" in cmp.row()

@@ -1,0 +1,43 @@
+import pytest
+
+from repro.analysis.utilization import FIG3_METRICS, kernel_metrics, normalized_pair
+from repro.arch.config import quadro_gv100_like
+from repro.fi.campaign import profile_app
+from repro.kernels import get_application
+
+
+def test_normalized_pair_sums_to_100():
+    a, b = normalized_pair(3.0, 1.0)
+    assert a + b == pytest.approx(100.0)
+    assert a == pytest.approx(75.0)
+
+
+def test_normalized_pair_zero_total():
+    assert normalized_pair(0.0, 0.0) == (50.0, 50.0)
+
+
+def test_kernel_metrics_cover_fig3():
+    config = quadro_gv100_like()
+    profile = profile_app(get_application("hotspot"), config)
+    metrics = kernel_metrics(profile, "hotspot_k1", config)
+    for key in FIG3_METRICS:
+        assert key in metrics, key
+    assert metrics["l1d_accesses"] > 0
+    assert 0 <= metrics["l1d_miss_rate"] <= 1
+    assert 0 < metrics["occupancy"] <= 1
+    assert 0 < metrics["rf_derating"] <= 1
+    assert metrics["shared_instructions"] > 0  # hotspot tiles in smem
+
+
+def test_kernel_metrics_unknown_kernel():
+    config = quadro_gv100_like()
+    profile = profile_app(get_application("va"), config)
+    with pytest.raises(ValueError):
+        kernel_metrics(profile, "nope", config)
+
+
+def test_smem_derating_zero_for_no_smem_kernel():
+    config = quadro_gv100_like()
+    profile = profile_app(get_application("va"), config)
+    metrics = kernel_metrics(profile, "va_k1", config)
+    assert metrics["smem_derating"] == 0.0

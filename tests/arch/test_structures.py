@@ -1,0 +1,43 @@
+from repro.arch import Structure, quadro_gv100_like, structure_bits, structure_inventory
+from repro.arch.structures import CACHE_STRUCTURES
+
+
+def test_inventory_covers_all_structures():
+    config = quadro_gv100_like()
+    inv = structure_inventory(config)
+    assert set(inv) == set(Structure)
+    assert all(bits > 0 for bits in inv.values())
+
+
+def test_register_file_dominates():
+    """RF is the largest structure, as on real Volta — it drives chip AVF."""
+    config = quadro_gv100_like()
+    inv = structure_inventory(config)
+    assert inv[Structure.RF] == max(inv.values())
+
+
+def test_per_sm_scaling():
+    config = quadro_gv100_like()
+    assert structure_bits(Structure.RF, config) == (
+        config.rf_bytes_per_sm * 8 * config.num_sms
+    )
+    assert structure_bits(Structure.L2, config) == config.l2.size_bytes * 8
+
+
+def test_derating_flags():
+    assert Structure.RF.uses_derating
+    assert Structure.SMEM.uses_derating
+    assert not Structure.L1D.uses_derating
+    assert not Structure.L2.uses_derating
+
+
+def test_cache_group():
+    assert Structure.L1D in CACHE_STRUCTURES
+    assert Structure.L1T in CACHE_STRUCTURES
+    assert Structure.L2 in CACHE_STRUCTURES
+    assert Structure.RF not in CACHE_STRUCTURES
+
+
+def test_per_sm_property():
+    assert Structure.RF.per_sm
+    assert not Structure.L2.per_sm

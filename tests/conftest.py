@@ -1,0 +1,24 @@
+"""Shared fixtures: isolate campaign caches and keep trial counts small."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import quadro_gv100_like, tesla_v100_like
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    """Point the campaign cache at a throwaway directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+@pytest.fixture()
+def gv100():
+    return quadro_gv100_like()
+
+
+@pytest.fixture()
+def v100():
+    return tesla_v100_like()

@@ -1,0 +1,101 @@
+"""Aggregation logic of the experiments layer, on synthetic campaign data."""
+
+import pytest
+
+from repro.arch.structures import Structure
+from repro.experiments.common import (
+    APP_ORDER,
+    KernelData,
+    SuiteData,
+    app_label,
+    hardened_trials,
+    kernel_label,
+)
+from repro.fi.avf import VulnBreakdown
+from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import OutcomeCounts
+
+
+def fake_result(app, kernel, injector, structure=None, cycles=100, instrs=50):
+    return CampaignResult(
+        app_name=app, kernel=kernel, injector=injector,
+        structure=structure.value if structure else None,
+        trials=10, seed=0, config_name="c",
+        counts=OutcomeCounts(masked=10),
+        kernel_cycles=cycles, kernel_instructions=instrs,
+    )
+
+
+def fake_kernel(app, kernel, avf_total, svf_total, cycles=100, instrs=50):
+    data = KernelData(
+        app_name=app, kernel=kernel,
+        uarch={s: fake_result(app, kernel, "uarch", s, cycles, instrs)
+               for s in Structure},
+        sw=fake_result(app, kernel, "sw", None, cycles, instrs),
+    )
+    data.avf = VulnBreakdown(sdc=avf_total)
+    data.svf = VulnBreakdown(sdc=svf_total)
+    data.avf_rf = VulnBreakdown(sdc=avf_total)
+    data.avf_cache = VulnBreakdown(sdc=avf_total / 2)
+    data.svf_ld = VulnBreakdown(sdc=svf_total / 2)
+    return data
+
+
+def make_suite():
+    kernels = {
+        ("hotspot", "hotspot_k1"): fake_kernel("hotspot", "hotspot_k1",
+                                               0.04, 0.60, cycles=300),
+        ("lud", "lud_k1"): fake_kernel("lud", "lud_k1", 0.01, 0.90,
+                                       cycles=100, instrs=10),
+        ("lud", "lud_k2"): fake_kernel("lud", "lud_k2", 0.03, 0.50,
+                                       cycles=300, instrs=30),
+    }
+    return SuiteData(kernels=kernels, hardened=False)
+
+
+def test_kernel_order_follows_paper():
+    suite = make_suite()
+    order = suite.kernel_order()
+    # hotspot precedes lud in APP_ORDER.
+    assert order[0][0] == "hotspot"
+    assert order[1:] == [("lud", "lud_k1"), ("lud", "lud_k2")]
+
+
+def test_app_avf_cycle_weighted():
+    suite = make_suite()
+    avf = suite.app_avf()
+    # lud: (0.01*100 + 0.03*300) / 400
+    assert avf["lud"].total == pytest.approx((0.01 * 100 + 0.03 * 300) / 400)
+    assert avf["hotspot"].total == pytest.approx(0.04)
+
+
+def test_app_svf_instruction_weighted():
+    suite = make_suite()
+    svf = suite.app_svf()
+    assert svf["lud"].total == pytest.approx((0.90 * 10 + 0.50 * 30) / 40)
+
+
+def test_app_breakdown_dispatch():
+    suite = make_suite()
+    rf = suite.app_breakdown("avf_rf")
+    ld = suite.app_breakdown("svf_ld")
+    assert rf["hotspot"].total == pytest.approx(0.04)
+    assert ld["hotspot"].total == pytest.approx(0.30)
+
+
+def test_labels():
+    assert kernel_label("sradv1", "sradv1_k4") == "SRADv1 K4"
+    assert kernel_label("kmeans", "kmeans_k2") == "K-Means K2"
+    assert app_label("backprop") == "BackProp"
+
+
+def test_app_order_covers_suite():
+    assert len(APP_ORDER) == 11
+
+
+def test_hardened_trials_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TRIALS_HARDENED", "12")
+    assert hardened_trials() == 12
+    monkeypatch.delenv("REPRO_TRIALS_HARDENED")
+    monkeypatch.setenv("REPRO_TRIALS", "64")
+    assert hardened_trials() == 40

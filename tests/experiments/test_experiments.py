@@ -1,0 +1,121 @@
+"""Experiment drivers: end-to-end smoke with tiny campaigns in a temp cache.
+
+These run every driver with very small trial counts — validating plumbing,
+report rendering and the qualitative invariants that hold at any n.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_app_avf_svf,
+    fig2_kernel_avf_svf,
+    fig3_utilization,
+    fig4_avf_rf,
+    fig5_avf_cache_svf_ld,
+    fig12_register_reuse,
+    table1_trends,
+)
+from repro.experiments.common import (
+    APP_ORDER,
+    app_label,
+    collect_suite,
+    kernel_label,
+)
+
+TINY = 6
+
+
+@pytest.fixture(scope="module")
+def shared_cache(tmp_path_factory):
+    import os
+
+    cache = tmp_path_factory.mktemp("cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    yield cache
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+def test_collect_suite_covers_everything(shared_cache):
+    suite = collect_suite(hardened=False, trials=TINY, with_ld=True)
+    assert len(suite.kernels) == 23
+    assert len(suite.app_avf()) == 11
+    assert len(suite.app_svf()) == 11
+    for data in suite.kernels.values():
+        assert len(data.uarch) == 5
+        assert data.sw.counts.total == TINY
+        assert data.cycles > 0
+        assert data.instructions > 0
+
+
+def test_avf_well_below_svf_on_average(shared_cache):
+    """The paper's scale observation: hardware masking makes absolute AVF
+    values much smaller than SVF values."""
+    suite = collect_suite(hardened=False, trials=TINY, with_ld=False)
+    avf = sum(b.total for b in suite.app_avf().values())
+    svf = sum(b.total for b in suite.app_svf().values())
+    assert avf < svf
+
+
+def test_fig1_report(shared_cache):
+    text = fig1_app_avf_svf.run(trials=TINY)
+    assert "Figure 1" in text
+    for app in APP_ORDER:
+        assert app_label(app) in text
+
+
+def test_fig2_report(shared_cache):
+    text = fig2_kernel_avf_svf.run(trials=TINY)
+    assert kernel_label("sradv1", "sradv1_k4") in text
+    assert kernel_label("bfs", "bfs_k2") in text
+
+
+def test_table1_report(shared_cache):
+    rows = table1_trends.data(trials=TINY)
+    assert rows["Application-Level"].total == 55
+    assert rows["Kernel-Level"].total == 253
+    assert rows["AVF-RF vs. SVF"].total == 55
+    assert rows["AVF-Cache vs. SVF-LD"].total == 55
+    text = table1_trends.run(trials=TINY)
+    assert "Opposite Trend" in text
+
+
+def test_fig3_report(shared_cache):
+    series = fig3_utilization.data(trials=TINY)
+    assert set(series) == {"3a", "3b", "3c"}
+    for _, _, metrics in series.values():
+        for a, b in metrics.values():
+            assert a + b == pytest.approx(100.0)
+    assert "HotSpot K1" in fig3_utilization.run(trials=TINY)
+
+
+def test_fig4_fig5_reports(shared_cache):
+    assert "AVF-RF" in fig4_avf_rf.run(trials=TINY)
+    assert "SVF-LD" in fig5_avf_cache_svf_ld.run(trials=TINY)
+
+
+def test_fig12_report(shared_cache):
+    text = fig12_register_reuse.run()
+    assert "affected ->" in text
+    assert "mean reads/write" in text
+
+
+@pytest.mark.slow
+def test_hardened_suite_and_fig7_to_fig11(shared_cache):
+    from repro.experiments import (
+        fig7_hardened,
+        fig8_sdc_hardening,
+        fig9_timeout_due,
+        fig10_component_breakdown,
+        fig11_control_path,
+    )
+
+    text = fig7_hardened.run(trials=TINY, trials_hardened=4)
+    assert "TMR" in text
+    assert "SDC" in fig8_sdc_hardening.run(trials=TINY, trials_hardened=4)
+    assert "DUE" in fig9_timeout_due.run(trials=TINY, trials_hardened=4)
+    assert "RF" in fig10_component_breakdown.run(trials=TINY, trials_hardened=4)
+    assert "control-path" in fig11_control_path.run(trials=TINY, trials_hardened=4)

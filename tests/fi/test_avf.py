@@ -1,0 +1,109 @@
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.arch.structures import Structure, structure_bits
+from repro.fi.avf import (
+    VulnBreakdown,
+    avf_of_application,
+    avf_of_cache_group,
+    avf_of_chip,
+    avf_of_structure,
+    derating_factor,
+)
+from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import OutcomeCounts
+
+
+def make_result(structure, masked=50, sdc=30, timeout=10, due=10, df=0.5,
+                injector="uarch"):
+    return CampaignResult(
+        app_name="a", kernel="k", injector=injector,
+        structure=structure.value if structure else None,
+        trials=masked + sdc + timeout + due, seed=0, config_name="c",
+        counts=OutcomeCounts(masked, sdc, timeout, due),
+        derating_factor=df, kernel_cycles=100, kernel_instructions=100,
+    )
+
+
+def test_avf_of_structure_applies_derating():
+    r = make_result(Structure.RF, df=0.5)
+    b = avf_of_structure(r)
+    assert b.sdc == pytest.approx(0.30 * 0.5)
+    assert b.timeout == pytest.approx(0.10 * 0.5)
+    assert b.due == pytest.approx(0.10 * 0.5)
+    assert b.total == pytest.approx(0.50 * 0.5)
+
+
+def test_avf_of_structure_rejects_sw():
+    with pytest.raises(ValueError):
+        avf_of_structure(make_result(None, injector="sw"))
+
+
+def test_chip_avf_is_size_weighted():
+    config = quadro_gv100_like()
+    per = {s: make_result(s, df=1.0) for s in Structure}
+    # All structures equal FR -> chip AVF equals that FR.
+    chip = avf_of_chip(per, config)
+    assert chip.total == pytest.approx(0.5)
+    # Now zero out everything except RF; chip AVF = RF share * FR.
+    per = {s: make_result(s, masked=100, sdc=0, timeout=0, due=0, df=1.0)
+           for s in Structure}
+    per[Structure.RF] = make_result(Structure.RF, df=1.0)
+    chip = avf_of_chip(per, config)
+    total_bits = sum(structure_bits(s, config) for s in Structure)
+    rf_share = structure_bits(Structure.RF, config) / total_bits
+    assert chip.total == pytest.approx(0.5 * rf_share)
+
+
+def test_cache_group_excludes_rf_smem():
+    config = quadro_gv100_like()
+    per = {s: make_result(s, df=1.0) for s in Structure}
+    per[Structure.RF] = make_result(Structure.RF, masked=0, sdc=100,
+                                    timeout=0, due=0, df=1.0)
+    cache = avf_of_cache_group(per, config)
+    assert cache.total == pytest.approx(0.5)  # RF's 100% SDC must not leak in
+
+
+def test_app_avf_cycle_weighted():
+    k1 = VulnBreakdown(sdc=0.1)
+    k2 = VulnBreakdown(sdc=0.3)
+    app = avf_of_application({"k1": k1, "k2": k2}, {"k1": 100, "k2": 300})
+    assert app.sdc == pytest.approx(0.1 * 0.25 + 0.3 * 0.75)
+
+
+def test_derating_factor_rf():
+    config = quadro_gv100_like()
+    launches = [{
+        "cycles": 100, "regs_per_thread": 16, "threads": 256,
+        "smem_bytes_per_cta": 0, "ctas": 4,
+    }]
+    df = derating_factor(Structure.RF, launches, config)
+    expected = 16 * 32 * 256 / (config.rf_bytes_per_sm * 8 * config.num_sms)
+    assert df == pytest.approx(expected)
+
+
+def test_derating_factor_smem_and_caches():
+    config = quadro_gv100_like()
+    launches = [{
+        "cycles": 100, "regs_per_thread": 16, "threads": 256,
+        "smem_bytes_per_cta": 1024, "ctas": 4,
+    }]
+    df = derating_factor(Structure.SMEM, launches, config)
+    expected = 1024 * 8 * 4 / (config.smem_bytes_per_sm * 8 * config.num_sms)
+    assert df == pytest.approx(expected)
+    assert derating_factor(Structure.L1D, launches, config) == 1.0
+    assert derating_factor(Structure.L2, launches, config) == 1.0
+
+
+def test_derating_factor_capped_at_one():
+    config = quadro_gv100_like()
+    launches = [{
+        "cycles": 1, "regs_per_thread": 200, "threads": 100_000,
+        "smem_bytes_per_cta": 0, "ctas": 1,
+    }]
+    assert derating_factor(Structure.RF, launches, config) == 1.0
+
+
+def test_breakdown_combine_validates():
+    with pytest.raises(ValueError):
+        VulnBreakdown.combine([], [])

@@ -1,0 +1,98 @@
+"""Microarchitecture-level injector: planning and firing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.structures import Structure
+from repro.fi.gpufi import MicroarchFaultPlan, MicroarchInjector, plan_microarch_fault
+from repro.isa import assemble
+from repro.sim import GPU
+
+LAUNCHES = [
+    {"index": 0, "name": "k1", "cycles": 100},
+    {"index": 2, "name": "k1", "cycles": 300},
+]
+
+
+def test_plan_targets_kernel_launches():
+    for seed in range(30):
+        plan = plan_microarch_fault(LAUNCHES, Structure.RF, seed)
+        assert plan.launch_index in (0, 2)
+        limit = 100 if plan.launch_index == 0 else 300
+        assert 0 <= plan.cycle < limit
+
+
+def test_plan_weights_by_cycles():
+    hits = [plan_microarch_fault(LAUNCHES, Structure.RF, s).launch_index
+            for s in range(400)]
+    # launch 2 has 3x the cycles -> ~75 % of plans.
+    frac = hits.count(2) / len(hits)
+    assert 0.6 < frac < 0.9
+
+
+def test_plan_deterministic():
+    a = plan_microarch_fault(LAUNCHES, Structure.L2, 1234)
+    b = plan_microarch_fault(LAUNCHES, Structure.L2, 1234)
+    assert (a.launch_index, a.cycle) == (b.launch_index, b.cycle)
+
+
+def test_plan_requires_launches():
+    with pytest.raises(ValueError):
+        plan_microarch_fault([], Structure.RF, 0)
+
+
+def test_fire_flips_one_rf_bit(gv100):
+    gpu = GPU(gv100)
+    prog = assemble("MOV R1, 0x0\nEXIT", name="t")
+    # Manually host a CTA to have live banks.
+    from repro.sim.warp import CTA
+
+    gpu.kernel = None
+    cta = CTA((0, 0, 0), (1, 1, 1), (32, 1, 1))
+    gpu.sms[0].host_cta(cta, regs_per_thread=4, smem_bytes=0)
+    before = gpu.live_rf_banks()[0].regs.copy()
+    plan = MicroarchFaultPlan(0, 0, Structure.RF, seed=7)
+    plan.fire(gpu)
+    after = gpu.live_rf_banks()[0].regs
+    diff = before ^ after
+    assert int(np.bitwise_count(diff).sum()) == 1
+    assert plan.fired
+
+
+def test_fire_flips_cache_bit(gv100):
+    gpu = GPU(gv100)
+    plan = MicroarchFaultPlan(0, 0, Structure.L2, seed=3)
+    before = gpu.l2.data.copy()
+    plan.fire(gpu)
+    diff = before ^ gpu.l2.data
+    assert int(np.bitwise_count(diff).sum()) == 1
+
+
+def test_fire_with_no_live_rf_marks_miss(gv100):
+    gpu = GPU(gv100)
+    plan = MicroarchFaultPlan(0, 0, Structure.RF, seed=1)
+    plan.fire(gpu)
+    assert plan.fired and not plan.hit_live_target
+
+
+def test_injector_arms_only_target_launch(gv100):
+    plan = MicroarchFaultPlan(3, 10, Structure.L1D, seed=0)
+    injector = MicroarchInjector(plan)
+    gpu = GPU(gv100)
+    assert injector.arm(0, "k", gpu) is None
+    assert injector.arm(3, "k", gpu) is plan
+    plan.fired = True
+    assert injector.arm(3, "k", gpu) is None
+
+
+def test_uniform_bit_coverage_l1d(gv100):
+    """Fired L1D faults should land across all SM instances."""
+    seen_sms = set()
+    for seed in range(60):
+        gpu = GPU(gv100)
+        plan = MicroarchFaultPlan(0, 0, Structure.L1D, seed=seed)
+        plan.fire(gpu)
+        for i, sm in enumerate(gpu.sms):
+            if sm.l1d.data.any():
+                seen_sms.add(i)
+    assert len(seen_sms) == gv100.num_sms

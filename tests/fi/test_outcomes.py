@@ -1,0 +1,45 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+
+
+def test_add_and_rates():
+    counts = OutcomeCounts()
+    for outcome, n in ((FaultOutcome.MASKED, 5), (FaultOutcome.SDC, 3),
+                       (FaultOutcome.TIMEOUT, 1), (FaultOutcome.DUE, 1)):
+        for _ in range(n):
+            counts.add(outcome)
+    assert counts.total == 10
+    assert counts.rate(FaultOutcome.SDC) == 0.3
+    assert counts.failure_rate == 0.5
+
+
+def test_empty_counts():
+    counts = OutcomeCounts()
+    assert counts.failure_rate == 0.0
+    assert counts.rate(FaultOutcome.MASKED) == 0.0
+
+
+@given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100),
+       st.integers(0, 100))
+def test_rates_partition(m, s, t, d):
+    counts = OutcomeCounts(m, s, t, d)
+    if counts.total:
+        total_rate = sum(counts.rate(o) for o in FaultOutcome)
+        assert abs(total_rate - 1.0) < 1e-9
+        assert abs(counts.failure_rate - (1 - counts.rate(FaultOutcome.MASKED))) < 1e-9
+
+
+@given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100),
+       st.integers(0, 100))
+def test_dict_roundtrip(m, s, t, d):
+    counts = OutcomeCounts(m, s, t, d)
+    assert OutcomeCounts.from_dict(counts.to_dict()) == counts
+
+
+def test_addition():
+    a = OutcomeCounts(1, 2, 3, 4)
+    b = OutcomeCounts(10, 20, 30, 40)
+    c = a + b
+    assert (c.masked, c.sdc, c.timeout, c.due) == (11, 22, 33, 44)

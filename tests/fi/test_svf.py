@@ -1,0 +1,37 @@
+import pytest
+
+from repro.fi.avf import VulnBreakdown
+from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import OutcomeCounts
+from repro.fi.svf import svf_of_application, svf_of_kernel
+
+
+def make_sw_result(masked=40, sdc=40, timeout=10, due=10, injector="sw"):
+    return CampaignResult(
+        app_name="a", kernel="k", injector=injector, structure=None,
+        trials=masked + sdc + timeout + due, seed=0, config_name="c",
+        counts=OutcomeCounts(masked, sdc, timeout, due),
+        kernel_cycles=1, kernel_instructions=1000,
+    )
+
+
+def test_svf_is_raw_failure_rate():
+    b = svf_of_kernel(make_sw_result())
+    assert b.sdc == pytest.approx(0.4)
+    assert b.total == pytest.approx(0.6)
+
+
+def test_svf_accepts_ld_variant():
+    assert svf_of_kernel(make_sw_result(injector="sw-ld")).total == pytest.approx(0.6)
+
+
+def test_svf_rejects_uarch():
+    with pytest.raises(ValueError):
+        svf_of_kernel(make_sw_result(injector="uarch"))
+
+
+def test_app_svf_instruction_weighted():
+    k1 = VulnBreakdown(sdc=0.2)
+    k2 = VulnBreakdown(sdc=0.6)
+    app = svf_of_application({"k1": k1, "k2": k2}, {"k1": 900, "k2": 100})
+    assert app.sdc == pytest.approx(0.2 * 0.9 + 0.6 * 0.1)

@@ -1,0 +1,129 @@
+"""TMR harness: triplication, voting, DUE semantics, overhead."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.hardening.tmr import TMRHarness, TMRVoteError, VOTE_PROGRAM
+from repro.kernels import all_applications, get_application
+from repro.kernels.base import outputs_equal
+from repro.sim import GPU
+
+
+def test_vote_program_assembles():
+    assert VOTE_PROGRAM.name == "tmr_vote"
+    assert VOTE_PROGRAM.num_regs >= 17
+
+
+@pytest.mark.parametrize("name", ["va", "hotspot", "bfs", "nw", "sradv1"])
+def test_hardened_fault_free_run_is_correct(name):
+    app = get_application(name)
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    out = app.run(gpu, harness)
+    harness.finalize(gpu)
+    ref = {k: np.asarray(v) for k, v in app.reference().items()}
+    assert outputs_equal(out, ref)
+
+
+def test_every_app_runs_hardened():
+    for app in all_applications():
+        gpu = GPU(quadro_gv100_like())
+        harness = TMRHarness()
+        out = app.run(gpu, harness)
+        harness.finalize(gpu)
+        assert out
+
+
+def test_launches_triplicated_with_votes():
+    app = get_application("hotspot")
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    app.run(gpu, harness)
+    names = [rec.name for rec in gpu.launch_records]
+    assert names.count("hotspot_k1") == 6  # 2 iterations x 3 copies
+    assert names.count("hotspot_k1@vote") == 2
+
+
+def test_execution_time_roughly_triples():
+    app = get_application("scp")
+    gpu_plain = GPU(quadro_gv100_like())
+    app.run(gpu_plain)
+    plain = sum(r.cycles for r in gpu_plain.launch_records)
+    gpu_tmr = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    app.run(gpu_tmr, harness)
+    hardened = sum(r.cycles for r in gpu_tmr.launch_records)
+    assert hardened > 2.5 * plain  # paper: ~3x penalty
+
+
+def test_single_copy_corruption_is_voted_out():
+    """Corrupt copy 1 of an output buffer before the vote: majority fixes it."""
+    from repro.isa import assemble
+
+    prog = assemble(
+        """
+        S2R R0, SR_TID.X
+        SHL R1, R0, 0x2
+        IADD R1, R1, c[0x0][0x0]
+        LD R2, [R1]
+        IADD R2, R2, 0x1
+        ST [R1], R2
+        EXIT
+    """,
+        name="inc",
+    )
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    data = np.arange(32, dtype=np.uint32)
+    buf = harness.upload(gpu, data)
+    copies = harness._shadows[buf.addr]
+    # Pre-corrupt copy 1's input: its kernel output will disagree; the other
+    # two copies outvote it and repair copy 1 in post-processing.
+    bad = data.copy()
+    bad[7] ^= 0xFF
+    gpu.memcpy_htod(copies[1], bad)
+    harness.launch(gpu, prog, (1, 1), (32, 1), [buf], name="inc",
+                   outputs=(buf,))
+    harness.finalize(gpu)
+    out = harness.download(gpu, buf, np.uint32, 32)
+    assert np.array_equal(out, data + 1)
+    for copy in copies:
+        assert np.array_equal(gpu.memcpy_dtoh(copy, np.uint32, 32), data + 1)
+
+
+def test_three_way_disagreement_raises_due():
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    buf = harness.alloc(gpu, 4 * 32)
+    copies = harness._shadows[buf.addr]
+    for i, copy in enumerate(copies):
+        gpu.memcpy_htod(copy, np.full(32, i + 1, dtype=np.uint32))
+    from repro.isa import assemble
+
+    noop = assemble("EXIT", name="noop")
+    harness.launch(gpu, noop, (1, 1), (32, 1), [], name="noop", outputs=(buf,))
+    with pytest.raises(TMRVoteError):
+        harness.finalize(gpu)
+
+
+def test_htod_mirrors_all_copies():
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    buf = harness.alloc(gpu, 16)
+    payload = np.arange(4, dtype=np.uint32)
+    harness.htod(gpu, buf, payload)
+    for copy in harness._shadows[buf.addr]:
+        assert np.array_equal(gpu.memcpy_dtoh(copy, np.uint32, 4), payload)
+
+
+def test_vote_on_unmanaged_buffer_rejected():
+    gpu = GPU(quadro_gv100_like())
+    harness = TMRHarness()
+    rogue = gpu.malloc(64)
+    from repro.errors import ExecutionError
+    from repro.isa import assemble
+
+    noop = assemble("EXIT", name="noop")
+    with pytest.raises(ExecutionError):
+        harness.launch(gpu, noop, (1, 1), (32, 1), [], outputs=(rogue,))

@@ -1,0 +1,155 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Opcode, OperandKind, PT, RZ, assemble
+
+
+def test_basic_program():
+    prog = assemble(
+        """
+        MOV R1, 0x10
+        IADD R2, R1, 0x1
+        EXIT
+    """
+    )
+    assert len(prog) == 3
+    assert prog[0].opcode == Opcode.MOV
+    assert prog[0].dst == 1
+    assert prog[0].src_a.kind == OperandKind.IMM
+    assert prog[0].src_a.value == 0x10
+
+
+def test_labels_and_branches():
+    prog = assemble(
+        """
+    top:
+        IADD R1, R1, 0x1
+        ISETP.LT P0, R1, 0xa
+    @P0 BRA top
+        EXIT
+    """
+    )
+    bra = prog[2]
+    assert bra.opcode == Opcode.BRA
+    assert bra.target == 0
+    assert bra.guard_pred == 0 and not bra.guard_neg
+
+
+def test_negated_guard():
+    prog = assemble("@!P3 MOV R1, RZ\nEXIT")
+    assert prog[0].guard_pred == 3
+    assert prog[0].guard_neg
+    assert prog[0].src_a.value == RZ
+
+
+def test_float_literals():
+    prog = assemble(
+        """
+        MOV R1, 1.0
+        MOV R2, 0f3f800000
+        MOV R3, -2.5
+        EXIT
+    """
+    )
+    assert prog[0].src_a.value == 0x3F800000
+    assert prog[1].src_a.value == 0x3F800000
+    assert prog[2].src_a.value == 0xC0200000
+
+
+def test_memory_operands():
+    prog = assemble(
+        """
+        LD R1, [R2+0x10]
+        ST [R3-0x4], R1
+        LDS R4, [R5]
+        EXIT
+    """
+    )
+    assert prog[0].mem_offset == 0x10
+    assert prog[1].mem_offset == -4
+    assert prog[1].src_b.value == 1
+    assert prog[2].mem_offset == 0
+
+
+def test_constant_bank_operand():
+    prog = assemble("IADD R1, R2, c[0x0][0x8]\nEXIT")
+    assert prog[0].src_b.kind == OperandKind.CONST
+    assert prog[0].src_b.value == 8
+
+
+def test_special_registers():
+    prog = assemble("S2R R0, SR_CTAID.X\nEXIT")
+    assert prog[0].src_a.kind == OperandKind.SPECIAL
+
+
+def test_modifier_required():
+    with pytest.raises(AssemblerError):
+        assemble("ISETP P0, R1, R2\nEXIT")
+    with pytest.raises(AssemblerError):
+        assemble("MUFU R1, R2\nEXIT")
+
+
+def test_unknown_modifier_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("IADD.WEIRD R1, R2, R3\nEXIT")
+
+
+def test_unknown_opcode():
+    with pytest.raises(AssemblerError):
+        assemble("FROB R1, R2\nEXIT")
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblerError):
+        assemble("BRA nowhere\nEXIT")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nNOP\na:\nEXIT")
+
+
+def test_missing_exit():
+    with pytest.raises(AssemblerError):
+        assemble("NOP")
+
+
+def test_operand_arity_checked():
+    with pytest.raises(AssemblerError):
+        assemble("IADD R1, R2\nEXIT")
+    with pytest.raises(AssemblerError):
+        assemble("IMAD R1, R2, R3\nEXIT")
+
+
+def test_sel_and_vote_and_psetp():
+    prog = assemble(
+        """
+        SEL R1, R2, R3, !P1
+        VOTE.ANY P2, P1
+        PSETP.AND P3, P1, !P2
+        PSETP.NOT P4, P3
+        EXIT
+    """
+    )
+    assert prog[0].src_pred == 1 and prog[0].src_pred_neg
+    assert prog[1].dst_pred == 2
+    assert prog[2].src_pred2 == 2 and prog[2].src_pred2_neg
+    assert prog[3].src_pred == 3 and prog[3].src_pred2 is None
+
+
+def test_comments_and_blank_lines():
+    prog = assemble(
+        """
+        # a comment
+        NOP   # trailing comment
+
+        EXIT
+    """
+    )
+    assert len(prog) == 2
+
+
+def test_guard_defaults_to_pt():
+    prog = assemble("NOP\nEXIT")
+    assert prog[0].guard_pred == PT
+    assert not prog[0].guard_neg

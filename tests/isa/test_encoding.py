@@ -1,0 +1,130 @@
+"""Encode/decode round-trip, including a hypothesis sweep over generated
+instructions and all instructions of every benchmark kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import (
+    Instruction,
+    Opcode,
+    Operand,
+    assemble,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.isa.opcodes import OPCODE_INFO
+
+
+def _roundtrip(instr: Instruction) -> Instruction:
+    return decode_instruction(encode_instruction(instr))
+
+
+def _strip_label(instr: Instruction) -> Instruction:
+    from dataclasses import replace
+
+    return replace(instr, label="")
+
+
+def test_simple_roundtrip():
+    prog = assemble("IADD R1, R2, 0x1234\nEXIT")
+    for instr in prog.instructions:
+        assert _roundtrip(instr) == _strip_label(instr)
+
+
+def test_branch_roundtrip_keeps_target():
+    prog = assemble("top:\nNOP\nBRA top\nEXIT")
+    decoded = _roundtrip(prog[1])
+    assert decoded.opcode == Opcode.BRA
+    assert decoded.target == 0
+
+
+def test_negative_mem_offset_roundtrip():
+    prog = assemble("LD R1, [R2-0x20]\nEXIT")
+    assert _roundtrip(prog[0]).mem_offset == -0x20
+
+
+def test_two_wide_operands_rejected():
+    instr = Instruction(
+        opcode=Opcode.IADD, dst=1, src_a=Operand.imm(1), src_b=Operand.const(4)
+    )
+    with pytest.raises(EncodingError):
+        encode_instruction(instr)
+
+
+def test_unresolved_branch_rejected():
+    instr = Instruction(opcode=Opcode.BRA)
+    with pytest.raises(EncodingError):
+        encode_instruction(instr)
+
+
+def test_invalid_opcode_byte():
+    with pytest.raises(EncodingError):
+        decode_instruction(0xFE)
+
+
+def test_word_fits_128_bits():
+    prog = assemble("IMAD R99, R98, c[0x0][0xfc], R97\nEXIT")
+    word = encode_instruction(prog[0])
+    assert word < 2**128
+
+
+_REG = st.integers(min_value=0, max_value=199)
+_PRED = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def alu_instruction(draw):
+    opcode = draw(st.sampled_from([
+        Opcode.MOV, Opcode.IADD, Opcode.IMUL, Opcode.FADD, Opcode.FFMA,
+        Opcode.AND, Opcode.XOR, Opcode.SHL,
+    ]))
+    info = OPCODE_INFO[opcode]
+    srcs = [Operand.reg(draw(_REG)) for _ in range(info.num_srcs)]
+    # At most one wide operand: maybe replace the last source.
+    if srcs and draw(st.booleans()):
+        srcs[-1] = Operand.imm(draw(st.integers(0, 2**32 - 1)))
+    while len(srcs) < 3:
+        srcs.append(Operand.none())
+    return Instruction(
+        opcode=opcode,
+        dst=draw(_REG),
+        src_a=srcs[0],
+        src_b=srcs[1],
+        src_c=srcs[2],
+        guard_pred=draw(_PRED),
+        guard_neg=draw(st.booleans()),
+    )
+
+
+@given(alu_instruction())
+def test_generated_roundtrip(instr):
+    assert _roundtrip(instr) == instr
+
+
+def test_all_benchmark_kernels_roundtrip():
+    from repro.kernels import all_applications  # noqa: F401  (import side effect)
+    import repro.kernels.backprop as bp
+    import repro.kernels.bfs as bfs
+    import repro.kernels.hotspot as hs
+    import repro.kernels.kmeans as km
+    import repro.kernels.lud as lud
+    import repro.kernels.nw as nw
+    import repro.kernels.pathfinder as pf
+    import repro.kernels.scp as scp
+    import repro.kernels.srad_v1 as s1
+    import repro.kernels.srad_v2 as s2
+    import repro.kernels.vectoradd as va
+    from repro.hardening.tmr import VOTE_PROGRAM
+
+    programs = [
+        va._VA_K1, scp._SCP_K1, hs._HOTSPOT_K1, km._KMEANS_K1, km._KMEANS_K2,
+        lud._LUD_K1, lud._LUD_K2, lud._LUD_K3, nw._NW_K1, nw._NW_K2,
+        pf._PF_K1, bp._BP_K1, bp._BP_K2, bfs._BFS_K1, bfs._BFS_K2,
+        s1._K1, s1._K2, s1._K3, s1._K4, s1._K5, s1._K6,
+        s2._SRADV2_K1, s2._SRADV2_K2, VOTE_PROGRAM,
+    ]
+    for program in programs:
+        for instr in program.instructions:
+            assert _roundtrip(instr) == _strip_label(instr), program.name

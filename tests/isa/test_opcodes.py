@@ -1,0 +1,42 @@
+from repro.isa.opcodes import MNEMONIC_TO_OPCODE, OPCODE_INFO, LatencyClass, Opcode
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        assert op in OPCODE_INFO
+
+
+def test_mnemonics_unique_and_resolvable():
+    assert len(MNEMONIC_TO_OPCODE) == len(OPCODE_INFO)
+    for op, info in OPCODE_INFO.items():
+        assert MNEMONIC_TO_OPCODE[info.mnemonic] == op
+
+
+def test_memory_flags_consistent():
+    for op, info in OPCODE_INFO.items():
+        if info.is_load or info.is_store:
+            assert info.is_memory, op
+        if info.is_texture:
+            assert info.is_load, op
+        if info.is_memory:
+            assert info.latency_class is LatencyClass.MEM, op
+
+
+def test_sw_injectable_requires_destination():
+    """NVBitFI-style injection targets destination registers: only opcodes
+    with a GPR destination may be flagged injectable."""
+    for op, info in OPCODE_INFO.items():
+        if info.sw_injectable:
+            assert info.has_dst, op
+
+
+def test_stores_and_branches_not_injectable():
+    for op in (Opcode.ST, Opcode.STS, Opcode.BRA, Opcode.BAR, Opcode.EXIT,
+               Opcode.ISETP, Opcode.FSETP, Opcode.VOTE, Opcode.PSETP):
+        assert not OPCODE_INFO[op].sw_injectable, op
+
+
+def test_required_modifiers_have_choices():
+    for op, info in OPCODE_INFO.items():
+        if info.requires_modifier:
+            assert info.modifiers, op

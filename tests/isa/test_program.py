@@ -1,0 +1,60 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Instruction, Opcode, Program, assemble
+
+
+def test_num_regs():
+    prog = assemble("MOV R7, 0x1\nIADD R3, R7, R2\nEXIT")
+    assert prog.num_regs == 8  # highest register index + 1
+
+
+def test_num_regs_rz_ignored():
+    prog = assemble("MOV R0, RZ\nEXIT")
+    assert prog.num_regs == 1
+
+
+def test_flags():
+    prog = assemble("LDS R1, [R2]\nBAR.SYNC\nLDT R3, [R4]\nEXIT")
+    assert prog.uses_shared
+    assert prog.uses_texture
+    assert prog.has_barrier
+
+
+def test_static_counts():
+    prog = assemble(
+        "LD R1, [R2]\nST [R2], R1\nFADD R3, R1, R1\nBRA end\nend:\nEXIT"
+    )
+    counts = prog.static_counts()
+    assert counts["load"] == 1
+    assert counts["store"] == 1
+    assert counts["float"] == 1
+    assert counts["branch"] == 1
+    assert counts["total"] == 5
+
+
+def test_branch_out_of_range_rejected():
+    instr = Instruction(opcode=Opcode.BRA, target=99)
+    exit_i = Instruction(opcode=Opcode.EXIT)
+    with pytest.raises(AssemblerError):
+        Program(name="bad", instructions=(instr, exit_i))
+
+
+def test_disassemble_roundtrips_through_text():
+    source = """
+    entry:
+        S2R R0, SR_TID.X
+        ISETP.GE P0, R0, 0x10
+    @P0 EXIT
+        SHL R1, R0, 0x2
+        IADD R2, R1, c[0x0][0x0]
+        LD R3, [R2+0x4]
+        ST [R2], R3
+        BRA entry
+    """
+    prog = assemble(source, name="t")
+    text = prog.disassemble()
+    assert "S2R R0, SR_TID.X" in text
+    assert "@P0 EXIT" in text
+    assert "c[0x0][0x0]" in text
+    assert "[R2+0x4]" in text

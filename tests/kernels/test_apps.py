@@ -1,0 +1,108 @@
+"""Every benchmark application must match its NumPy reference bit-for-bit,
+on both GPU configurations, and be deterministic across runs."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like, tesla_v100_like
+from repro.kernels import all_applications, application_names, get_application
+from repro.kernels.base import outputs_equal
+from repro.sim import GPU
+
+APP_NAMES = application_names()
+
+
+def _as_arrays(outputs):
+    return {k: np.asarray(v) for k, v in outputs.items()}
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_matches_reference_gv100(name):
+    app = get_application(name)
+    gpu = GPU(quadro_gv100_like())
+    assert outputs_equal(app.run(gpu), _as_arrays(app.reference()))
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_matches_reference_v100(name):
+    """The V100-like config differs in cache organisation only — outputs
+    must be identical (timing-independent functional behaviour)."""
+    app = get_application(name)
+    gpu = GPU(tesla_v100_like())
+    assert outputs_equal(app.run(gpu), _as_arrays(app.reference()))
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_deterministic(name):
+    app = get_application(name)
+    out1 = app.run(GPU(quadro_gv100_like()))
+    out2 = app.run(GPU(quadro_gv100_like()))
+    assert outputs_equal(out1, out2)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_seed_changes_inputs(name):
+    a = get_application(name, seed=1)
+    b = get_application(name, seed=2)
+    same = True
+    for key, value in a.inputs.items():
+        other = b.inputs[key]
+        if isinstance(value, np.ndarray):
+            if not np.array_equal(value, other):
+                same = False
+    assert not same, "different seeds must generate different inputs"
+
+
+def test_suite_has_23_kernels():
+    kernels = [k for app in all_applications() for k in app.kernel_names]
+    assert len(kernels) == 23
+    assert len(set(kernels)) == 23
+
+
+def test_suite_has_11_applications():
+    assert len(APP_NAMES) == 11
+
+
+def test_paper_kernel_counts():
+    expected = {
+        "sradv1": 6, "sradv2": 2, "kmeans": 2, "hotspot": 1, "lud": 3,
+        "scp": 1, "va": 1, "nw": 2, "pathfinder": 1, "backprop": 2, "bfs": 2,
+    }
+    for name, count in expected.items():
+        assert len(get_application(name).kernel_names) == count, name
+
+
+def test_unknown_application_rejected():
+    with pytest.raises(KeyError):
+        get_application("nonexistent")
+
+
+def test_kernel_launch_names_match_declared():
+    """Every declared kernel must actually be launched by the driver."""
+    for app in all_applications():
+        gpu = GPU(quadro_gv100_like())
+        app.run(gpu)
+        launched = {rec.name for rec in gpu.launch_records}
+        for kernel in app.kernel_names:
+            assert kernel in launched, (app.name, kernel)
+
+
+def test_texture_path_exercised():
+    """At least some applications must drive the L1 texture cache."""
+    hits = 0
+    for app in all_applications():
+        gpu = GPU(quadro_gv100_like())
+        app.run(gpu)
+        if any(rec.stats.l1t.accesses for rec in gpu.launch_records):
+            hits += 1
+    assert hits >= 4
+
+
+def test_shared_memory_exercised():
+    with_smem = 0
+    for app in all_applications():
+        gpu = GPU(quadro_gv100_like())
+        app.run(gpu)
+        if any(rec.stats.shared_instructions for rec in gpu.launch_records):
+            with_smem += 1
+    assert with_smem >= 6

@@ -1,0 +1,131 @@
+"""Per-application behaviours beyond the bit-exactness sweep."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.kernels import get_application
+from repro.kernels.base import outputs_equal
+from repro.sim import GPU
+
+
+def run_ok(app) -> bool:
+    gpu = GPU(quadro_gv100_like())
+    out = app.run(gpu)
+    ref = {k: np.asarray(v) for k, v in app.reference().items()}
+    return outputs_equal(out, ref)
+
+
+@pytest.mark.parametrize("seed", [7, 99, 12345])
+@pytest.mark.parametrize("name", ["va", "scp", "hotspot", "kmeans",
+                                  "pathfinder", "backprop"])
+def test_seed_sweep_small_apps(name, seed):
+    assert run_ok(get_application(name, seed=seed))
+
+
+@pytest.mark.parametrize("seed", [7, 99])
+@pytest.mark.parametrize("name", ["lud", "bfs", "sradv1", "sradv2", "nw"])
+def test_seed_sweep_large_apps(name, seed):
+    assert run_ok(get_application(name, seed=seed))
+
+
+def test_bfs_reaches_every_node():
+    """The generated graph is connected: no -1 costs remain."""
+    app = get_application("bfs")
+    gpu = GPU(quadro_gv100_like())
+    out = app.run(gpu)
+    assert (out["cost"] >= 0).all()
+    assert out["cost"][0] == 0
+
+
+def test_bfs_levels_are_plausible():
+    app = get_application("bfs")
+    gpu = GPU(quadro_gv100_like())
+    cost = app.run(gpu)["cost"]
+    adjacency = app.inputs["adjacency"]
+    # Triangle inequality of BFS levels across every edge.
+    for node, nbrs in enumerate(adjacency):
+        for nb in nbrs:
+            assert abs(int(cost[node]) - int(cost[nb])) <= 1
+
+
+def test_lud_factorisation_reconstructs():
+    app = get_application("lud")
+    gpu = GPU(quadro_gv100_like())
+    m = app.run(gpu)["matrix"].astype(np.float64)
+    n = m.shape[0]
+    lower = np.tril(m, -1) + np.eye(n)
+    upper = np.triu(m)
+    err = np.abs(lower @ upper - app.inputs["matrix"].astype(np.float64)).max()
+    assert err < 1e-4
+
+
+def test_nw_matrix_monotone_on_boundaries():
+    app = get_application("nw")
+    gpu = GPU(quadro_gv100_like())
+    matrix = app.run(gpu)["matrix"]
+    penalty = 10
+    assert (np.diff(matrix[0, :]) == -penalty).all()
+    assert (np.diff(matrix[:, 0]) == -penalty).all()
+
+
+def test_hotspot_temperatures_bounded():
+    app = get_application("hotspot")
+    gpu = GPU(quadro_gv100_like())
+    temp = app.run(gpu)["temp"]
+    assert (temp > 0).all()
+    assert (temp < 200).all()
+
+
+def test_kmeans_membership_in_range():
+    app = get_application("kmeans")
+    gpu = GPU(quadro_gv100_like())
+    member = app.run(gpu)["membership"]
+    assert member.min() >= 0
+    assert member.max() < 3
+
+
+def test_pathfinder_result_bounded_by_column_sums():
+    app = get_application("pathfinder")
+    gpu = GPU(quadro_gv100_like())
+    result = app.run(gpu)["result"]
+    wall = app.inputs["wall"]
+    # DP with min-of-3 can never exceed the straight-down path.
+    straight = wall.sum(axis=0)
+    assert (result <= straight).all()
+    assert (result >= wall.min(axis=0).min() * wall.shape[0] - 1).all()
+
+
+def test_sradv1_output_finite_and_smoothing():
+    app = get_application("sradv1")
+    gpu = GPU(quadro_gv100_like())
+    out = app.run(gpu)["image"]
+    assert np.isfinite(out).all()
+    # Diffusion smooths: output variance below input variance.
+    assert out.std() < app.inputs["image"].std()
+
+
+def test_sradv2_output_finite():
+    app = get_application("sradv2")
+    gpu = GPU(quadro_gv100_like())
+    out = app.run(gpu)["image"]
+    assert np.isfinite(out).all()
+
+
+def test_backprop_hidden_in_sigmoid_range():
+    app = get_application("backprop")
+    gpu = GPU(quadro_gv100_like())
+    hidden = app.run(gpu)["hidden"]
+    assert (hidden > 0).all() and (hidden < 1).all()
+
+
+def test_scp_dot_products_match_blas():
+    app = get_application("scp")
+    gpu = GPU(quadro_gv100_like())
+    got = app.run(gpu)["dot"].astype(np.float64)
+    expected = np.einsum(
+        "ij,ij->i",
+        app.inputs["a"].astype(np.float64),
+        app.inputs["b"].astype(np.float64),
+    )
+    assert np.allclose(got, expected, atol=1e-3)

@@ -1,0 +1,147 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import CacheGeometry
+from repro.sim.cache import Cache, DRAMInterface
+from repro.sim.memory import GlobalMemory
+from repro.sim.stats import LaunchStats
+
+
+def make_hierarchy(l1_assoc=2, l2_assoc=4, line=32):
+    mem = GlobalMemory(1 << 16)
+    stats = LaunchStats()
+    dram = DRAMInterface(mem, latency=200, stats_ref=stats)
+    l2 = Cache("l2", CacheGeometry(2048, line, l2_assoc), 90, dram, write_back=True)
+    l1 = Cache("l1", CacheGeometry(512, line, l1_assoc), 20, l2, write_back=False)
+    return mem, l1, l2, stats
+
+
+def test_miss_then_hit():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    mem.write_bytes(addr, np.arange(64, dtype=np.uint32))
+    data, lat_miss = l1.read_line(addr, 32, now=0)
+    assert np.array_equal(data.view("<u4")[:4], [0, 1, 2, 3])
+    _, lat_hit = l1.read_line(addr, 32, now=1000)
+    assert lat_hit < lat_miss
+    assert l1.stats.misses == 1 and l1.stats.hits == 1
+
+
+def test_pending_hit_counted():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    l1.read_line(addr, 32, now=0)  # fill in flight until ~310
+    l1.read_line(addr, 32, now=5)
+    assert l1.stats.pending_hits == 1
+
+
+def test_reservation_fail_when_mshrs_full():
+    mem = GlobalMemory(1 << 16)
+    dram = DRAMInterface(mem, latency=200, stats_ref=None)
+    geo = CacheGeometry(2048, 32, 4, mshr_entries=2)
+    cache = Cache("c", geo, 10, dram, write_back=True)
+    base = mem.alloc(4096)
+    cache.read_line(base, 32, now=0)
+    cache.read_line(base + 32, 32, now=1)
+    cache.read_line(base + 64, 32, now=2)  # MSHRs exhausted
+    assert cache.stats.reservation_fails == 1
+
+
+def test_write_back_dirty_line_reaches_dram_on_eviction():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(8192)
+    l2.write_word(addr, 0xDEADBEEF, now=0)
+    assert int(mem.data[addr]) != 0xEF  # not yet written back
+    # Evict by filling the set: same set repeats every num_sets*line bytes.
+    stride = l2.geo.num_sets * l2.geo.line_bytes
+    for i in range(1, l2.geo.assoc + 1):
+        l2.read_line(addr + i * stride, 32, now=10 * i)
+    assert mem.data[addr : addr + 4].view("<u4")[0] == 0xDEADBEEF
+    assert l2.stats.writebacks == 1
+
+
+def test_clean_eviction_discards_corruption():
+    """The paper's hardware-masking case: a corrupted clean line that is
+    evicted is silently re-fetched correct from below."""
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(8192)
+    mem.write_bytes(addr, np.full(4, 0x55, dtype=np.uint8))
+    l1.read_line(addr, 32, now=0)
+    # Corrupt the resident line, then force eviction (L1 is write-through,
+    # so the line is clean and the corruption must vanish).
+    way = l1._find(addr)
+    l1.data[way, 0] ^= 0xFF
+    stride = l1.geo.num_sets * l1.geo.line_bytes
+    for i in range(1, l1.geo.assoc + 1):
+        l1.read_line(addr + i * stride, 32, now=100 * i)
+    data, _ = l1.read_line(addr, 32, now=10_000)
+    assert data[0] == 0x55
+
+
+def test_write_through_updates_both_levels():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    l1.read_line(addr, 32, now=0)  # make the line L1-resident
+    offs = np.array([0], dtype=np.int64)
+    vals = np.array([0x12345678], dtype=np.uint32)
+    l1.update_words_if_present(addr, offs, vals)
+    l2.write_words_line(addr, offs, vals, now=10)
+    l1_data, _ = l1.read_line(addr, 32, now=20)
+    l2_data, _ = l2.read_line(addr, 32, now=20)
+    assert l1_data.view("<u4")[0] == 0x12345678
+    assert l2_data.view("<u4")[0] == 0x12345678
+    assert l2.dirty.any()
+
+
+def test_flip_bit_changes_subsequent_reads():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    l1.read_line(addr, 32, now=0)
+    way = l1._find(addr)
+    bit_index = int(way) * 32 * 8  # first bit of that line
+    l1.flip_bit(bit_index)
+    data, _ = l1.read_line(addr, 32, now=5000)
+    assert data[0] == 1
+
+
+def test_invalidate_all():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    l1.read_line(addr, 32, now=0)
+    l1.invalidate_all()
+    assert not l1.valid.any()
+
+
+def test_flush_keeps_lines_valid():
+    mem, l1, l2, _ = make_hierarchy()
+    addr = mem.alloc(256)
+    l2.write_word(addr, 7, now=0)
+    l2.flush()
+    assert not l2.dirty.any()
+    assert l2.valid.any()
+    assert mem.data[addr : addr + 4].view("<u4")[0] == 7
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60))
+def test_cache_data_coherent_with_memory(line_indices):
+    """Property: without faults or stores, every cached line mirrors DRAM."""
+    mem, l1, l2, _ = make_hierarchy()
+    base = mem.alloc(64 * 32)
+    payload = np.arange(64 * 8, dtype=np.uint32)
+    mem.write_bytes(base, payload)
+    now = 0
+    for idx in line_indices:
+        now += 500
+        data, _ = l1.read_line(base + idx * 32, 32, now)
+        expected = payload[idx * 8 : idx * 8 + 8]
+        assert np.array_equal(data.view("<u4"), expected)
+    # Every valid line's tag content matches DRAM.
+    for cache in (l1, l2):
+        for way in np.nonzero(cache.valid)[0]:
+            tag = int(cache.tags[way])
+            assert np.array_equal(
+                cache.data[way], mem.data[tag : tag + 32]
+            )

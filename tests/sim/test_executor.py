@@ -1,0 +1,221 @@
+"""Instruction-semantics tests: each opcode against NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.isa import assemble
+from repro.sim import GPU
+from repro.utils.bitops import bitcast_f2u
+
+
+def run_lane_kernel(body: str, inputs: np.ndarray | None = None, lanes: int = 32,
+                    extra_params=()) -> np.ndarray:
+    """Run a 1-warp kernel; R0 = lane id, input in R1 (if given), result from
+    R2 stored to the output buffer."""
+    src = f"""
+        S2R R0, SR_TID.X
+        {'SHL R9, R0, 0x2' if inputs is not None else 'NOP'}
+        {'IADD R9, R9, c[0x0][0x4]' if inputs is not None else 'NOP'}
+        {'LD R1, [R9]' if inputs is not None else 'NOP'}
+    {body}
+        SHL R10, R0, 0x2
+        IADD R10, R10, c[0x0][0x0]
+        ST [R10], R2
+        EXIT
+    """
+    prog = assemble(src, name="t")
+    gpu = GPU(quadro_gv100_like())
+    out = gpu.malloc(4 * lanes)
+    # Layout: c[0x0][0x0]=out, c[0x0][0x4]=input buffer (or 0), extras at 0x8+.
+    params = [out, gpu.upload(inputs) if inputs is not None else 0]
+    params.extend(extra_params)
+    gpu.launch(prog, (1, 1), (lanes, 1), params)
+    return gpu.memcpy_dtoh(out, np.uint32, lanes)
+
+
+LANES = np.arange(32, dtype=np.uint32)
+
+
+def test_integer_alu_ops():
+    assert np.array_equal(run_lane_kernel("IADD R2, R0, 0x5"), LANES + 5)
+    assert np.array_equal(run_lane_kernel("ISUB R2, R0, 0x5"), LANES - 5)
+    assert np.array_equal(run_lane_kernel("IMUL R2, R0, 0x7"), LANES * 7)
+    assert np.array_equal(run_lane_kernel("SHL R2, R0, 0x3"), LANES << 3)
+    assert np.array_equal(run_lane_kernel("SHR R2, R0, 0x1"), LANES >> 1)
+    assert np.array_equal(run_lane_kernel("AND R2, R0, 0x6"), LANES & 6)
+    assert np.array_equal(run_lane_kernel("OR R2, R0, 0x9"), LANES | 9)
+    assert np.array_equal(run_lane_kernel("XOR R2, R0, 0xff"), LANES ^ 0xFF)
+    assert np.array_equal(run_lane_kernel("NOT R2, R0"), ~LANES)
+
+
+def test_wraparound_and_signed():
+    out = run_lane_kernel("IADD R2, R0, 0xffffffff")  # + (-1)
+    assert np.array_equal(out, LANES + np.uint32(0xFFFFFFFF))
+    out = run_lane_kernel("ISUB R2, RZ, R0").view(np.int32)
+    assert np.array_equal(out, -(LANES.astype(np.int32)))
+    # Arithmetic shift preserves the sign bit.
+    out = run_lane_kernel("ISUB R2, RZ, R0\nSHR.S32 R2, R2, 0x1").view(np.int32)
+    assert np.array_equal(out, -(LANES.astype(np.int32)) >> 1)
+
+
+def test_imad_iscadd():
+    assert np.array_equal(
+        run_lane_kernel("IMAD R2, R0, 0x3, R0"), LANES * 3 + LANES
+    )
+    assert np.array_equal(
+        run_lane_kernel("ISCADD R2, R0, 0x10, 0x2"), (LANES << 2) + 0x10
+    )
+
+
+def test_imnmx_iabs():
+    assert np.array_equal(
+        run_lane_kernel("IMNMX.MIN R2, R0, 0x10"), np.minimum(LANES, 16)
+    )
+    assert np.array_equal(
+        run_lane_kernel("IMNMX.MAX R2, R0, 0x10"), np.maximum(LANES, 16)
+    )
+    out = run_lane_kernel("ISUB R2, RZ, R0\nIABS R2, R2")
+    assert np.array_equal(out, LANES)
+
+
+def test_shift_count_masked_to_five_bits():
+    out = run_lane_kernel("SHL R2, R0, 0x21")  # 33 & 31 == 1
+    assert np.array_equal(out, LANES << 1)
+
+
+def test_float_ops():
+    x = (np.arange(32, dtype=np.float32) - 16) * np.float32(0.75)
+    assert np.array_equal(
+        run_lane_kernel("FADD R2, R1, 1.5", x).view(np.float32), x + np.float32(1.5)
+    )
+    assert np.array_equal(
+        run_lane_kernel("FSUB R2, R1, 0.5", x).view(np.float32), x - np.float32(0.5)
+    )
+    assert np.array_equal(
+        run_lane_kernel("FMUL R2, R1, -2.0", x).view(np.float32), x * np.float32(-2)
+    )
+    assert np.array_equal(
+        run_lane_kernel("FFMA R2, R1, 2.0, R1", x).view(np.float32),
+        x * np.float32(2) + x,
+    )
+    assert np.array_equal(
+        run_lane_kernel("FABS R2, R1", x).view(np.float32), np.abs(x)
+    )
+    assert np.array_equal(
+        run_lane_kernel("FNEG R2, R1", x).view(np.float32), -x
+    )
+    assert np.array_equal(
+        run_lane_kernel("FMNMX.MIN R2, R1, 0.0", x).view(np.float32), np.fmin(x, 0)
+    )
+
+
+def test_mufu_functions():
+    x = np.linspace(0.25, 8.0, 32, dtype=np.float32)
+    cases = {
+        "MUFU.RCP R2, R1": np.float32(1.0) / x,
+        "MUFU.SQRT R2, R1": np.sqrt(x),
+        "MUFU.RSQ R2, R1": np.float32(1.0) / np.sqrt(x),
+        "MUFU.EX2 R2, R1": np.exp2(x),
+        "MUFU.LG2 R2, R1": np.log2(x),
+    }
+    for body, expected in cases.items():
+        got = run_lane_kernel(body, x).view(np.float32)
+        assert np.array_equal(got, expected), body
+
+
+def test_conversions():
+    x = np.array([1.9, -2.9, 0.0, 100.49] * 8, dtype=np.float32)
+    got = run_lane_kernel("F2I R2, R1", x).view(np.int32)
+    assert np.array_equal(got, np.array([1, -2, 0, 100] * 8, dtype=np.int32))
+    ints = np.arange(-16, 16, dtype=np.int32)
+    got = run_lane_kernel("I2F R2, R1", ints.view(np.uint32)).view(np.float32)
+    assert np.array_equal(got, ints.astype(np.float32))
+
+
+def test_f2i_nan_and_inf_saturate():
+    x = np.array([np.nan, np.inf, -np.inf, 1.0] * 8, dtype=np.float32)
+    got = run_lane_kernel("F2I R2, R1", x).view(np.int32)
+    assert got[0] == 0
+    assert got[1] == 2**31 - 1 or got[1] >= 2**31 - 129  # clamped high
+    assert got[2] == -(2**31)
+    assert got[3] == 1
+
+
+def test_predication_and_sel():
+    body = """
+        ISETP.LT P0, R0, 0x10
+        SEL R2, R0, 0xff, P0
+    """
+    out = run_lane_kernel(body)
+    assert np.array_equal(out, np.where(LANES < 16, LANES, 0xFF))
+
+
+def test_guarded_instruction():
+    body = """
+        MOV R2, 0x1
+        ISETP.GE P0, R0, 0x8
+    @P0 MOV R2, 0x2
+    """
+    out = run_lane_kernel(body)
+    assert np.array_equal(out, np.where(LANES >= 8, 2, 1))
+
+
+def test_isetp_unsigned_modifier():
+    body = """
+        ISUB R3, RZ, 0x1             # 0xffffffff
+        ISETP.LT.U32 P0, R0, R3      # unsigned: all lanes < 0xffffffff
+        SEL R2, 0x1, 0x0, P0
+    """
+    assert run_lane_kernel(body).all()
+
+
+def test_fsetp():
+    x = (np.arange(32, dtype=np.float32) - 16)
+    body = """
+        FSETP.GT P0, R1, 0.0
+        SEL R2, 0x1, 0x0, P0
+    """
+    out = run_lane_kernel(body, x)
+    assert np.array_equal(out.astype(bool), x > 0)
+
+
+def test_vote_any_all():
+    body = """
+        ISETP.EQ P0, R0, 0x3
+        VOTE.ANY P1, P0
+        VOTE.ALL P2, P0
+        SEL R2, 0x1, 0x0, P1
+        SEL R3, 0x1, 0x0, P2
+        IMAD R2, R2, 0x2, R3
+    """
+    out = run_lane_kernel(body)
+    assert (out == 2).all()  # any=1, all=0 -> 1*2+0
+
+
+def test_s2r_specials():
+    body = "S2R R2, SR_LANEID"
+    assert np.array_equal(run_lane_kernel(body), LANES)
+    body = "S2R R2, SR_NTID.X"
+    assert (run_lane_kernel(body) == 32).all()
+
+
+def test_rz_reads_zero_and_drops_writes():
+    body = """
+        IADD R2, RZ, 0x0
+        IADD RZ, R0, 0x1
+        IADD R2, RZ, R2
+    """
+    assert (run_lane_kernel(body) == 0).all()
+
+
+def test_const_bank_reads():
+    body = "MOV R2, c[0x0][0x8]"
+    out = run_lane_kernel(body, extra_params=[0xABCD])
+    assert (out == 0xABCD).all()
+
+
+def test_float_const_param():
+    body = "MOV R2, c[0x0][0x8]"
+    out = run_lane_kernel(body, extra_params=[2.5])
+    assert (out == bitcast_f2u(2.5)).all()

@@ -1,0 +1,39 @@
+import pytest
+
+from repro.errors import LaunchError
+from repro.sim.register_file import RegisterFile
+
+
+def test_allocate_and_free():
+    rf = RegisterFile(0, total_regs=4096, warp_size=32)
+    uid, bank = rf.allocate(16)
+    assert bank.regs.shape == (16, 32)
+    assert rf.allocated_regs == 16 * 32
+    assert rf.live_bits == 16 * 32 * 32
+    rf.free(uid)
+    assert rf.allocated_regs == 0
+    assert rf.live_banks() == []
+
+
+def test_capacity_enforced():
+    rf = RegisterFile(0, total_regs=1024, warp_size=32)
+    rf.allocate(16)  # 512 regs
+    assert rf.can_allocate(1, 16)
+    assert not rf.can_allocate(2, 16)
+    rf.allocate(16)
+    with pytest.raises(LaunchError):
+        rf.allocate(1)
+
+
+def test_zero_reg_kernel_gets_minimum_bank():
+    rf = RegisterFile(0, total_regs=1024, warp_size=32)
+    _, bank = rf.allocate(1)
+    assert bank.regs.shape[0] == 1
+
+
+def test_live_banks_enumeration():
+    rf = RegisterFile(0, total_regs=4096, warp_size=32)
+    uids = [rf.allocate(8)[0] for _ in range(3)]
+    assert len(rf.live_banks()) == 3
+    rf.free(uids[1])
+    assert len(rf.live_banks()) == 2

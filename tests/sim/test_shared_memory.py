@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.errors import IllegalSharedAccess, LaunchError
+from repro.sim.shared_memory import SharedMemory
+
+
+def test_allocate_read_write():
+    pool = SharedMemory(0, 8192)
+    uid, window = pool.allocate(256)
+    offs = np.array([0, 4, 252], dtype=np.int64)
+    vals = np.array([1, 2, 3], dtype=np.uint32)
+    window.write_words(offs, vals)
+    assert np.array_equal(window.read_words(offs), vals)
+    pool.free(uid)
+    assert pool.allocated_bytes == 0
+
+
+def test_bounds_checked():
+    pool = SharedMemory(0, 8192)
+    _, window = pool.allocate(64)
+    with pytest.raises(IllegalSharedAccess):
+        window.read_words(np.array([64], dtype=np.int64))
+    with pytest.raises(IllegalSharedAccess):
+        window.read_words(np.array([-4], dtype=np.int64))
+    with pytest.raises(IllegalSharedAccess):
+        window.read_words(np.array([2], dtype=np.int64))  # misaligned
+
+
+def test_pool_capacity():
+    pool = SharedMemory(0, 1024)
+    pool.allocate(512)
+    assert pool.can_allocate(512)
+    assert not pool.can_allocate(513)
+    pool.allocate(512)
+    with pytest.raises(LaunchError):
+        pool.allocate(4)
+
+
+def test_allocate_rejects_nonpositive():
+    pool = SharedMemory(0, 1024)
+    with pytest.raises(LaunchError):
+        pool.allocate(0)
+
+
+def test_live_windows():
+    pool = SharedMemory(0, 8192)
+    pool.allocate(128)
+    pool.allocate(256)
+    assert sorted(w.size for w in pool.live_windows()) == [128, 256]
+    assert pool.live_bits == (128 + 256) * 8

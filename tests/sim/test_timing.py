@@ -1,0 +1,107 @@
+"""Timing-model properties: latency composition and contention effects."""
+
+import numpy as np
+
+from repro.arch.config import quadro_gv100_like
+from repro.isa import assemble
+from repro.sim import GPU
+
+
+def cycles_of(src, grid=(1, 1), block=(32, 1), params=(), smem=0):
+    gpu = GPU(quadro_gv100_like())
+    prog = assemble(src, name="t")
+    bufs = []
+    rec = gpu.launch(prog, grid, block, list(params), smem)
+    return rec.cycles, rec
+
+
+def test_longer_program_takes_longer():
+    short = "MOV R1, 0x1\nEXIT"
+    long = "MOV R1, 0x1\n" + "IADD R1, R1, 0x1\n" * 30 + "EXIT"
+    c_short, _ = cycles_of(short)
+    c_long, _ = cycles_of(long)
+    assert c_long > c_short
+
+
+def test_memory_latency_dominates_alu():
+    gpu = GPU(quadro_gv100_like())
+    buf = gpu.upload(np.zeros(32, dtype=np.uint32))
+    ld = assemble(
+        "S2R R0, SR_TID.X\nSHL R1, R0, 0x2\nIADD R1, R1, c[0x0][0x0]\n"
+        "LD R2, [R1]\nEXIT", name="ld",
+    )
+    alu = assemble(
+        "S2R R0, SR_TID.X\nSHL R1, R0, 0x2\nIADD R1, R1, 0x0\n"
+        "IADD R2, R1, 0x1\nEXIT", name="alu",
+    )
+    rec_ld = gpu.launch(ld, (1, 1), (32, 1), [buf])
+    rec_alu = gpu.launch(alu, (1, 1), (32, 1), [buf])
+    # A cold load goes L1-miss -> L2-miss -> DRAM: far beyond ALU latency.
+    assert rec_ld.cycles > rec_alu.cycles + 100
+
+
+def test_cache_warm_run_is_faster():
+    gpu = GPU(quadro_gv100_like())
+    data = gpu.upload(np.arange(64, dtype=np.uint32))
+    src = assemble(
+        """
+        S2R R0, SR_TID.X
+        SHL R1, R0, 0x2
+        IADD R1, R1, c[0x0][0x0]
+        LD R2, [R1]
+        EXIT
+    """,
+        name="warm",
+    )
+    cold = gpu.launch(src, (1, 1), (32, 1), [data]).cycles
+    # L1 invalidates between launches but L2 persists: the re-run hits L2.
+    warm = gpu.launch(src, (1, 1), (32, 1), [data]).cycles
+    assert warm < cold
+
+
+def test_warps_overlap_memory_latency():
+    """8 warps issuing independent loads should not cost 8x one warp."""
+    src = """
+        S2R R0, SR_CTAID.X
+        S2R R1, SR_TID.X
+        S2R R2, SR_NTID.X
+        IMAD R3, R0, R2, R1
+        SHL R4, R3, 0x2
+        IADD R4, R4, c[0x0][0x0]
+        LD R5, [R4]
+        EXIT
+    """
+    gpu = GPU(quadro_gv100_like())
+    buf = gpu.upload(np.zeros(1024, dtype=np.uint32))
+    prog = assemble(src, name="mlp")
+    one = gpu.launch(prog, (1, 1), (32, 1), [buf], name="one").cycles
+    gpu2 = GPU(quadro_gv100_like())
+    buf2 = gpu2.upload(np.zeros(1024, dtype=np.uint32))
+    eight = gpu2.launch(prog, (1, 1), (256, 1), [buf2], name="eight").cycles
+    assert eight < 6 * one
+
+
+def test_barrier_serialises_phases():
+    with_bar = """
+        S2R R0, SR_TID.X
+        SHL R1, R0, 0x2
+        STS [R1], R0
+        BAR.SYNC
+        LDS R2, [R1]
+        EXIT
+    """
+    without = """
+        S2R R0, SR_TID.X
+        SHL R1, R0, 0x2
+        STS [R1], R0
+        LDS R2, [R1]
+        EXIT
+    """
+    c_with, _ = cycles_of(with_bar, block=(64, 1), smem=256)
+    c_without, _ = cycles_of(without, block=(64, 1), smem=256)
+    assert c_with >= c_without
+
+
+def test_stats_cycles_match_record():
+    c, rec = cycles_of("MOV R1, 0x1\nEXIT")
+    assert rec.stats.cycles == c == rec.cycles

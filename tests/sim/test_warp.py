@@ -1,0 +1,87 @@
+import numpy as np
+
+from repro.sim.register_file import WarpRegisters
+from repro.sim.warp import CTA, Warp
+
+
+def make_warp(block=(32, 1, 1), threads=None, index_in_cta=0, grid=(2, 2, 1),
+              ctaid=(1, 0, 0)):
+    cta = CTA(ctaid, grid, block)
+    if threads is not None:
+        cta.num_threads = threads
+    bank = WarpRegisters(8, 32)
+    warp = Warp(1, cta, index_in_cta, rf_uid=0, bank=bank)
+    cta.warps.append(warp)
+    return warp, cta
+
+
+def test_specials_linear_ids():
+    warp, _ = make_warp(block=(8, 4, 1))
+    from repro.isa.instruction import SpecialReg
+
+    # lane 9 -> linear thread 9 -> tid.x = 1, tid.y = 1 for an 8-wide block.
+    assert warp.specials[SpecialReg.TID_X][9] == 1
+    assert warp.specials[SpecialReg.TID_Y][9] == 1
+    assert warp.specials[SpecialReg.CTAID_X][0] == 1
+    assert warp.specials[SpecialReg.NCTAID_Y][0] == 2
+    assert warp.specials[SpecialReg.LANEID][31] == 31
+
+
+def test_partial_block_kills_extra_lanes():
+    warp, _ = make_warp(block=(8, 1, 1))
+    assert warp.done[8:].all()
+    assert not warp.done[:8].any()
+    assert not warp.finished
+    assert warp.alive[:8].all()
+
+
+def test_second_warp_of_small_block_is_finished():
+    warp, _ = make_warp(block=(8, 1, 1), index_in_cta=1)
+    assert warp.finished  # lanes 32..63 don't exist
+
+
+def test_update_finished_refreshes_alive():
+    warp, _ = make_warp()
+    warp.done[:] = True
+    assert warp.update_finished()
+    assert not warp.alive.any()
+
+
+def test_barrier_release_waits_for_all_live_warps():
+    cta = CTA((0, 0, 0), (1, 1, 1), (64, 1, 1))
+    warps = []
+    for i in range(2):
+        bank = WarpRegisters(4, 32)
+        warp = Warp(i, cta, i, rf_uid=i, bank=bank)
+        cta.warps.append(warp)
+        warps.append(warp)
+    cta.arrive_barrier(warps[0])
+    assert warps[0].waiting_barrier
+    cta.arrive_barrier(warps[1])
+    assert not warps[0].waiting_barrier
+    assert not warps[1].waiting_barrier
+    assert cta.barrier_arrived == 0
+
+
+def test_barrier_release_when_other_warp_exits():
+    cta = CTA((0, 0, 0), (1, 1, 1), (64, 1, 1))
+    warps = []
+    for i in range(2):
+        bank = WarpRegisters(4, 32)
+        warp = Warp(i, cta, i, rf_uid=i, bank=bank)
+        cta.warps.append(warp)
+        warps.append(warp)
+    cta.arrive_barrier(warps[0])
+    warps[1].done[:] = True
+    warps[1].update_finished()
+    cta.maybe_release_barrier()
+    assert not warps[0].waiting_barrier
+
+
+def test_cta_finished():
+    warp, cta = make_warp()
+    assert not cta.finished
+    warp.done[:] = True
+    warp.update_finished()
+    assert cta.finished
+    assert cta.live_warp_count() == 0

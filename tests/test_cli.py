@@ -1,0 +1,30 @@
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_apps(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "sradv1" in out and "bfs" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_fig12(capsys):
+    # fig12 needs no campaigns, only tracing runs: safe for unit tests.
+    assert main(["run", "fig12"]) == 0
+    assert "register reuse" in capsys.readouterr().out
+
+
+def test_disasm(capsys):
+    assert main(["disasm", "va"]) == 0
+    assert "va_k1" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Exception hierarchy contracts the campaign classifier depends on."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    ExecutionError,
+    IllegalInstruction,
+    IllegalMemoryAccess,
+    IllegalSharedAccess,
+    ReproError,
+    SimTimeout,
+)
+
+
+def test_execution_errors_are_due_class():
+    """Everything the classifier maps to DUE must subclass ExecutionError."""
+    for exc in (IllegalMemoryAccess(0x10, 4), IllegalSharedAccess(4, 4, 2),
+                IllegalInstruction("x"), DeadlockError("y")):
+        assert isinstance(exc, ExecutionError)
+        assert isinstance(exc, ReproError)
+
+
+def test_timeout_is_execution_error_but_distinct():
+    exc = SimTimeout(100, 50)
+    assert isinstance(exc, ExecutionError)
+    # The classifier catches SimTimeout *before* ExecutionError; the order
+    # in campaign._classify relies on this subclass relationship.
+    assert exc.cycles == 100 and exc.limit == 50
+
+
+def test_messages_carry_diagnostics():
+    assert "0x00000010" in str(IllegalMemoryAccess(0x10, 4))
+    assert "misaligned" in str(IllegalMemoryAccess(3, 4, "misaligned"))
+    assert "window" in str(IllegalSharedAccess(128, 4, 64))
+
+
+def test_ecc_error_is_execution_error():
+    from repro.fi.gpufi import ECCUncorrectableError
+
+    assert issubclass(ECCUncorrectableError, ExecutionError)
+
+
+def test_tmr_vote_error_is_execution_error():
+    from repro.hardening.tmr import TMRVoteError
+
+    assert issubclass(TMRVoteError, ExecutionError)

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bitcast_f2u,
+    bitcast_u2f,
+    bytes_to_words,
+    flip_bit_in_bytes,
+    flip_bit_u32,
+    get_bit_u32,
+    popcount_u32,
+    words_to_bytes,
+)
+
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+BIT = st.integers(min_value=0, max_value=31)
+
+
+@given(U32, BIT)
+def test_flip_twice_is_identity(word, bit):
+    assert flip_bit_u32(flip_bit_u32(word, bit), bit) == word
+
+
+@given(U32, BIT)
+def test_flip_changes_exactly_one_bit(word, bit):
+    flipped = flip_bit_u32(word, bit)
+    assert popcount_u32(word ^ flipped) == 1
+    assert get_bit_u32(flipped, bit) == 1 - get_bit_u32(word, bit)
+
+
+@given(U32)
+def test_bitcast_roundtrip(word):
+    # NaN payloads survive the struct-based bitcast both ways.
+    assert bitcast_f2u(bitcast_u2f(word)) == word
+
+
+def test_bitcast_known_values():
+    assert bitcast_f2u(1.0) == 0x3F800000
+    assert bitcast_u2f(0x3F800000) == 1.0
+    assert bitcast_f2u(-2.0) == 0xC0000000
+
+
+@pytest.mark.parametrize("bad_bit", [-1, 32, 100])
+def test_flip_bit_u32_rejects_bad_index(bad_bit):
+    with pytest.raises(ValueError):
+        flip_bit_u32(0, bad_bit)
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_flip_bit_in_bytes_roundtrip(nbytes, data):
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    bit = data.draw(st.integers(min_value=0, max_value=nbytes * 8 - 1))
+    flip_bit_in_bytes(buf, bit)
+    assert int(buf.sum()) in (1, 2, 4, 8, 16, 32, 64, 128)
+    flip_bit_in_bytes(buf, bit)
+    assert not buf.any()
+
+
+def test_flip_bit_in_bytes_out_of_range():
+    buf = np.zeros(4, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        flip_bit_in_bytes(buf, 32)
+    with pytest.raises(TypeError):
+        flip_bit_in_bytes(np.zeros(4, dtype=np.uint32), 0)
+
+
+def test_words_bytes_views():
+    words = np.array([0x11223344, 0xAABBCCDD], dtype=np.uint32)
+    raw = words_to_bytes(words)
+    assert raw[0] == 0x44 and raw[4] == 0xDD  # little endian
+    back = bytes_to_words(raw)
+    assert np.array_equal(back, words)
+
+
+def test_bytes_to_words_validates():
+    with pytest.raises(ValueError):
+        bytes_to_words(np.zeros(5, dtype=np.uint8))
+    with pytest.raises(TypeError):
+        bytes_to_words(np.zeros(8, dtype=np.uint16))

@@ -1,0 +1,27 @@
+from repro.utils.rng import derive_rng, spawn_seeds
+
+
+def test_same_seed_tag_reproduces():
+    a = derive_rng(42, "x").integers(0, 2**31, size=8)
+    b = derive_rng(42, "x").integers(0, 2**31, size=8)
+    assert (a == b).all()
+
+
+def test_different_tags_differ():
+    a = derive_rng(42, "x").integers(0, 2**31, size=8)
+    b = derive_rng(42, "y").integers(0, 2**31, size=8)
+    assert (a != b).any()
+
+
+def test_different_seeds_differ():
+    a = derive_rng(1, "x").integers(0, 2**31, size=8)
+    b = derive_rng(2, "x").integers(0, 2**31, size=8)
+    assert (a != b).any()
+
+
+def test_spawn_seeds_deterministic_and_distinct():
+    s1 = spawn_seeds(7, "trials", 100)
+    s2 = spawn_seeds(7, "trials", 100)
+    assert s1 == s2
+    assert len(set(s1)) == 100
+    assert all(0 <= s < 2**63 for s in s1)

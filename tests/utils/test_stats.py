@@ -1,0 +1,78 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    margin_of_error,
+    proportion_ci,
+    required_trials,
+    weighted_mean,
+)
+
+
+def test_paper_margin():
+    """3000 injections -> ~±2.35 % at 99 % confidence (paper Section II-A)."""
+    assert margin_of_error(3000, confidence=0.99) == pytest.approx(0.0235, abs=5e-4)
+
+
+def test_required_trials_inverts_margin():
+    n = required_trials(0.0235, confidence=0.99)
+    assert 2950 <= n <= 3050
+    assert margin_of_error(n, confidence=0.99) <= 0.0235 + 1e-6
+
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_margin_decreases_with_n(n):
+    assert margin_of_error(n + 1) < margin_of_error(n) + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=50, max_value=500))
+def test_wilson_interval_contains_estimate(successes, n):
+    p, lo, hi = proportion_ci(successes, n)
+    assert 0.0 <= lo <= p + 1e-9 and p - 1e-9 <= hi <= 1.0
+
+
+def test_proportion_ci_validates():
+    with pytest.raises(ValueError):
+        proportion_ci(5, 0)
+    with pytest.raises(ValueError):
+        proportion_ci(11, 10)
+
+
+def test_weighted_mean_basic():
+    assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+    assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == 1.5
+
+
+def test_weighted_mean_errors():
+    with pytest.raises(ValueError):
+        weighted_mean([], [])
+    with pytest.raises(ValueError):
+        weighted_mean([1.0], [0.0])
+    with pytest.raises(ValueError):
+        weighted_mean([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError):
+        weighted_mean([1.0], [-1.0])
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=10),
+    st.data(),
+)
+def test_weighted_mean_bounded(values, data):
+    weights = data.draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100),
+            min_size=len(values),
+            max_size=len(values),
+        )
+    )
+    m = weighted_mean(values, weights)
+    assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+
+def test_unsupported_confidence():
+    with pytest.raises(ValueError):
+        margin_of_error(100, confidence=0.8)

@@ -7,9 +7,13 @@ Usage::
     python -m repro.cli run all --trials 64
     python -m repro.cli apps
     python -m repro.cli disasm hotspot
+    python -m repro.cli campaign run va --level sw --trials 128
+    python -m repro.cli campaign status
 
 The underlying campaigns cache under ``.repro_cache/``, so repeated
-invocations are cheap.
+invocations are cheap. Interrupted campaigns journal completed trials
+under ``.repro_cache/journal/`` and resume automatically when re-run
+(``campaign status`` shows what is in flight).
 """
 
 from __future__ import annotations
@@ -100,6 +104,100 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _stderr_progress(label: str):
+    """Per-trial progress line on stderr (carriage-return updates)."""
+
+    def progress(done: int, total: int, outcome) -> None:
+        end = "\n" if done == total else "\r"
+        print(f"  {label}: trial {done}/{total} [{outcome.value}]",
+              end=end, file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.arch.config import quadro_gv100_like, tesla_v100_like
+    from repro.arch.structures import Structure
+    from repro.errors import ReproError
+    from repro.fi.campaign import (
+        run_microarch_campaign,
+        run_software_campaign,
+        run_source_campaign,
+    )
+    from repro.fi.outcomes import FaultOutcome
+    from repro.hardening import tmr_harness_factory
+    from repro.kernels import get_application
+
+    try:
+        app = get_application(args.app)
+    except KeyError:
+        print(f"unknown application: {args.app}", file=sys.stderr)
+        return 2
+    kernel = args.kernel or app.kernel_names[0]
+    if kernel not in app.kernel_names:
+        print(f"{args.app} has no kernel {kernel!r} "
+              f"(has: {', '.join(app.kernel_names)})", file=sys.stderr)
+        return 2
+    # Default to the paper's tool pairing: GPU-FI on GV100, NVBitFI on V100.
+    config_name = args.config or ("gv100" if args.level == "uarch" else "v100")
+    config = (quadro_gv100_like() if config_name == "gv100"
+              else tesla_v100_like())
+    label = f"{args.app}/{kernel}/{args.level}"
+    common = dict(
+        trials=args.trials,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        progress=None if args.quiet else _stderr_progress(label),
+    )
+    factory = tmr_harness_factory if args.hardened else None
+    try:
+        if args.level == "uarch":
+            result = run_microarch_campaign(
+                app, kernel, Structure(args.structure), config,
+                harness_factory=factory, hardened=args.hardened, **common)
+        elif args.level in ("sw", "sw-ld"):
+            result = run_software_campaign(
+                app, kernel, config, loads_only=args.level == "sw-ld",
+                harness_factory=factory, hardened=args.hardened, **common)
+        else:  # src / src-sticky
+            result = run_source_campaign(
+                app, kernel, config, sticky=args.level == "src-sticky",
+                **common)
+    except ReproError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    counts = result.counts
+    print(f"{label} on {result.config_name}: "
+          f"{result.trials} trials, seed {result.seed}")
+    for outcome in FaultOutcome:
+        n = getattr(counts, outcome.value)
+        if outcome is not FaultOutcome.CRASH or n:
+            print(f"  {outcome.value:<8} {n:>6}  ({counts.rate(outcome):.1%})")
+    print(f"  failure rate {counts.failure_rate:.1%}")
+    return 0
+
+
+def _cmd_campaign_status(_args) -> int:
+    from repro.fi.journal import cache_dir, journal_dir, list_journals
+
+    entries = list_journals()
+    if entries:
+        print(f"in-flight campaign journals under {journal_dir()}:")
+        for key, trials, crashes in entries:
+            note = f", {crashes} crash event(s)" if crashes else ""
+            print(f"  {key}: {trials} trial(s) completed{note}")
+    else:
+        print("no in-flight campaign journals")
+    d = cache_dir()
+    cached = len(list(d.glob("*.json"))) if d.is_dir() else 0
+    corrupt = len(list(d.glob("*.corrupt"))) if d.is_dir() else 0
+    print(f"{cached} cached campaign result(s) in {d}")
+    if corrupt:
+        print(f"warning: {corrupt} quarantined corrupt cache file(s) "
+              f"(*.corrupt) in {d}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Cross-layer GPU reliability assessment"
@@ -122,6 +220,37 @@ def main(argv: list[str] | None = None) -> int:
     disasm_parser = sub.add_parser("disasm", help="disassemble an app's kernels")
     disasm_parser.add_argument("app")
     disasm_parser.set_defaults(func=_cmd_disasm)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run/resume/inspect individual FI campaigns")
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True)
+    crun = campaign_sub.add_parser(
+        "run", help="run one campaign (resumes from its journal if killed)")
+    crun.add_argument("app", help="application id (see 'apps')")
+    crun.add_argument("kernel", nargs="?", default=None,
+                      help="kernel id (default: the app's first kernel)")
+    crun.add_argument("--level", default="sw",
+                      choices=["uarch", "sw", "sw-ld", "src", "src-sticky"],
+                      help="injection level / fault model")
+    crun.add_argument("--structure", default="rf",
+                      choices=["rf", "smem", "l1d", "l1t", "l2"],
+                      help="target structure (uarch level only)")
+    crun.add_argument("--config", default=None, choices=["gv100", "v100"],
+                      help="GPU configuration (default: the level's "
+                           "paper pairing — gv100 for uarch, v100 for sw)")
+    crun.add_argument("--trials", type=int, default=None)
+    crun.add_argument("--seed", type=int, default=1)
+    crun.add_argument("--hardened", action="store_true",
+                      help="run the TMR-hardened variant")
+    crun.add_argument("--no-cache", action="store_true",
+                      help="ignore cache and journal; run from scratch")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-trial progress on stderr")
+    crun.set_defaults(func=_cmd_campaign_run)
+    cstatus = campaign_sub.add_parser(
+        "status", help="list in-flight journals and cached results")
+    cstatus.set_defaults(func=_cmd_campaign_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -29,6 +29,17 @@ class LaunchError(ReproError):
     """Raised when a kernel launch is malformed (grid/block/resources)."""
 
 
+class CampaignError(ReproError):
+    """Raised when an FI campaign's infrastructure failure rate exceeds the
+    configured threshold (``REPRO_MAX_TRIAL_FAILURES``).
+
+    Individual unexpected trial exceptions are isolated, retried once and
+    tallied as :attr:`FaultOutcome.CRASH`; only a campaign whose crash
+    fraction crosses the threshold aborts with this error, because at that
+    point the tallies no longer say anything statistically useful.
+    """
+
+
 class ExecutionError(ReproError):
     """Base class for errors raised *during* simulated kernel execution.
 

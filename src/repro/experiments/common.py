@@ -11,7 +11,9 @@ Hardened variants run the same applications through the TMR harness.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.arch.config import quadro_gv100_like, tesla_v100_like
 from repro.arch.structures import Structure
@@ -46,6 +48,23 @@ def hardened_trials() -> int:
     if env:
         return int(env)
     return max(16, default_trials() * 5 // 8)
+
+
+#: ``progress_factory(campaign label) -> per-trial progress callback``
+#: (see :mod:`repro.fi.runner`); lets experiment drivers surface trial
+#: progress for every campaign in a suite pass.
+ProgressFactory = Callable[[str], Callable]
+
+
+def stderr_progress_factory(label: str):
+    """Default suite progress reporter: one ``\\r``-updated stderr line."""
+
+    def progress(done: int, total: int, outcome) -> None:
+        end = "\n" if done == total else "\r"
+        print(f"  {label}: {done}/{total} [{outcome.value}]",
+              end=end, file=sys.stderr, flush=True)
+
+    return progress
 
 
 @dataclass
@@ -131,8 +150,14 @@ def collect_suite(
     with_ld: bool = True,
     apps: list[str] | None = None,
     seed: int = 1,
+    progress_factory: ProgressFactory | None = None,
 ) -> SuiteData:
-    """Run/load the campaign grid for the whole benchmark suite."""
+    """Run/load the campaign grid for the whole benchmark suite.
+
+    ``progress_factory`` (e.g. :func:`stderr_progress_factory`) is called
+    once per campaign with a ``app/kernel/level`` label and must return a
+    per-trial callback, forwarded to the campaign runner.
+    """
     if trials is None:
         trials = hardened_trials() if hardened else default_trials()
     uarch_config = quadro_gv100_like()
@@ -155,12 +180,18 @@ def collect_suite(
 
             return get
 
+        def reporter(label, _app=app):
+            if progress_factory is None:
+                return None
+            return progress_factory(f"{_app.name}/{label}")
+
         for kernel in app.kernel_names:
             uarch = {
                 s: run_microarch_campaign(
                     app, kernel, s, uarch_config, trials=trials, seed=seed,
                     harness_factory=factory, hardened=hardened,
                     profile_supplier=supplier(uarch_config),
+                    progress=reporter(f"{kernel}/uarch-{s.value}"),
                 )
                 for s in Structure
             }
@@ -168,6 +199,7 @@ def collect_suite(
                 app, kernel, sw_config, trials=trials, seed=seed,
                 harness_factory=factory, hardened=hardened,
                 profile_supplier=supplier(sw_config),
+                progress=reporter(f"{kernel}/sw"),
             )
             sw_ld = None
             if with_ld:
@@ -175,6 +207,7 @@ def collect_suite(
                     app, kernel, sw_config, trials=trials, seed=seed,
                     loads_only=True, harness_factory=factory,
                     hardened=hardened, profile_supplier=supplier(sw_config),
+                    progress=reporter(f"{kernel}/sw-ld"),
                 )
             data = KernelData(app.name, kernel, uarch, sw, sw_ld)
             data.avf = avf_of_chip(uarch, uarch_config)

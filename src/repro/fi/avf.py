@@ -86,7 +86,7 @@ def avf_of_structure(result: CampaignResult) -> VulnBreakdown:
         raise ValueError("avf_of_structure needs a microarchitecture campaign")
     counts = result.counts
     df = result.derating_factor
-    n = counts.total
+    n = counts.classified
     if n == 0:
         return VulnBreakdown()
     return VulnBreakdown(

@@ -9,32 +9,51 @@ that affects the outcome, so experiments and benchmarks sharing campaigns
 (Figs. 1, 2, 4, 5, Table I all reuse the same base campaigns) never redo
 simulation work.
 
+Trial loops are delegated to the resilient execution engine in
+:mod:`repro.fi.runner`: trials are journaled as they complete (killed
+campaigns resume where they stopped), unexpected trial exceptions are
+isolated and retried instead of aborting the campaign, and cache writes
+are atomic (temp file + ``os.replace``) so readers never see torn JSON.
+
 Environment knobs:
 
 * ``REPRO_TRIALS`` — override the default trials per campaign cell.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
+* ``REPRO_MAX_TRIAL_FAILURES`` — tolerated crash fraction (default 0.1).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
-from dataclasses import dataclass, field
-from pathlib import Path
+import tempfile
+from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
 from repro.arch.structures import Structure
-from repro.errors import ExecutionError, SimTimeout
+from repro.errors import ConfigError, ExecutionError, SimTimeout
 from repro.fi.gpufi import MicroarchInjector, plan_microarch_fault
+from repro.fi.journal import cache_dir
 from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.fi.runner import ProgressFn, execute_trials
 from repro.kernels.base import DeviceHarness, GPUApplication, outputs_equal
 from repro.sim.gpu import GPU
 from repro.utils.rng import spawn_seeds
 
+__all__ = [
+    "AppProfile", "CampaignResult", "cache_dir", "default_trials",
+    "profile_app", "run_microarch_campaign", "run_software_campaign",
+    "run_source_campaign", "CACHE_VERSION", "DEFAULT_TRIALS",
+]
+
+log = logging.getLogger(__name__)
+
 #: Bump to invalidate every cached campaign result after a model change.
-CACHE_VERSION = 8
+#: v9: crash-outcome class + classified-trial normalization.
+CACHE_VERSION = 9
 
 #: Paper: 3000 trials per cell (±2.35 % @ 99 %). Scaled for one CPU core;
 #: the experiment reports quote the margin of error for the n actually used.
@@ -43,11 +62,19 @@ DEFAULT_TRIALS = 64
 
 def default_trials() -> int:
     env = os.environ.get("REPRO_TRIALS")
-    return int(env) if env else DEFAULT_TRIALS
-
-
-def cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    if not env:
+        return DEFAULT_TRIALS
+    try:
+        trials = int(env)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRIALS must be a positive integer, got {env!r}"
+        ) from None
+    if trials <= 0:
+        raise ConfigError(
+            f"REPRO_TRIALS must be a positive integer, got {trials}"
+        )
+    return trials
 
 
 def _matches_kernel(launch_name: str, kernel: str) -> bool:
@@ -162,18 +189,55 @@ def _cache_key(payload: dict) -> str:
 
 def _cache_load(key: str) -> dict | None:
     path = cache_dir() / f"{key}.json"
-    if path.exists():
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        log.warning("campaign cache %s unreadable (%s); re-running the "
+                    "campaign", path, exc)
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        # Quarantine rather than silently re-simulating forever: the rename
+        # both surfaces the corruption and unblocks the next _cache_store.
+        quarantine = path.with_suffix(".json.corrupt")
         try:
-            return json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            return None
-    return None
+            os.replace(path, quarantine)
+            log.warning("campaign cache %s is corrupt (%s); quarantined as "
+                        "%s and re-running the campaign", path.name, exc,
+                        quarantine.name)
+        except OSError as rename_exc:
+            log.warning("campaign cache %s is corrupt (%s) and could not be "
+                        "quarantined (%s)", path.name, exc, rename_exc)
+        return None
 
 
 def _cache_store(key: str, payload: dict) -> None:
+    """Atomically persist one campaign result.
+
+    The payload lands in a temp file in the cache directory first and is
+    renamed over the final name only once fully written and fsynced, so a
+    crash mid-write can never leave a torn ``<key>.json`` and concurrent
+    readers always see either nothing or one complete payload.
+    """
     d = cache_dir()
     d.mkdir(parents=True, exist_ok=True)
-    (d / f"{key}.json").write_text(json.dumps(payload, sort_keys=True))
+    path = d / f"{key}.json"
+    fd, tmp = tempfile.mkstemp(dir=str(d), prefix=f".{key}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(json.dumps(payload, sort_keys=True))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _budget_fn(profile: AppProfile, config: GPUConfig):
@@ -208,6 +272,44 @@ def _total_cycles(gpu: GPU) -> int:
     return sum(rec.stats.cycles for rec in gpu.launch_records)
 
 
+def _gpu_factory(profile: AppProfile, config: GPUConfig):
+    """Fresh budget-configured GPUs for the runner (start-up and post-crash
+    replacement — a trial that blew up may have left the device corrupted)."""
+
+    def factory() -> GPU:
+        gpu = GPU(config)
+        gpu.cycle_budget_fn = _budget_fn(profile, config)
+        return gpu
+
+    return factory
+
+
+def _injection_trial_fn(app, profile, harness_factory, plan_fn,
+                        injector_attr, injector_cls):
+    """The one trial body all three campaign flavors share: plan a fault
+    for the trial seed, arm the injector, run the app, classify.
+
+    ``plan_fn(trial_seed)`` produces the fault plan; ``injector_attr`` is
+    the GPU hook the plan's injector arms (``uarch_injector`` or
+    ``sw_injector``)."""
+
+    def trial_fn(gpu: GPU, trial_seed: int):
+        plan = plan_fn(trial_seed)
+        if getattr(plan, "corrected_by_ecc", False):
+            # Provably architecturally silent: no need to simulate. The
+            # baseline cycle count keeps it out of the control-path tally.
+            return FaultOutcome.MASKED, profile.total_cycles
+        gpu.reset()
+        setattr(gpu, injector_attr, injector_cls(plan))
+        harness = harness_factory() if harness_factory else DeviceHarness()
+        try:
+            return _classify(app, gpu, harness, profile.golden)
+        finally:
+            setattr(gpu, injector_attr, None)
+
+    return trial_fn
+
+
 def run_microarch_campaign(
     app: GPUApplication,
     kernel: str,
@@ -222,6 +324,8 @@ def run_microarch_campaign(
     profile_supplier=None,
     num_bits: int = 1,
     ecc_protected: bool = False,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
 ) -> CampaignResult:
     """Statistical microarchitecture-level FI against one kernel/structure.
 
@@ -231,6 +335,10 @@ def run_microarch_campaign(
     double-bit); ``ecc_protected`` applies the SECDED model to the target
     structure (single-bit faults corrected without simulation, multi-bit
     faults detected as DUEs).
+
+    ``max_failure_rate`` overrides ``REPRO_MAX_TRIAL_FAILURES`` and
+    ``progress(completed, total, outcome)`` fires after every trial; see
+    :mod:`repro.fi.runner` for the resilience semantics.
     """
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
@@ -263,28 +371,21 @@ def run_microarch_campaign(
     if not launches:
         raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
 
-    counts = OutcomeCounts()
-    control_path_masked = 0
-    gpu = GPU(config)
-    gpu.cycle_budget_fn = _budget_fn(profile, config)
     tag = f"{app.name}/{kernel}/uarch/{structure.value}/{config.name}/{hardened}"
-    for trial_seed in spawn_seeds(seed, tag, trials):
-        plan = plan_microarch_fault(launches, structure, trial_seed,
-                                    num_bits, ecc_protected)
-        if plan.corrected_by_ecc:
-            # Provably architecturally silent: no need to simulate.
-            counts.add(FaultOutcome.MASKED)
-            continue
-        gpu.reset()
-        gpu.uarch_injector = MicroarchInjector(plan)
-        harness = harness_factory() if harness_factory else DeviceHarness()
-        try:
-            outcome, cycles = _classify(app, gpu, harness, profile.golden)
-        finally:
-            gpu.uarch_injector = None
-        counts.add(outcome)
-        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
-            control_path_masked += 1
+    tally = execute_trials(
+        key=key,
+        seeds=spawn_seeds(seed, tag, trials),
+        trial_fn=_injection_trial_fn(
+            app, profile, harness_factory,
+            lambda s: plan_microarch_fault(launches, structure, s,
+                                           num_bits, ecc_protected),
+            "uarch_injector", MicroarchInjector),
+        gpu_factory=_gpu_factory(profile, config),
+        baseline_cycles=profile.total_cycles,
+        max_failure_rate=max_failure_rate,
+        progress=progress,
+        journal=use_cache,
+    )
 
     result = CampaignResult(
         app_name=app.name,
@@ -294,11 +395,11 @@ def run_microarch_campaign(
         trials=trials,
         seed=seed,
         config_name=config.name,
-        counts=counts,
+        counts=tally.counts,
         derating_factor=derating_factor(structure, launches, config),
         kernel_cycles=profile.kernel_cycles(kernel),
         kernel_instructions=profile.kernel_instructions(kernel),
-        control_path_masked=control_path_masked,
+        control_path_masked=tally.control_path_masked,
         hardened=hardened,
     )
     if use_cache:
@@ -318,11 +419,14 @@ def run_software_campaign(
     use_cache: bool = True,
     profile: AppProfile | None = None,
     profile_supplier=None,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
 ) -> CampaignResult:
     """Statistical software-level (NVBitFI-style) FI against one kernel.
 
     ``profile_supplier`` is an optional zero-arg callable evaluated only on a
-    cache miss.
+    cache miss. ``max_failure_rate``/``progress`` as in
+    :func:`run_microarch_campaign`.
     """
     trials = trials if trials is not None else default_trials()
     injector_kind = "sw-ld" if loads_only else "sw"
@@ -351,24 +455,21 @@ def run_software_campaign(
     if not launches:
         raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
 
-    counts = OutcomeCounts()
-    control_path_masked = 0
-    gpu = GPU(config)
-    gpu.cycle_budget_fn = _budget_fn(profile, config)
     sw_launches = profile.kernel_launches(kernel, include_post=False)
     tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
-    for trial_seed in spawn_seeds(seed, tag, trials):
-        plan = plan_software_fault(sw_launches, trial_seed, loads_only)
-        gpu.reset()
-        gpu.sw_injector = SoftwareInjector(plan)
-        harness = harness_factory() if harness_factory else DeviceHarness()
-        try:
-            outcome, cycles = _classify(app, gpu, harness, profile.golden)
-        finally:
-            gpu.sw_injector = None
-        counts.add(outcome)
-        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
-            control_path_masked += 1
+    tally = execute_trials(
+        key=key,
+        seeds=spawn_seeds(seed, tag, trials),
+        trial_fn=_injection_trial_fn(
+            app, profile, harness_factory,
+            lambda s: plan_software_fault(sw_launches, s, loads_only),
+            "sw_injector", SoftwareInjector),
+        gpu_factory=_gpu_factory(profile, config),
+        baseline_cycles=profile.total_cycles,
+        max_failure_rate=max_failure_rate,
+        progress=progress,
+        journal=use_cache,
+    )
 
     result = CampaignResult(
         app_name=app.name,
@@ -378,14 +479,14 @@ def run_software_campaign(
         trials=trials,
         seed=seed,
         config_name=config.name,
-        counts=counts,
+        counts=tally.counts,
         derating_factor=1.0,  # software-level FI needs no derating (paper II-C)
         kernel_cycles=profile.kernel_cycles(kernel),
         kernel_instructions=sum(
             l["injectable_loads" if loads_only else "injectable"]
             for l in sw_launches
         ),
-        control_path_masked=control_path_masked,
+        control_path_masked=tally.control_path_masked,
         hardened=hardened,
     )
     if use_cache:
@@ -402,6 +503,8 @@ def run_source_campaign(
     sticky: bool = False,
     use_cache: bool = True,
     profile: AppProfile | None = None,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
 ) -> CampaignResult:
     """Source-register software-level FI (the paper's Section V-B models).
 
@@ -438,23 +541,20 @@ def run_source_campaign(
     if not launches:
         raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
 
-    counts = OutcomeCounts()
-    control_path_masked = 0
-    gpu = GPU(config)
-    gpu.cycle_budget_fn = _budget_fn(profile, config)
     tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
-    for trial_seed in spawn_seeds(seed, tag, trials):
-        plan = plan_source_fault(launches, trial_seed, sticky)
-        gpu.reset()
-        gpu.sw_injector = SourceInjector(plan)
-        harness = DeviceHarness()
-        try:
-            outcome, cycles = _classify(app, gpu, harness, profile.golden)
-        finally:
-            gpu.sw_injector = None
-        counts.add(outcome)
-        if outcome is FaultOutcome.MASKED and cycles != profile.total_cycles:
-            control_path_masked += 1
+    tally = execute_trials(
+        key=key,
+        seeds=spawn_seeds(seed, tag, trials),
+        trial_fn=_injection_trial_fn(
+            app, profile, None,
+            lambda s: plan_source_fault(launches, s, sticky),
+            "sw_injector", SourceInjector),
+        gpu_factory=_gpu_factory(profile, config),
+        baseline_cycles=profile.total_cycles,
+        max_failure_rate=max_failure_rate,
+        progress=progress,
+        journal=use_cache,
+    )
 
     result = CampaignResult(
         app_name=app.name,
@@ -464,11 +564,11 @@ def run_source_campaign(
         trials=trials,
         seed=seed,
         config_name=config.name,
-        counts=counts,
+        counts=tally.counts,
         derating_factor=1.0,
         kernel_cycles=profile.kernel_cycles(kernel),
         kernel_instructions=profile.kernel_instructions(kernel),
-        control_path_masked=control_path_masked,
+        control_path_masked=tally.control_path_masked,
         hardened=False,
     )
     if use_cache:

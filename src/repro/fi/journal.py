@@ -1,0 +1,133 @@
+"""Append-only trial journal: checkpoint/resume for FI campaigns.
+
+Real FI harnesses journal every injection result before moving to the next
+one (DrSEUs logs each trial to a database; DAVOS checkpoints every SBFI
+phase), so a crashed or preempted campaign never redoes completed work.
+This module provides the same guarantee for ``repro`` campaigns:
+
+* Each completed trial is appended as one JSON line to
+  ``.repro_cache/journal/<key>.jsonl`` and flushed+fsynced before the next
+  trial starts, so at most the in-flight trial is lost to a crash.
+* ``load()`` is crash-tolerant: a SIGKILL mid-append leaves a truncated
+  final line, which is detected and dropped (the journal file is compacted
+  back to its valid prefix so later appends stay well-formed).
+* Completed campaigns delete their journal; the final tally lives in the
+  regular result cache instead.
+
+Journal records are dicts with an ``event`` field:
+
+* ``{"event": "trial", "trial": i, "seed": s, "outcome": o, "cycles": c}``
+  — trial ``i`` completed with outcome ``o`` (a :class:`FaultOutcome`
+  value string).
+* ``{"event": "crash", "trial": i, "seed": s, "error": r, "traceback": t,
+  "retry": bool}`` — an attempt at trial ``i`` raised an unexpected
+  exception; diagnostic only, never replayed into tallies.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+
+log = logging.getLogger(__name__)
+
+
+def cache_dir() -> Path:
+    """Campaign cache location (``REPRO_CACHE_DIR``, default ``.repro_cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def journal_dir() -> Path:
+    return cache_dir() / "journal"
+
+
+class CampaignJournal:
+    """One campaign's append-only JSONL trial log, keyed by its cache key."""
+
+    def __init__(self, key: str, directory: Path | None = None):
+        self.key = key
+        self.path = (directory if directory is not None else journal_dir()) \
+            / f"{key}.jsonl"
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> list[dict]:
+        """Return all valid records, dropping a torn tail if the writer died
+        mid-append (the file is compacted so future appends stay valid)."""
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            log.warning("journal %s unreadable (%s); starting fresh",
+                        self.path, exc)
+            return []
+        records: list[dict] = []
+        valid_bytes = 0
+        for line in raw.splitlines(keepends=True):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                log.warning(
+                    "journal %s has a torn record after %d entries "
+                    "(interrupted append); dropping the tail",
+                    self.path.name, len(records))
+                break
+            if not isinstance(record, dict):
+                log.warning("journal %s entry %d is not an object; "
+                            "dropping the tail", self.path.name, len(records))
+                break
+            records.append(record)
+            valid_bytes += len(line)
+        if valid_bytes != len(raw):
+            self._compact(raw[:valid_bytes])
+        return records
+
+    def _compact(self, valid_prefix: bytes) -> None:
+        """Atomically rewrite the journal to its valid prefix."""
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                       prefix=f".{self.key}.", suffix=".tmp")
+            with os.fdopen(fd, "wb") as f:
+                f.write(valid_prefix)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            log.warning("could not compact journal %s: %s", self.path, exc)
+
+    def append(self, record: dict) -> None:
+        """Append one record and force it to disk before returning."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def discard(self) -> None:
+        """Delete the journal (campaign finished, or its log is stale)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            log.warning("could not delete journal %s: %s", self.path, exc)
+
+
+def list_journals(directory: Path | None = None) -> list[tuple[str, int, int]]:
+    """Inspect in-flight campaigns: ``(key, completed trials, crash events)``
+    per journal file, sorted by key."""
+    d = directory if directory is not None else journal_dir()
+    out: list[tuple[str, int, int]] = []
+    if not d.is_dir():
+        return out
+    for path in sorted(d.glob("*.jsonl")):
+        records = CampaignJournal(path.stem, d).load()
+        trials = sum(1 for r in records if r.get("event") == "trial")
+        crashes = sum(1 for r in records if r.get("event") == "crash")
+        out.append((path.stem, trials, crashes))
+    return out

@@ -7,6 +7,14 @@ The four classes of the paper (Section II-A):
 * **Timeout** — run exceeds the cycle budget derived from the fault-free run.
 * **DUE** — a catastrophic event aborts execution (illegal memory access,
   deadlock, control flow off the program, TMR vote failure, ...).
+
+Plus one infrastructure class outside the paper's taxonomy:
+
+* **Crash** — the *harness* failed, not the simulated fault: the trial
+  raised an unexpected exception (neither :class:`SimTimeout` nor
+  :class:`ExecutionError`) twice in a row. Crash trials are journaled and
+  tallied so campaigns survive flaky applications, but they are excluded
+  from the failure rate — they say nothing about the fault's effect.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ class FaultOutcome(enum.Enum):
     SDC = "sdc"
     TIMEOUT = "timeout"
     DUE = "due"
+    CRASH = "crash"  # infrastructure failure, not a fault effect
 
 
 @dataclass
@@ -30,6 +39,7 @@ class OutcomeCounts:
     sdc: int = 0
     timeout: int = 0
     due: int = 0
+    crash: int = 0
 
     def add(self, outcome: FaultOutcome) -> None:
         if outcome is FaultOutcome.MASKED:
@@ -38,12 +48,14 @@ class OutcomeCounts:
             self.sdc += 1
         elif outcome is FaultOutcome.TIMEOUT:
             self.timeout += 1
+        elif outcome is FaultOutcome.CRASH:
+            self.crash += 1
         else:
             self.due += 1
 
     @property
     def total(self) -> int:
-        return self.masked + self.sdc + self.timeout + self.due
+        return self.masked + self.sdc + self.timeout + self.due + self.crash
 
     def rate(self, outcome: FaultOutcome) -> float:
         n = self.total
@@ -54,12 +66,20 @@ class OutcomeCounts:
             FaultOutcome.SDC: self.sdc,
             FaultOutcome.TIMEOUT: self.timeout,
             FaultOutcome.DUE: self.due,
+            FaultOutcome.CRASH: self.crash,
         }[outcome] / n
 
     @property
+    def classified(self) -> int:
+        """Trials that produced a fault-effect class (i.e. everything but
+        infrastructure crashes). Vulnerability math divides by this, not
+        ``total``, so a flaky harness doesn't bias AVF/SVF downward."""
+        return self.total - self.crash
+
+    @property
     def failure_rate(self) -> float:
-        """FR = Pct(SDC) + Pct(Timeout) + Pct(DUE)."""
-        n = self.total
+        """FR = Pct(SDC) + Pct(Timeout) + Pct(DUE), over classified trials."""
+        n = self.classified
         return (self.sdc + self.timeout + self.due) / n if n else 0.0
 
     def breakdown(self) -> dict[str, float]:
@@ -71,6 +91,7 @@ class OutcomeCounts:
             "sdc": self.sdc,
             "timeout": self.timeout,
             "due": self.due,
+            "crash": self.crash,
         }
 
     @classmethod
@@ -80,6 +101,7 @@ class OutcomeCounts:
             sdc=int(d["sdc"]),
             timeout=int(d["timeout"]),
             due=int(d["due"]),
+            crash=int(d.get("crash", 0)),
         )
 
     def __add__(self, other: "OutcomeCounts") -> "OutcomeCounts":
@@ -88,4 +110,5 @@ class OutcomeCounts:
             self.sdc + other.sdc,
             self.timeout + other.timeout,
             self.due + other.due,
+            self.crash + other.crash,
         )

@@ -1,0 +1,219 @@
+"""Resilient campaign execution engine.
+
+All statistical FI campaigns (`run_microarch_campaign`,
+`run_software_campaign`, `run_source_campaign`) delegate their trial loops
+here. The engine owns everything that is about *executing N trials
+reliably* rather than about *which fault to inject*:
+
+* **Per-trial fault isolation** — an unexpected exception from one trial
+  (anything but :class:`ExecutionError`/:class:`SimTimeout`, which the
+  classifier already maps to DUE/Timeout) is caught, journaled with its
+  traceback and trial seed, and retried once on a fresh :class:`GPU`. If
+  the retry also fails the trial is tallied as the infrastructure outcome
+  :attr:`FaultOutcome.CRASH` and the campaign moves on. A campaign whose
+  crash fraction exceeds ``REPRO_MAX_TRIAL_FAILURES`` (default 10 %)
+  raises :class:`CampaignError` instead of producing garbage statistics.
+
+* **Journaled checkpoint/resume** — every completed trial is appended to
+  ``.repro_cache/journal/<key>.jsonl`` (flush+fsync) before the next one
+  starts. A killed campaign resumes from the last completed trial on the
+  next invocation; per-trial seeds from :func:`spawn_seeds` are
+  deterministic, so the resumed run's final tallies are bit-for-bit
+  identical to an uninterrupted run. Completed campaigns delete their
+  journal (the result lives in the regular cache).
+
+* **Progress reporting** — an optional callback fires after every trial
+  (including trials replayed from the journal), so experiment drivers and
+  the CLI can show campaign progress.
+
+Environment knobs:
+
+* ``REPRO_MAX_TRIAL_FAILURES`` — max tolerated crash fraction (default 0.1).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CampaignError, ConfigError, ExecutionError
+from repro.fi.journal import CampaignJournal
+from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+
+log = logging.getLogger(__name__)
+
+#: Default ceiling on the fraction of trials allowed to CRASH.
+DEFAULT_MAX_TRIAL_FAILURES = 0.10
+
+#: ``progress(completed, total, outcome)`` — fired after every trial.
+ProgressFn = Callable[[int, int, FaultOutcome], None]
+
+#: ``trial_fn(gpu, trial_seed) -> (outcome, total cycles executed)``.
+TrialFn = Callable[[object, int], "tuple[FaultOutcome, int]"]
+
+
+def max_trial_failure_rate() -> float:
+    """The configured crash-fraction ceiling (``REPRO_MAX_TRIAL_FAILURES``)."""
+    env = os.environ.get("REPRO_MAX_TRIAL_FAILURES")
+    if env is None or env == "":
+        return DEFAULT_MAX_TRIAL_FAILURES
+    try:
+        rate = float(env)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_MAX_TRIAL_FAILURES must be a fraction in [0, 1], "
+            f"got {env!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(
+            f"REPRO_MAX_TRIAL_FAILURES must be within [0, 1], got {rate}"
+        )
+    return rate
+
+
+@dataclass
+class TrialTally:
+    """What the execution engine hands back to the campaign builders."""
+
+    counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    control_path_masked: int = 0  # masked trials whose cycle count changed
+    resumed: int = 0  # trials replayed from the journal, not simulated
+    crash_events: int = 0  # journaled crash *attempts* (>= counts.crash)
+
+    def _record(self, outcome: FaultOutcome, cycles: int,
+                baseline_cycles: int) -> None:
+        self.counts.add(outcome)
+        if outcome is FaultOutcome.MASKED and cycles != baseline_cycles:
+            self.control_path_masked += 1
+
+
+def _journal_prefix_valid(records: list[dict], seeds: list[int]) -> bool:
+    """Trial records must be exactly trials 0..k-1 with the planned seeds."""
+    for i, rec in enumerate(records):
+        if i >= len(seeds):
+            return False
+        if rec.get("trial") != i or rec.get("seed") != seeds[i]:
+            return False
+        try:
+            FaultOutcome(rec.get("outcome"))
+            int(rec.get("cycles"))
+        except (ValueError, TypeError):
+            return False
+    return True
+
+
+def execute_trials(
+    *,
+    key: str,
+    seeds: list[int],
+    trial_fn: TrialFn,
+    gpu_factory: Callable[[], object],
+    baseline_cycles: int,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
+    journal: bool = True,
+) -> TrialTally:
+    """Run one trial per seed with isolation, journaling and resume.
+
+    ``trial_fn(gpu, trial_seed)`` plans and injects one fault, runs the
+    application and returns ``(outcome, cycles)``; it must leave the GPU
+    reusable (reset happens inside the trial). ``gpu_factory`` builds a
+    fresh, budget-configured GPU — used at start-up and to replace a GPU
+    whose state an unexpected exception may have corrupted.
+
+    ``journal=False`` disables checkpointing (used by ``use_cache=False``
+    campaigns, whose callers asked for a from-scratch run).
+    """
+    total = len(seeds)
+    threshold = (max_failure_rate if max_failure_rate is not None
+                 else max_trial_failure_rate())
+    tally = TrialTally()
+    jr = CampaignJournal(key) if journal else None
+
+    done = 0
+    if jr is not None:
+        records = jr.load()
+        completed = [r for r in records if r.get("event") == "trial"]
+        tally.crash_events = sum(
+            1 for r in records if r.get("event") == "crash")
+        if completed and not _journal_prefix_valid(completed, seeds):
+            log.warning(
+                "journal %s does not match the planned trial seeds "
+                "(stale or foreign); discarding it and restarting", key)
+            jr.discard()
+            completed = []
+            tally.crash_events = 0
+        for rec in completed:
+            outcome = FaultOutcome(rec["outcome"])
+            tally._record(outcome, int(rec["cycles"]), baseline_cycles)
+            done += 1
+            if progress is not None:
+                progress(done, total, outcome)
+        tally.resumed = done
+        if done:
+            log.info("campaign %s: resumed %d/%d trials from journal",
+                     key, done, total)
+            if tally.counts.crash / total > threshold:
+                raise CampaignError(
+                    f"campaign {key}: journal already records "
+                    f"{tally.counts.crash}/{total} crashed trials, exceeding "
+                    f"REPRO_MAX_TRIAL_FAILURES={threshold:.0%}"
+                )
+
+    gpu = gpu_factory() if done < total else None
+    for i in range(done, total):
+        trial_seed = seeds[i]
+        try:
+            outcome, cycles = trial_fn(gpu, trial_seed)
+        except ExecutionError:
+            # SimTimeout/ExecutionError are fault effects the classifier
+            # already maps to Timeout/DUE; one escaping the trial is a
+            # harness bug the campaign must not paper over.
+            raise
+        except Exception as exc:
+            tally.crash_events += 1
+            tb = traceback.format_exc()
+            log.warning("trial %d (seed %d) raised %r; retrying on a "
+                        "fresh GPU", i, trial_seed, exc)
+            if jr is not None:
+                jr.append({"event": "crash", "trial": i, "seed": trial_seed,
+                           "error": repr(exc), "traceback": tb,
+                           "retry": False})
+            gpu = gpu_factory()
+            try:
+                outcome, cycles = trial_fn(gpu, trial_seed)
+            except ExecutionError:
+                raise
+            except Exception as exc2:
+                tally.crash_events += 1
+                tb2 = traceback.format_exc()
+                log.error("trial %d (seed %d) raised %r again on retry; "
+                          "tallying as CRASH", i, trial_seed, exc2)
+                if jr is not None:
+                    jr.append({"event": "crash", "trial": i,
+                               "seed": trial_seed, "error": repr(exc2),
+                               "traceback": tb2, "retry": True})
+                gpu = gpu_factory()
+                outcome, cycles = FaultOutcome.CRASH, 0
+
+        tally._record(outcome, cycles, baseline_cycles)
+        if jr is not None:
+            jr.append({"event": "trial", "trial": i, "seed": trial_seed,
+                       "outcome": outcome.value, "cycles": cycles})
+        if progress is not None:
+            progress(i + 1, total, outcome)
+
+        if tally.counts.crash / total > threshold:
+            raise CampaignError(
+                f"campaign {key}: {tally.counts.crash}/{total} trials "
+                f"crashed with unexpected exceptions, exceeding "
+                f"REPRO_MAX_TRIAL_FAILURES={threshold:.0%}; see the journal "
+                f"({CampaignJournal(key).path}) for tracebacks"
+            )
+
+    if jr is not None:
+        jr.discard()
+    return tally

@@ -17,7 +17,7 @@ def svf_of_kernel(result: CampaignResult) -> VulnBreakdown:
     if result.injector not in ("sw", "sw-ld"):
         raise ValueError("svf_of_kernel needs a software-level campaign")
     counts = result.counts
-    n = counts.total
+    n = counts.classified
     if n == 0:
         return VulnBreakdown()
     return VulnBreakdown(

@@ -28,3 +28,30 @@ def test_run_fig12(capsys):
 def test_disasm(capsys):
     assert main(["disasm", "va"]) == 0
     assert "va_k1" in capsys.readouterr().out
+
+
+def test_campaign_run_and_status(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "sw",
+                 "--trials", "6", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "va/va_k1/sw" in out and "failure rate" in out
+    assert main(["campaign", "status"]) == 0
+    out = capsys.readouterr().out
+    assert "no in-flight campaign journals" in out
+    assert "1 cached campaign result" in out
+
+
+def test_campaign_uarch_run(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "uarch",
+                 "--structure", "rf", "--trials", "4", "--quiet"]) == 0
+    assert "quadro-gv100-like" in capsys.readouterr().out
+
+
+def test_campaign_unknown_app(capsys, tmp_cache):
+    assert main(["campaign", "run", "nope"]) == 2
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_campaign_unknown_kernel(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "hotspot_k1"]) == 2
+    assert "no kernel" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Parallel trial-pool scaling: a 200-trial campaign at ``workers=4`` must
+beat the serial run by >=2x while producing bit-identical tallies.
+
+Skipped on boxes with fewer than 4 CPUs — a pool cannot outrun the serial
+path without cores to run on.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.arch.config import tesla_v100_like
+from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.kernels import get_application
+
+APP, KERNEL, TRIALS, SEED = "bfs", "bfs_k1", 200, 1
+
+pytestmark = [
+    pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                       reason="parallel speedup needs >= 4 CPUs"),
+    pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="trial pool requires the fork start method"),
+]
+
+
+def _campaign(workers, profile):
+    return run_campaign(
+        CampaignSpec(level="sw", app=APP, kernel=KERNEL,
+                     config=tesla_v100_like(), trials=TRIALS, seed=SEED,
+                     workers=workers, use_cache=False),
+        profile=profile)
+
+
+def test_four_workers_double_serial_throughput(benchmark):
+    config = tesla_v100_like()
+    profile = profile_app(get_application(APP), config)
+
+    start = time.perf_counter()
+    serial = _campaign(1, profile)
+    serial_s = time.perf_counter() - start
+
+    def parallel_run():
+        return _campaign(4, profile)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    assert parallel.counts == serial.counts  # determinism first
+    speedup = serial_s / parallel_s
+    print(f"\n{TRIALS}-trial {APP}/{KERNEL} sw campaign: "
+          f"serial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s "
+          f"({speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"expected >=2x speedup at 4 workers, got {speedup:.2f}x")

@@ -12,7 +12,7 @@ Run: ``python examples/hardening_study.py``
 """
 
 from repro.arch import Structure, quadro_gv100_like, tesla_v100_like
-from repro.fi import run_microarch_campaign, run_software_campaign
+from repro.fi import CampaignSpec, run_campaign
 from repro.hardening import tmr_harness_factory
 from repro.kernels import get_application
 from repro.sim import GPU
@@ -40,14 +40,14 @@ def main() -> None:
     print(f"\n{'campaign':<28} {'masked':>7} {'sdc':>5} {'t/o':>5} {'due':>5}")
     for hardened, factory, tag in ((False, None, "baseline"),
                                    (True, tmr_harness_factory, "TMR")):
-        uarch = run_microarch_campaign(
-            app, KERNEL, Structure.RF, quadro_gv100_like(), trials=TRIALS,
-            seed=2, harness_factory=factory, hardened=hardened,
-        )
-        sw = run_software_campaign(
-            app, KERNEL, tesla_v100_like(), trials=TRIALS, seed=2,
-            harness_factory=factory, hardened=hardened,
-        )
+        uarch = run_campaign(CampaignSpec(
+            level="uarch", app=app, kernel=KERNEL, structure=Structure.RF,
+            config=quadro_gv100_like(), trials=TRIALS, seed=2,
+            hardened=hardened), harness_factory=factory)
+        sw = run_campaign(CampaignSpec(
+            level="sw", app=app, kernel=KERNEL, config=tesla_v100_like(),
+            trials=TRIALS, seed=2, hardened=hardened),
+            harness_factory=factory)
         for name, result in ((f"AVF-RF {tag}", uarch), (f"SVF {tag}", sw)):
             c = result.counts
             print(f"{name:<28} {c.masked:>7} {c.sdc:>5} {c.timeout:>5} "

@@ -14,7 +14,7 @@ Run: ``python examples/quickstart.py``
 import numpy as np
 
 from repro.arch import Structure, quadro_gv100_like, tesla_v100_like
-from repro.fi import run_microarch_campaign, run_software_campaign
+from repro.fi import CampaignSpec, run_campaign
 from repro.fi.avf import avf_of_structure
 from repro.fi.svf import svf_of_kernel
 from repro.isa import assemble
@@ -90,10 +90,10 @@ def main() -> None:
 
     # Microarchitecture-level FI (cross-layer AVF) on the register file.
     trials = 100
-    uarch = run_microarch_campaign(
-        app, "saxpy_k1", Structure.RF, quadro_gv100_like(),
-        trials=trials, seed=1, use_cache=False,
-    )
+    uarch = run_campaign(CampaignSpec(
+        level="uarch", app=app, kernel="saxpy_k1", structure=Structure.RF,
+        config=quadro_gv100_like(), trials=trials, seed=1, use_cache=False,
+    ))
     avf = avf_of_structure(uarch)
     print(f"\nmicroarch FI (RF, n={trials}, ±{margin_of_error(trials):.1%}):")
     print(f"  outcomes = {uarch.counts.to_dict()}")
@@ -102,10 +102,10 @@ def main() -> None:
           f"(sdc={avf.sdc:.4%} timeout={avf.timeout:.4%} due={avf.due:.4%})")
 
     # Software-level FI (SVF) on the V100-like device.
-    sw = run_software_campaign(
-        app, "saxpy_k1", tesla_v100_like(), trials=trials, seed=1,
-        use_cache=False,
-    )
+    sw = run_campaign(CampaignSpec(
+        level="sw", app=app, kernel="saxpy_k1", config=tesla_v100_like(),
+        trials=trials, seed=1, use_cache=False,
+    ))
     svf = svf_of_kernel(sw)
     print(f"\nsoftware FI (n={trials}):")
     print(f"  outcomes = {sw.counts.to_dict()}")

@@ -8,12 +8,16 @@ Usage::
     python -m repro.cli apps
     python -m repro.cli disasm hotspot
     python -m repro.cli campaign run va --level sw --trials 128
+    python -m repro.cli campaign run bfs --trials 200 --workers auto
     python -m repro.cli campaign status
 
 The underlying campaigns cache under ``.repro_cache/``, so repeated
-invocations are cheap. Interrupted campaigns journal completed trials
-under ``.repro_cache/journal/`` and resume automatically when re-run
-(``campaign status`` shows what is in flight).
+invocations are cheap. ``--workers N`` (or ``REPRO_WORKERS``) fans trials
+out over a pool of worker processes with bit-identical results.
+Interrupted campaigns journal completed trials under
+``.repro_cache/journal/`` and resume automatically when re-run
+(``campaign status`` shows what is in flight and flags journals a
+configuration change has orphaned).
 """
 
 from __future__ import annotations
@@ -104,27 +108,62 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
-def _stderr_progress(label: str):
-    """Per-trial progress line on stderr (carriage-return updates)."""
+class _CampaignProgress:
+    """Live campaign progress on stderr: one ``\\r``-updated line with the
+    in-order trial count, plus per-worker completion counters when the
+    trial pool is active (results arrive out of order, so the per-worker
+    tallies can run ahead of the committed ``trial done/total`` count)."""
 
-    def progress(done: int, total: int, outcome) -> None:
-        end = "\n" if done == total else "\r"
-        print(f"  {label}: trial {done}/{total} [{outcome.value}]",
-              end=end, file=sys.stderr, flush=True)
+    def __init__(self, label: str):
+        self.label = label
+        self.per_worker: dict[int, int] = {}
+        self.done = 0
+        self.total = 0
+        self.outcome = ""
 
-    return progress
+    def _render(self, final: bool) -> None:
+        # workers can report before the first in-order commit sets total
+        line = f"  {self.label}: trial {self.done}/{self.total or '?'}"
+        if self.outcome:
+            line += f" [{self.outcome}]"
+        if self.per_worker and not final:
+            counts = " ".join(f"w{w}:{n}"
+                              for w, n in sorted(self.per_worker.items()))
+            line += f"  ({counts})"
+        end = "\n" if final else "\r"
+        print(line, end=end, file=sys.stderr, flush=True)
+
+    def __call__(self, done: int, total: int, outcome) -> None:
+        self.done, self.total, self.outcome = done, total, outcome.value
+        self._render(final=done == total)
+
+    def worker_update(self, worker_id: int, completed: int) -> None:
+        self.per_worker[worker_id] = completed
+        self._render(final=False)
+
+
+def _parse_workers_arg(value: str) -> int:
+    if value.strip().lower() == "auto":
+        from repro.config import auto_workers
+
+        return auto_workers()
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {workers}")
+    return workers
 
 
 def _cmd_campaign_run(args) -> int:
-    from repro.arch.config import quadro_gv100_like, tesla_v100_like
-    from repro.arch.structures import Structure
     from repro.errors import ReproError
-    from repro.fi.campaign import (
-        run_microarch_campaign,
-        run_software_campaign,
-        run_source_campaign,
-    )
+    from repro.fi.campaign import CampaignSpec, run_campaign
     from repro.fi.outcomes import FaultOutcome
+    from repro.fi.runner import resolve_workers
     from repro.hardening import tmr_harness_factory
     from repro.kernels import get_application
 
@@ -138,31 +177,30 @@ def _cmd_campaign_run(args) -> int:
         print(f"{args.app} has no kernel {kernel!r} "
               f"(has: {', '.join(app.kernel_names)})", file=sys.stderr)
         return 2
-    # Default to the paper's tool pairing: GPU-FI on GV100, NVBitFI on V100.
-    config_name = args.config or ("gv100" if args.level == "uarch" else "v100")
-    config = (quadro_gv100_like() if config_name == "gv100"
-              else tesla_v100_like())
     label = f"{args.app}/{kernel}/{args.level}"
-    common = dict(
+    reporter = None if args.quiet else _CampaignProgress(label)
+    factory = tmr_harness_factory if args.hardened else None
+    spec = CampaignSpec(
+        level=args.level,
+        app=app,
+        kernel=kernel,
+        structure=args.structure if args.level == "uarch" else None,
+        config=args.config,  # None -> the level's paper pairing
         trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
+        hardened=args.hardened,
         use_cache=not args.no_cache,
-        progress=None if args.quiet else _stderr_progress(label),
     )
-    factory = tmr_harness_factory if args.hardened else None
     try:
-        if args.level == "uarch":
-            result = run_microarch_campaign(
-                app, kernel, Structure(args.structure), config,
-                harness_factory=factory, hardened=args.hardened, **common)
-        elif args.level in ("sw", "sw-ld"):
-            result = run_software_campaign(
-                app, kernel, config, loads_only=args.level == "sw-ld",
-                harness_factory=factory, hardened=args.hardened, **common)
-        else:  # src / src-sticky
-            result = run_source_campaign(
-                app, kernel, config, sticky=args.level == "src-sticky",
-                **common)
+        result = run_campaign(
+            spec,
+            harness_factory=factory,
+            progress=reporter,
+            worker_progress=(reporter.worker_update
+                             if reporter is not None
+                             and resolve_workers(args.workers) > 1 else None),
+        )
     except ReproError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
@@ -178,14 +216,29 @@ def _cmd_campaign_run(args) -> int:
 
 
 def _cmd_campaign_status(_args) -> int:
+    from repro.fi.campaign import CACHE_VERSION, default_trials
     from repro.fi.journal import cache_dir, journal_dir, list_journals
+    from repro.fi.runner import journal_validity
 
     entries = list_journals()
     if entries:
         print(f"in-flight campaign journals under {journal_dir()}:")
-        for key, trials, crashes in entries:
-            note = f", {crashes} crash event(s)" if crashes else ""
-            print(f"  {key}: {trials} trial(s) completed{note}")
+        current_trials = default_trials()
+        for info in entries:
+            resumable, reason = journal_validity(
+                info.meta, info.records, current_trials, CACHE_VERSION)
+            name = info.key
+            if info.meta is not None:
+                name += (f" ({info.meta.get('app')}/{info.meta.get('kernel')}"
+                         f"/{info.meta.get('level')})")
+            if not resumable:
+                print(f"  {name}: invalid — will restart ({reason})")
+                continue
+            note = f", {info.crashes} crash event(s)" if info.crashes else ""
+            planned = (f"/{info.meta['trials']}"
+                       if info.meta and "trials" in info.meta else "")
+            print(f"  {name}: {info.trials}{planned} trial(s) "
+                  f"completed{note}")
     else:
         print("no in-flight campaign journals")
     d = cache_dir()
@@ -241,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
                            "paper pairing — gv100 for uarch, v100 for sw)")
     crun.add_argument("--trials", type=int, default=None)
     crun.add_argument("--seed", type=int, default=1)
+    crun.add_argument("--workers", type=_parse_workers_arg, default=None,
+                      metavar="N|auto",
+                      help="trial-execution pool size (default: "
+                           "REPRO_WORKERS; 'auto' = all cores but one)")
     crun.add_argument("--hardened", action="store_true",
                       help="run the TMR-hardened variant")
     crun.add_argument("--no-cache", action="store_true",

@@ -1,0 +1,164 @@
+"""Central runtime configuration for the repro package.
+
+Every ``REPRO_*`` environment knob is resolved in exactly one place — the
+frozen :class:`Settings` dataclass — instead of scattered ``os.environ``
+reads across the campaign, runner, journal and experiment modules. Call
+:func:`get_settings` anywhere a knob is needed: it validates the whole
+environment once (raising :class:`ConfigError` with the offending variable
+named) and memoizes the resolved ``Settings`` until one of the underlying
+variables changes, so tests that monkeypatch the environment still observe
+their overrides.
+
+Recognised variables:
+
+* ``REPRO_TRIALS`` — trials per campaign cell (positive int, default 64).
+* ``REPRO_TRIALS_HARDENED`` — trials per hardened campaign cell (positive
+  int; default derived from ``REPRO_TRIALS`` by the experiment drivers).
+* ``REPRO_CACHE_DIR`` — campaign cache location (default ``.repro_cache``).
+* ``REPRO_MAX_TRIAL_FAILURES`` — tolerated crash fraction in ``[0, 1]``
+  (default 0.1).
+* ``REPRO_WORKERS`` — trial-execution pool size: a positive int, or
+  ``auto`` for ``os.cpu_count() - 1`` (min 1). Default 1 (serial).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "DEFAULT_MAX_TRIAL_FAILURES",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_WORKERS",
+    "Settings",
+    "get_settings",
+]
+
+#: Paper: 3000 trials per cell (±2.35 % @ 99 %). Scaled for one CPU core;
+#: the experiment reports quote the margin of error for the n actually used.
+DEFAULT_TRIALS = 64
+
+#: Default ceiling on the fraction of trials allowed to CRASH.
+DEFAULT_MAX_TRIAL_FAILURES = 0.10
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Serial execution unless the user opts into a pool.
+DEFAULT_WORKERS = 1
+
+#: The environment variables a Settings resolution depends on, in the order
+#: used for the memoization key.
+_ENV_VARS = (
+    "REPRO_TRIALS",
+    "REPRO_TRIALS_HARDENED",
+    "REPRO_CACHE_DIR",
+    "REPRO_MAX_TRIAL_FAILURES",
+    "REPRO_WORKERS",
+)
+
+
+def auto_workers() -> int:
+    """The ``REPRO_WORKERS=auto`` pool size: all cores but one, min 1."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def _parse_positive_int(name: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
+def _parse_fraction(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a fraction in [0, 1], got {raw!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def _parse_workers(name: str, raw: str) -> int:
+    if raw.strip().lower() == "auto":
+        return auto_workers()
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigError(
+            f"{name} must be a positive integer or 'auto', got {value}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Resolved runtime configuration (env → defaults), validated once."""
+
+    trials: int = DEFAULT_TRIALS
+    trials_hardened: int | None = None
+    cache_dir: Path = Path(DEFAULT_CACHE_DIR)
+    max_trial_failures: float = DEFAULT_MAX_TRIAL_FAILURES
+    workers: int = DEFAULT_WORKERS
+
+    @classmethod
+    def from_env(cls, environ=None) -> "Settings":
+        """Build a Settings from the environment, validating every knob.
+
+        Empty values count as unset. Invalid values raise
+        :class:`ConfigError` naming the offending variable.
+        """
+        env = os.environ if environ is None else environ
+
+        def raw(name: str) -> str | None:
+            value = env.get(name)
+            return value if value else None
+
+        kwargs: dict = {}
+        if (v := raw("REPRO_TRIALS")) is not None:
+            kwargs["trials"] = _parse_positive_int("REPRO_TRIALS", v)
+        if (v := raw("REPRO_TRIALS_HARDENED")) is not None:
+            kwargs["trials_hardened"] = _parse_positive_int(
+                "REPRO_TRIALS_HARDENED", v)
+        if (v := raw("REPRO_CACHE_DIR")) is not None:
+            kwargs["cache_dir"] = Path(v)
+        if (v := raw("REPRO_MAX_TRIAL_FAILURES")) is not None:
+            kwargs["max_trial_failures"] = _parse_fraction(
+                "REPRO_MAX_TRIAL_FAILURES", v)
+        if (v := raw("REPRO_WORKERS")) is not None:
+            kwargs["workers"] = _parse_workers("REPRO_WORKERS", v)
+        return cls(**kwargs)
+
+
+_cached_key: tuple | None = None
+_cached_settings: Settings | None = None
+
+
+def get_settings() -> Settings:
+    """The process-wide Settings, resolved once per environment state.
+
+    The resolution is memoized on the tuple of ``REPRO_*`` values, so
+    repeated calls are cheap but a changed environment (tests, notebooks)
+    is picked up on the next call.
+    """
+    global _cached_key, _cached_settings
+    key = tuple(os.environ.get(name) for name in _ENV_VARS)
+    if _cached_settings is None or key != _cached_key:
+        _cached_settings = Settings.from_env()
+        _cached_key = key
+    return _cached_settings

@@ -10,13 +10,13 @@ Hardened variants run the same applications through the TMR harness.
 
 from __future__ import annotations
 
-import os
 import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.arch.config import quadro_gv100_like, tesla_v100_like
 from repro.arch.structures import Structure
+from repro.config import get_settings
 from repro.fi.avf import (
     VulnBreakdown,
     avf_of_application,
@@ -26,10 +26,10 @@ from repro.fi.avf import (
 )
 from repro.fi.campaign import (
     CampaignResult,
+    CampaignSpec,
     default_trials,
     profile_app,
-    run_microarch_campaign,
-    run_software_campaign,
+    run_campaign,
 )
 from repro.fi.svf import svf_of_application, svf_of_kernel
 from repro.hardening import tmr_harness_factory
@@ -44,10 +44,10 @@ APP_ORDER = (
 
 def hardened_trials() -> int:
     """Hardened apps simulate ~3.5x slower; default to a smaller n."""
-    env = os.environ.get("REPRO_TRIALS_HARDENED")
-    if env:
-        return int(env)
-    return max(16, default_trials() * 5 // 8)
+    settings = get_settings()
+    if settings.trials_hardened is not None:
+        return settings.trials_hardened
+    return max(16, settings.trials * 5 // 8)
 
 
 #: ``progress_factory(campaign label) -> per-trial progress callback``
@@ -151,12 +151,15 @@ def collect_suite(
     apps: list[str] | None = None,
     seed: int = 1,
     progress_factory: ProgressFactory | None = None,
+    workers: int | None = None,
 ) -> SuiteData:
     """Run/load the campaign grid for the whole benchmark suite.
 
     ``progress_factory`` (e.g. :func:`stderr_progress_factory`) is called
     once per campaign with a ``app/kernel/level`` label and must return a
-    per-trial callback, forwarded to the campaign runner.
+    per-trial callback, forwarded to the campaign runner. ``workers``
+    (default ``REPRO_WORKERS``) sets the trial-execution pool size every
+    campaign in the pass runs with.
     """
     if trials is None:
         trials = hardened_trials() if hardened else default_trials()
@@ -185,30 +188,28 @@ def collect_suite(
                 return None
             return progress_factory(f"{_app.name}/{label}")
 
+        def cell(level, kernel, config, structure=None, label=None):
+            return run_campaign(
+                CampaignSpec(level=level, app=app, kernel=kernel,
+                             structure=structure, config=config,
+                             trials=trials, seed=seed, workers=workers,
+                             hardened=hardened),
+                harness_factory=factory,
+                profile_supplier=supplier(config),
+                progress=reporter(label),
+            )
+
         for kernel in app.kernel_names:
             uarch = {
-                s: run_microarch_campaign(
-                    app, kernel, s, uarch_config, trials=trials, seed=seed,
-                    harness_factory=factory, hardened=hardened,
-                    profile_supplier=supplier(uarch_config),
-                    progress=reporter(f"{kernel}/uarch-{s.value}"),
-                )
+                s: cell("uarch", kernel, uarch_config, structure=s,
+                        label=f"{kernel}/uarch-{s.value}")
                 for s in Structure
             }
-            sw = run_software_campaign(
-                app, kernel, sw_config, trials=trials, seed=seed,
-                harness_factory=factory, hardened=hardened,
-                profile_supplier=supplier(sw_config),
-                progress=reporter(f"{kernel}/sw"),
-            )
+            sw = cell("sw", kernel, sw_config, label=f"{kernel}/sw")
             sw_ld = None
             if with_ld:
-                sw_ld = run_software_campaign(
-                    app, kernel, sw_config, trials=trials, seed=seed,
-                    loads_only=True, harness_factory=factory,
-                    hardened=hardened, profile_supplier=supplier(sw_config),
-                    progress=reporter(f"{kernel}/sw-ld"),
-                )
+                sw_ld = cell("sw-ld", kernel, sw_config,
+                             label=f"{kernel}/sw-ld")
             data = KernelData(app.name, kernel, uarch, sw, sw_ld)
             data.avf = avf_of_chip(uarch, uarch_config)
             data.avf_rf = avf_of_structure(uarch[Structure.RF])

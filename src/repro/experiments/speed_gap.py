@@ -14,7 +14,7 @@ import time
 
 from repro.arch.config import quadro_gv100_like, tesla_v100_like
 from repro.arch.structures import Structure
-from repro.fi.campaign import run_microarch_campaign, run_software_campaign
+from repro.fi.campaign import CampaignSpec, run_campaign
 from repro.kernels import get_application
 
 
@@ -23,15 +23,16 @@ def data(trials: int = 12, app_name: str = "hotspot"):
     kernel = app.kernel_names[0]
     t0 = time.perf_counter()
     for structure in Structure:
-        run_microarch_campaign(
-            app, kernel, structure, quadro_gv100_like(),
-            trials=trials, use_cache=False,
-        )
+        run_campaign(CampaignSpec(
+            level="uarch", app=app, kernel=kernel, structure=structure,
+            config=quadro_gv100_like(), trials=trials, use_cache=False,
+        ))
     avf_time = time.perf_counter() - t0
     t0 = time.perf_counter()
-    run_software_campaign(
-        app, kernel, tesla_v100_like(), trials=trials, use_cache=False
-    )
+    run_campaign(CampaignSpec(
+        level="sw", app=app, kernel=kernel, config=tesla_v100_like(),
+        trials=trials, use_cache=False,
+    ))
     svf_time = time.perf_counter() - t0
     return {
         "avf_seconds": avf_time,

@@ -17,11 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.report import format_table
 from repro.arch.config import tesla_v100_like
-from repro.fi.campaign import (
-    profile_app,
-    run_software_campaign,
-    run_source_campaign,
-)
+from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
 from repro.kernels import get_application
 
 KERNELS = (
@@ -38,12 +34,14 @@ def data(trials: int | None = None):
     for app_name, kernel in KERNELS:
         app = get_application(app_name)
         profile = profile_app(app, config)
-        dest = run_software_campaign(app, kernel, config, trials=trials,
-                                     seed=21, profile=profile)
-        transient = run_source_campaign(app, kernel, config, trials=trials,
-                                        seed=21, sticky=False, profile=profile)
-        sticky = run_source_campaign(app, kernel, config, trials=trials,
-                                     seed=21, sticky=True, profile=profile)
+        def cell(level):
+            return run_campaign(CampaignSpec(
+                level=level, app=app, kernel=kernel, config=config,
+                trials=trials, seed=21), profile=profile)
+
+        dest = cell("sw")
+        transient = cell("src")
+        sticky = cell("src-sticky")
         rows[kernel] = {
             "dest": dest.counts.failure_rate,
             "src_transient": transient.counts.failure_rate,

@@ -7,9 +7,12 @@ from repro.fi.nvbitfi import SoftwareFaultPlan, SoftwareInjector
 from repro.fi.campaign import (
     AppProfile,
     CampaignResult,
+    CampaignSpec,
     profile_app,
+    run_campaign,
     run_microarch_campaign,
     run_software_campaign,
+    run_source_campaign,
 )
 from repro.fi.avf import (
     avf_of_application,
@@ -28,9 +31,12 @@ __all__ = [
     "SoftwareInjector",
     "AppProfile",
     "CampaignResult",
+    "CampaignSpec",
     "profile_app",
+    "run_campaign",
     "run_microarch_campaign",
     "run_software_campaign",
+    "run_source_campaign",
     "avf_of_application",
     "avf_of_chip",
     "avf_of_structure",

@@ -1,25 +1,36 @@
-"""Statistical fault-injection campaigns.
+"""Statistical fault-injection campaigns behind one ``run_campaign`` API.
 
 A campaign profiles the application fault-free (golden outputs, per-launch
 cycles and dynamic-instruction counts), then runs N injected trials, each on
 a reset device with one planned fault, and tallies the outcome classes.
 
-Results are cached as JSON under ``.repro_cache/`` keyed by every parameter
-that affects the outcome, so experiments and benchmarks sharing campaigns
-(Figs. 1, 2, 4, 5, Table I all reuse the same base campaigns) never redo
-simulation work.
+:func:`run_campaign` is the single entry point: a frozen
+:class:`CampaignSpec` names the injection ``level`` (``uarch``, ``sw``,
+``sw-ld``, ``src``, ``src-sticky``), the application/kernel, the trial
+budget, the seed and the worker-pool size; runtime-only collaborators
+(profiles, harness factories, progress callbacks) are keyword arguments.
+The historical ``run_microarch_campaign`` / ``run_software_campaign`` /
+``run_source_campaign`` functions remain as thin deprecated wrappers.
 
-Trial loops are delegated to the resilient execution engine in
+Results are cached as JSON under ``.repro_cache/`` keyed by every parameter
+that affects the outcome — the worker count deliberately excluded, so serial
+and parallel runs share cache entries — and experiments and benchmarks
+sharing campaigns (Figs. 1, 2, 4, 5, Table I all reuse the same base
+campaigns) never redo simulation work.
+
+Trial loops are delegated to the execution engine in
 :mod:`repro.fi.runner`: trials are journaled as they complete (killed
 campaigns resume where they stopped), unexpected trial exceptions are
-isolated and retried instead of aborting the campaign, and cache writes
-are atomic (temp file + ``os.replace``) so readers never see torn JSON.
+isolated and retried instead of aborting the campaign, cache writes are
+atomic (temp file + ``os.replace``), and ``workers > 1`` fans trials out
+over a forked worker pool with bit-identical results.
 
-Environment knobs:
+Environment knobs (see :mod:`repro.config`):
 
 * ``REPRO_TRIALS`` — override the default trials per campaign cell.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
 * ``REPRO_MAX_TRIAL_FAILURES`` — tolerated crash fraction (default 0.1).
+* ``REPRO_WORKERS`` — default trial-execution pool size (default 1).
 """
 
 from __future__ import annotations
@@ -29,52 +40,44 @@ import json
 import logging
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
 from repro.arch.structures import Structure
+from repro.config import DEFAULT_TRIALS, get_settings
 from repro.errors import ConfigError, ExecutionError, SimTimeout
 from repro.fi.gpufi import MicroarchInjector, plan_microarch_fault
 from repro.fi.journal import cache_dir
 from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
-from repro.fi.runner import ProgressFn, execute_trials
+from repro.fi.runner import ProgressFn, WorkerProgressFn, execute_trials
 from repro.kernels.base import DeviceHarness, GPUApplication, outputs_equal
 from repro.sim.gpu import GPU
 from repro.utils.rng import spawn_seeds
 
 __all__ = [
-    "AppProfile", "CampaignResult", "cache_dir", "default_trials",
-    "profile_app", "run_microarch_campaign", "run_software_campaign",
+    "AppProfile", "CampaignResult", "CampaignSpec", "cache_dir",
+    "default_trials", "profile_app", "run_campaign",
+    "run_microarch_campaign", "run_software_campaign",
     "run_source_campaign", "CACHE_VERSION", "DEFAULT_TRIALS",
+    "CAMPAIGN_LEVELS",
 ]
 
 log = logging.getLogger(__name__)
 
 #: Bump to invalidate every cached campaign result after a model change.
-#: v9: crash-outcome class + classified-trial normalization.
-CACHE_VERSION = 9
+#: v10: NaN-payload-exact bitcasts (sNaN flips now observable) + journal
+#: meta records.
+CACHE_VERSION = 10
 
-#: Paper: 3000 trials per cell (±2.35 % @ 99 %). Scaled for one CPU core;
-#: the experiment reports quote the margin of error for the n actually used.
-DEFAULT_TRIALS = 64
+#: The injection levels ``run_campaign`` dispatches on.
+CAMPAIGN_LEVELS = ("uarch", "sw", "sw-ld", "src", "src-sticky")
 
 
 def default_trials() -> int:
-    env = os.environ.get("REPRO_TRIALS")
-    if not env:
-        return DEFAULT_TRIALS
-    try:
-        trials = int(env)
-    except ValueError:
-        raise ConfigError(
-            f"REPRO_TRIALS must be a positive integer, got {env!r}"
-        ) from None
-    if trials <= 0:
-        raise ConfigError(
-            f"REPRO_TRIALS must be a positive integer, got {trials}"
-        )
-    return trials
+    """Trials per campaign cell (``REPRO_TRIALS``, default 64)."""
+    return get_settings().trials
 
 
 def _matches_kernel(launch_name: str, kernel: str) -> bool:
@@ -158,7 +161,7 @@ class CampaignResult:
 
     app_name: str
     kernel: str
-    injector: str  # "uarch" | "sw" | "sw-ld"
+    injector: str  # "uarch" | "sw" | "sw-ld" | "sw-src-*"
     structure: str | None
     trials: int
     seed: int
@@ -180,6 +183,117 @@ class CampaignResult:
         d = dict(d)
         d["counts"] = OutcomeCounts.from_dict(d["counts"])
         return cls(**d)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that *identifies* one campaign, as one frozen value.
+
+    ``app`` and ``config`` accept either registry/alias names (``"va"``,
+    ``"gv100"``/``"v100"``) or already-built objects; ``kernel=None``
+    means the application's first kernel, ``config=None`` the paper's
+    tool pairing for the level (GV100 for ``uarch``, V100 otherwise).
+    ``trials=None`` and ``workers=None`` defer to ``REPRO_TRIALS`` /
+    ``REPRO_WORKERS``. Runtime-only collaborators (profiles, harness
+    factories, progress callbacks) are keyword arguments of
+    :func:`run_campaign`, not part of the spec — the spec is exactly the
+    identity that determines the result.
+    """
+
+    level: str
+    app: "GPUApplication | str"
+    kernel: str | None = None
+    structure: "Structure | str | None" = None  # uarch only
+    config: "GPUConfig | str | None" = None
+    trials: int | None = None
+    seed: int = 1
+    workers: int | None = None
+    hardened: bool = False
+    num_bits: int = 1  # uarch fault model: 1 = single-bit, 2 = adjacent
+    ecc_protected: bool = False  # uarch only: SECDED on the target structure
+    use_cache: bool = True
+
+
+def _resolve_app(app) -> GPUApplication:
+    if isinstance(app, str):
+        from repro.kernels import get_application  # local: heavy import
+
+        try:
+            return get_application(app)
+        except KeyError:
+            raise ConfigError(f"unknown application {app!r}") from None
+    return app
+
+
+def _resolve_config(config, level: str) -> GPUConfig:
+    from repro.arch.config import quadro_gv100_like, tesla_v100_like
+
+    if config is None:
+        # The paper's tool pairing: gpuFI-4 on GV100, NVBitFI on V100.
+        return quadro_gv100_like() if level == "uarch" else tesla_v100_like()
+    if isinstance(config, str):
+        named = {"gv100": quadro_gv100_like, "v100": tesla_v100_like}
+        if config not in named:
+            raise ConfigError(
+                f"unknown config {config!r} (known: {', '.join(named)})")
+        return named[config]()
+    return config
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    harness_factory=None,
+    profile: "AppProfile | None" = None,
+    profile_supplier=None,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
+    worker_progress: WorkerProgressFn | None = None,
+) -> CampaignResult:
+    """Run (or load from cache) the campaign a :class:`CampaignSpec` names.
+
+    ``profile_supplier`` is an optional zero-arg callable evaluated only on
+    a cache miss (keeps cache-hit paths free of simulation work);
+    ``max_failure_rate`` overrides ``REPRO_MAX_TRIAL_FAILURES``;
+    ``progress(completed, total, outcome)`` fires after every trial and
+    ``worker_progress(worker_id, completed)`` as pool results arrive; see
+    :mod:`repro.fi.runner` for the resilience and parallelism semantics.
+    """
+    if spec.level not in CAMPAIGN_LEVELS:
+        raise ConfigError(
+            f"unknown campaign level {spec.level!r} "
+            f"(known: {', '.join(CAMPAIGN_LEVELS)})")
+    app = _resolve_app(spec.app)
+    kernel = spec.kernel if spec.kernel is not None else app.kernel_names[0]
+    config = _resolve_config(spec.config, spec.level)
+    runtime = dict(
+        trials=spec.trials, seed=spec.seed, use_cache=spec.use_cache,
+        profile=profile, profile_supplier=profile_supplier,
+        max_failure_rate=max_failure_rate, progress=progress,
+        workers=spec.workers, worker_progress=worker_progress,
+    )
+    if spec.level == "uarch":
+        if spec.structure is None:
+            raise ConfigError("uarch campaigns need a target structure")
+        structure = (Structure(spec.structure)
+                     if not isinstance(spec.structure, Structure)
+                     else spec.structure)
+        return _microarch_campaign(
+            app, kernel, structure, config,
+            harness_factory=harness_factory, hardened=spec.hardened,
+            num_bits=spec.num_bits, ecc_protected=spec.ecc_protected,
+            **runtime)
+    if spec.level in ("sw", "sw-ld"):
+        return _software_campaign(
+            app, kernel, config, loads_only=spec.level == "sw-ld",
+            harness_factory=harness_factory, hardened=spec.hardened,
+            **runtime)
+    # src / src-sticky
+    if spec.hardened:
+        raise ConfigError("source-level campaigns have no hardened variant")
+    runtime.pop("profile_supplier")
+    return _source_campaign(
+        app, kernel, config, sticky=spec.level == "src-sticky", **runtime)
 
 
 def _cache_key(payload: dict) -> str:
@@ -273,8 +387,9 @@ def _total_cycles(gpu: GPU) -> int:
 
 
 def _gpu_factory(profile: AppProfile, config: GPUConfig):
-    """Fresh budget-configured GPUs for the runner (start-up and post-crash
-    replacement — a trial that blew up may have left the device corrupted)."""
+    """Fresh budget-configured GPUs for the runner (start-up, worker
+    processes, and post-crash replacement — a trial that blew up may have
+    left the device corrupted)."""
 
     def factory() -> GPU:
         gpu = GPU(config)
@@ -286,8 +401,8 @@ def _gpu_factory(profile: AppProfile, config: GPUConfig):
 
 def _injection_trial_fn(app, profile, harness_factory, plan_fn,
                         injector_attr, injector_cls):
-    """The one trial body all three campaign flavors share: plan a fault
-    for the trial seed, arm the injector, run the app, classify.
+    """The one trial body all campaign levels share: plan a fault for the
+    trial seed, arm the injector, run the app, classify.
 
     ``plan_fn(trial_seed)`` produces the fault plan; ``injector_attr`` is
     the GPU hook the plan's injector arms (``uarch_injector`` or
@@ -310,38 +425,25 @@ def _injection_trial_fn(app, profile, harness_factory, plan_fn,
     return trial_fn
 
 
-def run_microarch_campaign(
-    app: GPUApplication,
-    kernel: str,
-    structure: Structure,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    harness_factory=None,
-    hardened: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    profile_supplier=None,
-    num_bits: int = 1,
-    ecc_protected: bool = False,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
+def _journal_meta(level: str, app, kernel: str, tag: str, seed: int,
+                  trials: int, trials_from_env: bool) -> dict:
+    """Campaign identity written to the journal's leading ``meta`` record,
+    so ``campaign status`` can tell resumable journals from stale ones."""
+    return {
+        "level": level, "app": app.name, "kernel": kernel, "tag": tag,
+        "root_seed": seed, "trials": trials,
+        "trials_from_env": trials_from_env, "cache_version": CACHE_VERSION,
+    }
+
+
+def _microarch_campaign(
+    app, kernel, structure, config, *, trials, seed, harness_factory,
+    hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
+    max_failure_rate, progress, workers, worker_progress,
 ) -> CampaignResult:
-    """Statistical microarchitecture-level FI against one kernel/structure.
-
-    ``profile_supplier`` is an optional zero-arg callable evaluated only on a
-    cache miss (keeps cache-hit paths free of simulation work).
-    ``num_bits`` selects the fault model (1 = single-bit, 2 = adjacent
-    double-bit); ``ecc_protected`` applies the SECDED model to the target
-    structure (single-bit faults corrected without simulation, multi-bit
-    faults detected as DUEs).
-
-    ``max_failure_rate`` overrides ``REPRO_MAX_TRIAL_FAILURES`` and
-    ``progress(completed, total, outcome)`` fires after every trial; see
-    :mod:`repro.fi.runner` for the resilience semantics.
-    """
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
+    trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
     key = _cache_key(
         {
@@ -385,6 +487,10 @@ def run_microarch_campaign(
         max_failure_rate=max_failure_rate,
         progress=progress,
         journal=use_cache,
+        workers=workers,
+        worker_progress=worker_progress,
+        meta=_journal_meta("uarch", app, kernel, tag, seed, trials,
+                           trials_from_env),
     )
 
     result = CampaignResult(
@@ -407,27 +513,12 @@ def run_microarch_campaign(
     return result
 
 
-def run_software_campaign(
-    app: GPUApplication,
-    kernel: str,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    loads_only: bool = False,
-    harness_factory=None,
-    hardened: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    profile_supplier=None,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
+def _software_campaign(
+    app, kernel, config, *, trials, seed, loads_only, harness_factory,
+    hardened, use_cache, profile, profile_supplier, max_failure_rate,
+    progress, workers, worker_progress,
 ) -> CampaignResult:
-    """Statistical software-level (NVBitFI-style) FI against one kernel.
-
-    ``profile_supplier`` is an optional zero-arg callable evaluated only on a
-    cache miss. ``max_failure_rate``/``progress`` as in
-    :func:`run_microarch_campaign`.
-    """
+    trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
     injector_kind = "sw-ld" if loads_only else "sw"
     key = _cache_key(
@@ -469,6 +560,10 @@ def run_software_campaign(
         max_failure_rate=max_failure_rate,
         progress=progress,
         journal=use_cache,
+        workers=workers,
+        worker_progress=worker_progress,
+        meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
+                           trials_from_env),
     )
 
     result = CampaignResult(
@@ -494,28 +589,13 @@ def run_software_campaign(
     return result
 
 
-def run_source_campaign(
-    app: GPUApplication,
-    kernel: str,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    sticky: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
+def _source_campaign(
+    app, kernel, config, *, trials, seed, sticky, use_cache, profile,
+    max_failure_rate, progress, workers, worker_progress,
 ) -> CampaignResult:
-    """Source-register software-level FI (the paper's Section V-B models).
-
-    ``sticky=False`` is the naive model (the fault affects one dynamic
-    instruction only); ``sticky=True`` is the register-reuse-augmented model
-    (the fault persists until the register is overwritten, as a hardware
-    register fault would). Comparing the two isolates the error the paper
-    attributes to ignoring register reuse.
-    """
     from repro.fi.svf_modes import SourceInjector, plan_source_fault
 
+    trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
     injector_kind = "sw-src-sticky" if sticky else "sw-src-transient"
     key = _cache_key(
@@ -554,6 +634,10 @@ def run_source_campaign(
         max_failure_rate=max_failure_rate,
         progress=progress,
         journal=use_cache,
+        workers=workers,
+        worker_progress=worker_progress,
+        meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
+                           trials_from_env),
     )
 
     result = CampaignResult(
@@ -574,3 +658,95 @@ def run_source_campaign(
     if use_cache:
         _cache_store(key, result.to_dict())
     return result
+
+
+# ------------------------------------------------------- deprecated wrappers
+
+def _deprecated(old: str, level: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use "
+        f"run_campaign(CampaignSpec(level={level!r}, ...)) instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_microarch_campaign(
+    app: GPUApplication,
+    kernel: str,
+    structure: Structure,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    harness_factory=None,
+    hardened: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+    profile_supplier=None,
+    num_bits: int = 1,
+    ecc_protected: bool = False,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
+    workers: int | None = None,
+) -> CampaignResult:
+    """Deprecated: use :func:`run_campaign` with ``level="uarch"``."""
+    _deprecated("run_microarch_campaign", "uarch")
+    return run_campaign(
+        CampaignSpec(level="uarch", app=app, kernel=kernel,
+                     structure=structure, config=config, trials=trials,
+                     seed=seed, workers=workers, hardened=hardened,
+                     num_bits=num_bits, ecc_protected=ecc_protected,
+                     use_cache=use_cache),
+        harness_factory=harness_factory, profile=profile,
+        profile_supplier=profile_supplier, max_failure_rate=max_failure_rate,
+        progress=progress)
+
+
+def run_software_campaign(
+    app: GPUApplication,
+    kernel: str,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    loads_only: bool = False,
+    harness_factory=None,
+    hardened: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+    profile_supplier=None,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
+    workers: int | None = None,
+) -> CampaignResult:
+    """Deprecated: use :func:`run_campaign` with ``level="sw"``/``"sw-ld"``."""
+    level = "sw-ld" if loads_only else "sw"
+    _deprecated("run_software_campaign", level)
+    return run_campaign(
+        CampaignSpec(level=level, app=app, kernel=kernel, config=config,
+                     trials=trials, seed=seed, workers=workers,
+                     hardened=hardened, use_cache=use_cache),
+        harness_factory=harness_factory, profile=profile,
+        profile_supplier=profile_supplier, max_failure_rate=max_failure_rate,
+        progress=progress)
+
+
+def run_source_campaign(
+    app: GPUApplication,
+    kernel: str,
+    config: GPUConfig,
+    trials: int | None = None,
+    seed: int = 1,
+    sticky: bool = False,
+    use_cache: bool = True,
+    profile: AppProfile | None = None,
+    max_failure_rate: float | None = None,
+    progress: ProgressFn | None = None,
+    workers: int | None = None,
+) -> CampaignResult:
+    """Deprecated: use :func:`run_campaign` with ``level="src"``/``"src-sticky"``."""
+    level = "src-sticky" if sticky else "src"
+    _deprecated("run_source_campaign", level)
+    return run_campaign(
+        CampaignSpec(level=level, app=app, kernel=kernel, config=config,
+                     trials=trials, seed=seed, workers=workers,
+                     use_cache=use_cache),
+        profile=profile, max_failure_rate=max_failure_rate,
+        progress=progress)

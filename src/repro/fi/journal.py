@@ -16,6 +16,11 @@ This module provides the same guarantee for ``repro`` campaigns:
 
 Journal records are dicts with an ``event`` field:
 
+* ``{"event": "meta", "tag": t, "root_seed": s, "trials": n, ...}`` —
+  written once when the journal is created; identifies the campaign the
+  journal belongs to so ``repro.cli campaign status`` can tell a resumable
+  journal from a stale one (changed ``REPRO_TRIALS``, seed, or cache
+  version) without knowing the campaign's cache key preimage.
 * ``{"event": "trial", "trial": i, "seed": s, "outcome": o, "cycles": c}``
   — trial ``i`` completed with outcome ``o`` (a :class:`FaultOutcome`
   value string).
@@ -31,13 +36,16 @@ import logging
 import os
 import tempfile
 from pathlib import Path
+from typing import NamedTuple
+
+from repro.config import get_settings
 
 log = logging.getLogger(__name__)
 
 
 def cache_dir() -> Path:
     """Campaign cache location (``REPRO_CACHE_DIR``, default ``.repro_cache``)."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    return get_settings().cache_dir
 
 
 def journal_dir() -> Path:
@@ -102,9 +110,23 @@ class CampaignJournal:
 
     def append(self, record: dict) -> None:
         """Append one record and force it to disk before returning."""
+        self.append_many([record])
+
+    def append_many(self, records: list[dict]) -> None:
+        """Append several records with a single flush+fsync.
+
+        Used by the parallel execution pool when a burst of out-of-order
+        trial results becomes journalable at once: every record still hits
+        the disk before the method returns, but the batch pays for one
+        fsync instead of one per record. The file remains a valid prefix
+        at every instant (records are written whole lines, in order).
+        """
+        if not records:
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as f:
-            f.write(json.dumps(record, sort_keys=True) + "\n")
+            for record in records:
+                f.write(json.dumps(record, sort_keys=True) + "\n")
             f.flush()
             os.fsync(f.fileno())
 
@@ -118,16 +140,28 @@ class CampaignJournal:
             log.warning("could not delete journal %s: %s", self.path, exc)
 
 
-def list_journals(directory: Path | None = None) -> list[tuple[str, int, int]]:
-    """Inspect in-flight campaigns: ``(key, completed trials, crash events)``
-    per journal file, sorted by key."""
+class JournalInfo(NamedTuple):
+    """One in-flight campaign journal, as reported by :func:`list_journals`."""
+
+    key: str
+    trials: int  # completed trial records
+    crashes: int  # crash events (diagnostic)
+    meta: dict | None  # the journal's "meta" record, if it has one
+    records: list[dict]  # the trial records, for validity checks
+
+
+def list_journals(directory: Path | None = None) -> list[JournalInfo]:
+    """Inspect in-flight campaigns: one :class:`JournalInfo` per journal
+    file, sorted by key. (Tuple-compatible with the historical
+    ``(key, trials, crashes)`` shape.)"""
     d = directory if directory is not None else journal_dir()
-    out: list[tuple[str, int, int]] = []
+    out: list[JournalInfo] = []
     if not d.is_dir():
         return out
     for path in sorted(d.glob("*.jsonl")):
         records = CampaignJournal(path.stem, d).load()
-        trials = sum(1 for r in records if r.get("event") == "trial")
+        trials = [r for r in records if r.get("event") == "trial"]
         crashes = sum(1 for r in records if r.get("event") == "crash")
-        out.append((path.stem, trials, crashes))
+        meta = next((r for r in records if r.get("event") == "meta"), None)
+        out.append(JournalInfo(path.stem, len(trials), crashes, meta, trials))
     return out

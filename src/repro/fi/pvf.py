@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
 from repro.arch.structures import Structure
-from repro.fi.campaign import CampaignResult, run_microarch_campaign
+from repro.fi.campaign import CampaignResult, CampaignSpec, run_campaign
 from repro.kernels.base import GPUApplication
 
 
@@ -57,8 +57,8 @@ def run_pvf_campaign(
     use_cache: bool = True,
 ) -> PVFResult:
     """Measure PVF for one kernel (a live-register injection campaign)."""
-    result = run_microarch_campaign(
-        app, kernel, Structure.RF, config, trials=trials, seed=seed,
-        use_cache=use_cache,
-    )
+    result = run_campaign(CampaignSpec(
+        level="uarch", app=app, kernel=kernel, structure=Structure.RF,
+        config=config, trials=trials, seed=seed, use_cache=use_cache,
+    ))
     return pvf_from_campaign(result)

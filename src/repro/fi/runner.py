@@ -1,9 +1,9 @@
-"""Resilient campaign execution engine.
+"""Resilient campaign execution engine with an optional worker pool.
 
-All statistical FI campaigns (`run_microarch_campaign`,
-`run_software_campaign`, `run_source_campaign`) delegate their trial loops
-here. The engine owns everything that is about *executing N trials
-reliably* rather than about *which fault to inject*:
+All statistical FI campaigns (dispatched through
+:func:`repro.fi.campaign.run_campaign`) delegate their trial loops here.
+The engine owns everything that is about *executing N trials reliably and
+fast* rather than about *which fault to inject*:
 
 * **Per-trial fault isolation** — an unexpected exception from one trial
   (anything but :class:`ExecutionError`/:class:`SimTimeout`, which the
@@ -15,41 +15,66 @@ reliably* rather than about *which fault to inject*:
   raises :class:`CampaignError` instead of producing garbage statistics.
 
 * **Journaled checkpoint/resume** — every completed trial is appended to
-  ``.repro_cache/journal/<key>.jsonl`` (flush+fsync) before the next one
-  starts. A killed campaign resumes from the last completed trial on the
-  next invocation; per-trial seeds from :func:`spawn_seeds` are
-  deterministic, so the resumed run's final tallies are bit-for-bit
-  identical to an uninterrupted run. Completed campaigns delete their
-  journal (the result lives in the regular cache).
+  ``.repro_cache/journal/<key>.jsonl`` (flush+fsync) before it is counted.
+  A killed campaign resumes from the last completed trial on the next
+  invocation; per-trial seeds from :func:`spawn_seeds` are deterministic,
+  so the resumed run's final tallies are bit-for-bit identical to an
+  uninterrupted run. Completed campaigns delete their journal (the result
+  lives in the regular cache).
 
-* **Progress reporting** — an optional callback fires after every trial
-  (including trials replayed from the journal), so experiment drivers and
-  the CLI can show campaign progress.
+* **Parallel execution** — ``workers > 1`` fans the remaining trials out
+  over a pool of forked worker processes (``REPRO_WORKERS``, ``auto`` =
+  ``os.cpu_count() - 1``). Each worker builds its own fresh GPU state and
+  runs a deterministic, statically-assigned slice of the trial indices;
+  the parent process stays the **single writer** of the journal and
+  commits results strictly in trial order, buffering out-of-order
+  arrivals. Serial and parallel runs therefore produce bit-identical
+  journals, tallies, and cache payloads, and kill/resume works the same
+  regardless of completion order. Platforms without the ``fork`` start
+  method fall back to serial execution with a warning.
 
-Environment knobs:
+* **Progress reporting** — an optional ``progress`` callback fires after
+  every committed trial (including trials replayed from the journal), in
+  trial order; an optional ``worker_progress(worker_id, completed)``
+  callback fires as results arrive from the pool, so the CLI can show
+  live per-worker progress.
+
+Environment knobs (see :mod:`repro.config`):
 
 * ``REPRO_MAX_TRIAL_FAILURES`` — max tolerated crash fraction (default 0.1).
+* ``REPRO_WORKERS`` — default pool size (default 1 = serial).
 """
 
 from __future__ import annotations
 
 import logging
-import os
+import multiprocessing
+import pickle
+import queue as queue_mod
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.config import DEFAULT_MAX_TRIAL_FAILURES, get_settings
 from repro.errors import CampaignError, ConfigError, ExecutionError
 from repro.fi.journal import CampaignJournal
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.utils.rng import spawn_seeds
+
+__all__ = [
+    "DEFAULT_MAX_TRIAL_FAILURES", "ProgressFn", "WorkerProgressFn",
+    "TrialFn", "TrialTally", "execute_trials", "max_trial_failure_rate",
+    "resolve_workers", "journal_validity",
+]
 
 log = logging.getLogger(__name__)
 
-#: Default ceiling on the fraction of trials allowed to CRASH.
-DEFAULT_MAX_TRIAL_FAILURES = 0.10
-
 #: ``progress(completed, total, outcome)`` — fired after every trial.
 ProgressFn = Callable[[int, int, FaultOutcome], None]
+
+#: ``worker_progress(worker_id, trials completed by that worker)`` —
+#: fired in arrival order while the pool runs.
+WorkerProgressFn = Callable[[int, int], None]
 
 #: ``trial_fn(gpu, trial_seed) -> (outcome, total cycles executed)``.
 TrialFn = Callable[[object, int], "tuple[FaultOutcome, int]"]
@@ -57,21 +82,16 @@ TrialFn = Callable[[object, int], "tuple[FaultOutcome, int]"]
 
 def max_trial_failure_rate() -> float:
     """The configured crash-fraction ceiling (``REPRO_MAX_TRIAL_FAILURES``)."""
-    env = os.environ.get("REPRO_MAX_TRIAL_FAILURES")
-    if env is None or env == "":
-        return DEFAULT_MAX_TRIAL_FAILURES
-    try:
-        rate = float(env)
-    except ValueError:
-        raise ConfigError(
-            f"REPRO_MAX_TRIAL_FAILURES must be a fraction in [0, 1], "
-            f"got {env!r}"
-        ) from None
-    if not 0.0 <= rate <= 1.0:
-        raise ConfigError(
-            f"REPRO_MAX_TRIAL_FAILURES must be within [0, 1], got {rate}"
-        )
-    return rate
+    return get_settings().max_trial_failures
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective pool size: explicit argument, else ``REPRO_WORKERS``."""
+    if workers is None:
+        return get_settings().workers
+    if not isinstance(workers, int) or workers < 1:
+        raise ConfigError(f"workers must be a positive integer, got {workers!r}")
+    return workers
 
 
 @dataclass
@@ -82,6 +102,7 @@ class TrialTally:
     control_path_masked: int = 0  # masked trials whose cycle count changed
     resumed: int = 0  # trials replayed from the journal, not simulated
     crash_events: int = 0  # journaled crash *attempts* (>= counts.crash)
+    workers: int = 1  # pool size the live trials actually ran with
 
     def _record(self, outcome: FaultOutcome, cycles: int,
                 baseline_cycles: int) -> None:
@@ -105,6 +126,83 @@ def _journal_prefix_valid(records: list[dict], seeds: list[int]) -> bool:
     return True
 
 
+def journal_validity(meta: dict | None, trial_records: list[dict],
+                     current_trials: int,
+                     current_cache_version: int) -> tuple[bool, str]:
+    """Would this journal actually be resumed by a re-run today?
+
+    Cross-checks a journal's ``meta`` record against the current
+    configuration: a journal planned under a different ``REPRO_TRIALS``,
+    an older cache version, or whose recorded trial seeds no longer match
+    the seed sequence its meta record promises is orphaned — the re-run
+    computes a different cache key (or discards the journal) and restarts
+    from trial 0. Returns ``(resumable, reason)``.
+    """
+    if meta is None:
+        return True, ""  # legacy journal without a meta record: unknown
+    if meta.get("cache_version") != current_cache_version:
+        return False, (f"cache version changed "
+                       f"({meta.get('cache_version')} -> "
+                       f"{current_cache_version})")
+    if meta.get("trials_from_env") and meta.get("trials") != current_trials:
+        return False, (f"REPRO_TRIALS changed (journal planned "
+                       f"{meta.get('trials')}, now {current_trials})")
+    try:
+        planned = spawn_seeds(int(meta["root_seed"]), str(meta["tag"]),
+                              int(meta["trials"]))
+    except (KeyError, TypeError, ValueError):
+        return False, "meta record is malformed"
+    if not _journal_prefix_valid(trial_records, planned):
+        return False, "recorded trial seeds no longer match the planned seeds"
+    return True, ""
+
+
+def _crash_record(trial: int, trial_seed: int, exc: BaseException,
+                  tb: str, retry: bool) -> dict:
+    return {"event": "crash", "trial": trial, "seed": trial_seed,
+            "error": repr(exc), "traceback": tb, "retry": retry}
+
+
+def _attempt_trial(trial_fn: TrialFn, gpu, gpu_factory, trial_index: int,
+                   trial_seed: int, on_crash):
+    """One trial with the isolation contract: unexpected exceptions get one
+    retry on a fresh GPU, a second failure becomes CRASH. Returns
+    ``(outcome, cycles, gpu)`` — the GPU is replaced after any failure,
+    since the blown-up trial may have corrupted its state."""
+    try:
+        outcome, cycles = trial_fn(gpu, trial_seed)
+        return outcome, cycles, gpu
+    except ExecutionError:
+        # SimTimeout/ExecutionError are fault effects the classifier
+        # already maps to Timeout/DUE; one escaping the trial is a
+        # harness bug the campaign must not paper over.
+        raise
+    except Exception as exc:
+        log.warning("trial %d (seed %d) raised %r; retrying on a fresh GPU",
+                    trial_index, trial_seed, exc)
+        on_crash(exc, traceback.format_exc(), False)
+        gpu = gpu_factory()
+        try:
+            outcome, cycles = trial_fn(gpu, trial_seed)
+            return outcome, cycles, gpu
+        except ExecutionError:
+            raise
+        except Exception as exc2:
+            log.error("trial %d (seed %d) raised %r again on retry; "
+                      "tallying as CRASH", trial_index, trial_seed, exc2)
+            on_crash(exc2, traceback.format_exc(), True)
+            return FaultOutcome.CRASH, 0, gpu_factory()
+
+
+def _threshold_error(key: str, crash: int, total: int,
+                     threshold: float) -> CampaignError:
+    return CampaignError(
+        f"campaign {key}: {crash}/{total} trials crashed with unexpected "
+        f"exceptions, exceeding REPRO_MAX_TRIAL_FAILURES={threshold:.0%}; "
+        f"see the journal ({CampaignJournal(key).path}) for tracebacks"
+    )
+
+
 def execute_trials(
     *,
     key: str,
@@ -115,6 +213,9 @@ def execute_trials(
     max_failure_rate: float | None = None,
     progress: ProgressFn | None = None,
     journal: bool = True,
+    workers: int | None = None,
+    worker_progress: WorkerProgressFn | None = None,
+    meta: dict | None = None,
 ) -> TrialTally:
     """Run one trial per seed with isolation, journaling and resume.
 
@@ -124,12 +225,18 @@ def execute_trials(
     fresh, budget-configured GPU — used at start-up and to replace a GPU
     whose state an unexpected exception may have corrupted.
 
+    ``workers`` (default ``REPRO_WORKERS``) selects the trial-execution
+    pool size; ``1`` is the serial path. ``meta`` is an optional dict of
+    campaign identity fields written to the journal's leading ``meta``
+    record (used by ``campaign status`` to detect stale journals).
+
     ``journal=False`` disables checkpointing (used by ``use_cache=False``
     campaigns, whose callers asked for a from-scratch run).
     """
     total = len(seeds)
     threshold = (max_failure_rate if max_failure_rate is not None
                  else max_trial_failure_rate())
+    workers = resolve_workers(workers)
     tally = TrialTally()
     jr = CampaignJournal(key) if journal else None
 
@@ -144,8 +251,11 @@ def execute_trials(
                 "journal %s does not match the planned trial seeds "
                 "(stale or foreign); discarding it and restarting", key)
             jr.discard()
+            records = []
             completed = []
             tally.crash_events = 0
+        if not records and meta is not None:
+            jr.append({"event": "meta", **meta})
         for rec in completed:
             outcome = FaultOutcome(rec["outcome"])
             tally._record(outcome, int(rec["cycles"]), baseline_cycles)
@@ -163,41 +273,52 @@ def execute_trials(
                     f"REPRO_MAX_TRIAL_FAILURES={threshold:.0%}"
                 )
 
-    gpu = gpu_factory() if done < total else None
+    remaining = total - done
+    if remaining <= 0:
+        if jr is not None:
+            jr.discard()
+        return tally
+
+    if workers > 1 and remaining > 1:
+        if "fork" in multiprocessing.get_all_start_methods():
+            tally.workers = min(workers, remaining)
+            _execute_parallel(
+                key=key, seeds=seeds, trial_fn=trial_fn,
+                gpu_factory=gpu_factory, baseline_cycles=baseline_cycles,
+                threshold=threshold, progress=progress,
+                worker_progress=worker_progress, jr=jr, tally=tally,
+                done=done, total=total, workers=tally.workers)
+            if jr is not None:
+                jr.discard()
+            return tally
+        log.warning("REPRO_WORKERS=%d requested but the 'fork' start method "
+                    "is unavailable on this platform; running serially",
+                    workers)
+
+    _execute_serial(
+        key=key, seeds=seeds, trial_fn=trial_fn, gpu_factory=gpu_factory,
+        baseline_cycles=baseline_cycles, threshold=threshold,
+        progress=progress, jr=jr, tally=tally, done=done, total=total)
+    if jr is not None:
+        jr.discard()
+    return tally
+
+
+# --------------------------------------------------------------- serial path
+
+def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
+                    threshold, progress, jr, tally, done, total) -> None:
+    gpu = gpu_factory()
     for i in range(done, total):
         trial_seed = seeds[i]
-        try:
-            outcome, cycles = trial_fn(gpu, trial_seed)
-        except ExecutionError:
-            # SimTimeout/ExecutionError are fault effects the classifier
-            # already maps to Timeout/DUE; one escaping the trial is a
-            # harness bug the campaign must not paper over.
-            raise
-        except Exception as exc:
+
+        def on_crash(exc, tb, retry, _i=i, _seed=trial_seed):
             tally.crash_events += 1
-            tb = traceback.format_exc()
-            log.warning("trial %d (seed %d) raised %r; retrying on a "
-                        "fresh GPU", i, trial_seed, exc)
             if jr is not None:
-                jr.append({"event": "crash", "trial": i, "seed": trial_seed,
-                           "error": repr(exc), "traceback": tb,
-                           "retry": False})
-            gpu = gpu_factory()
-            try:
-                outcome, cycles = trial_fn(gpu, trial_seed)
-            except ExecutionError:
-                raise
-            except Exception as exc2:
-                tally.crash_events += 1
-                tb2 = traceback.format_exc()
-                log.error("trial %d (seed %d) raised %r again on retry; "
-                          "tallying as CRASH", i, trial_seed, exc2)
-                if jr is not None:
-                    jr.append({"event": "crash", "trial": i,
-                               "seed": trial_seed, "error": repr(exc2),
-                               "traceback": tb2, "retry": True})
-                gpu = gpu_factory()
-                outcome, cycles = FaultOutcome.CRASH, 0
+                jr.append(_crash_record(_i, _seed, exc, tb, retry))
+
+        outcome, cycles, gpu = _attempt_trial(
+            trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
 
         tally._record(outcome, cycles, baseline_cycles)
         if jr is not None:
@@ -207,13 +328,138 @@ def execute_trials(
             progress(i + 1, total, outcome)
 
         if tally.counts.crash / total > threshold:
-            raise CampaignError(
-                f"campaign {key}: {tally.counts.crash}/{total} trials "
-                f"crashed with unexpected exceptions, exceeding "
-                f"REPRO_MAX_TRIAL_FAILURES={threshold:.0%}; see the journal "
-                f"({CampaignJournal(key).path}) for tracebacks"
-            )
+            raise _threshold_error(key, tally.counts.crash, total, threshold)
 
-    if jr is not None:
-        jr.discard()
-    return tally
+
+# ------------------------------------------------------------- parallel path
+
+def _shippable(exc: BaseException):
+    """The exception itself if it survives a pickle round-trip (so the
+    parent can re-raise the genuine type), else None."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return None
+
+
+def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
+                 trial_fn: TrialFn, gpu_factory, out_q) -> None:
+    """Worker-process body (reached via fork: closures need no pickling).
+
+    Runs its statically-assigned slice of trial indices with the same
+    isolation/retry contract as the serial path and streams
+    ``("trial", worker_id, index, outcome, cycles, crash_records)``
+    messages to the parent, which owns all journal writes. Any exception
+    that must abort the campaign (an escaped :class:`ExecutionError`,
+    KeyboardInterrupt, ...) is shipped as a ``("fatal", ...)`` message for
+    the parent to re-raise.
+    """
+    try:
+        gpu = gpu_factory()
+        for i in indices:
+            crash_records: list[dict] = []
+
+            def on_crash(exc, tb, retry, _i=i):
+                crash_records.append(
+                    _crash_record(_i, seeds[_i], exc, tb, retry))
+
+            outcome, cycles, gpu = _attempt_trial(
+                trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
+            out_q.put(("trial", worker_id, i, outcome.value, int(cycles),
+                       crash_records))
+        out_q.put(("done", worker_id))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        out_q.put(("fatal", worker_id, _shippable(exc), repr(exc),
+                   traceback.format_exc()))
+
+
+def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
+                      threshold, progress, worker_progress, jr, tally,
+                      done, total, workers) -> None:
+    """Fan the remaining trials out over forked workers; commit in order.
+
+    The parent buffers out-of-order results in ``pending`` and journals /
+    tallies / reports them strictly by trial index, so the journal is
+    byte-compatible with a serial run's and kill/resume semantics are
+    unchanged. Worker ``w`` owns indices ``done+w, done+w+workers, ...`` —
+    a deterministic static assignment (trials cost roughly the same, so
+    striding balances well without a task queue).
+    """
+    ctx = multiprocessing.get_context("fork")
+    result_q = ctx.Queue()
+    indices = list(range(done, total))
+    procs: list[tuple[int, multiprocessing.Process]] = []
+    for w in range(workers):
+        shard = indices[w::workers]
+        if not shard:
+            continue
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(w, shard, seeds, trial_fn, gpu_factory, result_q),
+            daemon=True, name=f"repro-trial-worker-{w}")
+        proc.start()
+        procs.append((w, proc))
+    log.info("campaign %s: running %d remaining trials on %d workers",
+             key, len(indices), len(procs))
+
+    pending: dict[int, tuple[str, int, list[dict]]] = {}
+    per_worker: dict[int, int] = {w: 0 for w, _ in procs}
+    running = {w for w, _ in procs}
+    next_index = done
+    try:
+        while next_index < total:
+            try:
+                msg = result_q.get(timeout=0.5)
+            except queue_mod.Empty:
+                dead = sorted(w for w, proc in procs
+                              if w in running and not proc.is_alive())
+                if dead:
+                    raise CampaignError(
+                        f"campaign {key}: worker(s) "
+                        f"{', '.join(map(str, dead))} died without reporting "
+                        f"a result (killed?); the journal retains "
+                        f"{next_index}/{total} completed trials — re-run to "
+                        f"resume")
+                continue
+            kind = msg[0]
+            if kind == "done":
+                running.discard(msg[1])
+                continue
+            if kind == "fatal":
+                _, worker_id, exc, text, tb = msg
+                running.discard(worker_id)
+                if exc is not None:
+                    raise exc
+                raise CampaignError(
+                    f"campaign {key}: worker {worker_id} failed with an "
+                    f"unpicklable error {text}; worker traceback:\n{tb}")
+            _, worker_id, i, outcome_value, cycles, crash_records = msg
+            pending[i] = (outcome_value, cycles, crash_records)
+            per_worker[worker_id] += 1
+            if worker_progress is not None:
+                worker_progress(worker_id, per_worker[worker_id])
+
+            while next_index in pending:
+                outcome_value, cycles, crash_records = pending.pop(next_index)
+                outcome = FaultOutcome(outcome_value)
+                tally.crash_events += len(crash_records)
+                if jr is not None:
+                    jr.append_many(crash_records + [
+                        {"event": "trial", "trial": next_index,
+                         "seed": seeds[next_index],
+                         "outcome": outcome_value, "cycles": cycles}])
+                tally._record(outcome, cycles, baseline_cycles)
+                next_index += 1
+                if progress is not None:
+                    progress(next_index, total, outcome)
+                if tally.counts.crash / total > threshold:
+                    raise _threshold_error(
+                        key, tally.counts.crash, total, threshold)
+    finally:
+        for _, proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for _, proc in procs:
+            proc.join(timeout=5)
+        result_q.close()

@@ -17,13 +17,35 @@ WORD_BITS = 32
 
 
 def bitcast_f2u(value: float) -> int:
-    """Reinterpret a Python float as the bits of an IEEE-754 binary32 word."""
+    """Reinterpret a Python float as the bits of an IEEE-754 binary32 word.
+
+    NaNs take a software path: the hardware float64→float32 conversion
+    inside ``struct.pack('<f', ...)`` quiets signaling NaNs, which would
+    make an injected flip of the quiet bit unobservable. The manual path
+    moves the top 23 payload bits verbatim, so ``f2u(u2f(w)) == w`` for
+    every 32-bit pattern including sNaNs.
+    """
+    bits64 = struct.unpack("<Q", struct.pack("<d", value))[0]
+    if (bits64 >> 52) & 0x7FF == 0x7FF and bits64 & ((1 << 52) - 1):
+        sign = bits64 >> 63
+        return ((sign << 31) | (0xFF << 23) | ((bits64 >> 29) & 0x7FFFFF)
+                ) & U32_MASK
     return struct.unpack("<I", struct.pack("<f", value))[0]
 
 
 def bitcast_u2f(word: int) -> float:
-    """Reinterpret a 32-bit word as an IEEE-754 binary32 value."""
-    return struct.unpack("<f", struct.pack("<I", word & U32_MASK))[0]
+    """Reinterpret a 32-bit word as an IEEE-754 binary32 value.
+
+    NaN words are widened to binary64 in software (payload in the top
+    mantissa bits) so signaling NaNs keep their exact payload; see
+    :func:`bitcast_f2u`.
+    """
+    word &= U32_MASK
+    if (word >> 23) & 0xFF == 0xFF and word & 0x7FFFFF:
+        sign = word >> 31
+        bits64 = (sign << 63) | (0x7FF << 52) | ((word & 0x7FFFFF) << 29)
+        return struct.unpack("<d", struct.pack("<Q", bits64))[0]
+    return struct.unpack("<f", struct.pack("<I", word))[0]
 
 
 def flip_bit_u32(word: int, bit: int) -> int:

@@ -4,10 +4,14 @@ import numpy as np
 import pytest
 
 from repro.arch.structures import Structure
+from repro.errors import ConfigError
 from repro.fi.campaign import (
+    CampaignSpec,
     profile_app,
+    run_campaign,
     run_microarch_campaign,
     run_software_campaign,
+    run_source_campaign,
 )
 from repro.kernels import get_application
 
@@ -90,3 +94,87 @@ def test_different_seeds_differ(tmp_cache, v100):
     assert a.counts != b.counts or True  # counts may collide; plans must not
     # (statistical check: at least the tallies are valid)
     assert a.counts.total == b.counts.total == 25
+
+
+# -------------------------------------------------- unified run_campaign API
+
+def test_run_campaign_matches_software_wrapper(tmp_cache, v100):
+    app = get_application("va")
+    unified = run_campaign(CampaignSpec(level="sw", app=app, kernel="va_k1",
+                                        config=v100, trials=20, seed=3,
+                                        use_cache=False))
+    legacy = run_software_campaign(app, "va_k1", v100, trials=20, seed=3,
+                                   use_cache=False)
+    assert unified.to_dict() == legacy.to_dict()
+
+
+def test_run_campaign_matches_microarch_wrapper(tmp_cache, gv100):
+    app = get_application("va")
+    unified = run_campaign(CampaignSpec(level="uarch", app=app,
+                                        kernel="va_k1",
+                                        structure=Structure.RF, config=gv100,
+                                        trials=12, seed=4, use_cache=False))
+    legacy = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
+                                    trials=12, seed=4, use_cache=False)
+    assert unified.to_dict() == legacy.to_dict()
+
+
+def test_run_campaign_matches_source_wrapper(tmp_cache, gv100):
+    app = get_application("va")
+    unified = run_campaign(CampaignSpec(level="src", app=app, kernel="va_k1",
+                                        config=gv100, trials=10, seed=6,
+                                        use_cache=False))
+    legacy = run_source_campaign(app, "va_k1", gv100, trials=10, seed=6,
+                                 use_cache=False)
+    assert unified.to_dict() == legacy.to_dict()
+
+
+def test_run_campaign_resolves_names_and_defaults(tmp_cache):
+    """String app/config ids and a None kernel resolve to the paper's
+    pairings: the app's first kernel, v100 for sw levels."""
+    by_name = run_campaign(CampaignSpec(level="sw", app="va", config="v100",
+                                        trials=8, seed=2, use_cache=False))
+    assert by_name.kernel == "va_k1"
+    assert by_name.config_name
+    defaulted = run_campaign(CampaignSpec(level="sw", app="va", trials=8,
+                                          seed=2, use_cache=False))
+    assert defaulted.to_dict() == by_name.to_dict()
+
+
+def test_run_campaign_validation_errors(tmp_cache, gv100):
+    with pytest.raises(ConfigError, match="unknown campaign level"):
+        run_campaign(CampaignSpec(level="quantum", app="va"))
+    with pytest.raises(ConfigError, match="target structure"):
+        run_campaign(CampaignSpec(level="uarch", app="va", config=gv100))
+    with pytest.raises(ConfigError, match="unknown application"):
+        run_campaign(CampaignSpec(level="sw", app="not-an-app"))
+    with pytest.raises(ConfigError, match="no hardened variant"):
+        run_campaign(CampaignSpec(level="src", app="va", hardened=True))
+
+
+def test_legacy_wrappers_warn_deprecation(tmp_cache, gv100, v100):
+    app = get_application("va")
+    with pytest.warns(DeprecationWarning, match="run_software_campaign"):
+        run_software_campaign(app, "va_k1", v100, trials=4, seed=1,
+                              use_cache=False)
+    with pytest.warns(DeprecationWarning, match="run_microarch_campaign"):
+        run_microarch_campaign(app, "va_k1", Structure.RF, gv100, trials=4,
+                               seed=1, use_cache=False)
+    with pytest.warns(DeprecationWarning, match="run_source_campaign"):
+        run_source_campaign(app, "va_k1", gv100, trials=4, seed=1,
+                            use_cache=False)
+
+
+def test_run_campaign_itself_does_not_warn(tmp_cache, recwarn):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run_campaign(CampaignSpec(level="sw", app="va", trials=4, seed=1,
+                                  use_cache=False))
+
+
+def test_campaign_spec_is_frozen():
+    spec = CampaignSpec(level="sw", app="va")
+    with pytest.raises(AttributeError):
+        spec.trials = 99

@@ -14,6 +14,15 @@ from repro.fi.runner import _journal_prefix_valid, max_trial_failure_rate
 from repro.kernels import get_application
 
 
+@pytest.fixture(autouse=True)
+def _serial_engine(monkeypatch):
+    """This module pins the *serial* engine contract — call-order-sensitive
+    FlakyApp counters and exact journal lengths at kill time — so force
+    workers=1 even when the environment (e.g. the CI pool matrix) sets
+    REPRO_WORKERS. The pool path is covered by test_parallel.py."""
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+
+
 class FlakyApp:
     """Wraps a real application; ``run()`` raises on chosen call numbers.
 

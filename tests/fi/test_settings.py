@@ -1,0 +1,103 @@
+"""The central Settings resolution: env parsing, validation, memoization."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import (
+    DEFAULT_MAX_TRIAL_FAILURES,
+    DEFAULT_TRIALS,
+    DEFAULT_WORKERS,
+    Settings,
+    auto_workers,
+    get_settings,
+)
+from repro.errors import ConfigError, ReproError
+
+_KNOBS = ("REPRO_TRIALS", "REPRO_TRIALS_HARDENED", "REPRO_CACHE_DIR",
+          "REPRO_MAX_TRIAL_FAILURES", "REPRO_WORKERS")
+
+
+@pytest.fixture()
+def clean_env(monkeypatch):
+    for name in _KNOBS:
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+def test_defaults(clean_env):
+    settings = get_settings()
+    assert settings.trials == DEFAULT_TRIALS == 64
+    assert settings.trials_hardened is None
+    assert settings.cache_dir == Path(".repro_cache")
+    assert settings.max_trial_failures == DEFAULT_MAX_TRIAL_FAILURES == 0.10
+    assert settings.workers == DEFAULT_WORKERS == 1
+
+
+def test_env_overrides(clean_env):
+    clean_env.setenv("REPRO_TRIALS", "128")
+    clean_env.setenv("REPRO_TRIALS_HARDENED", "40")
+    clean_env.setenv("REPRO_CACHE_DIR", "/tmp/repro-test-cache")
+    clean_env.setenv("REPRO_MAX_TRIAL_FAILURES", "0.25")
+    clean_env.setenv("REPRO_WORKERS", "3")
+    settings = get_settings()
+    assert settings.trials == 128
+    assert settings.trials_hardened == 40
+    assert settings.cache_dir == Path("/tmp/repro-test-cache")
+    assert settings.max_trial_failures == 0.25
+    assert settings.workers == 3
+
+
+def test_empty_values_count_as_unset(clean_env):
+    for name in _KNOBS:
+        clean_env.setenv(name, "")
+    assert get_settings() == Settings()
+
+
+def test_workers_auto(clean_env):
+    clean_env.setenv("REPRO_WORKERS", "auto")
+    expected = max(1, (os.cpu_count() or 1) - 1)
+    assert auto_workers() == expected
+    assert get_settings().workers == expected
+
+
+@pytest.mark.parametrize("name,value,match", [
+    ("REPRO_TRIALS", "lots", "REPRO_TRIALS must be a positive integer"),
+    ("REPRO_TRIALS", "0", "REPRO_TRIALS must be a positive integer"),
+    ("REPRO_TRIALS", "-4", "REPRO_TRIALS must be a positive integer"),
+    ("REPRO_TRIALS_HARDENED", "x",
+     "REPRO_TRIALS_HARDENED must be a positive integer"),
+    ("REPRO_MAX_TRIAL_FAILURES", "nope",
+     "REPRO_MAX_TRIAL_FAILURES must be a fraction"),
+    ("REPRO_MAX_TRIAL_FAILURES", "1.5",
+     "REPRO_MAX_TRIAL_FAILURES must be within"),
+    ("REPRO_WORKERS", "many",
+     "REPRO_WORKERS must be a positive integer or 'auto'"),
+    ("REPRO_WORKERS", "0",
+     "REPRO_WORKERS must be a positive integer or 'auto'"),
+])
+def test_invalid_values_raise_config_error(clean_env, name, value, match):
+    clean_env.setenv(name, value)
+    with pytest.raises(ConfigError, match=match):
+        get_settings()
+
+
+def test_config_error_is_a_repro_error():
+    assert issubclass(ConfigError, ReproError)
+
+
+def test_settings_frozen(clean_env):
+    with pytest.raises(AttributeError):
+        get_settings().trials = 1
+
+
+def test_memoized_until_environment_changes(clean_env):
+    first = get_settings()
+    assert get_settings() is first  # same env -> cached object
+    clean_env.setenv("REPRO_TRIALS", "32")
+    second = get_settings()
+    assert second is not first
+    assert second.trials == 32
+    clean_env.delenv("REPRO_TRIALS")
+    assert get_settings().trials == DEFAULT_TRIALS

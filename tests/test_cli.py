@@ -1,3 +1,5 @@
+import pytest
+
 from repro.cli import EXPERIMENTS, main
 
 
@@ -55,3 +57,53 @@ def test_campaign_unknown_app(capsys, tmp_cache):
 def test_campaign_unknown_kernel(capsys, tmp_cache):
     assert main(["campaign", "run", "va", "hotspot_k1"]) == 2
     assert "no kernel" in capsys.readouterr().err
+
+
+def test_campaign_run_with_workers(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "8",
+                 "--workers", "2", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "8 trials" in out
+    # same campaign again: the parallel run's cache entry is reused
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "8",
+                 "--quiet"]) == 0
+
+
+def test_campaign_workers_auto_accepted(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "4",
+                 "--workers", "auto", "--quiet"]) == 0
+
+
+def test_campaign_workers_rejects_garbage(capsys, tmp_cache):
+    for bad in ("0", "-2", "lots"):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "va", "--workers", bad])
+        assert "positive integer or 'auto'" in capsys.readouterr().err
+
+
+def test_campaign_status_flags_stale_journal(capsys, tmp_cache, monkeypatch):
+    """A journal left by a run whose trial count came from REPRO_TRIALS is
+    reported as invalid once REPRO_TRIALS changes (its remaining plan no
+    longer matches what a resume would execute)."""
+    from repro.fi.campaign import CampaignSpec, run_campaign
+
+    monkeypatch.setenv("REPRO_TRIALS", "12")
+
+    def killer(done, total, outcome):
+        if done == 3:
+            raise KeyboardInterrupt()
+
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(CampaignSpec(level="sw", app="va", seed=1),
+                     progress=killer)
+
+    assert main(["campaign", "status"]) == 0
+    out = capsys.readouterr().out
+    assert "va/va_k1/sw" in out
+    assert "3/12 trial(s) completed" in out
+
+    monkeypatch.setenv("REPRO_TRIALS", "8")
+    assert main(["campaign", "status"]) == 0
+    out = capsys.readouterr().out
+    assert "invalid — will restart" in out
+    assert "REPRO_TRIALS" in out

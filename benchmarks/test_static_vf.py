@@ -1,0 +1,28 @@
+"""Static AVF-RF estimator vs injection campaigns: rank agreement.
+
+The whole point of the static estimator is to predict the campaign ordering
+without a single injection; this bench regenerates the comparison and gates
+on the acceptance criterion — positive Spearman rank agreement across the
+application suite.
+"""
+
+from repro.experiments.static_vf import data
+from repro.analysis.trends import compare_trends, spearman
+
+
+def test_static_vs_campaign_avf_trend(once):
+    static, campaign = once(data)
+    rho = spearman(static, campaign)
+    cmp = compare_trends(static, campaign)
+    print(f"\nstatic-vs-campaign AVF-RF: Spearman {rho:+.3f} over "
+          f"{len(static)} apps; {cmp.consistent} consistent / "
+          f"{cmp.opposite} opposite pairs")
+    for app in sorted(static, key=static.get):
+        print(f"  {app:<12} static {static[app]:.4%}  "
+              f"campaign {campaign[app]:.4%}")
+    assert len(static) == len(campaign) >= 5
+    # Acceptance criterion: the zero-injection estimate must rank the
+    # applications the way the fault-injection campaigns do (positively).
+    assert rho > 0.0
+    # And pairwise trend agreement should beat coin-flipping.
+    assert cmp.consistent > cmp.opposite

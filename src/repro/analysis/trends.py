@@ -10,6 +10,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 def _sign(x: float, tol: float = 1e-12) -> int:
     if x > tol:
@@ -41,6 +43,43 @@ class TrendComparison:
             f"{self.consistent} ({self.consistent / t:.0%}) | "
             f"{self.opposite} ({self.opposite / t:.0%})"
         )
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Fractional ranks (ties get the mean of their rank range)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=float)
+    for v in np.unique(values):
+        mask = values == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman(
+    metric_a: dict[str, float], metric_b: dict[str, float]
+) -> float:
+    """Spearman rank correlation of two metrics over the same workloads.
+
+    The pairwise consistent/opposite table answers "do the metrics ever
+    disagree?"; Spearman answers "how well does one metric *rank* workloads
+    by the other?" — which is the question for the static estimators
+    (:mod:`repro.staticanalysis.vf`): a positive coefficient means the
+    zero-injection estimate orders workloads the way the campaigns do.
+    Returns 0.0 when either metric is constant (rank order undefined).
+    """
+    if set(metric_a) != set(metric_b):
+        missing = set(metric_a) ^ set(metric_b)
+        raise ValueError(f"metric key mismatch: {sorted(missing)}")
+    names = sorted(metric_a)
+    if len(names) < 2:
+        return 0.0
+    ra = _ranks(np.array([metric_a[n] for n in names], dtype=float))
+    rb = _ranks(np.array([metric_b[n] for n in names], dtype=float))
+    if ra.std() == 0.0 or rb.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(ra, rb)[0, 1])
 
 
 def compare_trends(

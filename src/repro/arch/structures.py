@@ -62,6 +62,22 @@ def structure_bits(structure: Structure, config: GPUConfig) -> int:
     raise ValueError(f"unknown structure {structure}")
 
 
+def rf_allocation_bits(regs_per_thread: int, threads: int) -> int:
+    """RF bits a launch allocates: 32-bit registers x threads."""
+    return regs_per_thread * 32 * threads
+
+
+def rf_derating(regs_per_thread: int, threads: int, config: GPUConfig) -> float:
+    """RF derating factor DF of one launch: allocated bits / physical bits.
+
+    Shared by the injection campaigns (:mod:`repro.fi.avf`) and the static
+    AVF-RF estimator (:mod:`repro.staticanalysis.vf`), so both sides of the
+    static-vs-campaign comparison scale by the identical structural factor.
+    """
+    system = structure_bits(Structure.RF, config)
+    return min(1.0, rf_allocation_bits(regs_per_thread, threads) / system)
+
+
 def structure_inventory(config: GPUConfig) -> dict[Structure, int]:
     """Bit counts of every injectable structure, for chip-AVF weighting."""
     return {s: structure_bits(s, config) for s in Structure}

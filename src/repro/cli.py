@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run all --trials 64
     python -m repro.cli apps
     python -m repro.cli disasm hotspot
+    python -m repro.cli lint all
+    python -m repro.cli staticvf bfs
     python -m repro.cli campaign run va --level sw --trials 128
     python -m repro.cli campaign run bfs --trials 200 --workers auto
     python -m repro.cli campaign status
@@ -41,6 +43,7 @@ EXPERIMENTS = {
     "fig11": "repro.experiments.fig11_control_path",
     "fig12": "repro.experiments.fig12_register_reuse",
     "svf-fix": "repro.experiments.svf_fix",
+    "static-vf": "repro.experiments.static_vf",
     "protection": "repro.experiments.protection_study",
     "speed-gap": "repro.experiments.speed_gap",
 }
@@ -48,7 +51,7 @@ EXPERIMENTS = {
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "svf-fix",
+    "fig9", "fig10", "fig11", "svf-fix", "static-vf",
 }
 
 
@@ -105,6 +108,73 @@ def _cmd_disasm(args) -> int:
                 seen.add(value.name)
                 print(value.disassemble())
                 print()
+    return 0
+
+
+def _select_programs(selector: str):
+    """Resolve a ``lint``/``staticvf`` selector to kernel programs.
+
+    ``all`` means the whole suite; otherwise an application id or a single
+    kernel id. Returns ``(app, kernel) -> Program`` or None (+ error printed).
+    """
+    from repro.kernels import application_names, kernel_programs
+
+    programs = kernel_programs()
+    if selector == "all":
+        return programs
+    if selector in application_names():
+        return {k: p for k, p in programs.items() if k[0] == selector}
+    by_kernel = {k: p for k, p in programs.items() if k[1] == selector}
+    if by_kernel:
+        return by_kernel
+    known = ", ".join(sorted({a for a, _ in programs}))
+    print(f"unknown app/kernel {selector!r} (apps: {known}, or 'all')",
+          file=sys.stderr)
+    return None
+
+
+def _cmd_lint(args) -> int:
+    from repro.kernels import lint_waivers
+    from repro.staticanalysis import Severity, lint_program
+
+    programs = _select_programs(args.target)
+    if programs is None:
+        return 2
+    failed = 0
+    waived_total = 0
+    for (app, kernel), program in programs.items():
+        waivers = () if args.no_waivers else lint_waivers(kernel)
+        report = lint_program(program, waivers)
+        waived_total += len(report.waived)
+        if report.findings or (args.show_waived and report.waived):
+            print(report.render(show_waived=args.show_waived))
+        if any(f.severity >= Severity.WARNING for f in report.findings):
+            failed += 1
+    n = len(programs)
+    status = "clean" if not failed else f"{failed} kernel(s) with findings"
+    print(f"linted {n} kernel(s): {status}"
+          + (f", {waived_total} finding(s) waived" if waived_total else ""))
+    return 1 if failed else 0
+
+
+def _cmd_staticvf(args) -> int:
+    from repro.staticanalysis import static_vf_report
+
+    programs = _select_programs(args.target)
+    if programs is None:
+        return 2
+    header = (f"{'kernel':<16} {'instrs':>6} {'regs':>5} {'live':>6} "
+              f"{'ACE':>7} {'reads/wr':>8} {'dead-wr':>7}")
+    print(header)
+    print("-" * len(header))
+    for (app, kernel), program in programs.items():
+        r = static_vf_report(program)
+        print(f"{kernel:<16} {r.num_instructions:>6} {r.num_regs:>5} "
+              f"{r.mean_live_regs:>6.1f} {r.ace_fraction:>7.1%} "
+              f"{r.mean_reads_per_write:>8.2f} {r.dead_write_fraction:>7.1%}")
+    print("\nACE = live register-bit-cycles / allocated register-bit-cycles "
+          "(static, injection-free).\nSee 'repro.cli run static-vf' for the "
+          "comparison against campaign AVF-RF.")
     return 0
 
 
@@ -273,6 +343,23 @@ def main(argv: list[str] | None = None) -> int:
     disasm_parser = sub.add_parser("disasm", help="disassemble an app's kernels")
     disasm_parser.add_argument("app")
     disasm_parser.set_defaults(func=_cmd_disasm)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the static kernel linter (CI gate)")
+    lint_parser.add_argument("target",
+                             help="application id, kernel id, or 'all'")
+    lint_parser.add_argument("--no-waivers", action="store_true",
+                             help="ignore per-kernel waivers "
+                                  "(repro.kernels.waivers)")
+    lint_parser.add_argument("--show-waived", action="store_true",
+                             help="also print waived findings")
+    lint_parser.set_defaults(func=_cmd_lint)
+
+    staticvf_parser = sub.add_parser(
+        "staticvf", help="static (injection-free) vulnerability estimates")
+    staticvf_parser.add_argument("target", nargs="?", default="all",
+                                 help="application id, kernel id, or 'all'")
+    staticvf_parser.set_defaults(func=_cmd_staticvf)
 
     campaign_parser = sub.add_parser(
         "campaign", help="run/resume/inspect individual FI campaigns")

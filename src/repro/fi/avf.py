@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
-from repro.arch.structures import Structure, structure_bits
+from repro.arch.structures import (
+    Structure,
+    rf_allocation_bits,
+    structure_bits,
+)
 from repro.fi.campaign import CampaignResult
 from repro.utils.stats import weighted_mean
 
@@ -70,7 +74,7 @@ def derating_factor(
     weights: list[float] = []
     for rec in launches:
         if structure is Structure.RF:
-            live = rec["regs_per_thread"] * 32 * rec["threads"]
+            live = rf_allocation_bits(rec["regs_per_thread"], rec["threads"])
         else:  # SMEM
             live = rec["smem_bytes_per_cta"] * 8 * rec["ctas"]
         factors.append(min(1.0, live / system))

@@ -176,6 +176,25 @@ class Instruction:
                 out.append(r)
         return tuple(out)
 
+    def source_predicates(self) -> tuple[int, ...]:
+        """Predicate registers read as data sources (SEL/VOTE/PSETP),
+        deduplicated and excluding the hard-wired PT."""
+        preds: list[int] = []
+        for p in (self.src_pred, self.src_pred2):
+            if p is not None and p != PT and p not in preds:
+                preds.append(p)
+        return tuple(preds)
+
+    def dest_predicate(self) -> int | None:
+        """Predicate register written, or None.
+
+        A ``PT`` destination returns None: PT is hard-wired true, so a write
+        targeting it is not a definition but a bug (the linter flags it).
+        """
+        if self.dst_pred is not None and self.dst_pred != PT:
+            return self.dst_pred
+        return None
+
     def max_register(self) -> int:
         """Highest GPR index referenced (or -1 if none). Sizes the RF."""
         regs = [*self.dest_registers(), *self.source_registers()]

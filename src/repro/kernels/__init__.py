@@ -11,7 +11,9 @@ from repro.kernels.registry import (
     application_names,
     get_application,
     kernel_index,
+    kernel_programs,
 )
+from repro.kernels.waivers import lint_waivers
 
 __all__ = [
     "DeviceHarness",
@@ -20,4 +22,6 @@ __all__ = [
     "application_names",
     "get_application",
     "kernel_index",
+    "kernel_programs",
+    "lint_waivers",
 ]

@@ -48,6 +48,34 @@ def all_applications(seed: int = 2024) -> list[GPUApplication]:
     return [get_application(name, seed) for name in _APPS]
 
 
+def kernel_programs(seed: int = 2024) -> dict[tuple[str, str], "Program"]:
+    """All assembled kernel programs, keyed ``(app name, kernel name)``.
+
+    Kernels are module-level :class:`~repro.isa.program.Program` constants of
+    their application modules; this collects them without running anything —
+    the entry point for the static-analysis subsystem (linter, CFG dumps,
+    static vulnerability estimators).
+    """
+    from repro.isa.program import Program
+
+    programs: dict[tuple[str, str], Program] = {}
+    for app in all_applications(seed):
+        module = importlib.import_module(type(app).__module__)
+        by_name = {
+            value.name: value
+            for value in vars(module).values()
+            if isinstance(value, Program)
+        }
+        for kernel in app.kernel_names:
+            if kernel not in by_name:
+                raise KeyError(
+                    f"{app.name}: kernel {kernel!r} has no module-level "
+                    f"Program in {module.__name__}"
+                )
+            programs[(app.name, kernel)] = by_name[kernel]
+    return programs
+
+
 def kernel_index(seed: int = 2024) -> list[tuple[str, str]]:
     """Flat list of (app name, kernel name) over the whole suite (23 kernels)."""
     pairs: list[tuple[str, str]] = []

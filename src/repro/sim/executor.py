@@ -141,7 +141,6 @@ class CompiledKernel:
         instr = self.program[index]
         info = instr.info
         op = instr.opcode
-        cb = self.const_bank
         latency = self._latency[info.latency_class]
         flags = (
             info.sw_injectable and instr.dst is not None and instr.dst != RZ,

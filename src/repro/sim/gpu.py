@@ -14,7 +14,7 @@ the kernel has drained). Fault-injection hooks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

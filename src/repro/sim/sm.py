@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DeadlockError, LaunchError
+from repro.errors import LaunchError
 from repro.sim.cache import Cache
-from repro.sim.executor import K_ALU, K_BAR, K_BRA, K_EXIT, K_MEM, K_NOP
+from repro.sim.executor import K_ALU, K_BAR, K_BRA, K_EXIT, K_MEM
 from repro.sim.register_file import RegisterFile
 from repro.sim.shared_memory import SharedMemory
 from repro.sim.warp import CTA, Warp

@@ -1,0 +1,284 @@
+"""Control-flow graph construction over :class:`repro.isa.Program`.
+
+Blocks are maximal straight-line instruction runs. Three opcodes terminate a
+block:
+
+* ``BRA`` — edge to the branch target; a *predicated* branch (non-constant
+  guard) also keeps its fall-through edge, exactly mirroring the simulator's
+  mixed-outcome divergence in :meth:`repro.sim.sm.SM.execute`.
+* ``EXIT`` — edge to the virtual exit node; a predicated EXIT retires only
+  the guarded lanes, so it also keeps its fall-through edge.
+* ``BAR`` — barriers are warp reconvergence points, so they end their block;
+  the sole successor is the fall-through block. Keeping barriers on block
+  boundaries lets clients reason about the pre-/post-barrier regions.
+
+A block whose fall-through runs past the last instruction gets an edge to
+``OFF_END`` instead — control falling off the program is a crash in the
+simulator (:class:`repro.errors.IllegalInstruction`), and the linter reports
+it as a missing-EXIT path.
+
+Besides the graph itself, the CFG exposes reachability, dominators,
+post-dominator-based uniformity (does every thread reach this block?), back
+edges and natural-loop nesting depth — everything the dataflow framework and
+the static vulnerability estimators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import PT, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+#: Virtual successor ids (negative so they can never collide with blocks).
+EXIT_NODE = -1
+OFF_END = -2
+
+
+def guard_always_true(instr: Instruction) -> bool:
+    """True if the instruction's guard can never mask it (``@PT``)."""
+    return instr.guard_pred == PT and not instr.guard_neg
+
+
+def guard_always_false(instr: Instruction) -> bool:
+    """True if the instruction can never execute (``@!PT``)."""
+    return instr.guard_pred == PT and instr.guard_neg
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: instructions ``[start, end)`` of the program."""
+
+    index: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    #: True if some instruction of the block may terminate lanes (EXIT).
+    has_exit: bool = False
+
+    def instructions(self, program: Program) -> list[tuple[int, Instruction]]:
+        return [(i, program[i]) for i in range(self.start, self.end)]
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class ControlFlowGraph:
+    """The CFG of one program, with derived structural properties."""
+
+    def __init__(self, program: Program, blocks: list[BasicBlock]):
+        self.program = program
+        self.blocks = blocks
+        self.block_of_instr = [0] * len(program)
+        for block in blocks:
+            for i in range(block.start, block.end):
+                self.block_of_instr[i] = block.index
+        self._reachable: frozenset[int] | None = None
+        self._dominators: dict[int, frozenset[int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def reachable_blocks(self) -> frozenset[int]:
+        """Blocks reachable from the entry block."""
+        if self._reachable is None:
+            seen: set[int] = set()
+            stack = [0]
+            while stack:
+                b = stack.pop()
+                if b < 0 or b in seen:
+                    continue
+                seen.add(b)
+                stack.extend(self.blocks[b].successors)
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    def exit_reachable_blocks(self) -> frozenset[int]:
+        """Blocks from which some EXIT (virtual exit node) is reachable."""
+        preds: dict[int, list[int]] = {}
+        starts: list[int] = []
+        for block in self.blocks:
+            for s in block.successors:
+                if s == EXIT_NODE:
+                    starts.append(block.index)
+                elif s >= 0:
+                    preds.setdefault(s, []).append(block.index)
+        seen: set[int] = set()
+        stack = list(starts)
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].predecessors)
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------ #
+    def dominators(self) -> dict[int, frozenset[int]]:
+        """Per-block dominator sets (iterative, over reachable blocks)."""
+        if self._dominators is not None:
+            return self._dominators
+        reachable = sorted(self.reachable_blocks())
+        full = frozenset(reachable)
+        dom: dict[int, frozenset[int]] = {b: full for b in reachable}
+        dom[0] = frozenset([0])
+        changed = True
+        while changed:
+            changed = False
+            for b in reachable:
+                if b == 0:
+                    continue
+                preds = [p for p in self.blocks[b].predecessors if p in dom]
+                if preds:
+                    new = frozenset.intersection(*(dom[p] for p in preds))
+                else:
+                    new = frozenset()
+                new = new | {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """Edges ``(tail, head)`` where ``head`` dominates ``tail`` (loops)."""
+        dom = self.dominators()
+        edges: list[tuple[int, int]] = []
+        for b in sorted(self.reachable_blocks()):
+            for s in self.blocks[b].successors:
+                if s >= 0 and s in dom.get(b, frozenset()):
+                    edges.append((b, s))
+        return edges
+
+    def natural_loops(self) -> list[tuple[int, frozenset[int]]]:
+        """``(header, body)`` for each back edge's natural loop."""
+        loops: list[tuple[int, frozenset[int]]] = []
+        for tail, head in self.back_edges():
+            body = {head, tail}
+            stack = [tail]
+            while stack:
+                b = stack.pop()
+                for p in self.blocks[b].predecessors:
+                    if p not in body and b != head:
+                        body.add(p)
+                        stack.append(p)
+            loops.append((head, frozenset(body)))
+        return loops
+
+    def loop_depth(self) -> dict[int, int]:
+        """Loop-nesting depth of each reachable block (0 = not in a loop)."""
+        depth = {b: 0 for b in self.reachable_blocks()}
+        for _, body in self.natural_loops():
+            for b in body:
+                if b in depth:
+                    depth[b] += 1
+        return depth
+
+    # ------------------------------------------------------------------ #
+    def uniform_blocks(self) -> frozenset[int]:
+        """Blocks every thread is guaranteed to execute.
+
+        A block is *uniform* iff every path from entry to termination (the
+        virtual exit node or an off-end fall-through) passes through it —
+        i.e. it post-dominates the entry in the augmented CFG. Barriers
+        outside uniform blocks can be skipped by a subset of threads, the
+        classic divergent-barrier hazard.
+        """
+        reachable = self.reachable_blocks()
+        uniform: set[int] = set()
+        for b in reachable:
+            if b == 0:
+                uniform.add(b)
+                continue
+            # Can termination be reached from entry without touching b?
+            seen: set[int] = set()
+            stack = [0]
+            bypassed = False
+            while stack:
+                cur = stack.pop()
+                if cur == b or cur in seen:
+                    continue
+                if cur < 0:  # reached EXIT_NODE / OFF_END avoiding b
+                    bypassed = True
+                    break
+                seen.add(cur)
+                stack.extend(self.blocks[cur].successors)
+            if not bypassed:
+                uniform.add(b)
+        return frozenset(uniform)
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Debug rendering: one line per block with edges."""
+        lines = [f"# cfg of {self.program.name}: {len(self.blocks)} blocks"]
+        reachable = self.reachable_blocks()
+        for block in self.blocks:
+            succ = ", ".join(
+                {EXIT_NODE: "exit", OFF_END: "off-end"}.get(s, f"B{s}")
+                for s in block.successors
+            ) or "-"
+            mark = "" if block.index in reachable else "  (unreachable)"
+            lines.append(
+                f"B{block.index}: [{block.start:04d}-{block.end - 1:04d}]"
+                f" -> {succ}{mark}"
+            )
+        return "\n".join(lines)
+
+
+def _is_terminator(instr: Instruction) -> bool:
+    return instr.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Split ``program`` into basic blocks and wire the edges."""
+    n = len(program)
+    leaders = {0}
+    for i, instr in enumerate(program.instructions):
+        if instr.opcode == Opcode.BRA and instr.target is not None:
+            leaders.add(instr.target)
+        if _is_terminator(instr) and i + 1 < n:
+            leaders.add(i + 1)
+
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for bi, start in enumerate(starts):
+        end = starts[bi + 1] if bi + 1 < len(starts) else n
+        blocks.append(BasicBlock(index=bi, start=start, end=end))
+    block_at = {b.start: b.index for b in blocks}
+
+    def fallthrough(index: int) -> int:
+        return block_at[index] if index < n else OFF_END
+
+    for block in blocks:
+        succ: list[int] = []
+        last = program[block.end - 1]
+        if last.opcode == Opcode.BRA:
+            assert last.target is not None
+            if guard_always_false(last):
+                succ.append(fallthrough(block.end))
+            elif guard_always_true(last):
+                succ.append(block_at[last.target])
+            else:  # predicated branch: both outcomes are possible
+                succ.append(block_at[last.target])
+                succ.append(fallthrough(block.end))
+        elif last.opcode == Opcode.EXIT:
+            block.has_exit = not guard_always_false(last)
+            if block.has_exit:
+                succ.append(EXIT_NODE)
+            if not guard_always_true(last):
+                succ.append(fallthrough(block.end))
+        else:  # BAR terminator or the final straight-line block
+            succ.append(fallthrough(block.end))
+        # Deduplicate while keeping order (e.g. BRA to the next instruction).
+        block.successors = list(dict.fromkeys(succ))
+
+    for block in blocks:
+        for s in block.successors:
+            if s >= 0 and block.index not in blocks[s].predecessors:
+                blocks[s].predecessors.append(block.index)
+
+    return ControlFlowGraph(program, blocks)

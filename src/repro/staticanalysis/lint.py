@@ -1,0 +1,331 @@
+"""Kernel linter: static correctness checks over assembled ISA programs.
+
+The hand-written benchmark kernels are only checked end-to-end (golden
+outputs); the linter adds a *structural* net that catches the classic
+hand-assembly mistakes before a single simulation:
+
+========================  ========  ===========================================
+rule                      severity  meaning
+========================  ========  ===========================================
+``uninit-read``           ERROR     a register/predicate is read before any
+                                    write on *every* path from entry
+``maybe-uninit-read``     WARNING   read before write on *some* path
+``dead-write``            WARNING   a written value is never read
+``unreachable``           WARNING   a basic block no path from entry reaches
+``missing-exit``          ERROR     control can fall off the end of the
+                                    program (an IllegalInstruction crash)
+``no-exit-path``          WARNING   a reachable block from which no EXIT is
+                                    reachable (guaranteed timeout)
+``divergent-barrier``     ERROR     a BAR.SYNC that a subset of threads can
+                                    skip (deadlock risk)
+``guarded-barrier``       NOTE      a guard on BAR has no effect: all lanes
+                                    arrive regardless
+``pt-write``              ERROR     an instruction targets the hard-wired PT
+                                    predicate (the executor would clobber it)
+========================  ========  ===========================================
+
+Intentional findings are silenced by :class:`Waiver` entries (the per-kernel
+registry lives in :mod:`repro.kernels.waivers`) so ``repro.cli lint all``
+can be a CI gate that exits non-zero only on *new* findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import PT
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.staticanalysis.cfg import (
+    OFF_END,
+    ControlFlowGraph,
+    build_cfg,
+    guard_always_true,
+)
+from repro.staticanalysis.dataflow import (
+    ENTRY_DEF,
+    def_use_chains,
+    instr_defs,
+    is_pred_var,
+    pred_var,
+    var_name,
+)
+
+
+class Severity(enum.IntEnum):
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, anchored to an instruction (or a whole block)."""
+
+    rule: str
+    severity: Severity
+    message: str
+    instr_index: int | None = None
+    block: int | None = None
+
+    def render(self, program: Program) -> str:
+        loc = f"{program.name}"
+        if self.instr_index is not None:
+            loc += f":{self.instr_index:04d}"
+        line = f"{loc}: {self.severity}: [{self.rule}] {self.message}"
+        if self.instr_index is not None:
+            line += f"\n    > {program[self.instr_index].render()}"
+        return line
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """Silences findings of one rule, optionally at one instruction only."""
+
+    rule: str
+    instr_index: int | None = None  # None = anywhere in the kernel
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule:
+            return False
+        return self.instr_index is None or self.instr_index == finding.instr_index
+
+
+@dataclass
+class LintReport:
+    """All findings of one program, split into active and waived."""
+
+    program: Program
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[tuple[Finding, Waiver]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True if no unwaived finding at WARNING severity or above."""
+        return not any(f.severity >= Severity.WARNING for f in self.findings)
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self, show_waived: bool = False) -> str:
+        lines: list[str] = []
+        for f in sorted(self.findings,
+                        key=lambda f: (-f.severity, f.instr_index or 0)):
+            lines.append(f.render(self.program))
+        if show_waived:
+            for f, w in self.waived:
+                reason = f" ({w.reason})" if w.reason else ""
+                lines.append(f"waived: {f.render(self.program)}{reason}")
+        n_err = sum(f.severity == Severity.ERROR for f in self.findings)
+        n_warn = sum(f.severity == Severity.WARNING for f in self.findings)
+        lines.append(
+            f"{self.program.name}: {n_err} error(s), {n_warn} warning(s), "
+            f"{len(self.waived)} waived"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------------- #
+def _check_reachability(cfg: ControlFlowGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            findings.append(Finding(
+                rule="unreachable",
+                severity=Severity.WARNING,
+                message=(f"block B{block.index} "
+                         f"(instructions {block.start}-{block.end - 1}) "
+                         f"is unreachable from entry"),
+                instr_index=block.start,
+                block=block.index,
+            ))
+    return findings
+
+
+def _check_termination(cfg: ControlFlowGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    reachable = cfg.reachable_blocks()
+    exit_ok = cfg.exit_reachable_blocks()
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        if OFF_END in block.successors:
+            findings.append(Finding(
+                rule="missing-exit",
+                severity=Severity.ERROR,
+                message=(f"control can fall off the end of the program "
+                         f"through block B{block.index} "
+                         f"(no EXIT on this path; the simulator raises "
+                         f"IllegalInstruction)"),
+                instr_index=block.end - 1,
+                block=block.index,
+            ))
+        elif block.index not in exit_ok:
+            findings.append(Finding(
+                rule="no-exit-path",
+                severity=Severity.WARNING,
+                message=(f"no EXIT is reachable from block B{block.index}: "
+                         f"threads entering it spin forever (timeout)"),
+                instr_index=block.start,
+                block=block.index,
+            ))
+    return findings
+
+
+def _check_barriers(cfg: ControlFlowGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    reachable = cfg.reachable_blocks()
+    uniform = cfg.uniform_blocks()
+    program = cfg.program
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        for i in range(block.start, block.end):
+            instr = program[i]
+            if instr.opcode != Opcode.BAR:
+                continue
+            if block.index not in uniform:
+                findings.append(Finding(
+                    rule="divergent-barrier",
+                    severity=Severity.ERROR,
+                    message=(f"BAR.SYNC in block B{block.index} is under "
+                             f"divergent control flow: some threads can "
+                             f"terminate or branch around it, so arrivals "
+                             f"may never balance"),
+                    instr_index=i,
+                    block=block.index,
+                ))
+            if not guard_always_true(instr):
+                findings.append(Finding(
+                    rule="guarded-barrier",
+                    severity=Severity.NOTE,
+                    message=("guard on BAR.SYNC has no effect: every lane "
+                             "of the warp arrives at the barrier regardless"),
+                    instr_index=i,
+                    block=block.index,
+                ))
+    return findings
+
+
+def _guard_correlated_init(cfg: ControlFlowGraph, use: int, var: int) -> bool:
+    """True if ``var`` is provably initialized whenever instruction ``use``
+    actually executes, by guard correlation.
+
+    The reaching-definitions analysis is predication-blind: a ``@P0`` write
+    does not kill the entry pseudo-definition, so every read inside a
+    predicated region looks "maybe uninitialized". Per *lane*, though, the
+    pattern is safe: if the use is guarded by ``(p, neg)`` and an earlier
+    instruction of the same basic block writes ``var`` under the identical
+    guard — with no write to ``p`` in between — then any lane executing the
+    use had a true guard at the def too, and the value is initialized. Lanes
+    cannot enter a block mid-way and their activity only changes at block
+    terminators, so the intra-block scan is sound.
+    """
+    program = cfg.program
+    instr_u = program[use]
+    if guard_always_true(instr_u) or instr_u.guard_pred == PT:
+        return False
+    guard = (instr_u.guard_pred, instr_u.guard_neg)
+    guard_var = pred_var(instr_u.guard_pred)
+    block = cfg.blocks[cfg.block_of_instr[use]]
+    for d in range(use - 1, block.start - 1, -1):
+        instr_d = program[d]
+        defs = instr_defs(instr_d)
+        if var in defs:
+            if (instr_d.guard_pred, instr_d.guard_neg) == guard:
+                return True
+            # A write under a different guard may not have happened for the
+            # lanes that matter; keep scanning for an earlier matching def.
+        if guard_var in defs:
+            return False  # guard recomputed between def and use
+    return False
+
+
+def _check_dataflow(cfg: ControlFlowGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    chains = def_use_chains(cfg)
+
+    for (use, var), sites in sorted(chains.defs_of.items()):
+        if ENTRY_DEF not in sites:
+            continue
+        if sites != {ENTRY_DEF} and _guard_correlated_init(cfg, use, var):
+            continue
+        name = var_name(var)
+        if sites == {ENTRY_DEF}:
+            findings.append(Finding(
+                rule="uninit-read",
+                severity=Severity.ERROR,
+                message=(f"{name} is read but never written before this "
+                         f"instruction on any path from entry"),
+                instr_index=use,
+            ))
+        else:
+            findings.append(Finding(
+                rule="maybe-uninit-read",
+                severity=Severity.WARNING,
+                message=(f"{name} may be read before initialization: some "
+                         f"path from entry reaches this read without a "
+                         f"write (predicated writes do not count as "
+                         f"initialization on the guard-false path)"),
+                instr_index=use,
+            ))
+
+    for (d, var) in sorted(chains.dead_defs()):
+        name = var_name(var)
+        kind = "predicate" if is_pred_var(var) else "register"
+        findings.append(Finding(
+            rule="dead-write",
+            severity=Severity.WARNING,
+            message=(f"value written to {kind} {name} is never read "
+                     f"(dead write)"),
+            instr_index=d,
+        ))
+    return findings
+
+
+def _check_pt_writes(cfg: ControlFlowGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for i, instr in enumerate(cfg.program.instructions):
+        if instr.info.writes_pred and instr.dst_pred == PT:
+            findings.append(Finding(
+                rule="pt-write",
+                severity=Severity.ERROR,
+                message=("instruction writes the hard-wired PT predicate; "
+                         "the executor would clobber the constant-true "
+                         "guard for the whole warp"),
+                instr_index=i,
+            ))
+    return findings
+
+
+_ALL_CHECKS = (
+    _check_reachability,
+    _check_termination,
+    _check_barriers,
+    _check_dataflow,
+    _check_pt_writes,
+)
+
+
+def lint_program(
+    program: Program, waivers: tuple[Waiver, ...] = ()
+) -> LintReport:
+    """Run every rule over ``program`` and fold in the waivers."""
+    cfg = build_cfg(program)
+    report = LintReport(program=program)
+    for check in _ALL_CHECKS:
+        for finding in check(cfg):
+            waiver = next((w for w in waivers if w.matches(finding)), None)
+            if waiver is not None:
+                report.waived.append((finding, waiver))
+            else:
+                report.findings.append(finding)
+    return report

@@ -1,0 +1,189 @@
+"""Injection-free (ACE-style) vulnerability estimators.
+
+The paper measures AVF-RF by statistical fault injection: flip a random bit
+of an allocated register at a random cycle and classify the outcome. The
+mechanism behind the measured number is almost entirely *structural*: a flip
+only matters while the register is **live** (written, not yet re-read for
+the last time), and it propagates in proportion to how many reads consume
+the value (the Fig. 12 register-reuse effect). Both are static program
+properties, so this module estimates them with zero injections — in the
+spirit of Mukherjee et al.'s ACE analysis and Hari et al.'s two-level
+program-analysis SDC model (PAPERS.md):
+
+* ``ace_fraction`` — live register-bit-cycles over allocated
+  register-bit-cycles, with per-instruction *static execution weights*
+  standing in for cycles (loop nesting from the CFG, a 1/2 factor per
+  predicated guard). This estimates the failure probability of a flip in an
+  allocated register.
+* ``avf_rf`` — ``ace_fraction`` times the RF derating factor
+  (allocated bits / physical RF bits, from :mod:`repro.arch.structures`),
+  the static analogue of the paper's ``AVF(h) = FR(h) * DF(h)``.
+* ``mean_reads_per_write`` / ``dead_write_fraction`` — the static analogue
+  of the dynamic register-reuse analyzer in :mod:`repro.analysis.reuse`:
+  expected reads-before-redefinition per destination write, from def-use
+  chains instead of a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GPUConfig
+from repro.arch.structures import rf_derating
+from repro.isa.program import Program
+from repro.staticanalysis.cfg import (
+    ControlFlowGraph,
+    build_cfg,
+    guard_always_true,
+)
+from repro.staticanalysis.dataflow import def_use_chains, is_pred_var, liveness
+
+#: Assumed iterations of a natural loop per nesting level. Only the *ratio*
+#: between instruction weights matters for the estimators, so this is a
+#: coarse but conventional static-profile assumption.
+LOOP_WEIGHT = 8.0
+
+#: Probability a predicated instruction's guard is true. With no value
+#: information, a guard is a coin flip (NVCC's static branch weights make
+#: the same assumption).
+GUARD_PROB = 0.5
+
+
+def instruction_weights(cfg: ControlFlowGraph) -> list[float]:
+    """Static execution-frequency weight of each instruction.
+
+    ``LOOP_WEIGHT ** loop_depth`` for reachable instructions (scaled by
+    ``GUARD_PROB`` when predicated), 0 for unreachable ones. These weights
+    stand in for dynamic instruction counts everywhere the estimators need
+    a "cycles" weighting.
+    """
+    program = cfg.program
+    depth = cfg.loop_depth()
+    reachable = cfg.reachable_blocks()
+    weights = [0.0] * len(program)
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        base = LOOP_WEIGHT ** depth.get(block.index, 0)
+        for i in range(block.start, block.end):
+            w = base
+            if not guard_always_true(program[i]):
+                w *= GUARD_PROB
+            weights[i] = w
+    return weights
+
+
+@dataclass(frozen=True)
+class StaticVFReport:
+    """All static vulnerability estimates of one kernel."""
+
+    kernel: str
+    num_instructions: int
+    num_regs: int
+    #: Static estimate of dynamic instruction count (sum of weights).
+    weight_mass: float
+    #: Weighted mean live GPRs per instruction.
+    mean_live_regs: float
+    #: Peak live GPRs at any instruction.
+    max_live_regs: int
+    #: Live register-bit-cycles / allocated register-bit-cycles.
+    ace_fraction: float
+    #: Allocated RF bits / physical RF bits (1.0 when geometry unknown).
+    derating: float
+    #: The headline estimate: ``ace_fraction * derating``.
+    avf_rf: float
+    #: Static Fig. 12 analogue: expected reads per destination write.
+    mean_reads_per_write: float
+    #: Weighted fraction of writes never read.
+    dead_write_fraction: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel}: AVF-RF(est) = {self.avf_rf:.4%} "
+            f"(ACE {self.ace_fraction:.1%} x DF {self.derating:.4f}), "
+            f"live {self.mean_live_regs:.1f}/{self.num_regs} regs, "
+            f"reads/write {self.mean_reads_per_write:.2f}, "
+            f"dead writes {self.dead_write_fraction:.1%}"
+        )
+
+
+def static_avf_rf(
+    program: Program,
+    config: GPUConfig | None = None,
+    threads: int | None = None,
+) -> float:
+    """Convenience wrapper returning only the AVF-RF estimate."""
+    return static_vf_report(program, config=config, threads=threads).avf_rf
+
+
+def static_vf_report(
+    program: Program,
+    config: GPUConfig | None = None,
+    threads: int | None = None,
+    derating: float | None = None,
+) -> StaticVFReport:
+    """Compute every static estimate for one kernel program.
+
+    ``derating`` (or ``config`` + ``threads``, the launch geometry) supplies
+    the allocated-over-physical RF factor; geometry is a property of the
+    *launch*, not of the injections, so passing the profiled value keeps the
+    estimator injection-free. With neither, ``derating = 1`` and ``avf_rf``
+    ranks kernels by ACE fraction alone.
+    """
+    cfg = build_cfg(program)
+    weights = instruction_weights(cfg)
+    live = liveness(cfg)
+    chains = def_use_chains(cfg)
+
+    mass = sum(weights)
+    regs = max(program.num_regs, 1)
+    if mass > 0.0:
+        live_mass = sum(
+            w * live.live_regs_in(i) for i, w in enumerate(weights) if w
+        )
+        mean_live = live_mass / mass
+        max_live = max(
+            (live.live_regs_in(i) for i, w in enumerate(weights) if w),
+            default=0,
+        )
+    else:
+        mean_live = 0.0
+        max_live = 0
+    ace = mean_live / regs
+
+    # Static register reuse over GPR definition sites.
+    def_mass = 0.0
+    read_mass = 0.0
+    dead_mass = 0.0
+    for (d, var), uses in chains.uses_of.items():
+        if is_pred_var(var):
+            continue
+        w = weights[d]
+        if w <= 0.0:
+            continue
+        def_mass += w
+        read_mass += w * len(uses)
+        if not uses:
+            dead_mass += w
+    mean_reads = read_mass / def_mass if def_mass else 0.0
+    dead_fraction = dead_mass / def_mass if def_mass else 0.0
+
+    if derating is None:
+        if config is not None and threads is not None:
+            derating = rf_derating(program.num_regs, threads, config)
+        else:
+            derating = 1.0
+
+    return StaticVFReport(
+        kernel=program.name,
+        num_instructions=len(program),
+        num_regs=program.num_regs,
+        weight_mass=mass,
+        mean_live_regs=mean_live,
+        max_live_regs=max_live,
+        ace_fraction=ace,
+        derating=derating,
+        avf_rf=ace * derating,
+        mean_reads_per_write=mean_reads,
+        dead_write_fraction=dead_fraction,
+    )

@@ -1,5 +1,3 @@
-import numpy as np
-
 from repro.analysis.reuse import (
     RegisterReuseAnalyzer,
     TraceRecorder,

@@ -6,7 +6,7 @@ import pytest
 from repro.arch.structures import Structure
 from repro.fi.campaign import run_microarch_campaign, run_source_campaign
 from repro.fi.gpufi import ECCUncorrectableError, MicroarchFaultPlan
-from repro.fi.pvf import pvf_from_campaign, run_pvf_campaign
+from repro.fi.pvf import pvf_from_campaign
 from repro.fi.svf_modes import SourceFaultPlan, SourceInjector
 from repro.isa import assemble
 from repro.kernels import get_application

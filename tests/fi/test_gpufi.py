@@ -5,7 +5,6 @@ import pytest
 
 from repro.arch.structures import Structure
 from repro.fi.gpufi import MicroarchFaultPlan, MicroarchInjector, plan_microarch_fault
-from repro.isa import assemble
 from repro.sim import GPU
 
 LAUNCHES = [
@@ -43,7 +42,6 @@ def test_plan_requires_launches():
 
 def test_fire_flips_one_rf_bit(gv100):
     gpu = GPU(gv100)
-    prog = assemble("MOV R1, 0x0\nEXIT", name="t")
     # Manually host a CTA to have live banks.
     from repro.sim.warp import CTA
 

@@ -1,12 +1,9 @@
 """Cross-module integration: the mechanisms the paper's findings rest on."""
 
 import numpy as np
-import pytest
 
-from repro.arch.config import quadro_gv100_like
 from repro.arch.structures import Structure
-from repro.errors import SimTimeout
-from repro.fi.campaign import profile_app, run_microarch_campaign
+from repro.fi.campaign import profile_app
 from repro.fi.gpufi import MicroarchFaultPlan, MicroarchInjector
 from repro.fi.outcomes import FaultOutcome
 from repro.isa import assemble
@@ -105,7 +102,7 @@ def test_due_from_corrupted_pointer(tmp_cache, v100):
 def test_injection_cycle_determinism(gv100):
     """Same plan -> identical outcome, including the flipped location."""
     app = get_application("hotspot")
-    profile = profile_app(app, gv100)
+    profile_app(app, gv100)
     outs = []
     for _ in range(2):
         gpu = GPU(gv100)

@@ -1,7 +1,6 @@
 """Instruction-semantics tests: each opcode against NumPy ground truth."""
 
 import numpy as np
-import pytest
 
 from repro.arch.config import quadro_gv100_like
 from repro.isa import assemble

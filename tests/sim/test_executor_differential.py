@@ -88,7 +88,7 @@ def to_assembly(lines):
         text.append(f"{op} R{dst}, R{src_a}, {src_b}")
     # Store every work register to the output buffer.
     for r in range(1, NUM_WORK_REGS + 1):
-        text.append(f"SHL R10, R0, 0x2")
+        text.append("SHL R10, R0, 0x2")
         text.append(f"IADD R10, R10, c[0x0][0x{(r - 1) * 4:x}]")
         text.append(f"ST [R10], R{r}")
     text.append("EXIT")

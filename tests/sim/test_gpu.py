@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.arch.config import GPUConfig, quadro_gv100_like
-from repro.errors import DeadlockError, IllegalMemoryAccess, LaunchError, SimTimeout
+from repro.arch.config import GPUConfig
+from repro.errors import IllegalMemoryAccess, LaunchError, SimTimeout
 from repro.isa import assemble
 from repro.sim import GPU
 

@@ -10,7 +10,6 @@ from repro.sim import GPU
 def cycles_of(src, grid=(1, 1), block=(32, 1), params=(), smem=0):
     gpu = GPU(quadro_gv100_like())
     prog = assemble(src, name="t")
-    bufs = []
     rec = gpu.launch(prog, grid, block, list(params), smem)
     return rec.cycles, rec
 

@@ -1,5 +1,3 @@
-import numpy as np
-
 from repro.sim.register_file import WarpRegisters
 from repro.sim.warp import CTA, Warp
 

@@ -1,0 +1,215 @@
+"""CFG construction edge cases: predication, loops, barriers, EXIT."""
+
+from repro.isa import assemble
+from repro.staticanalysis import EXIT_NODE, OFF_END, build_cfg
+
+
+def test_straight_line_single_block():
+    cfg = build_cfg(assemble("MOV R1, 0x1\nIADD R2, R1, 0x1\nEXIT"))
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].successors == [EXIT_NODE]
+    assert cfg.blocks[0].has_exit
+    assert cfg.reachable_blocks() == {0}
+
+
+def test_unconditional_branch_single_edge():
+    cfg = build_cfg(assemble(
+        """
+        BRA end
+        MOV R1, 0x1
+    end:
+        EXIT
+    """
+    ))
+    # B0 = BRA, B1 = MOV (unreachable), B2 = EXIT.
+    assert cfg.blocks[0].successors == [2]
+    assert cfg.reachable_blocks() == {0, 2}
+    assert 1 not in cfg.reachable_blocks()
+
+
+def test_predicated_branch_keeps_fallthrough():
+    cfg = build_cfg(assemble(
+        """
+        ISETP.LT P0, R1, 0xa
+    @P0 BRA end
+        MOV R2, 0x1
+    end:
+        EXIT
+    """
+    ))
+    # The guarded BRA block has both the target and the fall-through edge.
+    bra_block = cfg.blocks[cfg.block_of_instr[1]]
+    assert sorted(bra_block.successors) == [1, 2]
+    assert cfg.reachable_blocks() == {0, 1, 2}
+
+
+def test_never_taken_branch_only_falls_through():
+    cfg = build_cfg(assemble("@!PT BRA end\nend:\nEXIT"))
+    assert cfg.blocks[0].successors == [1]
+
+
+def test_backward_edge_is_a_loop():
+    cfg = build_cfg(assemble(
+        """
+        MOV R1, 0x0
+    top:
+        IADD R1, R1, 0x1
+        ISETP.LT P0, R1, 0xa
+    @P0 BRA top
+        EXIT
+    """
+    ))
+    back = cfg.back_edges()
+    assert len(back) == 1
+    tail, head = back[0]
+    assert cfg.blocks[head].start == 1  # the `top:` block
+    loops = cfg.natural_loops()
+    assert len(loops) == 1
+    depth = cfg.loop_depth()
+    assert depth[head] == 1 and depth[tail] == 1
+    assert depth[0] == 0  # preamble outside the loop
+
+
+def test_nested_loops_stack_depth():
+    cfg = build_cfg(assemble(
+        """
+        MOV R1, 0x0
+    outer:
+        MOV R2, 0x0
+    inner:
+        IADD R2, R2, 0x1
+        ISETP.LT P0, R2, 0x4
+    @P0 BRA inner
+        IADD R1, R1, 0x1
+        ISETP.LT P1, R1, 0x4
+    @P1 BRA outer
+        EXIT
+    """
+    ))
+    depth = cfg.loop_depth()
+    inner_header = cfg.block_of_instr[2]
+    assert depth[inner_header] == 2
+    assert depth[cfg.block_of_instr[1]] == 1
+    assert depth[cfg.block_of_instr[0]] == 0
+
+
+def test_self_loop_block():
+    cfg = build_cfg(assemble(
+        """
+    top:
+        IADD R1, R1, 0x1
+        ISETP.LT P0, R1, 0xa
+    @P0 BRA top
+        EXIT
+    """
+    ))
+    assert cfg.back_edges() == [(0, 0)]
+    header, body = cfg.natural_loops()[0]
+    assert header == 0 and body == {0}
+    assert cfg.loop_depth()[0] == 1
+
+
+def test_barrier_terminates_block():
+    cfg = build_cfg(assemble(
+        """
+        MOV R1, 0x1
+        BAR.SYNC
+        IADD R2, R1, 0x1
+        EXIT
+    """
+    ))
+    # BAR ends B0; its only successor is the fall-through block.
+    assert cfg.blocks[0].end == 2
+    assert cfg.blocks[0].successors == [1]
+    assert cfg.blocks[1].successors == [EXIT_NODE]
+
+
+def test_barrier_reconvergence_is_uniform():
+    """Both sides of a divergent diamond reconverge at the barrier block."""
+    cfg = build_cfg(assemble(
+        """
+        ISETP.LT P0, R0, 0x10
+    @P0 BRA other
+        MOV R1, 0x1
+        BRA join
+    other:
+        MOV R1, 0x2
+    join:
+        BAR.SYNC
+        EXIT
+    """
+    ))
+    uniform = cfg.uniform_blocks()
+    join = cfg.block_of_instr[6]  # the BAR.SYNC
+    assert join in uniform
+    # The divergent arms are not uniform.
+    assert cfg.block_of_instr[2] not in uniform
+    assert cfg.block_of_instr[4] not in uniform
+
+
+def test_predicated_exit_keeps_fallthrough():
+    cfg = build_cfg(assemble(
+        """
+        ISETP.LT P0, R0, 0x10
+    @P0 EXIT
+        MOV R1, 0x1
+        EXIT
+    """
+    ))
+    exit_block = cfg.blocks[cfg.block_of_instr[1]]
+    assert exit_block.has_exit
+    assert EXIT_NODE in exit_block.successors
+    assert cfg.block_of_instr[2] in exit_block.successors
+
+
+def test_fall_off_end_gets_off_end_edge():
+    cfg = build_cfg(assemble(
+        """
+        ISETP.LT P0, R0, 0x10
+    @P0 EXIT
+        MOV R1, 0x1
+    """
+    ))
+    last = cfg.blocks[-1]
+    assert last.successors == [OFF_END]
+
+
+def test_exit_reachability():
+    cfg = build_cfg(assemble(
+        """
+    spin:
+        BRA spin
+        EXIT
+    """
+    ))
+    # B0 spins forever; the EXIT block is unreachable from entry.
+    assert 0 not in cfg.exit_reachable_blocks()
+    assert cfg.reachable_blocks() == {0}
+
+
+def test_dominators_of_diamond():
+    cfg = build_cfg(assemble(
+        """
+        ISETP.LT P0, R0, 0x10
+    @P0 BRA right
+        MOV R1, 0x1
+        BRA join
+    right:
+        MOV R1, 0x2
+    join:
+        EXIT
+    """
+    ))
+    dom = cfg.dominators()
+    join = cfg.block_of_instr[5]
+    # Entry dominates everything; neither arm dominates the join.
+    assert 0 in dom[join]
+    assert cfg.block_of_instr[2] not in dom[join]
+    assert cfg.block_of_instr[4] not in dom[join]
+
+
+def test_render_marks_unreachable():
+    cfg = build_cfg(assemble("BRA end\nMOV R1, 0x1\nend:\nEXIT"))
+    text = cfg.render()
+    assert "unreachable" in text
+    assert "exit" in text

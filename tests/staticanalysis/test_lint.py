@@ -1,0 +1,250 @@
+"""Every linter rule, the waiver mechanism, and the whole-suite gate."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernels import kernel_programs, lint_waivers
+from repro.staticanalysis import Finding, LintReport, Severity, Waiver, lint_program
+
+
+def rules_of(report: LintReport) -> set[str]:
+    return {f.rule for f in report.findings}
+
+
+def test_clean_program_is_ok():
+    report = lint_program(assemble(
+        """
+        MOV R1, 0x1
+        MOV R2, 0x0
+        ST [R2], R1
+        EXIT
+    """
+    ))
+    assert report.ok
+    assert report.findings == []
+
+
+def test_uninit_read_is_error():
+    report = lint_program(assemble(
+        """
+        IADD R1, R2, 0x1
+        MOV R3, 0x0
+        ST [R3], R1
+        EXIT
+    """
+    ))
+    findings = report.by_rule("uninit-read")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+    assert findings[0].instr_index == 0
+    assert "R2" in findings[0].message
+    assert not report.ok
+
+
+def test_maybe_uninit_read_on_one_path():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 BRA skip
+        MOV R1, 0x1
+    skip:
+        MOV R2, 0x0
+        ST [R2], R1
+        EXIT
+    """
+    ))
+    findings = report.by_rule("maybe-uninit-read")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.WARNING
+    assert "R1" in findings[0].message
+
+
+def test_guard_correlated_init_suppressed():
+    """Def and use under the identical guard in one block: dynamically safe."""
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 MOV R1, 0x1
+    @P0 IADD R2, R1, R1
+    @P0 MOV R3, 0x0
+    @P0 ST [R3], R2
+        EXIT
+    """
+    ))
+    assert report.by_rule("maybe-uninit-read") == []
+    assert report.ok
+
+
+def test_guard_redefined_between_def_and_use_is_flagged():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 MOV R1, 0x1
+        ISETP.GE P0, RZ, 0x1
+    @P0 MOV R2, 0x0
+    @P0 ST [R2], R1
+        EXIT
+    """
+    ))
+    # The guard changed meaning: the @P0 def no longer proves the @P0 use.
+    assert len(report.by_rule("maybe-uninit-read")) == 1
+
+
+def test_mismatched_guard_polarity_is_flagged():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 MOV R1, 0x1
+    @!P0 IADD R2, R1, R1
+        EXIT
+    """
+    ))
+    # @!P0 lanes are exactly the ones the @P0 write skipped.
+    assert len(report.by_rule("maybe-uninit-read")) == 1
+
+
+def test_dead_write_warning():
+    report = lint_program(assemble(
+        """
+        MOV R1, 0x1
+        MOV R1, 0x2
+        MOV R2, 0x0
+        ST [R2], R1
+        EXIT
+    """
+    ))
+    findings = report.by_rule("dead-write")
+    assert len(findings) == 1
+    assert findings[0].instr_index == 0
+
+
+def test_unreachable_block_warning():
+    report = lint_program(assemble(
+        """
+        BRA end
+        MOV R1, 0x1
+    end:
+        EXIT
+    """
+    ))
+    findings = report.by_rule("unreachable")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.WARNING
+
+
+def test_missing_exit_error():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 EXIT
+        NOP
+    """
+    ))
+    findings = report.by_rule("missing-exit")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_no_exit_path_warning():
+    report = lint_program(assemble(
+        """
+    spin:
+        BRA spin
+        EXIT
+    """
+    ))
+    assert len(report.by_rule("no-exit-path")) == 1
+    assert len(report.by_rule("unreachable")) == 1  # the EXIT block
+
+
+def test_divergent_barrier_error():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, R0, 0x10
+    @P0 EXIT
+        BAR.SYNC
+        EXIT
+    """
+    ))
+    findings = report.by_rule("divergent-barrier")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_uniform_barrier_is_clean():
+    report = lint_program(assemble(
+        """
+        MOV R1, 0x1
+        BAR.SYNC
+        MOV R2, 0x0
+        ST [R2], R1
+        EXIT
+    """
+    ))
+    assert report.by_rule("divergent-barrier") == []
+
+
+def test_guarded_barrier_note():
+    report = lint_program(assemble(
+        """
+        ISETP.LT P0, RZ, 0x1
+    @P0 BAR.SYNC
+        EXIT
+    """
+    ))
+    findings = report.by_rule("guarded-barrier")
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.NOTE
+    # Notes alone do not fail the gate.
+    assert report.ok
+
+
+def test_waiver_moves_finding_aside():
+    prog = assemble(
+        """
+        IADD R1, R2, 0x1
+        MOV R3, 0x0
+        ST [R3], R1
+        EXIT
+    """
+    )
+    assert not lint_program(prog).ok
+    waiver = Waiver(rule="uninit-read", instr_index=0, reason="seeded by host")
+    report = lint_program(prog, waivers=(waiver,))
+    assert report.ok
+    assert len(report.waived) == 1
+    assert report.waived[0][1] is waiver
+    # A waiver for a different instruction does not match.
+    other = Waiver(rule="uninit-read", instr_index=5)
+    assert not lint_program(prog, waivers=(other,)).ok
+    # A rule-wide waiver matches anywhere.
+    broad = Waiver(rule="uninit-read")
+    assert lint_program(prog, waivers=(broad,)).ok
+
+
+def test_render_contains_rule_and_location():
+    prog = assemble("IADD R1, R2, 0x1\nMOV R3, 0x0\nST [R3], R1\nEXIT")
+    report = lint_program(prog)
+    text = report.render()
+    assert "[uninit-read]" in text
+    assert "error" in text
+    assert f"{prog.name}:0000" in text
+    shown = lint_program(
+        prog, waivers=(Waiver(rule="uninit-read", reason="why"),)
+    ).render(show_waived=True)
+    assert "waived" in shown and "why" in shown
+
+
+def test_severity_renders_lowercase():
+    assert str(Severity.ERROR) == "error"
+    f = Finding(rule="x", severity=Severity.WARNING, message="m")
+    assert f.severity >= Severity.WARNING
+
+
+@pytest.mark.parametrize("key", sorted(kernel_programs()))
+def test_suite_kernels_lint_clean(key):
+    """The CI gate: all 23 kernels pass the linter (modulo waivers)."""
+    app, kernel = key
+    program = kernel_programs()[key]
+    report = lint_program(program, waivers=lint_waivers(kernel))
+    assert report.ok, f"{app}/{kernel}:\n{report.render()}"

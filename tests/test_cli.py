@@ -32,6 +32,36 @@ def test_disasm(capsys):
     assert "va_k1" in capsys.readouterr().out
 
 
+def test_lint_all_clean(capsys):
+    assert main(["lint", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "linted 23 kernel(s): clean" in out
+
+
+def test_lint_single_app_and_kernel(capsys):
+    assert main(["lint", "va"]) == 0
+    assert "linted 1 kernel(s)" in capsys.readouterr().out
+    assert main(["lint", "sradv1_k1"]) == 0
+    assert "linted 1 kernel(s)" in capsys.readouterr().out
+
+
+def test_lint_unknown_selector(capsys):
+    assert main(["lint", "nope"]) == 2
+    assert "unknown app/kernel" in capsys.readouterr().err
+
+
+def test_staticvf_table(capsys):
+    assert main(["staticvf", "va"]) == 0
+    out = capsys.readouterr().out
+    assert "va_k1" in out and "ACE" in out and "reads/wr" in out
+
+
+def test_staticvf_all(capsys):
+    assert main(["staticvf", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs_k1" in out and "hotspot_k1" in out
+
+
 def test_campaign_run_and_status(capsys, tmp_cache):
     assert main(["campaign", "run", "va", "--level", "sw",
                  "--trials", "6", "--quiet"]) == 0

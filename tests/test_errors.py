@@ -1,7 +1,5 @@
 """Exception hierarchy contracts the campaign classifier depends on."""
 
-import pytest
-
 from repro.errors import (
     DeadlockError,
     ExecutionError,

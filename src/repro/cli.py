@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli staticvf bfs
     python -m repro.cli campaign run va --level sw --trials 128
     python -m repro.cli campaign run bfs --trials 200 --workers auto
+    python -m repro.cli campaign run va --workers 4 --trace out.json
+    python -m repro.cli campaign report .repro_cache/telemetry/<key>.jsonl
     python -m repro.cli campaign status
 
 The underlying campaigns cache under ``.repro_cache/``, so repeated
@@ -20,6 +22,13 @@ Interrupted campaigns journal completed trials under
 ``.repro_cache/journal/`` and resume automatically when re-run
 (``campaign status`` shows what is in flight and flags journals a
 configuration change has orphaned).
+
+Campaign observability: ``campaign run --telemetry`` streams structured
+events (phase timers, per-trial outcomes, worker utilization) to a JSONL
+file; ``--trace out.json`` additionally exports a Chrome ``trace_event``
+file loadable in chrome://tracing or https://ui.perfetto.dev. ``campaign
+report`` renders an event stream (or the key/journal that names one) as
+a throughput / phase / utilization / outcome summary table.
 """
 
 from __future__ import annotations
@@ -236,6 +245,8 @@ def _cmd_campaign_run(args) -> int:
     from repro.fi.runner import resolve_workers
     from repro.hardening import tmr_harness_factory
     from repro.kernels import get_application
+    from repro.telemetry import (TelemetrySession, read_events, telemetry_dir,
+                                 write_trace)
 
     try:
         app = get_application(args.app)
@@ -250,6 +261,13 @@ def _cmd_campaign_run(args) -> int:
     label = f"{args.app}/{kernel}/{args.level}"
     reporter = None if args.quiet else _CampaignProgress(label)
     factory = tmr_harness_factory if args.hardened else None
+    telemetry_on = bool(args.telemetry or args.trace or args.events)
+    session = None
+    if telemetry_on:
+        events_path = args.events or (
+            telemetry_dir()
+            / f"{args.app}-{kernel}-{args.level}-s{args.seed}.jsonl")
+        session = TelemetrySession(events_path)
     spec = CampaignSpec(
         level=args.level,
         app=app,
@@ -261,6 +279,7 @@ def _cmd_campaign_run(args) -> int:
         workers=args.workers,
         hardened=args.hardened,
         use_cache=not args.no_cache,
+        telemetry=True if telemetry_on else None,
     )
     try:
         result = run_campaign(
@@ -270,10 +289,14 @@ def _cmd_campaign_run(args) -> int:
             worker_progress=(reporter.worker_update
                              if reporter is not None
                              and resolve_workers(args.workers) > 1 else None),
+            telemetry_session=session,
         )
     except ReproError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if session is not None:
+            session.close()
     counts = result.counts
     print(f"{label} on {result.config_name}: "
           f"{result.trials} trials, seed {result.seed}")
@@ -282,6 +305,70 @@ def _cmd_campaign_run(args) -> int:
         if outcome is not FaultOutcome.CRASH or n:
             print(f"  {outcome.value:<8} {n:>6}  ({counts.rate(outcome):.1%})")
     print(f"  failure rate {counts.failure_rate:.1%}")
+    if session is not None:
+        if session.events_written > 1:
+            print(f"  telemetry: {session.events_written} event(s) "
+                  f"-> {session.path}")
+            if args.trace:
+                trace_path = write_trace(read_events(session.path), args.trace)
+                print(f"  trace: {trace_path} "
+                      f"(open in chrome://tracing or ui.perfetto.dev)")
+        else:
+            # 0 or 1 events = the result came straight from the cache (at
+            # most the cache-hit marker was recorded); nothing to trace.
+            print("  telemetry: result served from the cache — re-run "
+                  "with --no-cache to trace a live campaign")
+    return 0
+
+
+def _resolve_report_events(target: str):
+    """Map a ``campaign report`` target to its telemetry event stream.
+
+    Accepts the events ``.jsonl`` itself, a campaign journal path (the
+    sibling telemetry file is derived from its key), or a bare campaign
+    key looked up under ``<cache_dir>/telemetry/``. Returns a Path or
+    None (with the error printed).
+    """
+    from pathlib import Path
+
+    from repro.telemetry import telemetry_dir, telemetry_events_path
+
+    path = Path(target)
+    if path.is_file():
+        if path.parent.name == "journal":
+            sibling = telemetry_events_path(path.stem)
+            if sibling.is_file():
+                return sibling
+            print(f"{target} is a journal and {sibling} does not exist; "
+                  f"re-run the campaign with telemetry enabled",
+                  file=sys.stderr)
+            return None
+        return path
+    by_key = telemetry_events_path(path.stem)
+    if by_key.is_file():
+        return by_key
+    print(f"no telemetry event stream at {target} (or "
+          f"{by_key}); run 'campaign run --telemetry' first — streams "
+          f"live under {telemetry_dir()}", file=sys.stderr)
+    return None
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.telemetry import read_events, render_summary, summarize_events
+    from repro.telemetry import write_trace
+
+    events_path = _resolve_report_events(args.target)
+    if events_path is None:
+        return 2
+    events = read_events(events_path)
+    if not events:
+        print(f"{events_path} holds no events", file=sys.stderr)
+        return 1
+    print(render_summary(summarize_events(events)))
+    if args.trace:
+        trace_path = write_trace(events, args.trace)
+        print(f"\n  trace: {trace_path} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -391,7 +478,24 @@ def main(argv: list[str] | None = None) -> int:
                       help="ignore cache and journal; run from scratch")
     crun.add_argument("--quiet", action="store_true",
                       help="suppress per-trial progress on stderr")
+    crun.add_argument("--telemetry", action="store_true",
+                      help="record structured telemetry events (JSONL)")
+    crun.add_argument("--events", default=None, metavar="PATH",
+                      help="telemetry event stream destination (implies "
+                           "--telemetry; default: .repro_cache/telemetry/)")
+    crun.add_argument("--trace", default=None, metavar="PATH",
+                      help="export a Chrome trace_event JSON after the run "
+                           "(implies --telemetry; open in chrome://tracing "
+                           "or ui.perfetto.dev)")
     crun.set_defaults(func=_cmd_campaign_run)
+    creport = campaign_sub.add_parser(
+        "report", help="summarize a campaign's telemetry event stream")
+    creport.add_argument("target",
+                         help="events .jsonl, campaign journal path, or "
+                              "campaign key")
+    creport.add_argument("--trace", default=None, metavar="PATH",
+                         help="also export the Chrome trace_event JSON")
+    creport.set_defaults(func=_cmd_campaign_report)
     cstatus = campaign_sub.add_parser(
         "status", help="list in-flight journals and cached results")
     cstatus.set_defaults(func=_cmd_campaign_status)

@@ -19,6 +19,12 @@ Recognised variables:
   (default 0.1).
 * ``REPRO_WORKERS`` — trial-execution pool size: a positive int, or
   ``auto`` for ``os.cpu_count() - 1`` (min 1). Default 1 (serial).
+* ``REPRO_TELEMETRY`` — enable campaign telemetry (structured events,
+  phase timers, worker metrics) for campaigns that don't set it on their
+  :class:`~repro.fi.campaign.CampaignSpec`. Boolean; default off.
+* ``REPRO_LOG_LEVEL`` — level of the ``repro`` logger hierarchy
+  (``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL``). Unset leaves
+  the logger at the stdlib default (effectively ``WARNING``).
 """
 
 from __future__ import annotations
@@ -58,7 +64,16 @@ _ENV_VARS = (
     "REPRO_CACHE_DIR",
     "REPRO_MAX_TRIAL_FAILURES",
     "REPRO_WORKERS",
+    "REPRO_TELEMETRY",
+    "REPRO_LOG_LEVEL",
 )
+
+#: Accepted spellings for boolean knobs.
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+#: Levels REPRO_LOG_LEVEL accepts (stdlib logging names).
+_LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
 
 
 def auto_workers() -> int:
@@ -90,6 +105,25 @@ def _parse_fraction(name: str, raw: str) -> float:
     return value
 
 
+def _parse_bool(name: str, raw: str) -> bool:
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ConfigError(
+        f"{name} must be a boolean "
+        f"({'/'.join(sorted(_TRUTHY | _FALSY))}), got {raw!r}")
+
+
+def _parse_log_level(name: str, raw: str) -> str:
+    value = raw.strip().upper()
+    if value not in _LOG_LEVELS:
+        raise ConfigError(
+            f"{name} must be one of {', '.join(_LOG_LEVELS)}, got {raw!r}")
+    return value
+
+
 def _parse_workers(name: str, raw: str) -> int:
     if raw.strip().lower() == "auto":
         return auto_workers()
@@ -115,6 +149,8 @@ class Settings:
     cache_dir: Path = Path(DEFAULT_CACHE_DIR)
     max_trial_failures: float = DEFAULT_MAX_TRIAL_FAILURES
     workers: int = DEFAULT_WORKERS
+    telemetry: bool = False
+    log_level: str | None = None
 
     @classmethod
     def from_env(cls, environ=None) -> "Settings":
@@ -142,6 +178,10 @@ class Settings:
                 "REPRO_MAX_TRIAL_FAILURES", v)
         if (v := raw("REPRO_WORKERS")) is not None:
             kwargs["workers"] = _parse_workers("REPRO_WORKERS", v)
+        if (v := raw("REPRO_TELEMETRY")) is not None:
+            kwargs["telemetry"] = _parse_bool("REPRO_TELEMETRY", v)
+        if (v := raw("REPRO_LOG_LEVEL")) is not None:
+            kwargs["log_level"] = _parse_log_level("REPRO_LOG_LEVEL", v)
         return cls(**kwargs)
 
 

@@ -25,19 +25,26 @@ isolated and retried instead of aborting the campaign, cache writes are
 atomic (temp file + ``os.replace``), and ``workers > 1`` fans trials out
 over a forked worker pool with bit-identical results.
 
+Campaigns are observable: ``CampaignSpec(telemetry=True)`` (or
+``REPRO_TELEMETRY=1``) streams structured events — phase spans for the
+golden run, injection, classification, journal commits and cache I/O,
+plus per-trial outcomes and per-kernel LaunchStats rollups — to a JSONL
+file under ``<cache_dir>/telemetry/`` (see :mod:`repro.telemetry`).
+Telemetry never enters cache keys, journals, or tallies.
+
 Environment knobs (see :mod:`repro.config`):
 
 * ``REPRO_TRIALS`` — override the default trials per campaign cell.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
 * ``REPRO_MAX_TRIAL_FAILURES`` — tolerated crash fraction (default 0.1).
 * ``REPRO_WORKERS`` — default trial-execution pool size (default 1).
+* ``REPRO_TELEMETRY`` — default-enable campaign telemetry.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import tempfile
 import warnings
@@ -53,7 +60,14 @@ from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
 from repro.fi.runner import ProgressFn, WorkerProgressFn, execute_trials
 from repro.kernels.base import DeviceHarness, GPUApplication, outputs_equal
+from repro.log import get_logger
 from repro.sim.gpu import GPU
+from repro.telemetry.events import (
+    NULL,
+    TelemetrySession,
+    current_telemetry,
+    telemetry_events_path,
+)
 from repro.utils.rng import spawn_seeds
 
 __all__ = [
@@ -64,7 +78,7 @@ __all__ = [
     "CAMPAIGN_LEVELS",
 ]
 
-log = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 #: Bump to invalidate every cached campaign result after a model change.
 #: v10: NaN-payload-exact bitcasts (sNaN flips now observable) + journal
@@ -212,6 +226,11 @@ class CampaignSpec:
     num_bits: int = 1  # uarch fault model: 1 = single-bit, 2 = adjacent
     ecc_protected: bool = False  # uarch only: SECDED on the target structure
     use_cache: bool = True
+    #: Collect telemetry events for this campaign (``None`` defers to
+    #: ``REPRO_TELEMETRY``). Observability only: deliberately excluded
+    #: from cache keys, journals and tallies, which stay bit-identical
+    #: with telemetry on or off.
+    telemetry: bool | None = None
 
 
 def _resolve_app(app) -> GPUApplication:
@@ -249,6 +268,7 @@ def run_campaign(
     max_failure_rate: float | None = None,
     progress: ProgressFn | None = None,
     worker_progress: WorkerProgressFn | None = None,
+    telemetry_session: "TelemetrySession | None" = None,
 ) -> CampaignResult:
     """Run (or load from cache) the campaign a :class:`CampaignSpec` names.
 
@@ -258,6 +278,12 @@ def run_campaign(
     ``progress(completed, total, outcome)`` fires after every trial and
     ``worker_progress(worker_id, completed)`` as pool results arrive; see
     :mod:`repro.fi.runner` for the resilience and parallelism semantics.
+
+    ``telemetry_session`` lets the caller choose where the telemetry
+    event stream lands (and counts as opting in, unless the spec says
+    ``telemetry=False``); without it, an enabled campaign writes to
+    ``<cache_dir>/telemetry/<cache key>.jsonl``. The caller owns a
+    session it passed in; campaign-created sessions are closed here.
     """
     if spec.level not in CAMPAIGN_LEVELS:
         raise ConfigError(
@@ -271,6 +297,7 @@ def run_campaign(
         profile=profile, profile_supplier=profile_supplier,
         max_failure_rate=max_failure_rate, progress=progress,
         workers=spec.workers, worker_progress=worker_progress,
+        telemetry=spec.telemetry, telemetry_session=telemetry_session,
     )
     if spec.level == "uarch":
         if spec.structure is None:
@@ -399,6 +426,21 @@ def _gpu_factory(profile: AppProfile, config: GPUConfig):
     return factory
 
 
+def _kernel_rollup(gpu: GPU) -> dict[str, dict[str, int]]:
+    """Per-kernel LaunchStats rollup of one trial (small, summable
+    counters only — the full snapshot would dominate the event stream)."""
+    rollup: dict[str, dict[str, int]] = {}
+    for rec in gpu.launch_records:
+        roll = rollup.setdefault(
+            rec.name, {"launches": 0, "cycles": 0, "warp_instructions": 0,
+                       "thread_instructions": 0})
+        roll["launches"] += 1
+        roll["cycles"] += rec.stats.cycles
+        roll["warp_instructions"] += rec.stats.warp_instructions
+        roll["thread_instructions"] += rec.stats.thread_instructions
+    return rollup
+
+
 def _injection_trial_fn(app, profile, harness_factory, plan_fn,
                         injector_attr, injector_cls):
     """The one trial body all campaign levels share: plan a fault for the
@@ -406,10 +448,18 @@ def _injection_trial_fn(app, profile, harness_factory, plan_fn,
 
     ``plan_fn(trial_seed)`` produces the fault plan; ``injector_attr`` is
     the GPU hook the plan's injector arms (``uarch_injector`` or
-    ``sw_injector``)."""
+    ``sw_injector``). Telemetry (when the runner installed an emitter for
+    this process) gets ``inject.plan`` / ``classify`` phase spans and a
+    per-trial per-kernel LaunchStats rollup; the disabled path adds
+    nothing but one attribute check."""
 
     def trial_fn(gpu: GPU, trial_seed: int):
-        plan = plan_fn(trial_seed)
+        tel = current_telemetry()
+        if tel.enabled:
+            with tel.span("inject.plan"):
+                plan = plan_fn(trial_seed)
+        else:
+            plan = plan_fn(trial_seed)
         if getattr(plan, "corrected_by_ecc", False):
             # Provably architecturally silent: no need to simulate. The
             # baseline cycle count keeps it out of the control-path tally.
@@ -418,6 +468,12 @@ def _injection_trial_fn(app, profile, harness_factory, plan_fn,
         setattr(gpu, injector_attr, injector_cls(plan))
         harness = harness_factory() if harness_factory else DeviceHarness()
         try:
+            if tel.enabled:
+                with tel.span("classify"):
+                    outcome, cycles = _classify(app, gpu, harness,
+                                                profile.golden)
+                tel.emit("kernels", kernels=_kernel_rollup(gpu))
+                return outcome, cycles
             return _classify(app, gpu, harness, profile.golden)
         finally:
             setattr(gpu, injector_attr, None)
@@ -436,10 +492,33 @@ def _journal_meta(level: str, app, kernel: str, tag: str, seed: int,
     }
 
 
+def _campaign_telemetry(key: str, telemetry: bool | None,
+                        session: "TelemetrySession | None"):
+    """Resolve one campaign's telemetry emitter after a cache miss.
+
+    ``telemetry`` is the spec's tri-state flag (``None`` → the
+    ``REPRO_TELEMETRY`` default, except a caller-supplied session counts
+    as opting in). Returns ``(tel, session, owns_session)`` — a campaign
+    that created its own session (default path keyed by the cache key)
+    must close it; caller-owned sessions are left open.
+    """
+    if telemetry is None:
+        enabled = session is not None or get_settings().telemetry
+    else:
+        enabled = telemetry
+    if not enabled:
+        return NULL, session, False
+    owns = session is None
+    if owns:
+        session = TelemetrySession(telemetry_events_path(key))
+    return session.telemetry(key), session, owns
+
+
 def _microarch_campaign(
     app, kernel, structure, config, *, trials, seed, harness_factory,
     hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
-    max_failure_rate, progress, workers, worker_progress,
+    max_failure_rate, progress, workers, worker_progress, telemetry,
+    telemetry_session,
 ) -> CampaignResult:
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
@@ -464,59 +543,75 @@ def _microarch_campaign(
     if use_cache:
         cached = _cache_load(key)
         if cached is not None:
+            if telemetry_session is not None:
+                telemetry_session.telemetry(key).emit(
+                    "cache", op="load", hit=True)
             return CampaignResult.from_dict(cached)
 
-    if profile is None:
-        profile = (profile_supplier() if profile_supplier is not None
-                   else profile_app(app, config, harness_factory))
-    launches = profile.kernel_launches(kernel)
-    if not launches:
-        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+    tel, session, owns_session = _campaign_telemetry(
+        key, telemetry, telemetry_session)
+    try:
+        if tel.enabled and use_cache:
+            tel.emit("cache", op="load", hit=False)
+        if profile is None:
+            with tel.span("golden_run"):
+                profile = (profile_supplier() if profile_supplier is not None
+                           else profile_app(app, config, harness_factory))
+        launches = profile.kernel_launches(kernel)
+        if not launches:
+            raise ValueError(
+                f"{app.name} has no launches of kernel {kernel!r}")
 
-    tag = f"{app.name}/{kernel}/uarch/{structure.value}/{config.name}/{hardened}"
-    tally = execute_trials(
-        key=key,
-        seeds=spawn_seeds(seed, tag, trials),
-        trial_fn=_injection_trial_fn(
-            app, profile, harness_factory,
-            lambda s: plan_microarch_fault(launches, structure, s,
-                                           num_bits, ecc_protected),
-            "uarch_injector", MicroarchInjector),
-        gpu_factory=_gpu_factory(profile, config),
-        baseline_cycles=profile.total_cycles,
-        max_failure_rate=max_failure_rate,
-        progress=progress,
-        journal=use_cache,
-        workers=workers,
-        worker_progress=worker_progress,
-        meta=_journal_meta("uarch", app, kernel, tag, seed, trials,
-                           trials_from_env),
-    )
+        tag = (f"{app.name}/{kernel}/uarch/{structure.value}"
+               f"/{config.name}/{hardened}")
+        tally = execute_trials(
+            key=key,
+            seeds=spawn_seeds(seed, tag, trials),
+            trial_fn=_injection_trial_fn(
+                app, profile, harness_factory,
+                lambda s: plan_microarch_fault(launches, structure, s,
+                                               num_bits, ecc_protected),
+                "uarch_injector", MicroarchInjector),
+            gpu_factory=_gpu_factory(profile, config),
+            baseline_cycles=profile.total_cycles,
+            max_failure_rate=max_failure_rate,
+            progress=progress,
+            journal=use_cache,
+            workers=workers,
+            worker_progress=worker_progress,
+            meta=_journal_meta("uarch", app, kernel, tag, seed, trials,
+                               trials_from_env),
+            telemetry=tel,
+        )
 
-    result = CampaignResult(
-        app_name=app.name,
-        kernel=kernel,
-        injector="uarch",
-        structure=structure.value,
-        trials=trials,
-        seed=seed,
-        config_name=config.name,
-        counts=tally.counts,
-        derating_factor=derating_factor(structure, launches, config),
-        kernel_cycles=profile.kernel_cycles(kernel),
-        kernel_instructions=profile.kernel_instructions(kernel),
-        control_path_masked=tally.control_path_masked,
-        hardened=hardened,
-    )
-    if use_cache:
-        _cache_store(key, result.to_dict())
-    return result
+        result = CampaignResult(
+            app_name=app.name,
+            kernel=kernel,
+            injector="uarch",
+            structure=structure.value,
+            trials=trials,
+            seed=seed,
+            config_name=config.name,
+            counts=tally.counts,
+            derating_factor=derating_factor(structure, launches, config),
+            kernel_cycles=profile.kernel_cycles(kernel),
+            kernel_instructions=profile.kernel_instructions(kernel),
+            control_path_masked=tally.control_path_masked,
+            hardened=hardened,
+        )
+        if use_cache:
+            with tel.span("cache.store"):
+                _cache_store(key, result.to_dict())
+        return result
+    finally:
+        if owns_session:
+            session.close()
 
 
 def _software_campaign(
     app, kernel, config, *, trials, seed, loads_only, harness_factory,
     hardened, use_cache, profile, profile_supplier, max_failure_rate,
-    progress, workers, worker_progress,
+    progress, workers, worker_progress, telemetry, telemetry_session,
 ) -> CampaignResult:
     trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
@@ -537,61 +632,77 @@ def _software_campaign(
     if use_cache:
         cached = _cache_load(key)
         if cached is not None:
+            if telemetry_session is not None:
+                telemetry_session.telemetry(key).emit(
+                    "cache", op="load", hit=True)
             return CampaignResult.from_dict(cached)
 
-    if profile is None:
-        profile = (profile_supplier() if profile_supplier is not None
-                   else profile_app(app, config, harness_factory))
-    launches = profile.kernel_launches(kernel)
-    if not launches:
-        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+    tel, session, owns_session = _campaign_telemetry(
+        key, telemetry, telemetry_session)
+    try:
+        if tel.enabled and use_cache:
+            tel.emit("cache", op="load", hit=False)
+        if profile is None:
+            with tel.span("golden_run"):
+                profile = (profile_supplier() if profile_supplier is not None
+                           else profile_app(app, config, harness_factory))
+        launches = profile.kernel_launches(kernel)
+        if not launches:
+            raise ValueError(
+                f"{app.name} has no launches of kernel {kernel!r}")
 
-    sw_launches = profile.kernel_launches(kernel, include_post=False)
-    tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
-    tally = execute_trials(
-        key=key,
-        seeds=spawn_seeds(seed, tag, trials),
-        trial_fn=_injection_trial_fn(
-            app, profile, harness_factory,
-            lambda s: plan_software_fault(sw_launches, s, loads_only),
-            "sw_injector", SoftwareInjector),
-        gpu_factory=_gpu_factory(profile, config),
-        baseline_cycles=profile.total_cycles,
-        max_failure_rate=max_failure_rate,
-        progress=progress,
-        journal=use_cache,
-        workers=workers,
-        worker_progress=worker_progress,
-        meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
-                           trials_from_env),
-    )
+        sw_launches = profile.kernel_launches(kernel, include_post=False)
+        tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
+        tally = execute_trials(
+            key=key,
+            seeds=spawn_seeds(seed, tag, trials),
+            trial_fn=_injection_trial_fn(
+                app, profile, harness_factory,
+                lambda s: plan_software_fault(sw_launches, s, loads_only),
+                "sw_injector", SoftwareInjector),
+            gpu_factory=_gpu_factory(profile, config),
+            baseline_cycles=profile.total_cycles,
+            max_failure_rate=max_failure_rate,
+            progress=progress,
+            journal=use_cache,
+            workers=workers,
+            worker_progress=worker_progress,
+            meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
+                               trials_from_env),
+            telemetry=tel,
+        )
 
-    result = CampaignResult(
-        app_name=app.name,
-        kernel=kernel,
-        injector=injector_kind,
-        structure=None,
-        trials=trials,
-        seed=seed,
-        config_name=config.name,
-        counts=tally.counts,
-        derating_factor=1.0,  # software-level FI needs no derating (paper II-C)
-        kernel_cycles=profile.kernel_cycles(kernel),
-        kernel_instructions=sum(
-            l["injectable_loads" if loads_only else "injectable"]
-            for l in sw_launches
-        ),
-        control_path_masked=tally.control_path_masked,
-        hardened=hardened,
-    )
-    if use_cache:
-        _cache_store(key, result.to_dict())
-    return result
+        result = CampaignResult(
+            app_name=app.name,
+            kernel=kernel,
+            injector=injector_kind,
+            structure=None,
+            trials=trials,
+            seed=seed,
+            config_name=config.name,
+            counts=tally.counts,
+            derating_factor=1.0,  # software-level FI needs no derating (paper II-C)
+            kernel_cycles=profile.kernel_cycles(kernel),
+            kernel_instructions=sum(
+                l["injectable_loads" if loads_only else "injectable"]
+                for l in sw_launches
+            ),
+            control_path_masked=tally.control_path_masked,
+            hardened=hardened,
+        )
+        if use_cache:
+            with tel.span("cache.store"):
+                _cache_store(key, result.to_dict())
+        return result
+    finally:
+        if owns_session:
+            session.close()
 
 
 def _source_campaign(
     app, kernel, config, *, trials, seed, sticky, use_cache, profile,
-    max_failure_rate, progress, workers, worker_progress,
+    max_failure_rate, progress, workers, worker_progress, telemetry,
+    telemetry_session,
 ) -> CampaignResult:
     from repro.fi.svf_modes import SourceInjector, plan_source_fault
 
@@ -613,51 +724,66 @@ def _source_campaign(
     if use_cache:
         cached = _cache_load(key)
         if cached is not None:
+            if telemetry_session is not None:
+                telemetry_session.telemetry(key).emit(
+                    "cache", op="load", hit=True)
             return CampaignResult.from_dict(cached)
 
-    if profile is None:
-        profile = profile_app(app, config)
-    launches = profile.kernel_launches(kernel)
-    if not launches:
-        raise ValueError(f"{app.name} has no launches of kernel {kernel!r}")
+    tel, session, owns_session = _campaign_telemetry(
+        key, telemetry, telemetry_session)
+    try:
+        if tel.enabled and use_cache:
+            tel.emit("cache", op="load", hit=False)
+        if profile is None:
+            with tel.span("golden_run"):
+                profile = profile_app(app, config)
+        launches = profile.kernel_launches(kernel)
+        if not launches:
+            raise ValueError(
+                f"{app.name} has no launches of kernel {kernel!r}")
 
-    tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
-    tally = execute_trials(
-        key=key,
-        seeds=spawn_seeds(seed, tag, trials),
-        trial_fn=_injection_trial_fn(
-            app, profile, None,
-            lambda s: plan_source_fault(launches, s, sticky),
-            "sw_injector", SourceInjector),
-        gpu_factory=_gpu_factory(profile, config),
-        baseline_cycles=profile.total_cycles,
-        max_failure_rate=max_failure_rate,
-        progress=progress,
-        journal=use_cache,
-        workers=workers,
-        worker_progress=worker_progress,
-        meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
-                           trials_from_env),
-    )
+        tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
+        tally = execute_trials(
+            key=key,
+            seeds=spawn_seeds(seed, tag, trials),
+            trial_fn=_injection_trial_fn(
+                app, profile, None,
+                lambda s: plan_source_fault(launches, s, sticky),
+                "sw_injector", SourceInjector),
+            gpu_factory=_gpu_factory(profile, config),
+            baseline_cycles=profile.total_cycles,
+            max_failure_rate=max_failure_rate,
+            progress=progress,
+            journal=use_cache,
+            workers=workers,
+            worker_progress=worker_progress,
+            meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
+                               trials_from_env),
+            telemetry=tel,
+        )
 
-    result = CampaignResult(
-        app_name=app.name,
-        kernel=kernel,
-        injector=injector_kind,
-        structure=None,
-        trials=trials,
-        seed=seed,
-        config_name=config.name,
-        counts=tally.counts,
-        derating_factor=1.0,
-        kernel_cycles=profile.kernel_cycles(kernel),
-        kernel_instructions=profile.kernel_instructions(kernel),
-        control_path_masked=tally.control_path_masked,
-        hardened=False,
-    )
-    if use_cache:
-        _cache_store(key, result.to_dict())
-    return result
+        result = CampaignResult(
+            app_name=app.name,
+            kernel=kernel,
+            injector=injector_kind,
+            structure=None,
+            trials=trials,
+            seed=seed,
+            config_name=config.name,
+            counts=tally.counts,
+            derating_factor=1.0,
+            kernel_cycles=profile.kernel_cycles(kernel),
+            kernel_instructions=profile.kernel_instructions(kernel),
+            control_path_masked=tally.control_path_masked,
+            hardened=False,
+        )
+        if use_cache:
+            with tel.span("cache.store"):
+                _cache_store(key, result.to_dict())
+        return result
+    finally:
+        if owns_session:
+            session.close()
 
 
 # ------------------------------------------------------- deprecated wrappers

@@ -32,15 +32,15 @@ Journal records are dicts with an ``event`` field:
 from __future__ import annotations
 
 import json
-import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import NamedTuple
 
 from repro.config import get_settings
+from repro.log import get_logger
 
-log = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 
 def cache_dir() -> Path:

@@ -39,15 +39,25 @@ fast* rather than about *which fault to inject*:
   callback fires as results arrive from the pool, so the CLI can show
   live per-worker progress.
 
+* **Telemetry** — when a :class:`~repro.telemetry.events.Telemetry`
+  emitter is passed in, the engine emits structured events (campaign
+  begin/end, per-trial ``trial`` spans, ``journal.commit`` spans, one
+  ``commit`` event per trial in order) on top of whatever the trial body
+  emits through :func:`~repro.telemetry.events.current_telemetry`. Pool
+  workers buffer their events and stream them to the parent alongside
+  results — the parent stays the single writer of both the journal and
+  the event file, and telemetry never touches journal records, tallies,
+  or cache payloads.
+
 Environment knobs (see :mod:`repro.config`):
 
 * ``REPRO_MAX_TRIAL_FAILURES`` — max tolerated crash fraction (default 0.1).
 * ``REPRO_WORKERS`` — default pool size (default 1 = serial).
+* ``REPRO_TELEMETRY`` — default-enable campaign telemetry.
 """
 
 from __future__ import annotations
 
-import logging
 import multiprocessing
 import pickle
 import queue as queue_mod
@@ -59,6 +69,8 @@ from repro.config import DEFAULT_MAX_TRIAL_FAILURES, get_settings
 from repro.errors import CampaignError, ConfigError, ExecutionError
 from repro.fi.journal import CampaignJournal
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.log import get_logger
+from repro.telemetry.events import NULL, Telemetry, set_current_telemetry
 from repro.utils.rng import spawn_seeds
 
 __all__ = [
@@ -67,7 +79,7 @@ __all__ = [
     "resolve_workers", "journal_validity",
 ]
 
-log = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 #: ``progress(completed, total, outcome)`` — fired after every trial.
 ProgressFn = Callable[[int, int, FaultOutcome], None]
@@ -216,6 +228,7 @@ def execute_trials(
     workers: int | None = None,
     worker_progress: WorkerProgressFn | None = None,
     meta: dict | None = None,
+    telemetry: Telemetry | None = None,
 ) -> TrialTally:
     """Run one trial per seed with isolation, journaling and resume.
 
@@ -232,6 +245,11 @@ def execute_trials(
 
     ``journal=False`` disables checkpointing (used by ``use_cache=False``
     campaigns, whose callers asked for a from-scratch run).
+
+    ``telemetry`` is an optional event emitter (parent-process sink);
+    when enabled the engine emits phase spans and per-trial events, and
+    pool workers stream their events back through the parent. Results
+    are unaffected either way.
     """
     total = len(seeds)
     threshold = (max_failure_rate if max_failure_rate is not None
@@ -239,6 +257,7 @@ def execute_trials(
     workers = resolve_workers(workers)
     tally = TrialTally()
     jr = CampaignJournal(key) if journal else None
+    tel = telemetry if telemetry is not None else NULL
 
     done = 0
     if jr is not None:
@@ -279,6 +298,10 @@ def execute_trials(
             jr.discard()
         return tally
 
+    if tel.enabled:
+        tel.emit("campaign", phase="begin", key=key, total=total,
+                 resumed=done, workers=workers)
+
     if workers > 1 and remaining > 1:
         if "fork" in multiprocessing.get_all_start_methods():
             tally.workers = min(workers, remaining)
@@ -287,9 +310,11 @@ def execute_trials(
                 gpu_factory=gpu_factory, baseline_cycles=baseline_cycles,
                 threshold=threshold, progress=progress,
                 worker_progress=worker_progress, jr=jr, tally=tally,
-                done=done, total=total, workers=tally.workers)
+                done=done, total=total, workers=tally.workers, tel=tel)
             if jr is not None:
                 jr.discard()
+            if tel.enabled:
+                tel.emit("campaign", phase="end", key=key, committed=total)
             return tally
         log.warning("REPRO_WORKERS=%d requested but the 'fork' start method "
                     "is unavailable on this platform; running serially",
@@ -298,37 +323,63 @@ def execute_trials(
     _execute_serial(
         key=key, seeds=seeds, trial_fn=trial_fn, gpu_factory=gpu_factory,
         baseline_cycles=baseline_cycles, threshold=threshold,
-        progress=progress, jr=jr, tally=tally, done=done, total=total)
+        progress=progress, jr=jr, tally=tally, done=done, total=total,
+        tel=tel)
     if jr is not None:
         jr.discard()
+    if tel.enabled:
+        tel.emit("campaign", phase="end", key=key, committed=total)
     return tally
 
 
 # --------------------------------------------------------------- serial path
 
 def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
-                    threshold, progress, jr, tally, done, total) -> None:
-    gpu = gpu_factory()
-    for i in range(done, total):
-        trial_seed = seeds[i]
+                    threshold, progress, jr, tally, done, total,
+                    tel=NULL) -> None:
+    prev_tel = set_current_telemetry(tel)
+    try:
+        if tel.enabled:
+            with tel.span("sim.setup"):
+                gpu = gpu_factory()
+        else:
+            gpu = gpu_factory()
+        for i in range(done, total):
+            trial_seed = seeds[i]
 
-        def on_crash(exc, tb, retry, _i=i, _seed=trial_seed):
-            tally.crash_events += 1
+            def on_crash(exc, tb, retry, _i=i, _seed=trial_seed):
+                tally.crash_events += 1
+                if jr is not None:
+                    jr.append(_crash_record(_i, _seed, exc, tb, retry))
+
+            if tel.enabled:
+                with tel.span("trial", trial=i):
+                    outcome, cycles, gpu = _attempt_trial(
+                        trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
+            else:
+                outcome, cycles, gpu = _attempt_trial(
+                    trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
+
+            tally._record(outcome, cycles, baseline_cycles)
             if jr is not None:
-                jr.append(_crash_record(_i, _seed, exc, tb, retry))
+                record = {"event": "trial", "trial": i, "seed": trial_seed,
+                          "outcome": outcome.value, "cycles": cycles}
+                if tel.enabled:
+                    with tel.span("journal.commit", trial=i):
+                        jr.append(record)
+                else:
+                    jr.append(record)
+            if tel.enabled:
+                tel.emit("commit", trial=i, outcome=outcome.value,
+                         cycles=cycles)
+            if progress is not None:
+                progress(i + 1, total, outcome)
 
-        outcome, cycles, gpu = _attempt_trial(
-            trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
-
-        tally._record(outcome, cycles, baseline_cycles)
-        if jr is not None:
-            jr.append({"event": "trial", "trial": i, "seed": trial_seed,
-                       "outcome": outcome.value, "cycles": cycles})
-        if progress is not None:
-            progress(i + 1, total, outcome)
-
-        if tally.counts.crash / total > threshold:
-            raise _threshold_error(key, tally.counts.crash, total, threshold)
+            if tally.counts.crash / total > threshold:
+                raise _threshold_error(key, tally.counts.crash, total,
+                                       threshold)
+    finally:
+        set_current_telemetry(prev_tel)
 
 
 # ------------------------------------------------------------- parallel path
@@ -344,7 +395,8 @@ def _shippable(exc: BaseException):
 
 
 def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
-                 trial_fn: TrialFn, gpu_factory, out_q) -> None:
+                 trial_fn: TrialFn, gpu_factory, out_q,
+                 tel_args: "tuple[str, float] | None" = None) -> None:
     """Worker-process body (reached via fork: closures need no pickling).
 
     Runs its statically-assigned slice of trial indices with the same
@@ -354,9 +406,28 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
     that must abort the campaign (an escaped :class:`ExecutionError`,
     KeyboardInterrupt, ...) is shipped as a ``("fatal", ...)`` message for
     the parent to re-raise.
+
+    ``tel_args`` (``(campaign, t0)``, or None for telemetry off) wires a
+    buffered event emitter: events accumulate locally and are flushed as
+    ``("events", worker_id, [event, ...])`` messages — each flush queued
+    *before* the trial result it belongs to, so the parent has written a
+    trial's events by the time it commits the trial. The parent stays the
+    single writer; journal records never interleave with event traffic.
     """
+    buffer: list[dict] = []
+    if tel_args is not None:
+        campaign, t0 = tel_args
+        tel = Telemetry(buffer.append, campaign=campaign, worker=worker_id,
+                        t0=t0)
+    else:
+        tel = NULL
+    set_current_telemetry(tel)
     try:
-        gpu = gpu_factory()
+        if tel.enabled:
+            with tel.span("sim.setup"):
+                gpu = gpu_factory()
+        else:
+            gpu = gpu_factory()
         for i in indices:
             crash_records: list[dict] = []
 
@@ -364,8 +435,16 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
                 crash_records.append(
                     _crash_record(_i, seeds[_i], exc, tb, retry))
 
-            outcome, cycles, gpu = _attempt_trial(
-                trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
+            if tel.enabled:
+                with tel.span("trial", trial=i):
+                    outcome, cycles, gpu = _attempt_trial(
+                        trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
+            else:
+                outcome, cycles, gpu = _attempt_trial(
+                    trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
+            if buffer:
+                out_q.put(("events", worker_id, buffer[:]))
+                buffer.clear()
             out_q.put(("trial", worker_id, i, outcome.value, int(cycles),
                        crash_records))
         out_q.put(("done", worker_id))
@@ -376,7 +455,7 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
 
 def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                       threshold, progress, worker_progress, jr, tally,
-                      done, total, workers) -> None:
+                      done, total, workers, tel=NULL) -> None:
     """Fan the remaining trials out over forked workers; commit in order.
 
     The parent buffers out-of-order results in ``pending`` and journals /
@@ -389,6 +468,7 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
     ctx = multiprocessing.get_context("fork")
     result_q = ctx.Queue()
     indices = list(range(done, total))
+    tel_args = (tel.campaign, tel.t0) if tel.enabled else None
     procs: list[tuple[int, multiprocessing.Process]] = []
     for w in range(workers):
         shard = indices[w::workers]
@@ -396,7 +476,7 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
             continue
         proc = ctx.Process(
             target=_worker_main,
-            args=(w, shard, seeds, trial_fn, gpu_factory, result_q),
+            args=(w, shard, seeds, trial_fn, gpu_factory, result_q, tel_args),
             daemon=True, name=f"repro-trial-worker-{w}")
         proc.start()
         procs.append((w, proc))
@@ -423,6 +503,9 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                         f"resume")
                 continue
             kind = msg[0]
+            if kind == "events":
+                tel.ingest(msg[2])
+                continue
             if kind == "done":
                 running.discard(msg[1])
                 continue
@@ -445,11 +528,19 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                 outcome = FaultOutcome(outcome_value)
                 tally.crash_events += len(crash_records)
                 if jr is not None:
-                    jr.append_many(crash_records + [
+                    records = crash_records + [
                         {"event": "trial", "trial": next_index,
                          "seed": seeds[next_index],
-                         "outcome": outcome_value, "cycles": cycles}])
+                         "outcome": outcome_value, "cycles": cycles}]
+                    if tel.enabled:
+                        with tel.span("journal.commit", trial=next_index):
+                            jr.append_many(records)
+                    else:
+                        jr.append_many(records)
                 tally._record(outcome, cycles, baseline_cycles)
+                if tel.enabled:
+                    tel.emit("commit", trial=next_index,
+                             outcome=outcome_value, cycles=cycles)
                 next_index += 1
                 if progress is not None:
                     progress(next_index, total, outcome)

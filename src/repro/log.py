@@ -1,0 +1,74 @@
+"""``repro``-namespaced logging setup.
+
+Every module in the package gets its logger through :func:`get_logger`
+instead of calling ``logging.getLogger`` directly, so the whole hierarchy
+hangs off the single ``repro`` parent logger and can be configured in one
+place:
+
+* :func:`configure` attaches one stderr handler to the ``repro`` logger
+  (idempotent — repeated calls never stack handlers) and applies
+  ``REPRO_LOG_LEVEL`` from :class:`repro.config.Settings`. With the knob
+  unset the logger level is left at ``NOTSET``, which preserves the stdlib
+  default behaviour (warnings and errors reach stderr, info/debug don't).
+* Records still propagate to the root logger, so pytest's ``caplog`` and
+  host applications that configure their own logging keep working.
+
+``get_logger`` configures lazily on first use; long-lived processes that
+change ``REPRO_LOG_LEVEL`` afterwards can call :func:`configure` again to
+pick up the new level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.config import get_settings
+from repro.errors import ConfigError
+
+__all__ = ["configure", "get_logger"]
+
+#: Attribute marking the handler :func:`configure` owns, so reconfiguration
+#: replaces it instead of stacking duplicates.
+_HANDLER_MARK = "_repro_log_handler"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def configure(level: str | int | None = None) -> logging.Logger:
+    """Configure the ``repro`` parent logger; safe to call repeatedly.
+
+    ``level`` overrides ``REPRO_LOG_LEVEL``; ``None`` defers to the
+    environment (and leaves the logger at ``NOTSET`` when the knob is
+    unset too). Returns the configured parent logger.
+    """
+    parent = logging.getLogger("repro")
+    if not any(getattr(h, _HANDLER_MARK, False) for h in parent.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_MARK, True)
+        parent.addHandler(handler)
+    if level is None:
+        level = get_settings().log_level
+    if level is not None:
+        parent.setLevel(level)
+    return parent
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for ``name``, with the ``repro`` hierarchy configured.
+
+    ``name`` is normally ``__name__`` of a module inside the package;
+    anything outside the ``repro`` namespace is re-homed under it so every
+    repro log record is controlled by the same parent logger.
+    """
+    try:
+        configure()
+    except ConfigError:
+        # get_logger runs at import time; a malformed environment is
+        # reported by the first *real* get_settings() caller instead of
+        # turning module import into the error site.
+        pass
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -13,7 +13,22 @@ from dataclasses import dataclass, field, fields
 
 @dataclass
 class CacheStats:
-    """Counters of one cache instance (or the merged view of a level)."""
+    """Counters of one cache instance (or the merged view of a level).
+
+    Invariant: every access resolves to exactly one of *hit*, *miss*, or
+    *pending hit*, so ``accesses == hits + misses + pending_hits`` at all
+    times. A pending hit (the line is present but its fill is still in
+    flight) is deliberately **neither** a hit nor a miss — it found the
+    tag but paid most of the miss latency — which is why ``miss_rate``
+    divides by ``accesses`` rather than ``hits + misses``: it is the
+    fraction of all accesses that went below this level, matching how
+    the profilers the paper compares against report it.
+    ``reservation_fails`` is a sub-count of ``misses`` (a miss that also
+    found every MSHR occupied), not a fourth resolution class.
+    :meth:`merge` preserves the invariant (it sums every counter), and
+    :meth:`snapshot` asserts it so a hand-built or corrupted tally fails
+    loudly instead of exporting inconsistent rates.
+    """
 
     accesses: int = 0
     hits: int = 0
@@ -25,13 +40,27 @@ class CacheStats:
 
     @property
     def miss_rate(self) -> float:
+        """Misses over *all* accesses (pending hits count as accesses that
+        were neither hit nor miss — see the class invariant)."""
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def check(self) -> None:
+        """Assert the access-resolution invariant (see class docstring)."""
+        assert self.accesses == self.hits + self.misses + self.pending_hits, (
+            f"CacheStats invariant violated: accesses={self.accesses} != "
+            f"hits={self.hits} + misses={self.misses} + "
+            f"pending_hits={self.pending_hits}")
+        assert self.reservation_fails <= self.misses, (
+            f"CacheStats invariant violated: reservation_fails="
+            f"{self.reservation_fails} > misses={self.misses} "
+            f"(reservation fails are a subset of misses)")
 
     def merge(self, other: "CacheStats") -> None:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def snapshot(self) -> dict[str, float]:
+        self.check()
         d = {f.name: getattr(self, f.name) for f in fields(self)}
         d["miss_rate"] = self.miss_rate
         return d

@@ -1,0 +1,92 @@
+"""Chrome ``trace_event`` export of a campaign's telemetry stream.
+
+Converts the JSONL events of :mod:`repro.telemetry.events` into the JSON
+object format consumed by ``chrome://tracing`` and `Perfetto
+<https://ui.perfetto.dev>`_: one process per campaign, one thread track
+per worker (the parent process gets its own track), span events as
+complete ``"X"`` slices and everything else as instant ``"i"`` markers.
+
+Timestamps are converted from the session's monotonic seconds to the
+microseconds the trace format requires; fork shares the parent's
+monotonic epoch, so worker slices line up with the parent's journal
+commits without any clock reconciliation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["to_chrome_trace", "write_trace"]
+
+#: Synthetic process id for the campaign (the format needs *a* pid; real
+#: pids are meaningless after the session file outlives the processes).
+TRACE_PID = 1
+
+#: Thread id of the parent (journal-writer) track; workers get 1 + id.
+PARENT_TID = 0
+
+
+def _tid(worker) -> int:
+    return PARENT_TID if worker is None else 1 + int(worker)
+
+
+def _args(event: dict) -> dict:
+    return {k: v for k, v in event.items()
+            if k not in ("ts", "dur", "kind", "name", "campaign", "worker")}
+
+
+def to_chrome_trace(events: list[dict]) -> dict:
+    """Build the ``{"traceEvents": [...]}`` object for an event stream."""
+    campaign = next((e.get("campaign") for e in events if e.get("campaign")),
+                    "campaign")
+    trace: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": f"repro campaign {campaign}"},
+    }]
+    named_tids: set[int] = set()
+
+    def name_track(worker) -> int:
+        tid = _tid(worker)
+        if tid not in named_tids:
+            named_tids.add(tid)
+            label = "parent" if worker is None else f"worker {worker}"
+            trace.append({"ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                          "tid": tid, "args": {"name": label}})
+        return tid
+
+    for event in events:
+        tid = name_track(event.get("worker"))
+        ts_us = float(event.get("ts", 0.0)) * 1e6
+        if event.get("kind") == "span":
+            trace.append({
+                "ph": "X",
+                "name": event.get("name", "span"),
+                "cat": "span",
+                "ts": ts_us,
+                "dur": float(event.get("dur", 0.0)) * 1e6,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": _args(event),
+            })
+        else:
+            trace.append({
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "name": event.get("kind", "event"),
+                "cat": event.get("kind", "event"),
+                "ts": ts_us,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": _args(event),
+            })
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_trace(events: list[dict], path: Path | str) -> Path:
+    """Export ``events`` as Chrome trace JSON at ``path``."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events)), encoding="utf-8")
+    return path

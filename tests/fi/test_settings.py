@@ -16,7 +16,8 @@ from repro.config import (
 from repro.errors import ConfigError, ReproError
 
 _KNOBS = ("REPRO_TRIALS", "REPRO_TRIALS_HARDENED", "REPRO_CACHE_DIR",
-          "REPRO_MAX_TRIAL_FAILURES", "REPRO_WORKERS")
+          "REPRO_MAX_TRIAL_FAILURES", "REPRO_WORKERS", "REPRO_TELEMETRY",
+          "REPRO_LOG_LEVEL")
 
 
 @pytest.fixture()
@@ -33,6 +34,8 @@ def test_defaults(clean_env):
     assert settings.cache_dir == Path(".repro_cache")
     assert settings.max_trial_failures == DEFAULT_MAX_TRIAL_FAILURES == 0.10
     assert settings.workers == DEFAULT_WORKERS == 1
+    assert settings.telemetry is False
+    assert settings.log_level is None
 
 
 def test_env_overrides(clean_env):
@@ -41,12 +44,25 @@ def test_env_overrides(clean_env):
     clean_env.setenv("REPRO_CACHE_DIR", "/tmp/repro-test-cache")
     clean_env.setenv("REPRO_MAX_TRIAL_FAILURES", "0.25")
     clean_env.setenv("REPRO_WORKERS", "3")
+    clean_env.setenv("REPRO_TELEMETRY", "1")
+    clean_env.setenv("REPRO_LOG_LEVEL", "debug")
     settings = get_settings()
     assert settings.trials == 128
     assert settings.trials_hardened == 40
     assert settings.cache_dir == Path("/tmp/repro-test-cache")
     assert settings.max_trial_failures == 0.25
     assert settings.workers == 3
+    assert settings.telemetry is True
+    assert settings.log_level == "DEBUG"  # normalized to stdlib names
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("1", True), ("true", True), ("YES", True), ("on", True),
+    ("0", False), ("false", False), ("No", False), ("off", False),
+])
+def test_telemetry_boolean_spellings(clean_env, raw, expected):
+    clean_env.setenv("REPRO_TELEMETRY", raw)
+    assert get_settings().telemetry is expected
 
 
 def test_empty_values_count_as_unset(clean_env):
@@ -76,6 +92,8 @@ def test_workers_auto(clean_env):
      "REPRO_WORKERS must be a positive integer or 'auto'"),
     ("REPRO_WORKERS", "0",
      "REPRO_WORKERS must be a positive integer or 'auto'"),
+    ("REPRO_TELEMETRY", "maybe", "REPRO_TELEMETRY must be a boolean"),
+    ("REPRO_LOG_LEVEL", "VERBOSE", "REPRO_LOG_LEVEL must be one of"),
 ])
 def test_invalid_values_raise_config_error(clean_env, name, value, match):
     clean_env.setenv(name, value)

@@ -1,0 +1,153 @@
+"""Metric primitives and event-stream aggregation into CampaignSummary."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_summary,
+    summarize_events,
+)
+
+
+# ------------------------------------------------------------- primitives
+
+def test_counter_increments_and_rejects_negative():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    g = Gauge()
+    g.set(3)
+    g.set(1.5)
+    assert g.value == 1.5
+
+
+def test_histogram_stats_and_percentiles():
+    h = Histogram()
+    for v in (5, 1, 3, 2, 4):
+        h.observe(v)
+    assert h.count == 5
+    assert h.total == 15
+    assert h.mean == 3.0
+    assert h.min == 1 and h.max == 5
+    assert h.percentile(50) == 3
+    assert h.percentile(90) == 5
+    snap = h.snapshot()
+    assert snap["count"] == 5 and snap["p50"] == 3
+
+
+def test_histogram_empty_and_bad_percentile():
+    h = Histogram()
+    assert h.mean == 0.0 and h.percentile(50) == 0.0
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        h.percentile(101)
+
+
+def test_registry_creates_on_first_touch_and_guards_kinds():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    reg.histogram("lat").observe(2.0)
+    reg.gauge("busy").set(0.5)
+    with pytest.raises(TypeError, match="already registered"):
+        reg.gauge("a")
+    assert reg.names() == ["a", "busy", "lat"]
+    d = reg.as_dict()
+    assert d["a"] == 0 and d["busy"] == 0.5
+    assert d["lat"]["count"] == 1  # histograms flatten to snapshots
+
+
+# ------------------------------------------------------------ aggregation
+
+def _stream():
+    """A synthetic two-worker campaign stream: 4 trials over 1 second."""
+    events = [
+        {"ts": 0.0, "kind": "campaign", "name": "", "campaign": "k1",
+         "worker": None, "phase": "begin", "app": "va", "kernel": "va_k1",
+         "level": "sw", "total": 4, "resumed": 1, "workers": 2},
+        {"ts": 0.0, "kind": "cache", "name": "", "campaign": "k1",
+         "worker": None, "op": "load", "hit": False},
+        {"ts": 0.01, "kind": "span", "name": "golden_run", "campaign": "k1",
+         "worker": None, "dur": 0.09},
+    ]
+    for i, (worker, outcome) in enumerate(
+            [(0, "MASKED"), (1, "SDC"), (0, "MASKED"), (1, "DUE")]):
+        ts = 0.1 + 0.2 * i
+        events.append({"ts": ts, "kind": "span", "name": "trial",
+                       "campaign": "k1", "worker": worker,
+                       "dur": 0.2, "trial": i})
+        events.append({"ts": ts + 0.2, "kind": "commit", "name": "",
+                       "campaign": "k1", "worker": None,
+                       "trial": i, "outcome": outcome, "cycles": 100 + i})
+        events.append({"ts": ts + 0.2, "kind": "kernels", "name": "",
+                       "campaign": "k1", "worker": worker,
+                       "kernels": {"va_k1": {"launches": 1, "cycles": 50}}})
+    return events
+
+
+def test_summarize_synthetic_stream():
+    s = summarize_events(_stream())
+    assert s.campaign == "k1"
+    assert s.meta["app"] == "va" and s.meta["workers"] == 2
+    assert s.trials == 4
+    assert s.resumed == 1
+    assert s.wall_time == pytest.approx(0.9)  # 0.0 .. 0.7 + 0.2
+    assert s.trials_per_sec == pytest.approx(4 / 0.9)
+    assert s.trial_latency.count == 4
+    assert s.trial_latency.mean == pytest.approx(0.2)
+    assert s.outcome_counts == {"MASKED": 2, "SDC": 1, "DUE": 1}
+    assert s.worker_trials == {"w0": 2, "w1": 2}
+    assert s.worker_busy["w0"] == pytest.approx(0.4)
+    assert s.worker_utilization["w0"] == pytest.approx(0.4 / 0.9)
+    assert s.shard_imbalance == 1.0
+    assert s.cache_hits == 0 and s.cache_misses == 1
+    assert s.kernels == {"va_k1": {"launches": 4, "cycles": 200}}
+    assert set(s.phases) == {"golden_run", "trial"}
+
+
+def test_summarize_empty_stream():
+    s = summarize_events([])
+    assert s.trials == 0
+    assert s.wall_time == 0.0
+    assert s.trials_per_sec == 0.0
+    assert s.shard_imbalance == 0.0
+
+
+def test_shard_imbalance_with_starved_worker():
+    events = [{"ts": 0.0, "kind": "span", "name": "trial", "worker": 0,
+               "dur": 0.1},
+              {"ts": 0.1, "kind": "span", "name": "trial", "worker": 0,
+               "dur": 0.1}]
+    assert summarize_events(events).shard_imbalance == 1.0  # single worker
+    events.append({"ts": 0.2, "kind": "span", "name": "trial", "worker": 1,
+                   "dur": 0.0})
+    # worker 1 has trials but zero duration is fine; zero *trials* is inf
+    assert summarize_events(events).shard_imbalance == 2.0
+    zero = summarize_events(
+        events[:2] + [{"ts": 0.0, "kind": "span", "name": "trial",
+                       "worker": 1, "dur": 0.1, "trial": 9}])
+    assert math.isfinite(zero.shard_imbalance)
+
+
+def test_render_summary_prints_every_section():
+    text = render_summary(summarize_events(_stream()))
+    assert "campaign k1 (va/va_k1/sw)" in text
+    assert "trials committed   4  (+1 replayed from journal)" in text
+    assert "throughput" in text
+    assert "trial latency" in text
+    assert "golden_run" in text
+    assert "worker utilization" in text
+    assert "w0" in text and "w1" in text
+    assert "shard imbalance" in text
+    assert "outcome mix" in text and "MASKED" in text
+    assert "1 miss(es)" in text
+    assert "per-kernel rollup" in text and "va_k1" in text

@@ -1,0 +1,72 @@
+"""Chrome trace_event export: format validity, track layout, time units."""
+
+import json
+
+from repro.telemetry.trace import PARENT_TID, TRACE_PID, to_chrome_trace, write_trace
+
+
+def _events():
+    return [
+        {"ts": 0.0, "kind": "campaign", "name": "", "campaign": "k1",
+         "worker": None, "phase": "begin"},
+        {"ts": 0.01, "kind": "span", "name": "golden_run", "campaign": "k1",
+         "worker": None, "dur": 0.05},
+        {"ts": 0.1, "kind": "span", "name": "trial", "campaign": "k1",
+         "worker": 0, "dur": 0.2, "trial": 0},
+        {"ts": 0.1, "kind": "span", "name": "trial", "campaign": "k1",
+         "worker": 1, "dur": 0.25, "trial": 1},
+        {"ts": 0.35, "kind": "commit", "name": "", "campaign": "k1",
+         "worker": None, "trial": 1, "outcome": "SDC"},
+    ]
+
+
+def test_trace_is_valid_json_with_trace_events_key(tmp_path):
+    path = write_trace(_events(), tmp_path / "out.json")
+    trace = json.loads(path.read_text())
+    assert isinstance(trace["traceEvents"], list)
+    assert trace["displayTimeUnit"] == "ms"
+    for e in trace["traceEvents"]:
+        assert e["ph"] in ("M", "X", "i")
+        assert e["pid"] == TRACE_PID
+        assert isinstance(e["tid"], int)
+
+
+def test_one_thread_track_per_worker():
+    trace = to_chrome_trace(_events())["traceEvents"]
+    names = {e["tid"]: e["args"]["name"] for e in trace
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert names[PARENT_TID] == "parent"
+    assert names[1] == "worker 0"
+    assert names[2] == "worker 1"
+    process = [e for e in trace
+               if e["ph"] == "M" and e["name"] == "process_name"]
+    assert len(process) == 1
+    assert "k1" in process[0]["args"]["name"]
+
+
+def test_spans_become_complete_slices_in_microseconds():
+    trace = to_chrome_trace(_events())["traceEvents"]
+    slices = [e for e in trace if e["ph"] == "X"]
+    assert len(slices) == 3
+    golden = next(e for e in slices if e["name"] == "golden_run")
+    assert golden["ts"] == 0.01 * 1e6
+    assert golden["dur"] == 0.05 * 1e6
+    assert golden["tid"] == PARENT_TID
+    trial0 = next(e for e in slices if e.get("args", {}).get("trial") == 0)
+    assert trial0["tid"] == 1  # worker 0's track
+
+
+def test_non_span_events_become_thread_instants():
+    trace = to_chrome_trace(_events())["traceEvents"]
+    instants = [e for e in trace if e["ph"] == "i"]
+    assert {e["name"] for e in instants} == {"campaign", "commit"}
+    for e in instants:
+        assert e["s"] == "t"
+    commit = next(e for e in instants if e["name"] == "commit")
+    assert commit["args"]["outcome"] == "SDC"  # payload survives as args
+
+
+def test_empty_stream_still_produces_a_loadable_trace():
+    trace = to_chrome_trace([])
+    assert trace["traceEvents"][0]["name"] == "process_name"
+    json.dumps(trace)  # serializable

@@ -111,6 +111,56 @@ def test_campaign_workers_rejects_garbage(capsys, tmp_cache):
         assert "positive integer or 'auto'" in capsys.readouterr().err
 
 
+def test_campaign_run_with_trace_then_report(capsys, tmp_cache, tmp_path):
+    import json
+
+    trace = tmp_path / "out.json"
+    events = tmp_path / "events.jsonl"
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "6",
+                 "--workers", "2", "--events", str(events),
+                 "--trace", str(trace), "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out and str(events) in out
+    assert "perfetto" in out
+
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]  # loadable Chrome trace
+    tids = {e["tid"] for e in payload["traceEvents"]}
+    assert {0, 1, 2} <= tids  # parent + both worker tracks
+
+    assert main(["campaign", "report", str(events)]) == 0
+    out = capsys.readouterr().out
+    assert "trials committed   6" in out
+    assert "throughput" in out
+    assert "worker utilization" in out
+    assert "outcome mix" in out
+
+
+def test_campaign_report_by_bare_key(capsys, tmp_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    assert main(["campaign", "run", "va", "--level", "sw",
+                 "--trials", "4", "--quiet"]) == 0
+    capsys.readouterr()
+    stream = next((tmp_cache / "telemetry").glob("*.jsonl"))
+    assert main(["campaign", "report", stream.stem]) == 0
+    assert "trials committed   4" in capsys.readouterr().out
+
+
+def test_campaign_report_missing_stream(capsys, tmp_cache):
+    assert main(["campaign", "report", "nonexistent-key"]) == 2
+    assert "no telemetry event stream" in capsys.readouterr().err
+
+
+def test_campaign_run_cached_result_notes_no_trace(capsys, tmp_cache,
+                                                   tmp_path):
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "4",
+                 "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "4",
+                 "--events", str(tmp_path / "e.jsonl"), "--quiet"]) == 0
+    assert "served from the cache" in capsys.readouterr().out
+
+
 def test_campaign_status_flags_stale_journal(capsys, tmp_cache, monkeypatch):
     """A journal left by a run whose trial count came from REPRO_TRIALS is
     reported as invalid once REPRO_TRIALS changes (its remaining plan no

@@ -1,0 +1,60 @@
+"""repro-namespaced logging: hierarchy, handler idempotence, the env knob."""
+
+import logging
+
+import pytest
+
+from repro.log import _HANDLER_MARK, configure, get_logger
+
+
+def _our_handlers():
+    return [h for h in logging.getLogger("repro").handlers
+            if getattr(h, _HANDLER_MARK, False)]
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    parent = logging.getLogger("repro")
+    level = parent.level
+    yield
+    parent.setLevel(level)
+
+
+def test_get_logger_rehomes_names_under_repro():
+    assert get_logger("repro.fi.runner").name == "repro.fi.runner"
+    assert get_logger("repro").name == "repro"
+    assert get_logger("scripts.sweep").name == "repro.scripts.sweep"
+
+
+def test_repeated_configuration_never_stacks_handlers():
+    for _ in range(3):
+        configure()
+        get_logger("repro.fi.campaign")
+    assert len(_our_handlers()) == 1
+
+
+def test_env_level_applies_and_argument_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+    assert configure().level == logging.DEBUG
+    assert configure("ERROR").level == logging.ERROR  # explicit arg wins
+
+
+def test_unset_knob_leaves_level_alone(monkeypatch):
+    logging.getLogger("repro").setLevel(logging.NOTSET)
+    configure()
+    assert logging.getLogger("repro").level == logging.NOTSET
+
+
+def test_records_propagate_to_caplog(caplog):
+    log = get_logger("repro.test_log")
+    with caplog.at_level(logging.INFO, logger="repro.test_log"):
+        log.info("campaign resumed")
+    assert "campaign resumed" in caplog.text
+
+
+def test_malformed_env_does_not_break_get_logger(monkeypatch):
+    # get_logger runs at import time; a bad environment must not make
+    # importing a module the place a ConfigError fires.
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "VERBOSE")
+    assert get_logger("repro.fi.journal").name == "repro.fi.journal"

@@ -15,7 +15,7 @@ from repro.arch.config import GPUConfig, quadro_gv100_like
 from repro.arch.structures import Structure, structure_bits
 from repro.experiments.common import collect_suite
 from repro.fi.avf import avf_of_structure
-from repro.fi.campaign import run_microarch_campaign
+from repro.fi.campaign import CampaignSpec, run_campaign
 from repro.kernels import get_application
 
 
@@ -66,8 +66,10 @@ def test_timeout_threshold_sensitivity(once, multiplier, tmp_path, monkeypatch):
     )
     app = get_application("bfs")  # loop-heavy: the timeout-prone workload
     result = once(
-        run_microarch_campaign, app, "bfs_k1", Structure.RF, config,
-        trials=24, seed=5, use_cache=False,
+        run_campaign,
+        CampaignSpec(level="uarch", app=app, kernel="bfs_k1",
+                     structure=Structure.RF, config=config,
+                     trials=24, seed=5, use_cache=False),
     )
     print(f"\ntimeout x{multiplier:g}: {result.counts.to_dict()}")
     # Classification must be budget-stable: masked runs dominate regardless.

@@ -14,6 +14,9 @@ Usage::
     python -m repro.cli campaign run va --workers 4 --trace out.json
     python -m repro.cli campaign report .repro_cache/telemetry/<key>.jsonl
     python -m repro.cli campaign status
+    python -m repro.cli campaign run kmeans --level uarch --sdc-anatomy
+    python -m repro.cli sdc profile <campaign key> --by site
+    python -m repro.cli sdc report
 
 The underlying campaigns cache under ``.repro_cache/``, so repeated
 invocations are cheap. ``--workers N`` (or ``REPRO_WORKERS``) fans trials
@@ -55,12 +58,13 @@ EXPERIMENTS = {
     "static-vf": "repro.experiments.static_vf",
     "protection": "repro.experiments.protection_study",
     "speed-gap": "repro.experiments.speed_gap",
+    "sdc-anatomy": "repro.experiments.sdc_anatomy",
 }
 
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "svf-fix", "static-vf",
+    "fig9", "fig10", "fig11", "svf-fix", "static-vf", "sdc-anatomy",
 }
 
 
@@ -239,6 +243,7 @@ def _parse_workers_arg(value: str) -> int:
 
 
 def _cmd_campaign_run(args) -> int:
+    from repro.analysis.report import rate_with_ci
     from repro.errors import ReproError
     from repro.fi.campaign import CampaignSpec, run_campaign
     from repro.fi.outcomes import FaultOutcome
@@ -279,6 +284,7 @@ def _cmd_campaign_run(args) -> int:
         workers=args.workers,
         hardened=args.hardened,
         use_cache=not args.no_cache,
+        sdc_anatomy=args.sdc_anatomy,
         telemetry=True if telemetry_on else None,
     )
     try:
@@ -304,7 +310,13 @@ def _cmd_campaign_run(args) -> int:
         n = getattr(counts, outcome.value)
         if outcome is not FaultOutcome.CRASH or n:
             print(f"  {outcome.value:<8} {n:>6}  ({counts.rate(outcome):.1%})")
-    print(f"  failure rate {counts.failure_rate:.1%}")
+    failures = counts.sdc + counts.timeout + counts.due
+    print(f"  failure rate {rate_with_ci(failures, counts.classified)}")
+    if result.sdc_anatomy is not None:
+        anatomy = result.sdc_anatomy
+        print(f"  sdc severity: {anatomy['critical']} critical, "
+              f"{anatomy['tolerable']} tolerable "
+              f"(see 'repro.cli sdc profile')")
     if session is not None:
         if session.events_written > 1:
             print(f"  telemetry: {session.events_written} event(s) "
@@ -408,6 +420,92 @@ def _cmd_campaign_status(_args) -> int:
     return 0
 
 
+def _resolve_sdc_records(target: str):
+    """Map a ``sdc profile`` target to its anatomy records.
+
+    Accepts a campaign journal ``.jsonl``, a cached result ``.json``
+    payload, or a bare campaign key (looked up as a cached result first,
+    then as an in-flight journal). Returns ``(records, label)`` or
+    ``(None, None)`` with the error printed.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.fi.journal import cache_dir, journal_dir
+    from repro.sdc import (load_journal_records, records_from_journal,
+                           records_from_result)
+
+    path = Path(target)
+    if not path.is_file():
+        for candidate in (cache_dir() / f"{path.stem}.json",
+                          journal_dir() / f"{path.stem}.jsonl"):
+            if candidate.is_file():
+                path = candidate
+                break
+        else:
+            print(f"no cached result or journal for {target!r} under "
+                  f"{cache_dir()}", file=sys.stderr)
+            return None, None
+    if path.suffix == ".jsonl":
+        records = records_from_journal(load_journal_records(path))
+    else:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return None, None
+        records = records_from_result(payload)
+    return records, path.stem
+
+
+def _cmd_sdc_profile(args) -> int:
+    from repro.sdc import build_profiles, render_profiles
+
+    records, label = _resolve_sdc_records(args.target)
+    if records is None:
+        return 2
+    if not records:
+        print(f"{args.target} holds no SDC anatomy records — run the "
+              f"campaign with --sdc-anatomy", file=sys.stderr)
+        return 1
+    profiles = build_profiles(records, by=args.by)
+    print(render_profiles(profiles, title=f"corruption profiles: {label}",
+                          by=args.by))
+    return 0
+
+
+def _cmd_sdc_report(args) -> int:
+    import json
+
+    from repro.fi.journal import cache_dir
+    from repro.sdc import build_profiles, records_from_result, render_profiles
+
+    d = cache_dir()
+    found = 0
+    for path in sorted(d.glob("*.json")) if d.is_dir() else []:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        records = records_from_result(payload)
+        if not records:
+            continue
+        found += 1
+        label = (f"{payload.get('app_name')}/{payload.get('kernel')}/"
+                 f"{payload.get('injector')} [{path.stem}]")
+        print(render_profiles(build_profiles(records, by=args.by),
+                              title=f"corruption profiles: {label}",
+                              by=args.by))
+        print()
+    if not found:
+        print(f"no cached campaign with SDC anatomy records under {d}; "
+              f"run one with --sdc-anatomy (or the sdc-anatomy experiment)",
+              file=sys.stderr)
+        return 1
+    print(f"{found} campaign(s) with SDC anatomy records")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Cross-layer GPU reliability assessment"
@@ -474,6 +572,10 @@ def main(argv: list[str] | None = None) -> int:
                            "REPRO_WORKERS; 'auto' = all cores but one)")
     crun.add_argument("--hardened", action="store_true",
                       help="run the TMR-hardened variant")
+    crun.add_argument("--sdc-anatomy", action="store_true",
+                      help="fingerprint every SDC trial and classify its "
+                           "severity (see 'sdc profile'; distinct cache "
+                           "entries from anatomy-off runs)")
     crun.add_argument("--no-cache", action="store_true",
                       help="ignore cache and journal; run from scratch")
     crun.add_argument("--quiet", action="store_true",
@@ -499,6 +601,26 @@ def main(argv: list[str] | None = None) -> int:
     cstatus = campaign_sub.add_parser(
         "status", help="list in-flight journals and cached results")
     cstatus.set_defaults(func=_cmd_campaign_status)
+
+    sdc_parser = sub.add_parser(
+        "sdc", help="inspect SDC anatomy (fingerprints, severity, profiles)")
+    sdc_sub = sdc_parser.add_subparsers(dest="sdc_command", required=True)
+    sprofile = sdc_sub.add_parser(
+        "profile", help="render corruption profiles from one campaign")
+    sprofile.add_argument("target",
+                          help="campaign journal .jsonl, cached result "
+                               ".json, or bare campaign key")
+    sprofile.add_argument("--by", default="site",
+                          choices=["site", "severity", "metric"],
+                          help="grouping field (default: injection site)")
+    sprofile.set_defaults(func=_cmd_sdc_profile)
+    sreport = sdc_sub.add_parser(
+        "report", help="corruption profiles for every cached campaign "
+                       "that carries anatomy records")
+    sreport.add_argument("--by", default="site",
+                         choices=["site", "severity", "metric"],
+                         help="grouping field (default: injection site)")
+    sreport.set_defaults(func=_cmd_sdc_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

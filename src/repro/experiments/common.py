@@ -152,6 +152,7 @@ def collect_suite(
     seed: int = 1,
     progress_factory: ProgressFactory | None = None,
     workers: int | None = None,
+    sdc_anatomy: bool = False,
 ) -> SuiteData:
     """Run/load the campaign grid for the whole benchmark suite.
 
@@ -159,7 +160,10 @@ def collect_suite(
     once per campaign with a ``app/kernel/level`` label and must return a
     per-trial callback, forwarded to the campaign runner. ``workers``
     (default ``REPRO_WORKERS``) sets the trial-execution pool size every
-    campaign in the pass runs with.
+    campaign in the pass runs with. ``sdc_anatomy`` turns on per-SDC
+    fingerprints and severity verdicts for every campaign in the pass
+    (see :mod:`repro.sdc`; distinct cache entries from an anatomy-off
+    pass).
     """
     if trials is None:
         trials = hardened_trials() if hardened else default_trials()
@@ -193,7 +197,7 @@ def collect_suite(
                 CampaignSpec(level=level, app=app, kernel=kernel,
                              structure=structure, config=config,
                              trials=trials, seed=seed, workers=workers,
-                             hardened=hardened),
+                             hardened=hardened, sdc_anatomy=sdc_anatomy),
                 harness_factory=factory,
                 profile_supplier=supplier(config),
                 progress=reporter(label),

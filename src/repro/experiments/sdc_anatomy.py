@@ -1,0 +1,132 @@
+"""Severity-split Figure 1: does the AVF-vs-SVF mismatch survive when only
+*critical* SDCs count?
+
+The paper's Table I / Fig. 1 treat every SDC alike and find that a large
+fraction of application pairs rank oppositely under AVF vs SVF. SDC anatomy
+(:mod:`repro.sdc`) splits SDCs into TOLERABLE vs CRITICAL by each
+application's own quality metric; this driver recomputes the
+application-level AVF and SVF with the SDC class restricted to critical
+SDCs (Timeout/DUE are unconditionally failures and stay) and compares the
+pairwise ranking agreement of both variants.
+
+Campaigns run with ``sdc_anatomy=True`` and therefore occupy their own
+cache entries — the all-SDC numbers are recomputed from the same anatomy
+campaigns, so both variants come from identical trials.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, rate_with_ci, stacked_row
+from repro.analysis.trends import compare_trends
+from repro.arch.config import quadro_gv100_like
+from repro.arch.structures import structure_bits
+from repro.fi.avf import VulnBreakdown, avf_of_application
+from repro.fi.svf import svf_of_application
+from repro.experiments.common import app_label, collect_suite
+
+#: Paper's Table I headline: fraction of app pairs ranked oppositely.
+PAPER_OPPOSITE_FRACTION = 0.42
+
+
+def _critical_breakdown(result) -> VulnBreakdown:
+    """The campaign's class rates with SDC restricted to critical SDCs."""
+    counts = result.counts
+    n = counts.classified
+    if n == 0:
+        return VulnBreakdown()
+    anatomy = result.sdc_anatomy or {}
+    critical = int(anatomy.get("critical", counts.sdc))
+    df = result.derating_factor
+    return VulnBreakdown(
+        sdc=critical / n * df,
+        timeout=counts.timeout / n * df,
+        due=counts.due / n * df,
+    )
+
+
+def data(trials: int | None = None, apps: list[str] | None = None):
+    """Suite data plus per-app all-SDC and critical-only AVF/SVF."""
+    suite = collect_suite(hardened=False, trials=trials, with_ld=False,
+                          apps=apps, sdc_anatomy=True)
+    config = quadro_gv100_like()
+
+    kernel_avf_crit: dict[tuple[str, str], VulnBreakdown] = {}
+    kernel_svf_crit: dict[tuple[str, str], VulnBreakdown] = {}
+    severity: dict[str, dict[str, int]] = {}
+    for (app, kernel), d in suite.kernels.items():
+        items = [_critical_breakdown(r) for r in d.uarch.values()]
+        weights = [structure_bits(s, config) for s in d.uarch]
+        kernel_avf_crit[(app, kernel)] = VulnBreakdown.combine(items, weights)
+        kernel_svf_crit[(app, kernel)] = _critical_breakdown(d.sw)
+        tally = severity.setdefault(app, {"sdc": 0, "critical": 0})
+        for r in [*d.uarch.values(), d.sw]:
+            anatomy = r.sdc_anatomy or {}
+            tally["sdc"] += anatomy.get("critical", 0) + anatomy.get(
+                "tolerable", 0)
+            tally["critical"] += anatomy.get("critical", 0)
+
+    def per_app(kernel_values, aggregate, weight_attr):
+        out: dict[str, VulnBreakdown] = {}
+        for app in {a for a, _ in suite.kernels}:
+            items = {k: v for (a, k), v in kernel_values.items() if a == app}
+            weights = {k: getattr(d, weight_attr)
+                       for (a, k), d in suite.kernels.items() if a == app}
+            out[app] = aggregate(items, weights)
+        return out
+
+    avf_all = suite.app_avf()
+    svf_all = suite.app_svf()
+    avf_crit = per_app(kernel_avf_crit, avf_of_application, "cycles")
+    svf_crit = per_app(kernel_svf_crit, svf_of_application, "instructions")
+    return avf_all, svf_all, avf_crit, svf_crit, severity
+
+
+def run(trials: int | None = None, apps: list[str] | None = None) -> str:
+    avf_all, svf_all, avf_crit, svf_crit, severity = data(trials, apps)
+
+    lines = ["== SDC anatomy: severity-split AVF vs SVF =="]
+    lines.append("-- per-application SDC severity (uarch + sw campaigns) --")
+    rows = []
+    for app in sorted(severity):
+        t = severity[app]
+        rows.append([app_label(app), t["sdc"], t["critical"],
+                     t["sdc"] - t["critical"],
+                     rate_with_ci(t["critical"], t["sdc"])])
+    lines.append(format_table(
+        ["app", "sdc", "critical", "tolerable", "critical rate ±CI"], rows))
+
+    lines.append("-- critical-only SVF (software-level, V100-like) --")
+    scale = max(b.total for b in svf_crit.values()) or 1.0
+    for app in sorted(svf_crit):
+        lines.append(stacked_row(app_label(app), svf_crit[app], scale))
+    lines.append("-- critical-only AVF (cross-layer, GV100-like) --")
+    scale = max(b.total for b in avf_crit.values()) or 1.0
+    for app in sorted(avf_crit):
+        lines.append(stacked_row(app_label(app), avf_crit[app], scale))
+
+    totals = {name: {a: b.total for a, b in m.items()}
+              for name, m in (("avf_all", avf_all), ("svf_all", svf_all),
+                              ("avf_crit", avf_crit), ("svf_crit", svf_crit))}
+    all_cmp = compare_trends(totals["avf_all"], totals["svf_all"])
+    crit_cmp = compare_trends(totals["avf_crit"], totals["svf_crit"])
+    lines.append("-- pairwise AVF-vs-SVF ranking agreement --")
+    lines.append(f"  all SDCs:       {all_cmp.row()}  "
+                 f"opposite {all_cmp.opposite_fraction:.0%}")
+    lines.append(f"  critical only:  {crit_cmp.row()}  "
+                 f"opposite {crit_cmp.opposite_fraction:.0%}")
+    lines.append(
+        f"  paper (Table I, all SDCs): {PAPER_OPPOSITE_FRACTION:.0%} of "
+        f"pairs opposite")
+    delta = crit_cmp.opposite_fraction - all_cmp.opposite_fraction
+    trend = ("shrinks" if delta < 0 else "grows" if delta > 0 else
+             "is unchanged")
+    lines.append(
+        f"note: restricting SDCs to critical ones {trend} the cross-layer "
+        f"mismatch ({all_cmp.opposite_fraction:.0%} -> "
+        f"{crit_cmp.opposite_fraction:.0%}); tolerable SDCs are part of "
+        f"what the layers disagree about.")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

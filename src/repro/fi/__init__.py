@@ -10,9 +10,6 @@ from repro.fi.campaign import (
     CampaignSpec,
     profile_app,
     run_campaign,
-    run_microarch_campaign,
-    run_software_campaign,
-    run_source_campaign,
 )
 from repro.fi.avf import (
     avf_of_application,
@@ -34,9 +31,6 @@ __all__ = [
     "CampaignSpec",
     "profile_app",
     "run_campaign",
-    "run_microarch_campaign",
-    "run_software_campaign",
-    "run_source_campaign",
     "avf_of_application",
     "avf_of_chip",
     "avf_of_structure",

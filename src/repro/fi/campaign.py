@@ -9,8 +9,14 @@ a reset device with one planned fault, and tallies the outcome classes.
 ``sw-ld``, ``src``, ``src-sticky``), the application/kernel, the trial
 budget, the seed and the worker-pool size; runtime-only collaborators
 (profiles, harness factories, progress callbacks) are keyword arguments.
-The historical ``run_microarch_campaign`` / ``run_software_campaign`` /
-``run_source_campaign`` functions remain as thin deprecated wrappers.
+
+``CampaignSpec(sdc_anatomy=True)`` additionally fingerprints every SDC
+trial (see :mod:`repro.sdc`): the faulty outputs are diffed against the
+golden run into a compact error-pattern record with a TOLERABLE/CRITICAL
+severity verdict, journaled with the trial, aggregated on the result
+(:attr:`CampaignResult.sdc_anatomy`), and cached. The flag is part of the
+cache key; with it off, journals and cache payloads are byte-identical to
+an anatomy-unaware build.
 
 Results are cached as JSON under ``.repro_cache/`` keyed by every parameter
 that affects the outcome — the worker count deliberately excluded, so serial
@@ -47,7 +53,6 @@ import hashlib
 import json
 import os
 import tempfile
-import warnings
 from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
@@ -73,17 +78,15 @@ from repro.utils.rng import spawn_seeds
 __all__ = [
     "AppProfile", "CampaignResult", "CampaignSpec", "cache_dir",
     "default_trials", "profile_app", "run_campaign",
-    "run_microarch_campaign", "run_software_campaign",
-    "run_source_campaign", "CACHE_VERSION", "DEFAULT_TRIALS",
-    "CAMPAIGN_LEVELS",
+    "CACHE_VERSION", "DEFAULT_TRIALS", "CAMPAIGN_LEVELS",
 ]
 
 log = get_logger(__name__)
 
 #: Bump to invalidate every cached campaign result after a model change.
-#: v10: NaN-payload-exact bitcasts (sNaN flips now observable) + journal
-#: meta records.
-CACHE_VERSION = 10
+#: v11: SDC anatomy (``CampaignSpec.sdc_anatomy`` fingerprints + severity
+#: verdicts in journals and payloads).
+CACHE_VERSION = 11
 
 #: The injection levels ``run_campaign`` dispatches on.
 CAMPAIGN_LEVELS = ("uarch", "sw", "sw-ld", "src", "src-sticky")
@@ -186,10 +189,18 @@ class CampaignResult:
     kernel_instructions: int = 0
     control_path_masked: int = 0  # masked trials whose cycle count changed
     hardened: bool = False
+    #: SDC anatomy aggregate (``sdc_anatomy=True`` campaigns only):
+    #: ``{"tolerable": int, "critical": int, "records": [...]}`` with one
+    #: record per SDC trial in trial order. ``None`` when anatomy was off
+    #: (and then absent from the cache payload, keeping off-path payloads
+    #: identical to anatomy-unaware builds).
+    sdc_anatomy: dict | None = None
 
     def to_dict(self) -> dict:
         d = dict(self.__dict__)
         d["counts"] = self.counts.to_dict()
+        if self.sdc_anatomy is None:
+            del d["sdc_anatomy"]
         return d
 
     @classmethod
@@ -226,6 +237,13 @@ class CampaignSpec:
     num_bits: int = 1  # uarch fault model: 1 = single-bit, 2 = adjacent
     ecc_protected: bool = False  # uarch only: SECDED on the target structure
     use_cache: bool = True
+    #: Fingerprint every SDC trial (see :mod:`repro.sdc`): the faulty
+    #: outputs are diffed against the golden run into an error-pattern
+    #: record with a TOLERABLE/CRITICAL severity verdict, journaled with
+    #: the trial and aggregated on :attr:`CampaignResult.sdc_anatomy`.
+    #: Part of the cache key; off-path journals and payloads are
+    #: byte-identical to anatomy-unaware builds.
+    sdc_anatomy: bool = False
     #: Collect telemetry events for this campaign (``None`` defers to
     #: ``REPRO_TELEMETRY``). Observability only: deliberately excluded
     #: from cache keys, journals and tallies, which stay bit-identical
@@ -297,6 +315,7 @@ def run_campaign(
         profile=profile, profile_supplier=profile_supplier,
         max_failure_rate=max_failure_rate, progress=progress,
         workers=spec.workers, worker_progress=worker_progress,
+        sdc_anatomy=spec.sdc_anatomy,
         telemetry=spec.telemetry, telemetry_session=telemetry_session,
     )
     if spec.level == "uarch":
@@ -394,19 +413,23 @@ def _budget_fn(profile: AppProfile, config: GPUConfig):
     return fn
 
 
-def _classify(app, gpu, harness, golden) -> tuple[FaultOutcome, int]:
-    """Run once under injection; returns (outcome, total cycles executed)."""
+def _classify(app, gpu, harness, golden
+              ) -> "tuple[FaultOutcome, int, dict | None]":
+    """Run once under injection; returns (outcome, total cycles executed,
+    outputs). Outputs are only produced by runs that complete (None for
+    Timeout/DUE) — the SDC-anatomy path diffs them against the golden
+    run."""
     try:
         outputs = app.run(gpu, harness)
         harness.finalize(gpu)
     except SimTimeout:
-        return FaultOutcome.TIMEOUT, _total_cycles(gpu)
+        return FaultOutcome.TIMEOUT, _total_cycles(gpu), None
     except ExecutionError:
-        return FaultOutcome.DUE, _total_cycles(gpu)
+        return FaultOutcome.DUE, _total_cycles(gpu), None
     cycles = _total_cycles(gpu)
     if outputs_equal(outputs, golden):
-        return FaultOutcome.MASKED, cycles
-    return FaultOutcome.SDC, cycles
+        return FaultOutcome.MASKED, cycles, outputs
+    return FaultOutcome.SDC, cycles, outputs
 
 
 def _total_cycles(gpu: GPU) -> int:
@@ -442,7 +465,8 @@ def _kernel_rollup(gpu: GPU) -> dict[str, dict[str, int]]:
 
 
 def _injection_trial_fn(app, profile, harness_factory, plan_fn,
-                        injector_attr, injector_cls):
+                        injector_attr, injector_cls,
+                        sdc_anatomy=False, site_fn=None):
     """The one trial body all campaign levels share: plan a fault for the
     trial seed, arm the injector, run the app, classify.
 
@@ -451,7 +475,16 @@ def _injection_trial_fn(app, profile, harness_factory, plan_fn,
     ``sw_injector``). Telemetry (when the runner installed an emitter for
     this process) gets ``inject.plan`` / ``classify`` phase spans and a
     per-trial per-kernel LaunchStats rollup; the disabled path adds
-    nothing but one attribute check."""
+    nothing but one attribute check.
+
+    With ``sdc_anatomy`` on, SDC trials return a third element — the
+    anatomy record of :func:`repro.sdc.analyze_sdc`, tagged with
+    ``site_fn(plan)`` (the injected structure / instruction class) — which
+    the runner journals and tallies. With it off, trials return the legacy
+    two-tuple, keeping journals byte-identical."""
+    if sdc_anatomy:
+        from repro.sdc import analyze_sdc  # deferred: fi never needs it
+                                           # unless a spec opts in
 
     def trial_fn(gpu: GPU, trial_seed: int):
         tel = current_telemetry()
@@ -470,15 +503,32 @@ def _injection_trial_fn(app, profile, harness_factory, plan_fn,
         try:
             if tel.enabled:
                 with tel.span("classify"):
-                    outcome, cycles = _classify(app, gpu, harness,
-                                                profile.golden)
+                    outcome, cycles, outputs = _classify(
+                        app, gpu, harness, profile.golden)
                 tel.emit("kernels", kernels=_kernel_rollup(gpu))
+            else:
+                outcome, cycles, outputs = _classify(app, gpu, harness,
+                                                     profile.golden)
+            if not sdc_anatomy:
                 return outcome, cycles
-            return _classify(app, gpu, harness, profile.golden)
+            if outcome is not FaultOutcome.SDC:
+                return outcome, cycles, None
+            site = site_fn(plan) if site_fn is not None else ""
+            return outcome, cycles, analyze_sdc(
+                app.name, outputs, profile.golden, site)
         finally:
             setattr(gpu, injector_attr, None)
 
     return trial_fn
+
+
+def _anatomy_aggregate(tally) -> dict:
+    """Fold the runner's per-trial anatomy records into the
+    :attr:`CampaignResult.sdc_anatomy` payload."""
+    records = list(tally.sdc_records)
+    critical = sum(1 for r in records if r.get("severity") == "critical")
+    return {"tolerable": len(records) - critical, "critical": critical,
+            "records": records}
 
 
 def _journal_meta(level: str, app, kernel: str, tag: str, seed: int,
@@ -517,8 +567,8 @@ def _campaign_telemetry(key: str, telemetry: bool | None,
 def _microarch_campaign(
     app, kernel, structure, config, *, trials, seed, harness_factory,
     hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
-    max_failure_rate, progress, workers, worker_progress, telemetry,
-    telemetry_session,
+    max_failure_rate, progress, workers, worker_progress, sdc_anatomy,
+    telemetry, telemetry_session,
 ) -> CampaignResult:
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
@@ -538,6 +588,8 @@ def _microarch_campaign(
             "hardened": hardened,
             "num_bits": num_bits,
             "ecc": ecc_protected,
+            # Only present when on: off-path keys keep their legacy shape.
+            **({"sdc_anatomy": True} if sdc_anatomy else {}),
         }
     )
     if use_cache:
@@ -571,7 +623,9 @@ def _microarch_campaign(
                 app, profile, harness_factory,
                 lambda s: plan_microarch_fault(launches, structure, s,
                                                num_bits, ecc_protected),
-                "uarch_injector", MicroarchInjector),
+                "uarch_injector", MicroarchInjector,
+                sdc_anatomy=sdc_anatomy,
+                site_fn=lambda plan: plan.structure.value),
             gpu_factory=_gpu_factory(profile, config),
             baseline_cycles=profile.total_cycles,
             max_failure_rate=max_failure_rate,
@@ -598,6 +652,7 @@ def _microarch_campaign(
             kernel_instructions=profile.kernel_instructions(kernel),
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
+            sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
         )
         if use_cache:
             with tel.span("cache.store"):
@@ -611,7 +666,8 @@ def _microarch_campaign(
 def _software_campaign(
     app, kernel, config, *, trials, seed, loads_only, harness_factory,
     hardened, use_cache, profile, profile_supplier, max_failure_rate,
-    progress, workers, worker_progress, telemetry, telemetry_session,
+    progress, workers, worker_progress, sdc_anatomy, telemetry,
+    telemetry_session,
 ) -> CampaignResult:
     trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
@@ -627,6 +683,7 @@ def _software_campaign(
             "trials": trials,
             "seed": seed,
             "hardened": hardened,
+            **({"sdc_anatomy": True} if sdc_anatomy else {}),
         }
     )
     if use_cache:
@@ -659,7 +716,9 @@ def _software_campaign(
             trial_fn=_injection_trial_fn(
                 app, profile, harness_factory,
                 lambda s: plan_software_fault(sw_launches, s, loads_only),
-                "sw_injector", SoftwareInjector),
+                "sw_injector", SoftwareInjector,
+                sdc_anatomy=sdc_anatomy,
+                site_fn=lambda plan: plan.injected_class or injector_kind),
             gpu_factory=_gpu_factory(profile, config),
             baseline_cycles=profile.total_cycles,
             max_failure_rate=max_failure_rate,
@@ -689,6 +748,7 @@ def _software_campaign(
             ),
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
+            sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
         )
         if use_cache:
             with tel.span("cache.store"):
@@ -701,8 +761,8 @@ def _software_campaign(
 
 def _source_campaign(
     app, kernel, config, *, trials, seed, sticky, use_cache, profile,
-    max_failure_rate, progress, workers, worker_progress, telemetry,
-    telemetry_session,
+    max_failure_rate, progress, workers, worker_progress, sdc_anatomy,
+    telemetry, telemetry_session,
 ) -> CampaignResult:
     from repro.fi.svf_modes import SourceInjector, plan_source_fault
 
@@ -719,6 +779,7 @@ def _source_campaign(
             "config": config.name,
             "trials": trials,
             "seed": seed,
+            **({"sdc_anatomy": True} if sdc_anatomy else {}),
         }
     )
     if use_cache:
@@ -749,7 +810,9 @@ def _source_campaign(
             trial_fn=_injection_trial_fn(
                 app, profile, None,
                 lambda s: plan_source_fault(launches, s, sticky),
-                "sw_injector", SourceInjector),
+                "sw_injector", SourceInjector,
+                sdc_anatomy=sdc_anatomy,
+                site_fn=lambda plan: "src"),
             gpu_factory=_gpu_factory(profile, config),
             baseline_cycles=profile.total_cycles,
             max_failure_rate=max_failure_rate,
@@ -776,6 +839,7 @@ def _source_campaign(
             kernel_instructions=profile.kernel_instructions(kernel),
             control_path_masked=tally.control_path_masked,
             hardened=False,
+            sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
         )
         if use_cache:
             with tel.span("cache.store"):
@@ -784,95 +848,3 @@ def _source_campaign(
     finally:
         if owns_session:
             session.close()
-
-
-# ------------------------------------------------------- deprecated wrappers
-
-def _deprecated(old: str, level: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use "
-        f"run_campaign(CampaignSpec(level={level!r}, ...)) instead",
-        DeprecationWarning, stacklevel=3)
-
-
-def run_microarch_campaign(
-    app: GPUApplication,
-    kernel: str,
-    structure: Structure,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    harness_factory=None,
-    hardened: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    profile_supplier=None,
-    num_bits: int = 1,
-    ecc_protected: bool = False,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
-    workers: int | None = None,
-) -> CampaignResult:
-    """Deprecated: use :func:`run_campaign` with ``level="uarch"``."""
-    _deprecated("run_microarch_campaign", "uarch")
-    return run_campaign(
-        CampaignSpec(level="uarch", app=app, kernel=kernel,
-                     structure=structure, config=config, trials=trials,
-                     seed=seed, workers=workers, hardened=hardened,
-                     num_bits=num_bits, ecc_protected=ecc_protected,
-                     use_cache=use_cache),
-        harness_factory=harness_factory, profile=profile,
-        profile_supplier=profile_supplier, max_failure_rate=max_failure_rate,
-        progress=progress)
-
-
-def run_software_campaign(
-    app: GPUApplication,
-    kernel: str,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    loads_only: bool = False,
-    harness_factory=None,
-    hardened: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    profile_supplier=None,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
-    workers: int | None = None,
-) -> CampaignResult:
-    """Deprecated: use :func:`run_campaign` with ``level="sw"``/``"sw-ld"``."""
-    level = "sw-ld" if loads_only else "sw"
-    _deprecated("run_software_campaign", level)
-    return run_campaign(
-        CampaignSpec(level=level, app=app, kernel=kernel, config=config,
-                     trials=trials, seed=seed, workers=workers,
-                     hardened=hardened, use_cache=use_cache),
-        harness_factory=harness_factory, profile=profile,
-        profile_supplier=profile_supplier, max_failure_rate=max_failure_rate,
-        progress=progress)
-
-
-def run_source_campaign(
-    app: GPUApplication,
-    kernel: str,
-    config: GPUConfig,
-    trials: int | None = None,
-    seed: int = 1,
-    sticky: bool = False,
-    use_cache: bool = True,
-    profile: AppProfile | None = None,
-    max_failure_rate: float | None = None,
-    progress: ProgressFn | None = None,
-    workers: int | None = None,
-) -> CampaignResult:
-    """Deprecated: use :func:`run_campaign` with ``level="src"``/``"src-sticky"``."""
-    level = "src-sticky" if sticky else "src"
-    _deprecated("run_source_campaign", level)
-    return run_campaign(
-        CampaignSpec(level=level, app=app, kernel=kernel, config=config,
-                     trials=trials, seed=seed, workers=workers,
-                     use_cache=use_cache),
-        profile=profile, max_failure_rate=max_failure_rate,
-        progress=progress)

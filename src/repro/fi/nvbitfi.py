@@ -30,6 +30,8 @@ class SoftwareFaultPlan:
     loads_only: bool = False
     fired: bool = field(default=False)
     description: str = field(default="")
+    #: Instruction class actually hit ("load"/"alu"); SDC-anatomy site tag.
+    injected_class: str = field(default="")
 
 
 class SoftwareInjector:
@@ -62,6 +64,7 @@ class SoftwareInjector:
             lane = int(np.nonzero(gm)[0][k - start])
             warp.bank.regs[dst, lane] ^= np.uint32(1 << plan.bit)
             plan.fired = True
+            plan.injected_class = "load" if is_load else "alu"
             plan.description = (
                 f"warp {warp.uid} lane {lane} R{dst} bit {plan.bit}"
             )

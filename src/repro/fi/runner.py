@@ -39,6 +39,14 @@ fast* rather than about *which fault to inject*:
   callback fires as results arrive from the pool, so the CLI can show
   live per-worker progress.
 
+* **Per-trial extras** — a trial function may return a third element: a
+  JSON-serializable dict (e.g. the SDC anatomy record of
+  :func:`repro.sdc.analyze_sdc`). Extras ride along the whole pipeline —
+  journaled as the trial record's ``"sdc"`` field, shipped from pool
+  workers with the trial result, replayed on resume — and are collected
+  in trial order on :attr:`TrialTally.sdc_records`. Trials without an
+  extra journal exactly the legacy record, byte for byte.
+
 * **Telemetry** — when a :class:`~repro.telemetry.events.Telemetry`
   emitter is passed in, the engine emits structured events (campaign
   begin/end, per-trial ``trial`` spans, ``journal.commit`` spans, one
@@ -88,7 +96,10 @@ ProgressFn = Callable[[int, int, FaultOutcome], None]
 #: fired in arrival order while the pool runs.
 WorkerProgressFn = Callable[[int, int], None]
 
-#: ``trial_fn(gpu, trial_seed) -> (outcome, total cycles executed)``.
+#: ``trial_fn(gpu, trial_seed) -> (outcome, total cycles executed)`` or
+#: ``(outcome, cycles, extra)`` — ``extra`` is an optional JSON-serializable
+#: dict of per-trial data (e.g. an SDC anatomy record) the engine journals
+#: alongside the outcome (``"sdc"`` field) and collects on the tally.
 TrialFn = Callable[[object, int], "tuple[FaultOutcome, int]"]
 
 
@@ -115,6 +126,9 @@ class TrialTally:
     resumed: int = 0  # trials replayed from the journal, not simulated
     crash_events: int = 0  # journaled crash *attempts* (>= counts.crash)
     workers: int = 1  # pool size the live trials actually ran with
+    #: Per-trial extra records (``{"trial": i, **extra}``) in trial order —
+    #: populated only by trial functions that return a third element.
+    sdc_records: list[dict] = field(default_factory=list)
 
     def _record(self, outcome: FaultOutcome, cycles: int,
                 baseline_cycles: int) -> None:
@@ -175,15 +189,22 @@ def _crash_record(trial: int, trial_seed: int, exc: BaseException,
             "error": repr(exc), "traceback": tb, "retry": retry}
 
 
+def _unpack_trial(result) -> "tuple[FaultOutcome, int, dict | None]":
+    """Normalize a trial function's return value to (outcome, cycles,
+    extra) — legacy two-tuples get ``extra=None``."""
+    outcome, cycles, *rest = result
+    return outcome, cycles, (rest[0] if rest else None)
+
+
 def _attempt_trial(trial_fn: TrialFn, gpu, gpu_factory, trial_index: int,
                    trial_seed: int, on_crash):
     """One trial with the isolation contract: unexpected exceptions get one
     retry on a fresh GPU, a second failure becomes CRASH. Returns
-    ``(outcome, cycles, gpu)`` — the GPU is replaced after any failure,
-    since the blown-up trial may have corrupted its state."""
+    ``(outcome, cycles, extra, gpu)`` — the GPU is replaced after any
+    failure, since the blown-up trial may have corrupted its state."""
     try:
-        outcome, cycles = trial_fn(gpu, trial_seed)
-        return outcome, cycles, gpu
+        outcome, cycles, extra = _unpack_trial(trial_fn(gpu, trial_seed))
+        return outcome, cycles, extra, gpu
     except ExecutionError:
         # SimTimeout/ExecutionError are fault effects the classifier
         # already maps to Timeout/DUE; one escaping the trial is a
@@ -195,15 +216,15 @@ def _attempt_trial(trial_fn: TrialFn, gpu, gpu_factory, trial_index: int,
         on_crash(exc, traceback.format_exc(), False)
         gpu = gpu_factory()
         try:
-            outcome, cycles = trial_fn(gpu, trial_seed)
-            return outcome, cycles, gpu
+            outcome, cycles, extra = _unpack_trial(trial_fn(gpu, trial_seed))
+            return outcome, cycles, extra, gpu
         except ExecutionError:
             raise
         except Exception as exc2:
             log.error("trial %d (seed %d) raised %r again on retry; "
                       "tallying as CRASH", trial_index, trial_seed, exc2)
             on_crash(exc2, traceback.format_exc(), True)
-            return FaultOutcome.CRASH, 0, gpu_factory()
+            return FaultOutcome.CRASH, 0, None, gpu_factory()
 
 
 def _threshold_error(key: str, crash: int, total: int,
@@ -278,6 +299,9 @@ def execute_trials(
         for rec in completed:
             outcome = FaultOutcome(rec["outcome"])
             tally._record(outcome, int(rec["cycles"]), baseline_cycles)
+            if isinstance(rec.get("sdc"), dict):
+                tally.sdc_records.append({"trial": rec["trial"],
+                                          **rec["sdc"]})
             done += 1
             if progress is not None:
                 progress(done, total, outcome)
@@ -354,24 +378,30 @@ def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
 
             if tel.enabled:
                 with tel.span("trial", trial=i):
-                    outcome, cycles, gpu = _attempt_trial(
+                    outcome, cycles, extra, gpu = _attempt_trial(
                         trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
             else:
-                outcome, cycles, gpu = _attempt_trial(
+                outcome, cycles, extra, gpu = _attempt_trial(
                     trial_fn, gpu, gpu_factory, i, trial_seed, on_crash)
 
             tally._record(outcome, cycles, baseline_cycles)
+            if extra is not None:
+                tally.sdc_records.append({"trial": i, **extra})
             if jr is not None:
                 record = {"event": "trial", "trial": i, "seed": trial_seed,
                           "outcome": outcome.value, "cycles": cycles}
+                if extra is not None:
+                    record["sdc"] = extra
                 if tel.enabled:
                     with tel.span("journal.commit", trial=i):
                         jr.append(record)
                 else:
                     jr.append(record)
             if tel.enabled:
+                event_fields = {} if extra is None else {
+                    "severity": extra.get("severity")}
                 tel.emit("commit", trial=i, outcome=outcome.value,
-                         cycles=cycles)
+                         cycles=cycles, **event_fields)
             if progress is not None:
                 progress(i + 1, total, outcome)
 
@@ -401,7 +431,7 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
 
     Runs its statically-assigned slice of trial indices with the same
     isolation/retry contract as the serial path and streams
-    ``("trial", worker_id, index, outcome, cycles, crash_records)``
+    ``("trial", worker_id, index, outcome, cycles, extra, crash_records)``
     messages to the parent, which owns all journal writes. Any exception
     that must abort the campaign (an escaped :class:`ExecutionError`,
     KeyboardInterrupt, ...) is shipped as a ``("fatal", ...)`` message for
@@ -437,16 +467,16 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
 
             if tel.enabled:
                 with tel.span("trial", trial=i):
-                    outcome, cycles, gpu = _attempt_trial(
+                    outcome, cycles, extra, gpu = _attempt_trial(
                         trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
             else:
-                outcome, cycles, gpu = _attempt_trial(
+                outcome, cycles, extra, gpu = _attempt_trial(
                     trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
             if buffer:
                 out_q.put(("events", worker_id, buffer[:]))
                 buffer.clear()
             out_q.put(("trial", worker_id, i, outcome.value, int(cycles),
-                       crash_records))
+                       extra, crash_records))
         out_q.put(("done", worker_id))
     except BaseException as exc:  # noqa: BLE001 — shipped to the parent
         out_q.put(("fatal", worker_id, _shippable(exc), repr(exc),
@@ -517,30 +547,39 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                 raise CampaignError(
                     f"campaign {key}: worker {worker_id} failed with an "
                     f"unpicklable error {text}; worker traceback:\n{tb}")
-            _, worker_id, i, outcome_value, cycles, crash_records = msg
-            pending[i] = (outcome_value, cycles, crash_records)
+            _, worker_id, i, outcome_value, cycles, extra, crash_records = msg
+            pending[i] = (outcome_value, cycles, extra, crash_records)
             per_worker[worker_id] += 1
             if worker_progress is not None:
                 worker_progress(worker_id, per_worker[worker_id])
 
             while next_index in pending:
-                outcome_value, cycles, crash_records = pending.pop(next_index)
+                outcome_value, cycles, extra, crash_records = pending.pop(
+                    next_index)
                 outcome = FaultOutcome(outcome_value)
                 tally.crash_events += len(crash_records)
                 if jr is not None:
-                    records = crash_records + [
-                        {"event": "trial", "trial": next_index,
-                         "seed": seeds[next_index],
-                         "outcome": outcome_value, "cycles": cycles}]
+                    trial_record = {"event": "trial", "trial": next_index,
+                                    "seed": seeds[next_index],
+                                    "outcome": outcome_value,
+                                    "cycles": cycles}
+                    if extra is not None:
+                        trial_record["sdc"] = extra
+                    records = crash_records + [trial_record]
                     if tel.enabled:
                         with tel.span("journal.commit", trial=next_index):
                             jr.append_many(records)
                     else:
                         jr.append_many(records)
                 tally._record(outcome, cycles, baseline_cycles)
+                if extra is not None:
+                    tally.sdc_records.append({"trial": next_index, **extra})
                 if tel.enabled:
+                    event_fields = {} if extra is None else {
+                        "severity": extra.get("severity")}
                     tel.emit("commit", trial=next_index,
-                             outcome=outcome_value, cycles=cycles)
+                             outcome=outcome_value, cycles=cycles,
+                             **event_fields)
                 next_index += 1
                 if progress is not None:
                     progress(next_index, total, outcome)

@@ -160,5 +160,5 @@ class TMRHarness(DeviceHarness):
 
 
 def tmr_harness_factory() -> TMRHarness:
-    """Factory suitable for :func:`repro.fi.campaign.run_microarch_campaign`."""
+    """Harness factory for :func:`repro.fi.campaign.run_campaign`."""
     return TMRHarness()

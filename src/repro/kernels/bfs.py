@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _NODES = 64
 _EXTRA_EDGES = 48
@@ -191,3 +192,14 @@ class BFS(GPUApplication):
                         nxt.append(nb)
             frontier = nxt
         return {"cost": cost}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "bfs", "cost-vector-equality",
+    doc="fraction of nodes with the golden BFS cost; graph distances "
+        "are exact answers, so only full equality is tolerable")
+def _bfs_quality(faulty, golden):
+    correct = float(np.mean(faulty["cost"] == golden["cost"]))
+    return correct, correct == 1.0

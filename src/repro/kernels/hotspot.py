@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _W = 16
 _H = 16
@@ -180,3 +181,19 @@ class HotSpot(GPUApplication):
         for _ in range(_ITERS):
             temp = _step_reference(temp, inp["power"])
         return {"temp": temp}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "hotspot", "max-abs-error",
+    doc="max absolute temperature error vs the golden grid; "
+        "<= 0.5 degrees (and no NaN/Inf) counts as tolerable")
+def _hotspot_quality(faulty, golden):
+    diff = np.abs(faulty["temp"].astype(np.float64)
+                  - golden["temp"].astype(np.float64))
+    err = float(diff.max())
+    ok = bool(np.isfinite(err) and err <= 0.5)
+    # Quality score: 1 at zero error, decaying with the error magnitude.
+    score = 1.0 / (1.0 + err) if np.isfinite(err) else 0.0
+    return score, ok

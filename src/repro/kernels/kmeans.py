@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _NPOINTS = 128
 _NFEATURES = 4
@@ -146,3 +147,14 @@ class KMeans(GPUApplication):
             best[better] = dist[better]
             best_idx[better] = c
         return {"membership": best_idx}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "kmeans", "assignment-accuracy",
+    doc="fraction of points assigned to their golden cluster; "
+        ">= 95% accurate counts as tolerable")
+def _kmeans_quality(faulty, golden):
+    accuracy = float(np.mean(faulty["membership"] == golden["membership"]))
+    return accuracy, accuracy >= 0.95

@@ -1,0 +1,174 @@
+"""Error-pattern fingerprints of SDC trials.
+
+The campaign engine's SDC verdict is binary: ``outputs_equal`` says the
+faulty outputs differ bitwise from the golden run. "The Anatomy of Silent
+Data Corruption" (PAPERS.md) argues the *pattern* of that difference —
+magnitude, spatial spread, bit positions, NaN/Inf production — is what
+modeling and hardening decisions actually need. :func:`fingerprint_outputs`
+diffs a faulty output dict against the golden one into a
+:class:`SDCFingerprint` of compact features.
+
+The encoding is **bounded-size by construction**: whatever the output
+arrays' sizes, a fingerprint is ~12 scalars plus one 32-entry bit-position
+histogram, so journal records and cache payloads stay small even for
+campaigns over image-sized outputs.
+
+All features are computed over the flattened little-endian byte stream of
+each output array regrouped into 32-bit words (every suite output is a
+4-byte dtype, so words coincide with elements); float-valued features
+(magnitude, sign flips, NaN/Inf) additionally use the element view of
+floating-point arrays. Word indices for the spatial features run across
+outputs in sorted-name order, mirroring the deterministic iteration of
+``outputs_equal``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BIT_BUCKETS", "SDCFingerprint", "fingerprint_outputs"]
+
+#: Bit-position histogram width: one bucket per bit of a 32-bit word.
+BIT_BUCKETS = 32
+
+_WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SDCFingerprint:
+    """Compact, bounded-size description of one SDC's error pattern."""
+
+    corrupted_words: int  # 32-bit words whose value changed
+    total_words: int  # words across all golden outputs
+    corrupted_outputs: int  # output arrays with at least one corrupted word
+    extent: int  # span first..last corrupted word index (0 if none)
+    burstiness: float  # corrupted_words / extent: 1.0 = one dense burst
+    flipped_bits: int  # total bits that differ
+    bit_histogram: tuple[int, ...]  # flips per word-bit position, LSB first
+    sign_flips: int  # float elements whose sign bit changed
+    nans_introduced: int  # float elements NaN in faulty, not in golden
+    infs_introduced: int  # float elements Inf in faulty, not in golden
+    max_abs_err: float  # over mutually-finite float elements
+    max_rel_err: float  # same, where golden != 0
+    shape_mismatch: bool = False  # outputs lost/gained keys or changed shape
+
+    @property
+    def corrupted_fraction(self) -> float:
+        return (self.corrupted_words / self.total_words
+                if self.total_words else 0.0)
+
+    def to_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["bit_histogram"] = list(self.bit_histogram)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SDCFingerprint":
+        d = dict(d)
+        d["bit_histogram"] = tuple(int(b) for b in d["bit_histogram"])
+        return cls(**d)
+
+
+def _words(a: np.ndarray) -> np.ndarray:
+    """Flatten an array to little-endian 32-bit words (zero-padded)."""
+    raw = np.ascontiguousarray(a).view(np.uint8).ravel()
+    pad = (-raw.size) % _WORD_BYTES
+    if pad:
+        raw = np.concatenate([raw, np.zeros(pad, dtype=np.uint8)])
+    return raw.view(np.uint32)
+
+
+def _mismatch_fingerprint(faulty: dict, golden: dict) -> SDCFingerprint:
+    """A fault that corrupted the *shape* of the outputs (lost/extra keys,
+    resized arrays) has no meaningful word-level diff; record the mismatch
+    itself."""
+    bad = {name for name in set(faulty) | set(golden)
+           if name not in faulty or name not in golden
+           or faulty[name].shape != golden[name].shape
+           or faulty[name].dtype != golden[name].dtype}
+    return SDCFingerprint(
+        corrupted_words=0,
+        total_words=int(sum(_words(g).size for g in golden.values())),
+        corrupted_outputs=len(bad),
+        extent=0, burstiness=0.0, flipped_bits=0,
+        bit_histogram=(0,) * BIT_BUCKETS,
+        sign_flips=0, nans_introduced=0, infs_introduced=0,
+        max_abs_err=0.0, max_rel_err=0.0, shape_mismatch=True,
+    )
+
+
+def fingerprint_outputs(faulty: dict, golden: dict) -> SDCFingerprint:
+    """Diff faulty vs golden output dicts into an :class:`SDCFingerprint`.
+
+    Works on any two output dicts (``{name: ndarray}``); campaigns call it
+    exactly when the classifier returned SDC, so the diff is normally
+    non-empty. Non-finite deviations never poison the magnitude features:
+    ``max_abs_err``/``max_rel_err`` cover mutually-finite elements only,
+    while NaN/Inf production is counted separately.
+    """
+    if faulty.keys() != golden.keys() or any(
+            faulty[k].shape != golden[k].shape
+            or faulty[k].dtype != golden[k].dtype for k in golden):
+        return _mismatch_fingerprint(faulty, golden)
+
+    hist = np.zeros(BIT_BUCKETS, dtype=np.int64)
+    corrupted = 0
+    total = 0
+    outputs_hit = 0
+    first = last = None
+    sign_flips = nans = infs = 0
+    max_abs = 0.0
+    max_rel = 0.0
+
+    for name in sorted(golden):
+        g, f = golden[name], faulty[name]
+        gw, fw = _words(g), _words(f)
+        xor = gw ^ fw
+        bad = np.nonzero(xor)[0]
+        if bad.size:
+            outputs_hit += 1
+            corrupted += int(bad.size)
+            if first is None:
+                first = total + int(bad[0])
+            last = total + int(bad[-1])
+            flips = xor[bad]
+            for b in range(BIT_BUCKETS):
+                hist[b] += int(np.count_nonzero(
+                    (flips >> np.uint32(b)) & np.uint32(1)))
+            if np.issubdtype(g.dtype, np.floating) and g.dtype.itemsize == 4:
+                # 4-byte floats: words coincide with elements, so `bad`
+                # indexes the changed elements directly.
+                gf = g.ravel().astype(np.float64)[bad]
+                ff = f.ravel().astype(np.float64)[bad]
+                sign_flips += int(np.count_nonzero(
+                    np.signbit(ff) != np.signbit(gf)))
+                nans += int(np.count_nonzero(np.isnan(ff) & ~np.isnan(gf)))
+                infs += int(np.count_nonzero(np.isinf(ff) & ~np.isinf(gf)))
+                finite = np.isfinite(ff) & np.isfinite(gf)
+                if np.any(finite):
+                    diff = np.abs(ff[finite] - gf[finite])
+                    max_abs = max(max_abs, float(diff.max()))
+                    nz = gf[finite] != 0.0
+                    if np.any(nz):
+                        rel = diff[nz] / np.abs(gf[finite][nz])
+                        max_rel = max(max_rel, float(rel.max()))
+        total += int(gw.size)
+
+    extent = (last - first + 1) if corrupted else 0
+    return SDCFingerprint(
+        corrupted_words=corrupted,
+        total_words=total,
+        corrupted_outputs=outputs_hit,
+        extent=extent,
+        burstiness=round(corrupted / extent, 6) if extent else 0.0,
+        flipped_bits=int(hist.sum()),
+        bit_histogram=tuple(int(h) for h in hist),
+        sign_flips=sign_flips,
+        nans_introduced=nans,
+        infs_introduced=infs,
+        max_abs_err=round(max_abs, 6),
+        max_rel_err=round(max_rel, 6),
+        shape_mismatch=False,
+    )

@@ -1,0 +1,112 @@
+"""TOLERABLE/CRITICAL severity classification of SDC trials.
+
+Not every silent data corruption matters equally: "Evaluating Different
+Fault Injection Abstractions" (PAPERS.md) shows that severity-aware
+classification changes cross-layer conclusions. This module classifies an
+SDC by the *application's own* quality metric:
+
+* Applications register a :class:`QualityMetric` next to their kernels
+  (see :func:`quality_metric`) mapping ``(faulty, golden)`` output dicts
+  to a quality **score in [0, 1]** (1.0 = golden quality) and a
+  tolerable/critical verdict — e.g. k-means assignment accuracy, HotSpot's
+  max-absolute-temperature-error threshold, BFS cost-vector equality.
+* Applications without a metric are **exact-output** apps: any bitwise
+  deviation is CRITICAL (score 0.0). That default keeps the classification
+  conservative — an unregistered app can never have its SDCs waved
+  through as tolerable.
+
+Registration happens at kernel-module import time, so by the time a
+campaign classifies its first SDC (the application object in hand implies
+its module is imported), the registry is populated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "QualityMetric", "SDCSeverity", "SeverityVerdict", "classify_sdc",
+    "quality_metric", "quality_metrics", "register_quality_metric",
+    "registered_metric",
+]
+
+
+class SDCSeverity(enum.Enum):
+    TOLERABLE = "tolerable"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class SeverityVerdict:
+    """Outcome of classifying one SDC trial."""
+
+    severity: SDCSeverity
+    metric: str  # quality-metric name, or "exact-output" for the default
+    score: float  # quality in [0, 1]; 1.0 = indistinguishable from golden
+
+
+#: ``fn(faulty, golden) -> (score, tolerable)`` over output dicts.
+MetricFn = Callable[[dict, dict], "tuple[float, bool]"]
+
+
+@dataclass(frozen=True)
+class QualityMetric:
+    """One application's output-quality metric."""
+
+    app: str
+    name: str
+    fn: MetricFn
+    doc: str = ""
+
+
+_REGISTRY: dict[str, QualityMetric] = {}
+
+
+def register_quality_metric(app: str, name: str, fn: MetricFn,
+                            doc: str = "") -> QualityMetric:
+    """Register (or replace) the quality metric for one application."""
+    metric = QualityMetric(app=app, name=name, fn=fn, doc=doc)
+    _REGISTRY[app] = metric
+    return metric
+
+
+def quality_metric(app: str, name: str, doc: str = ""):
+    """Decorator form of :func:`register_quality_metric`."""
+
+    def deco(fn: MetricFn) -> MetricFn:
+        register_quality_metric(app, name, fn, doc)
+        return fn
+
+    return deco
+
+
+def registered_metric(app: str) -> QualityMetric | None:
+    """The application's quality metric, or None (exact-output default)."""
+    return _REGISTRY.get(app)
+
+
+def quality_metrics() -> dict[str, QualityMetric]:
+    """Snapshot of the registry (app name -> metric)."""
+    return dict(_REGISTRY)
+
+
+def classify_sdc(app_name: str, faulty: dict, golden: dict
+                 ) -> SeverityVerdict:
+    """Classify one SDC trial's outputs as TOLERABLE or CRITICAL.
+
+    Falls back to CRITICAL when no metric is registered (exact-output
+    default) and when the metric itself blows up on the corrupted outputs
+    (a fault that mangled shapes or dtypes is certainly not tolerable).
+    """
+    metric = _REGISTRY.get(app_name)
+    if metric is None:
+        return SeverityVerdict(SDCSeverity.CRITICAL, "exact-output", 0.0)
+    try:
+        score, tolerable = metric.fn(faulty, golden)
+    except Exception:
+        return SeverityVerdict(SDCSeverity.CRITICAL, metric.name, 0.0)
+    score = min(1.0, max(0.0, float(score)))
+    severity = SDCSeverity.TOLERABLE if tolerable else SDCSeverity.CRITICAL
+    return SeverityVerdict(severity, metric.name, score)

@@ -168,6 +168,8 @@ class CampaignSummary:
     trial_latency: Histogram = field(default_factory=Histogram)
     phases: dict[str, Histogram] = field(default_factory=dict)
     outcome_counts: dict[str, int] = field(default_factory=dict)
+    #: SDC severity split ("critical"/"tolerable"), anatomy campaigns only.
+    sdc_severity: dict[str, int] = field(default_factory=dict)
     worker_trials: dict[str, int] = field(default_factory=dict)
     worker_busy: dict[str, float] = field(default_factory=dict)
     worker_utilization: dict[str, float] = field(default_factory=dict)
@@ -209,6 +211,10 @@ def summarize_events(events: list[dict]) -> CampaignSummary:
             s.trials += 1
             outcome = str(e.get("outcome"))
             s.outcome_counts[outcome] = s.outcome_counts.get(outcome, 0) + 1
+            severity = e.get("severity")
+            if severity is not None:
+                severity = str(severity)
+                s.sdc_severity[severity] = s.sdc_severity.get(severity, 0) + 1
         elif kind == "cache":
             if e.get("hit"):
                 s.cache_hits += 1
@@ -294,6 +300,10 @@ def render_summary(s: CampaignSummary) -> str:
                               key=lambda o: -s.outcome_counts[o]):
             n = s.outcome_counts[outcome]
             lines.append(f"    {outcome:<8} {n:>6}  ({n / total:.1%})")
+        if s.sdc_severity:
+            split = ", ".join(f"{sev} {s.sdc_severity[sev]}"
+                              for sev in sorted(s.sdc_severity))
+            lines.append(f"    sdc severity: {split}")
 
     lines.append("")
     lines.append(f"  result cache       {s.cache_hits} hit(s), "

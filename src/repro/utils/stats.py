@@ -45,13 +45,17 @@ def required_trials(margin: float, confidence: float = 0.99, p: float = 0.5) -> 
 
 
 def proportion_ci(
-    successes: int, n: int, confidence: float = 0.99
+    successes: int, n: int, confidence: float = 0.99,
+    method: str = "wilson",
 ) -> tuple[float, float, float]:
-    """Point estimate and Wilson score interval for a proportion.
+    """Point estimate and confidence interval for a proportion.
 
-    Returns ``(p_hat, lo, hi)``. Wilson is preferred over the normal interval
-    because FI outcome classes (e.g. DUEs) are often near 0 where the normal
-    approximation degenerates.
+    Returns ``(p_hat, lo, hi)``. The default ``method="wilson"`` (Wilson
+    score interval) is preferred because FI outcome classes (e.g. DUEs) are
+    often near 0 where the normal approximation degenerates — a normal
+    interval around 0/64 is the empty point while Wilson still has width.
+    ``method="normal"`` gives the textbook Wald interval for comparison
+    with studies that report it.
     """
     if n <= 0:
         raise ValueError("n must be positive")
@@ -59,6 +63,12 @@ def proportion_ci(
         raise ValueError("successes must be in [0, n]")
     z = _z_for(confidence)
     p_hat = successes / n
+    if method == "normal":
+        half = z * math.sqrt(p_hat * (1 - p_hat) / n)
+        return p_hat, max(0.0, p_hat - half), min(1.0, p_hat + half)
+    if method != "wilson":
+        raise ValueError(
+            f"unknown CI method {method!r}; choose 'wilson' or 'normal'")
     denom = 1.0 + z * z / n
     center = (p_hat + z * z / (2 * n)) / denom
     half = (z / denom) * math.sqrt(p_hat * (1 - p_hat) / n + z * z / (4 * n * n))

@@ -9,11 +9,19 @@ from repro.fi.campaign import (
     CampaignSpec,
     profile_app,
     run_campaign,
-    run_microarch_campaign,
-    run_software_campaign,
-    run_source_campaign,
 )
 from repro.kernels import get_application
+
+
+def _sw(app, kernel, config, **kw):
+    return run_campaign(CampaignSpec(level="sw", app=app, kernel=kernel,
+                                     config=config, **kw))
+
+
+def _uarch(app, kernel, structure, config, **kw):
+    return run_campaign(CampaignSpec(level="uarch", app=app, kernel=kernel,
+                                     structure=structure, config=config,
+                                     **kw))
 
 
 def test_profile_records_launches(gv100):
@@ -36,7 +44,7 @@ def test_profile_golden_matches_reference(gv100):
 
 def test_software_campaign_accounts_all_trials(tmp_cache, v100):
     app = get_application("va")
-    result = run_software_campaign(app, "va_k1", v100, trials=20, seed=3)
+    result = _sw(app, "va_k1", v100, trials=20, seed=3)
     assert result.counts.total == 20
     assert result.injector == "sw"
     assert result.derating_factor == 1.0
@@ -44,19 +52,17 @@ def test_software_campaign_accounts_all_trials(tmp_cache, v100):
 
 def test_microarch_campaign_deterministic(tmp_cache, gv100):
     app = get_application("scp")
-    a = run_microarch_campaign(app, "scp_k1", Structure.SMEM, gv100,
-                               trials=15, seed=9, use_cache=False)
-    b = run_microarch_campaign(app, "scp_k1", Structure.SMEM, gv100,
-                               trials=15, seed=9, use_cache=False)
+    a = _uarch(app, "scp_k1", Structure.SMEM, gv100,
+               trials=15, seed=9, use_cache=False)
+    b = _uarch(app, "scp_k1", Structure.SMEM, gv100,
+               trials=15, seed=9, use_cache=False)
     assert a.counts == b.counts
 
 
 def test_campaign_cache_roundtrip(tmp_cache, gv100):
     app = get_application("va")
-    first = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                   trials=10, seed=5)
-    cached = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                    trials=10, seed=5)
+    first = _uarch(app, "va_k1", Structure.RF, gv100, trials=10, seed=5)
+    cached = _uarch(app, "va_k1", Structure.RF, gv100, trials=10, seed=5)
     assert cached.to_dict() == first.to_dict()
     assert list(tmp_cache.glob("*.json"))
 
@@ -64,70 +70,35 @@ def test_campaign_cache_roundtrip(tmp_cache, gv100):
 def test_unknown_kernel_rejected(tmp_cache, gv100):
     app = get_application("va")
     with pytest.raises(ValueError):
-        run_microarch_campaign(app, "nope", Structure.RF, gv100,
-                               trials=2, use_cache=False)
+        _uarch(app, "nope", Structure.RF, gv100, trials=2, use_cache=False)
 
 
 def test_sw_injection_produces_failures(tmp_cache, v100):
     """Destination-register flips on VA must corrupt outputs frequently
     (the kernel's values flow almost straight to the output)."""
     app = get_application("va")
-    result = run_software_campaign(app, "va_k1", v100, trials=30, seed=1,
-                                   use_cache=False)
+    result = _sw(app, "va_k1", v100, trials=30, seed=1, use_cache=False)
     assert result.counts.failure_rate > 0.5
 
 
 def test_rf_injection_produces_some_failures(tmp_cache, gv100):
     app = get_application("va")
-    result = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                    trials=40, seed=1, use_cache=False)
+    result = _uarch(app, "va_k1", Structure.RF, gv100,
+                    trials=40, seed=1, use_cache=False)
     assert result.counts.failure_rate > 0.0
     assert 0.0 < result.derating_factor <= 1.0
 
 
 def test_different_seeds_differ(tmp_cache, v100):
     app = get_application("hotspot")
-    a = run_software_campaign(app, "hotspot_k1", v100, trials=25, seed=1,
-                              use_cache=False)
-    b = run_software_campaign(app, "hotspot_k1", v100, trials=25, seed=2,
-                              use_cache=False)
+    a = _sw(app, "hotspot_k1", v100, trials=25, seed=1, use_cache=False)
+    b = _sw(app, "hotspot_k1", v100, trials=25, seed=2, use_cache=False)
     assert a.counts != b.counts or True  # counts may collide; plans must not
     # (statistical check: at least the tallies are valid)
     assert a.counts.total == b.counts.total == 25
 
 
 # -------------------------------------------------- unified run_campaign API
-
-def test_run_campaign_matches_software_wrapper(tmp_cache, v100):
-    app = get_application("va")
-    unified = run_campaign(CampaignSpec(level="sw", app=app, kernel="va_k1",
-                                        config=v100, trials=20, seed=3,
-                                        use_cache=False))
-    legacy = run_software_campaign(app, "va_k1", v100, trials=20, seed=3,
-                                   use_cache=False)
-    assert unified.to_dict() == legacy.to_dict()
-
-
-def test_run_campaign_matches_microarch_wrapper(tmp_cache, gv100):
-    app = get_application("va")
-    unified = run_campaign(CampaignSpec(level="uarch", app=app,
-                                        kernel="va_k1",
-                                        structure=Structure.RF, config=gv100,
-                                        trials=12, seed=4, use_cache=False))
-    legacy = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                    trials=12, seed=4, use_cache=False)
-    assert unified.to_dict() == legacy.to_dict()
-
-
-def test_run_campaign_matches_source_wrapper(tmp_cache, gv100):
-    app = get_application("va")
-    unified = run_campaign(CampaignSpec(level="src", app=app, kernel="va_k1",
-                                        config=gv100, trials=10, seed=6,
-                                        use_cache=False))
-    legacy = run_source_campaign(app, "va_k1", gv100, trials=10, seed=6,
-                                 use_cache=False)
-    assert unified.to_dict() == legacy.to_dict()
-
 
 def test_run_campaign_resolves_names_and_defaults(tmp_cache):
     """String app/config ids and a None kernel resolve to the paper's
@@ -152,20 +123,19 @@ def test_run_campaign_validation_errors(tmp_cache, gv100):
         run_campaign(CampaignSpec(level="src", app="va", hardened=True))
 
 
-def test_legacy_wrappers_warn_deprecation(tmp_cache, gv100, v100):
-    app = get_application("va")
-    with pytest.warns(DeprecationWarning, match="run_software_campaign"):
-        run_software_campaign(app, "va_k1", v100, trials=4, seed=1,
-                              use_cache=False)
-    with pytest.warns(DeprecationWarning, match="run_microarch_campaign"):
-        run_microarch_campaign(app, "va_k1", Structure.RF, gv100, trials=4,
-                               seed=1, use_cache=False)
-    with pytest.warns(DeprecationWarning, match="run_source_campaign"):
-        run_source_campaign(app, "va_k1", gv100, trials=4, seed=1,
-                            use_cache=False)
+def test_deprecated_wrappers_are_gone():
+    """The PR-2 shim entry points were removed; run_campaign is the API."""
+    import repro.fi
+    import repro.fi.campaign as campaign
+
+    for name in ("run_microarch_campaign", "run_software_campaign",
+                 "run_source_campaign"):
+        assert not hasattr(campaign, name)
+        assert not hasattr(repro.fi, name)
+        assert name not in repro.fi.__all__
 
 
-def test_run_campaign_itself_does_not_warn(tmp_cache, recwarn):
+def test_run_campaign_does_not_warn(tmp_cache, recwarn):
     import warnings
 
     with warnings.catch_warnings():

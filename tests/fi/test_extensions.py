@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arch.structures import Structure
-from repro.fi.campaign import run_microarch_campaign, run_source_campaign
+from repro.fi.campaign import CampaignSpec, run_campaign
 from repro.fi.gpufi import ECCUncorrectableError, MicroarchFaultPlan
 from repro.fi.pvf import pvf_from_campaign
 from repro.fi.svf_modes import SourceFaultPlan, SourceInjector
@@ -42,19 +42,20 @@ def test_ecc_detects_double_bit_as_due(gv100):
 
 def test_ecc_campaign_all_masked(tmp_cache, gv100):
     app = get_application("va")
-    result = run_microarch_campaign(
-        app, "va_k1", Structure.RF, gv100, trials=10, seed=1,
-        use_cache=False, ecc_protected=True,
-    )
+    result = run_campaign(CampaignSpec(
+        level="uarch", app=app, kernel="va_k1", structure=Structure.RF,
+        config=gv100, trials=10, seed=1, use_cache=False,
+        ecc_protected=True))
     assert result.counts.masked == 10
 
 
 def test_multibit_campaign_runs(tmp_cache, gv100):
     app = get_application("va")
-    r1 = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                trials=30, seed=4, use_cache=False)
-    r2 = run_microarch_campaign(app, "va_k1", Structure.RF, gv100,
-                                trials=30, seed=4, use_cache=False, num_bits=2)
+    base = dict(level="uarch", app=app, kernel="va_k1",
+                structure=Structure.RF, config=gv100, trials=30, seed=4,
+                use_cache=False)
+    r1 = run_campaign(CampaignSpec(**base))
+    r2 = run_campaign(CampaignSpec(**base, num_bits=2))
     # Paper: single- and multi-bit flips behave similarly (no wild jump).
     assert abs(r1.counts.failure_rate - r2.counts.failure_rate) < 0.5
 
@@ -118,10 +119,12 @@ def test_source_sticky_persists(gv100):
 
 def test_source_campaign_runs(tmp_cache, v100):
     app = get_application("va")
-    transient = run_source_campaign(app, "va_k1", v100, trials=25, seed=7,
-                                    sticky=False, use_cache=False)
-    sticky = run_source_campaign(app, "va_k1", v100, trials=25, seed=7,
-                                 sticky=True, use_cache=False)
+    transient = run_campaign(CampaignSpec(
+        level="src", app=app, kernel="va_k1", config=v100, trials=25,
+        seed=7, use_cache=False))
+    sticky = run_campaign(CampaignSpec(
+        level="src-sticky", app=app, kernel="va_k1", config=v100,
+        trials=25, seed=7, use_cache=False))
     assert transient.counts.total == sticky.counts.total == 25
     assert transient.injector == "sw-src-transient"
     assert sticky.injector == "sw-src-sticky"
@@ -129,8 +132,9 @@ def test_source_campaign_runs(tmp_cache, v100):
 
 def test_pvf_decomposition(tmp_cache, gv100):
     app = get_application("hotspot")
-    result = run_microarch_campaign(app, "hotspot_k1", Structure.RF, gv100,
-                                    trials=30, seed=2, use_cache=False)
+    result = run_campaign(CampaignSpec(
+        level="uarch", app=app, kernel="hotspot_k1", structure=Structure.RF,
+        config=gv100, trials=30, seed=2, use_cache=False))
     pvf = pvf_from_campaign(result)
     assert pvf.pvf == pytest.approx(result.counts.failure_rate)
     assert pvf.avf_rf == pytest.approx(
@@ -140,9 +144,8 @@ def test_pvf_decomposition(tmp_cache, gv100):
 
 
 def test_pvf_rejects_wrong_campaign(tmp_cache, v100):
-    from repro.fi.campaign import run_software_campaign
-
     app = get_application("va")
-    sw = run_software_campaign(app, "va_k1", v100, trials=5, use_cache=False)
+    sw = run_campaign(CampaignSpec(level="sw", app=app, kernel="va_k1",
+                                   config=v100, trials=5, use_cache=False))
     with pytest.raises(ValueError):
         pvf_from_campaign(sw)

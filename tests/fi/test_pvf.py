@@ -1,0 +1,65 @@
+"""PVF decomposition: PVFResult arithmetic, campaign derivation, edge cases."""
+
+import pytest
+
+from repro.arch.structures import Structure
+from repro.fi.campaign import CampaignResult, CampaignSpec, run_campaign
+from repro.fi.outcomes import OutcomeCounts
+from repro.fi.pvf import PVFResult, pvf_from_campaign, run_pvf_campaign
+from repro.kernels import get_application
+
+
+def _rf_result(counts, derating_factor=0.5, **overrides):
+    base = dict(
+        app_name="va", kernel="va_k1", injector="uarch",
+        structure=Structure.RF.value, trials=counts.total, seed=1,
+        config_name="gv100", counts=counts, derating_factor=derating_factor,
+        kernel_cycles=100, kernel_instructions=100,
+    )
+    base.update(overrides)
+    return CampaignResult(**base)
+
+
+def test_avf_rf_is_pvf_times_derating():
+    pvf = PVFResult(kernel="k", pvf=0.4, derating_factor=0.25)
+    assert pvf.avf_rf == pytest.approx(0.1)
+    # DF <= 1 means PVF upper-bounds the AVF it decomposes.
+    assert pvf.avf_rf <= pvf.pvf
+
+
+def test_pvf_from_campaign_uses_failure_rate():
+    counts = OutcomeCounts(masked=6, sdc=2, timeout=1, due=1)
+    result = _rf_result(counts, derating_factor=0.5)
+    pvf = pvf_from_campaign(result)
+    assert pvf.kernel == "va_k1"
+    assert pvf.pvf == pytest.approx(0.4)
+    assert pvf.avf_rf == pytest.approx(0.2)
+
+
+def test_pvf_from_campaign_zero_classified():
+    """An all-crash campaign has no classified trials; PVF degrades to 0
+    rather than dividing by zero."""
+    counts = OutcomeCounts(crash=5)
+    pvf = pvf_from_campaign(_rf_result(counts))
+    assert pvf.pvf == 0.0
+    assert pvf.avf_rf == 0.0
+
+
+def test_pvf_rejects_non_rf_campaigns():
+    counts = OutcomeCounts(masked=10)
+    with pytest.raises(ValueError, match="register-file"):
+        pvf_from_campaign(_rf_result(counts, injector="sw", structure=None))
+    with pytest.raises(ValueError, match="register-file"):
+        pvf_from_campaign(
+            _rf_result(counts, structure=Structure.SMEM.value))
+
+
+def test_run_pvf_campaign_matches_manual_derivation(tmp_cache, gv100):
+    app = get_application("va")
+    pvf = run_pvf_campaign(app, "va_k1", gv100, trials=12, seed=4)
+    result = run_campaign(CampaignSpec(
+        level="uarch", app=app, kernel="va_k1", structure=Structure.RF,
+        config=gv100, trials=12, seed=4))
+    assert pvf == pvf_from_campaign(result)
+    assert 0.0 <= pvf.pvf <= 1.0
+    assert 0.0 < pvf.derating_factor <= 1.0

@@ -8,10 +8,24 @@ import pytest
 
 from repro.errors import CampaignError, ConfigError
 from repro.fi import campaign as campaign_mod
-from repro.fi.campaign import default_trials, profile_app, run_software_campaign
+from repro.fi.campaign import (
+    CampaignSpec,
+    default_trials,
+    profile_app,
+    run_campaign,
+)
 from repro.fi.journal import CampaignJournal, list_journals
 from repro.fi.runner import _journal_prefix_valid, max_trial_failure_rate
 from repro.kernels import get_application
+
+
+def _sw_campaign(app, kernel, config, *, trials, seed=1, use_cache=True,
+                 profile=None, max_failure_rate=None, progress=None):
+    return run_campaign(
+        CampaignSpec(level="sw", app=app, kernel=kernel, config=config,
+                     trials=trials, seed=seed, use_cache=use_cache),
+        profile=profile, max_failure_rate=max_failure_rate,
+        progress=progress)
 
 
 @pytest.fixture(autouse=True)
@@ -81,12 +95,12 @@ def va_profile(v100):
 # ---------------------------------------------------------------- isolation
 
 def test_flaky_trial_retried_without_aborting(tmp_cache, v100, va_profile):
-    ref = run_software_campaign(get_application("va"), "va_k1", v100,
-                                trials=10, seed=5, use_cache=False,
-                                profile=va_profile)
+    ref = _sw_campaign(get_application("va"), "va_k1", v100,
+                       trials=10, seed=5, use_cache=False,
+                       profile=va_profile)
     flaky = FlakyApp(get_application("va"), fail_calls={3})
-    result = run_software_campaign(flaky, "va_k1", v100, trials=10, seed=5,
-                                   profile=va_profile)
+    result = _sw_campaign(flaky, "va_k1", v100, trials=10, seed=5,
+                          profile=va_profile)
     # 10 trials + 1 retry; the retry reruns the same seed, so tallies match
     # an unperturbed campaign exactly and no crash is recorded.
     assert flaky.calls == 11
@@ -97,8 +111,8 @@ def test_flaky_trial_retried_without_aborting(tmp_cache, v100, va_profile):
 
 def test_persistent_failure_tallied_as_crash(tmp_cache, v100, va_profile):
     flaky = FlakyApp(get_application("va"), fail_calls={2, 3})
-    result = run_software_campaign(flaky, "va_k1", v100, trials=30, seed=5,
-                                   profile=va_profile)
+    result = _sw_campaign(flaky, "va_k1", v100, trials=30, seed=5,
+                          profile=va_profile)
     assert result.counts.crash == 1
     assert result.counts.total == 30
     assert result.counts.classified == 29
@@ -111,8 +125,8 @@ def test_persistent_failure_tallied_as_crash(tmp_cache, v100, va_profile):
 def test_failure_threshold_raises_campaign_error(tmp_cache, v100, va_profile):
     bad = FlakyApp(get_application("va"), fail_all=True)
     with pytest.raises(CampaignError, match="REPRO_MAX_TRIAL_FAILURES"):
-        run_software_campaign(bad, "va_k1", v100, trials=10, seed=3,
-                              profile=va_profile)
+        _sw_campaign(bad, "va_k1", v100, trials=10, seed=3,
+                     profile=va_profile)
     # the journal survives a threshold abort (it holds the tracebacks)
     assert list_journals()
 
@@ -121,30 +135,30 @@ def test_threshold_override_allows_flaky_minority(tmp_cache, v100,
                                                   va_profile):
     flaky = FlakyApp(get_application("va"), fail_calls={2, 3})
     with pytest.raises(CampaignError):
-        run_software_campaign(flaky, "va_k1", v100, trials=30, seed=5,
-                              profile=va_profile, use_cache=False,
-                              max_failure_rate=0.0)
+        _sw_campaign(flaky, "va_k1", v100, trials=30, seed=5,
+                     profile=va_profile, use_cache=False,
+                     max_failure_rate=0.0)
 
 
 # ---------------------------------------------------------- resume/journal
 
 def test_kill_mid_campaign_resumes_bit_for_bit(tmp_cache, v100, va_profile):
     trials, seed = 12, 7
-    ref = run_software_campaign(get_application("va"), "va_k1", v100,
-                                trials=trials, seed=seed, use_cache=False,
-                                profile=va_profile)
+    ref = _sw_campaign(get_application("va"), "va_k1", v100,
+                       trials=trials, seed=seed, use_cache=False,
+                       profile=va_profile)
 
     bomb = KillSwitchApp(get_application("va"), explode_at=6)
     with pytest.raises(KeyboardInterrupt):
-        run_software_campaign(bomb, "va_k1", v100, trials=trials, seed=seed,
-                              profile=va_profile)
+        _sw_campaign(bomb, "va_k1", v100, trials=trials, seed=seed,
+                     profile=va_profile)
     journals = list_journals()
     assert len(journals) == 1
     assert journals[0][1] == 5  # five trials completed before the "kill"
 
     progressed = []
     healthy = FlakyApp(get_application("va"))
-    resumed = run_software_campaign(
+    resumed = _sw_campaign(
         healthy, "va_k1", v100, trials=trials, seed=seed,
         profile=va_profile,
         progress=lambda done, total, outcome: progressed.append(done))

@@ -83,19 +83,19 @@ def test_timeout_classification(tmp_cache, gv100):
 
     gpu = GPU(gv100)
     gpu.cycle_budget_fn = lambda i, n: 2000
-    outcome, _ = _classify(Spinner(), gpu, DeviceHarness(), {})
+    outcome, _, _ = _classify(Spinner(), gpu, DeviceHarness(), {})
     assert outcome is FaultOutcome.TIMEOUT
 
 
 def test_due_from_corrupted_pointer(tmp_cache, v100):
     """Register-value faults in address/index computations must be able to
     produce DUEs; BFS (pointer-chasing) is the DUE-heavy workload."""
-    from repro.fi.campaign import run_software_campaign
+    from repro.fi.campaign import CampaignSpec, run_campaign
 
     app = get_application("bfs")
-    result = run_software_campaign(
-        app, "bfs_k1", v100, trials=60, seed=11, use_cache=False
-    )
+    result = run_campaign(CampaignSpec(
+        level="sw", app=app, kernel="bfs_k1", config=v100,
+        trials=60, seed=11, use_cache=False))
     assert result.counts.due > 0
 
 

@@ -1,0 +1,154 @@
+"""End-to-end SDC anatomy wiring through run_campaign: the off path stays
+byte-identical to the legacy pipeline (journals, tallies, cache payloads,
+serial and parallel alike); the on path attaches a schema-valid fingerprint
+and severity verdict to every SDC trial and survives kill/resume."""
+
+import json
+
+import pytest
+
+from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi.journal import list_journals
+from repro.kernels import get_application
+from repro.sdc.fingerprint import SDCFingerprint
+
+FINGERPRINT_KEYS = set(SDCFingerprint.__dataclass_fields__)
+RECORD_KEYS = {"trial", "site", "severity", "metric", "score", "fingerprint"}
+
+
+@pytest.fixture()
+def va_profile(v100):
+    return profile_app(get_application("va"), v100)
+
+
+def _sw_spec(*, anatomy, workers=1, trials=24, seed=11, use_cache=True):
+    return CampaignSpec(level="sw", app="va", kernel="va_k1", config="v100",
+                        trials=trials, seed=seed, workers=workers,
+                        use_cache=use_cache, sdc_anatomy=anatomy)
+
+
+def _uarch_spec(*, anatomy, use_cache=True):
+    return CampaignSpec(level="uarch", app="kmeans", kernel="kmeans_k2",
+                        structure="rf", config="gv100", trials=24, seed=3,
+                        use_cache=use_cache, sdc_anatomy=anatomy)
+
+
+def _cache_payloads(cache):
+    return {p.name: json.loads(p.read_text())
+            for p in sorted(cache.glob("*.json"))}
+
+
+def _killer_at(n):
+    def killer(done, total, outcome):
+        if done == n:
+            raise KeyboardInterrupt()
+    return killer
+
+
+# ---------------------------------------------------------------- off path
+
+def test_off_path_journal_records_are_legacy_shaped(tmp_cache, va_profile):
+    """sdc_anatomy=False must not leak anything into the journal: trial
+    records carry exactly the pre-anatomy key set."""
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(_sw_spec(anatomy=False), profile=va_profile,
+                     progress=_killer_at(5))
+    journals = list_journals()
+    assert len(journals) == 1
+    assert journals[0].trials == 5
+    for rec in journals[0].records:
+        assert set(rec) == {"event", "trial", "seed", "outcome", "cycles"}
+
+
+def test_off_and_on_occupy_distinct_cache_keys(tmp_cache, va_profile):
+    off = run_campaign(_sw_spec(anatomy=False), profile=va_profile)
+    on = run_campaign(_sw_spec(anatomy=True), profile=va_profile)
+    payloads = _cache_payloads(tmp_cache)
+    assert len(payloads) == 2  # distinct keys: the flag is part of identity
+    assert off.counts == on.counts  # ...but the physics is unchanged
+    off_payloads = [p for p in payloads.values() if "sdc_anatomy" not in p]
+    on_payloads = [p for p in payloads.values() if "sdc_anatomy" in p]
+    assert len(off_payloads) == len(on_payloads) == 1  # off key: legacy shape
+
+
+# ------------------------------------------------- serial/parallel identity
+
+@pytest.mark.parametrize("anatomy", [False, True])
+def test_parallel_matches_serial_with_and_without_anatomy(
+        tmp_path, monkeypatch, v100, va_profile, anatomy):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial = run_campaign(_sw_spec(anatomy=anatomy, workers=1),
+                          profile=va_profile)
+    serial_cache = _cache_payloads(tmp_path / "serial")
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel = run_campaign(_sw_spec(anatomy=anatomy, workers=4),
+                            profile=va_profile)
+    parallel_cache = _cache_payloads(tmp_path / "parallel")
+
+    assert parallel.to_dict() == serial.to_dict()
+    assert parallel_cache == serial_cache
+    if anatomy:
+        assert serial.sdc_anatomy is not None
+    else:
+        assert serial.sdc_anatomy is None
+        assert all("sdc_anatomy" not in p for p in serial_cache.values())
+
+
+# ----------------------------------------------------------------- on path
+
+def test_every_sdc_trial_carries_fingerprint_and_verdict(tmp_cache, gv100):
+    result = run_campaign(_uarch_spec(anatomy=True))
+    anatomy = result.sdc_anatomy
+    assert anatomy is not None
+    records = anatomy["records"]
+    assert len(records) == result.counts.sdc > 0
+    assert anatomy["tolerable"] + anatomy["critical"] == result.counts.sdc
+    trials = [r["trial"] for r in records]
+    assert trials == sorted(trials)  # strict trial order
+    for rec in records:
+        assert set(rec) == RECORD_KEYS
+        assert rec["site"] == "rf"
+        assert rec["severity"] in ("tolerable", "critical")
+        assert set(rec["fingerprint"]) == FINGERPRINT_KEYS
+        assert rec["fingerprint"]["corrupted_words"] >= 0
+        SDCFingerprint.from_dict(rec["fingerprint"])  # schema-valid
+    # kmeans has a registered quality metric, so verdicts aren't the
+    # exact-output default across the board
+    assert all(r["metric"] == "assignment-accuracy" for r in records)
+
+
+def test_sw_sites_tag_the_injected_instruction_class(tmp_cache, va_profile):
+    result = run_campaign(_sw_spec(anatomy=True), profile=va_profile)
+    records = result.sdc_anatomy["records"]
+    assert len(records) == result.counts.sdc > 0
+    assert {r["site"] for r in records} <= {"alu", "load"}
+    # va registers no quality metric: every SDC is critical by default
+    assert result.sdc_anatomy["critical"] == result.counts.sdc
+    assert all(r["metric"] == "exact-output" for r in records)
+
+
+# ------------------------------------------------------------- kill/resume
+
+def test_kill_and_resume_preserves_anatomy(tmp_path, monkeypatch, v100,
+                                           va_profile):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ref"))
+    ref = run_campaign(_sw_spec(anatomy=True), profile=va_profile)
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "live"))
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(_sw_spec(anatomy=True, workers=4), profile=va_profile,
+                     progress=_killer_at(7))
+    journals = list_journals()
+    assert len(journals) == 1
+    journaled_sdc = [r for r in journals[0].records
+                     if isinstance(r.get("sdc"), dict)]
+    assert journaled_sdc  # anatomy records hit the journal before the kill
+    for rec in journaled_sdc:
+        assert rec["outcome"] == "sdc"
+        assert set(rec["sdc"]) == RECORD_KEYS - {"trial"}
+
+    resumed = run_campaign(_sw_spec(anatomy=True, workers=4),
+                           profile=va_profile)
+    assert resumed.to_dict() == ref.to_dict()
+    assert not list_journals()

@@ -1,0 +1,98 @@
+"""Error-pattern fingerprints: word diffs, bit histograms, float anatomy."""
+
+import numpy as np
+
+from repro.sdc import BIT_BUCKETS, SDCFingerprint, fingerprint_outputs
+
+
+def test_identical_outputs_fingerprint_is_empty():
+    golden = {"a": np.arange(8, dtype=np.float32)}
+    fp = fingerprint_outputs({"a": golden["a"].copy()}, golden)
+    assert fp.corrupted_words == 0
+    assert fp.flipped_bits == 0
+    assert fp.extent == 0
+    assert fp.bit_histogram == (0,) * BIT_BUCKETS
+    assert not fp.shape_mismatch
+
+
+def test_single_bit_flip_located_and_counted():
+    golden = {"a": np.zeros(16, dtype=np.uint32)}
+    faulty = {"a": golden["a"].copy()}
+    faulty["a"][5] ^= np.uint32(1 << 9)
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.corrupted_words == 1
+    assert fp.total_words == 16
+    assert fp.corrupted_outputs == 1
+    assert fp.flipped_bits == 1
+    assert fp.bit_histogram[9] == 1
+    assert sum(fp.bit_histogram) == 1
+    assert fp.extent == 1
+    assert fp.burstiness == 1.0
+
+
+def test_spatial_extent_and_burstiness():
+    golden = {"a": np.zeros(32, dtype=np.uint32)}
+    faulty = {"a": golden["a"].copy()}
+    faulty["a"][2] ^= np.uint32(1)
+    faulty["a"][11] ^= np.uint32(1)  # 2 corrupted words span 10 words
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.corrupted_words == 2
+    assert fp.extent == 10
+    assert fp.burstiness == 0.2
+
+
+def test_float_sign_flip_and_magnitude():
+    golden = {"x": np.array([1.0, -2.0, 4.0], dtype=np.float32)}
+    faulty = {"x": np.array([1.0, 2.0, 5.0], dtype=np.float32)}
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.sign_flips == 1
+    assert fp.max_abs_err == 4.0
+    assert fp.max_rel_err == 2.0  # |-2 -> 2| / |-2|
+    assert fp.nans_introduced == 0
+
+
+def test_negative_zero_is_a_bitwise_sdc():
+    """-0.0 == 0.0 elementwise, but the sign bit flipped — the word diff
+    must see it (that's what made the trial an SDC)."""
+    golden = {"x": np.array([0.0], dtype=np.float32)}
+    faulty = {"x": np.array([-0.0], dtype=np.float32)}
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.corrupted_words == 1
+    assert fp.flipped_bits == 1
+    assert fp.bit_histogram[31] == 1  # float32 sign bit
+    assert fp.sign_flips == 1
+
+
+def test_nan_and_inf_introduction():
+    golden = {"x": np.array([1.0, 2.0, 3.0], dtype=np.float32)}
+    faulty = {"x": np.array([np.nan, np.inf, 3.5], dtype=np.float32)}
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.nans_introduced == 1
+    assert fp.infs_introduced == 1
+    # magnitudes only over mutually-finite elements: 3.0 -> 3.5
+    assert fp.max_abs_err == 0.5
+
+
+def test_shape_mismatch_fingerprint():
+    golden = {"x": np.zeros(4, dtype=np.float32)}
+    faulty = {"x": np.zeros(6, dtype=np.float32)}
+    fp = fingerprint_outputs(faulty, golden)
+    assert fp.shape_mismatch
+    assert fp.corrupted_outputs == 1
+
+
+def test_missing_output_key_is_shape_mismatch():
+    golden = {"x": np.zeros(4, dtype=np.float32)}
+    fp = fingerprint_outputs({}, golden)
+    assert fp.shape_mismatch
+
+
+def test_fingerprint_dict_roundtrip():
+    golden = {"a": np.arange(64, dtype=np.int32)}
+    faulty = {"a": golden["a"].copy()}
+    faulty["a"][7] ^= 255
+    fp = fingerprint_outputs(faulty, golden)
+    d = fp.to_dict()
+    assert isinstance(d["bit_histogram"], list)
+    assert SDCFingerprint.from_dict(d) == fp
+    assert fp.corrupted_fraction == 1 / 64

@@ -1,0 +1,93 @@
+"""TOLERABLE/CRITICAL severity classification and the quality registry."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import (
+    SDCSeverity,
+    classify_sdc,
+    quality_metrics,
+    register_quality_metric,
+    registered_metric,
+)
+from repro.sdc.severity import _REGISTRY
+
+
+@pytest.fixture()
+def clean_registry():
+    saved = dict(_REGISTRY)
+    yield
+    _REGISTRY.clear()
+    _REGISTRY.update(saved)
+
+
+def test_unregistered_app_defaults_to_critical(clean_registry):
+    verdict = classify_sdc("no-such-app", {}, {})
+    assert verdict.severity is SDCSeverity.CRITICAL
+    assert verdict.metric == "exact-output"
+    assert verdict.score == 0.0
+
+
+def test_registered_metric_drives_the_verdict(clean_registry):
+    register_quality_metric("toy", "always-fine", lambda f, g: (0.9, True))
+    verdict = classify_sdc("toy", {}, {})
+    assert verdict.severity is SDCSeverity.TOLERABLE
+    assert verdict.metric == "always-fine"
+    assert verdict.score == 0.9
+    assert registered_metric("toy").name == "always-fine"
+
+
+def test_metric_exception_degrades_to_critical(clean_registry):
+    def boom(faulty, golden):
+        raise IndexError("fault mangled the output shape")
+
+    register_quality_metric("toy", "boom", boom)
+    verdict = classify_sdc("toy", {}, {})
+    assert verdict.severity is SDCSeverity.CRITICAL
+    assert verdict.score == 0.0
+
+
+def test_score_clamped_to_unit_interval(clean_registry):
+    register_quality_metric("toy", "overshoot", lambda f, g: (17.0, False))
+    assert classify_sdc("toy", {}, {}).score == 1.0
+    register_quality_metric("toy", "undershoot", lambda f, g: (-3.0, True))
+    assert classify_sdc("toy", {}, {}).score == 0.0
+
+
+def test_suite_metrics_registered_at_kernel_import():
+    from repro.kernels import get_application
+
+    for app in ("kmeans", "hotspot", "bfs"):
+        get_application(app)  # registration is a module-import side effect
+    assert {"kmeans", "hotspot", "bfs"} <= set(quality_metrics())
+
+
+def test_kmeans_metric_tolerates_small_misassignment():
+    from repro.kernels import get_application
+
+    get_application("kmeans")
+
+    golden = {"membership": np.zeros(100, dtype=np.int32),
+              "centroids": np.zeros((2, 2), dtype=np.float32)}
+    faulty = {"membership": golden["membership"].copy(),
+              "centroids": golden["centroids"].copy()}
+    faulty["membership"][:3] = 1  # 97% accuracy: tolerable
+    verdict = classify_sdc("kmeans", faulty, golden)
+    assert verdict.severity is SDCSeverity.TOLERABLE
+    faulty["membership"][:10] = 1  # 90% accuracy: critical
+    verdict = classify_sdc("kmeans", faulty, golden)
+    assert verdict.severity is SDCSeverity.CRITICAL
+
+
+def test_bfs_metric_is_exact():
+    from repro.kernels import get_application
+
+    get_application("bfs")
+
+    golden = {"cost": np.arange(16, dtype=np.int32)}
+    faulty = {"cost": golden["cost"].copy()}
+    assert classify_sdc("bfs", faulty, golden).severity \
+        is SDCSeverity.TOLERABLE
+    faulty["cost"][3] += 1
+    assert classify_sdc("bfs", faulty, golden).severity \
+        is SDCSeverity.CRITICAL

@@ -151,3 +151,23 @@ def test_render_summary_prints_every_section():
     assert "outcome mix" in text and "MASKED" in text
     assert "1 miss(es)" in text
     assert "per-kernel rollup" in text and "va_k1" in text
+
+
+def test_severity_counters_from_commit_events():
+    events = _stream()
+    for e in events:
+        if e["kind"] == "commit" and e["outcome"] == "SDC":
+            e["severity"] = "tolerable"
+    events.append({"ts": 0.9, "kind": "commit", "name": "", "campaign": "k1",
+                   "worker": None, "trial": 4, "outcome": "SDC",
+                   "cycles": 104, "severity": "critical"})
+    s = summarize_events(events)
+    assert s.sdc_severity == {"tolerable": 1, "critical": 1}
+    text = render_summary(s)
+    assert "sdc severity: critical 1, tolerable 1" in text
+
+
+def test_severity_counters_absent_without_anatomy():
+    s = summarize_events(_stream())
+    assert s.sdc_severity == {}
+    assert "sdc severity" not in render_summary(s)

@@ -187,3 +187,46 @@ def test_campaign_status_flags_stale_journal(capsys, tmp_cache, monkeypatch):
     out = capsys.readouterr().out
     assert "invalid — will restart" in out
     assert "REPRO_TRIALS" in out
+
+
+def test_campaign_run_sdc_anatomy_then_profile(capsys, tmp_cache):
+    """--sdc-anatomy prints the severity split and leaves a cached payload
+    that `sdc profile <key>` and `sdc report` can render."""
+    assert main(["campaign", "run", "kmeans", "kmeans_k2",
+                 "--level", "uarch", "--structure", "rf", "--trials", "24",
+                 "--seed", "3", "--sdc-anatomy", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "sdc severity:" in out
+    assert "±" in out  # failure rate now carries its Wilson CI
+
+    key = next(tmp_cache.glob("*.json")).stem
+    assert main(["sdc", "profile", key]) == 0
+    out = capsys.readouterr().out
+    assert "corruption profiles" in out
+    assert "rf" in out and "bit positions" in out
+
+    assert main(["sdc", "profile", key, "--by", "severity"]) == 0
+    assert "severity" in capsys.readouterr().out
+
+    assert main(["sdc", "report"]) == 0
+    out = capsys.readouterr().out
+    assert "kmeans/kmeans_k2/uarch" in out
+
+
+def test_sdc_profile_without_anatomy_records(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "sw",
+                 "--trials", "6", "--quiet"]) == 0
+    capsys.readouterr()
+    key = next(tmp_cache.glob("*.json")).stem
+    assert main(["sdc", "profile", key]) == 1
+    assert "--sdc-anatomy" in capsys.readouterr().err
+
+
+def test_sdc_profile_unknown_target(capsys, tmp_cache):
+    assert main(["sdc", "profile", "no-such-key"]) == 2
+    assert "no cached result or journal" in capsys.readouterr().err
+
+
+def test_sdc_report_empty_cache(capsys, tmp_cache):
+    assert main(["sdc", "report"]) == 1
+    assert "no cached campaign" in capsys.readouterr().err

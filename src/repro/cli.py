@@ -59,12 +59,14 @@ EXPERIMENTS = {
     "protection": "repro.experiments.protection_study",
     "speed-gap": "repro.experiments.speed_gap",
     "sdc-anatomy": "repro.experiments.sdc_anatomy",
+    "permanent-faults": "repro.experiments.permanent_faults",
 }
 
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
     "fig9", "fig10", "fig11", "svf-fix", "static-vf", "sdc-anatomy",
+    "permanent-faults",
 }
 
 
@@ -264,6 +266,8 @@ def _cmd_campaign_run(args) -> int:
               f"(has: {', '.join(app.kernel_names)})", file=sys.stderr)
         return 2
     label = f"{args.app}/{kernel}/{args.level}"
+    if args.fault_model != "transient" or args.target != "storage":
+        label += f"/{args.fault_model}/{args.target}"
     reporter = None if args.quiet else _CampaignProgress(label)
     factory = tmr_harness_factory if args.hardened else None
     telemetry_on = bool(args.telemetry or args.trace or args.events)
@@ -273,16 +277,23 @@ def _cmd_campaign_run(args) -> int:
             telemetry_dir()
             / f"{args.app}-{kernel}-{args.level}-s{args.seed}.jsonl")
         session = TelemetrySession(events_path)
+    # Control-target campaigns pick their own parallelism-management
+    # sites; --structure only applies to uarch storage campaigns.
+    structure = (args.structure
+                 if args.level == "uarch" and args.target == "storage"
+                 else None)
     spec = CampaignSpec(
         level=args.level,
         app=app,
         kernel=kernel,
-        structure=args.structure if args.level == "uarch" else None,
+        structure=structure,
         config=args.config,  # None -> the level's paper pairing
         trials=args.trials,
         seed=args.seed,
         workers=args.workers,
         hardened=args.hardened,
+        fault_model=args.fault_model,
+        target=args.target,
         use_cache=not args.no_cache,
         sdc_anatomy=args.sdc_anatomy,
         telemetry=True if telemetry_on else None,
@@ -561,6 +572,18 @@ def main(argv: list[str] | None = None) -> int:
     crun.add_argument("--structure", default="rf",
                       choices=["rf", "smem", "l1d", "l1t", "l2"],
                       help="target structure (uarch level only)")
+    crun.add_argument("--fault-model", default="transient",
+                      choices=["transient", "stuck0", "stuck1",
+                               "intermittent"],
+                      help="uarch fault model: one-shot transient flip "
+                           "(default), permanent stuck-at-0/1, or "
+                           "duty-cycled intermittent stuck-at")
+    crun.add_argument("--target", default="storage",
+                      choices=["storage", "control"],
+                      help="uarch fault site class: storage arrays "
+                           "(--structure) or parallelism-management state "
+                           "(per-lane PCs, active masks, barriers, warp "
+                           "scheduler; ignores --structure)")
     crun.add_argument("--config", default=None, choices=["gv100", "v100"],
                       help="GPU configuration (default: the level's "
                            "paper pairing — gv100 for uarch, v100 for sw)")

@@ -19,6 +19,11 @@ Recognised variables:
   (default 0.1).
 * ``REPRO_WORKERS`` — trial-execution pool size: a positive int, or
   ``auto`` for ``os.cpu_count() - 1`` (min 1). Default 1 (serial).
+* ``REPRO_HANG_FACTOR`` — trial-level watchdog headroom: a trial may
+  execute at most this many times the golden run's total cycle count
+  before it is aborted and classified Timeout (positive float, default
+  25). Persistent control-state faults can otherwise loop a worker
+  forever (e.g. a host convergence loop that never converges).
 * ``REPRO_TELEMETRY`` — enable campaign telemetry (structured events,
   phase timers, worker metrics) for campaigns that don't set it on their
   :class:`~repro.fi.campaign.CampaignSpec`. Boolean; default off.
@@ -40,6 +45,7 @@ __all__ = [
     "DEFAULT_MAX_TRIAL_FAILURES",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_WORKERS",
+    "DEFAULT_HANG_FACTOR",
     "Settings",
     "get_settings",
 ]
@@ -56,6 +62,11 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: Serial execution unless the user opts into a pool.
 DEFAULT_WORKERS = 1
 
+#: Trial watchdog: K× the golden run's total cycles before a trial is
+#: aborted as Timeout. Generous — a fault that multiplies the runtime by
+#: 25 without looping forever is indistinguishable from a hang in practice.
+DEFAULT_HANG_FACTOR = 25.0
+
 #: The environment variables a Settings resolution depends on, in the order
 #: used for the memoization key.
 _ENV_VARS = (
@@ -64,6 +75,7 @@ _ENV_VARS = (
     "REPRO_CACHE_DIR",
     "REPRO_MAX_TRIAL_FAILURES",
     "REPRO_WORKERS",
+    "REPRO_HANG_FACTOR",
     "REPRO_TELEMETRY",
     "REPRO_LOG_LEVEL",
 )
@@ -102,6 +114,18 @@ def _parse_fraction(name: str, raw: str) -> float:
         ) from None
     if not 0.0 <= value <= 1.0:
         raise ConfigError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def _parse_positive_float(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"{name} must be a positive number, got {value}")
     return value
 
 
@@ -149,6 +173,7 @@ class Settings:
     cache_dir: Path = Path(DEFAULT_CACHE_DIR)
     max_trial_failures: float = DEFAULT_MAX_TRIAL_FAILURES
     workers: int = DEFAULT_WORKERS
+    hang_factor: float = DEFAULT_HANG_FACTOR
     telemetry: bool = False
     log_level: str | None = None
 
@@ -178,6 +203,9 @@ class Settings:
                 "REPRO_MAX_TRIAL_FAILURES", v)
         if (v := raw("REPRO_WORKERS")) is not None:
             kwargs["workers"] = _parse_workers("REPRO_WORKERS", v)
+        if (v := raw("REPRO_HANG_FACTOR")) is not None:
+            kwargs["hang_factor"] = _parse_positive_float(
+                "REPRO_HANG_FACTOR", v)
         if (v := raw("REPRO_TELEMETRY")) is not None:
             kwargs["telemetry"] = _parse_bool("REPRO_TELEMETRY", v)
         if (v := raw("REPRO_LOG_LEVEL")) is not None:

@@ -29,6 +29,16 @@ class LaunchError(ReproError):
     """Raised when a kernel launch is malformed (grid/block/resources)."""
 
 
+class PlanningError(ConfigError, ValueError):
+    """Raised when a fault planner is asked for an impossible plan.
+
+    Planner misuse (empty launch lists, unknown fault models, contradictory
+    targets) is a configuration problem, so this lives under
+    :class:`ConfigError`; the :class:`ValueError` base keeps callers that
+    predate the dedicated type working.
+    """
+
+
 class CampaignError(ReproError):
     """Raised when an FI campaign's infrastructure failure rate exceeds the
     configured threshold (``REPRO_MAX_TRIAL_FAILURES``).

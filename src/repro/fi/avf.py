@@ -133,3 +133,44 @@ def avf_of_application(
         [kernel_avfs[k] for k in kernels],
         [max(kernel_cycles[k], 1) for k in kernels],
     )
+
+
+def outcome_mix(result: CampaignResult) -> dict[str, float]:
+    """Outcome fractions (masked/sdc/timeout/due) of the classified trials.
+
+    Unlike :func:`avf_of_structure` this applies no derating and keeps the
+    masked fraction — the natural view for comparing fault models
+    (transient vs stuck-at vs intermittent), where the question is "what
+    happens to the workload", not "how vulnerable is the bit".
+    """
+    counts = result.counts
+    n = counts.classified
+    if n == 0:
+        return {"masked": 0.0, "sdc": 0.0, "timeout": 0.0, "due": 0.0}
+    return {
+        "masked": counts.masked / n,
+        "sdc": counts.sdc / n,
+        "timeout": counts.timeout / n,
+        "due": counts.due / n,
+    }
+
+
+def avf_by_fault_model(
+    per_model: dict[str, CampaignResult]
+) -> dict[str, VulnBreakdown]:
+    """Per-fault-model AVF of one structure/kernel: model -> breakdown.
+
+    ``per_model`` maps a fault-model name (``transient``, ``stuck0``,
+    ``stuck1``, ``intermittent``) to the campaign run under that model;
+    each result's recorded ``fault_model`` must match its key, so mixed-up
+    dictionaries fail loudly instead of mislabelling a comparison.
+    """
+    out: dict[str, VulnBreakdown] = {}
+    for model, result in per_model.items():
+        if result.fault_model != model:
+            raise ValueError(
+                f"result for key {model!r} was run with "
+                f"fault_model={result.fault_model!r}"
+            )
+        out[model] = avf_of_structure(result)
+    return out

@@ -10,6 +10,20 @@ a reset device with one planned fault, and tallies the outcome classes.
 budget, the seed and the worker-pool size; runtime-only collaborators
 (profiles, harness factories, progress callbacks) are keyword arguments.
 
+``uarch`` campaigns additionally select a fault model
+(``CampaignSpec(fault_model=...)``: ``transient`` — the paper's SEU —
+or the persistent ``stuck0``/``stuck1``/``intermittent`` models of
+:mod:`repro.fi.gpufi`) and a target family (``target="storage"`` for
+RF/SMEM/caches, ``target="control"`` for parallelism-management state:
+PCs, active masks, barrier and scheduler registers). Every trial runs
+under a cross-launch cycle watchdog (``REPRO_HANG_FACTOR`` × the golden
+run's total cycles, floored at :data:`TRIAL_CYCLE_FLOOR`): a persistent
+control-state fault that hangs the simulated app — even via a host
+convergence loop the per-launch budgets cannot see — aborts as a Timeout
+instead of wedging a worker, at any worker count. With both knobs at
+their defaults, journals, tallies and cache payloads are byte-identical
+to the transient-only pipeline.
+
 ``CampaignSpec(sdc_anatomy=True)`` additionally fingerprints every SDC
 trial (see :mod:`repro.sdc`): the faulty outputs are diffed against the
 golden run into a compact error-pattern record with a TOLERABLE/CRITICAL
@@ -44,6 +58,7 @@ Environment knobs (see :mod:`repro.config`):
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
 * ``REPRO_MAX_TRIAL_FAILURES`` — tolerated crash fraction (default 0.1).
 * ``REPRO_WORKERS`` — default trial-execution pool size (default 1).
+* ``REPRO_HANG_FACTOR`` — trial watchdog headroom (default 25x golden).
 * ``REPRO_TELEMETRY`` — default-enable campaign telemetry.
 """
 
@@ -58,8 +73,13 @@ from dataclasses import dataclass
 from repro.arch.config import GPUConfig
 from repro.arch.structures import Structure
 from repro.config import DEFAULT_TRIALS, get_settings
-from repro.errors import ConfigError, ExecutionError, SimTimeout
-from repro.fi.gpufi import MicroarchInjector, plan_microarch_fault
+from repro.errors import ConfigError, ExecutionError, PlanningError, SimTimeout
+from repro.fi.gpufi import (
+    FAULT_MODELS,
+    FAULT_TARGETS,
+    MicroarchInjector,
+    plan_microarch_fault,
+)
 from repro.fi.journal import cache_dir
 from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
@@ -77,19 +97,29 @@ from repro.utils.rng import spawn_seeds
 
 __all__ = [
     "AppProfile", "CampaignResult", "CampaignSpec", "cache_dir",
-    "default_trials", "profile_app", "run_campaign",
+    "default_trials", "profile_app", "run_campaign", "trial_cycle_budget",
     "CACHE_VERSION", "DEFAULT_TRIALS", "CAMPAIGN_LEVELS",
+    "FAULT_MODELS", "FAULT_TARGETS",
 ]
 
 log = get_logger(__name__)
 
 #: Bump to invalidate every cached campaign result after a model change.
-#: v11: SDC anatomy (``CampaignSpec.sdc_anatomy`` fingerprints + severity
-#: verdicts in journals and payloads).
-CACHE_VERSION = 11
+#: v12: permanent/intermittent fault models (``fault_model``/``target`` on
+#: the spec, clamped — no longer wrapping — adjacent multi-bit groups, the
+#: REPRO_HANG_FACTOR trial watchdog).
+CACHE_VERSION = 12
 
-#: The injection levels ``run_campaign`` dispatches on.
+#: The injection levels ``run_campaign`` dispatches on. The ``uarch`` level
+#: additionally fans out over ``CampaignSpec.fault_model`` (transient /
+#: stuck0 / stuck1 / intermittent) and ``CampaignSpec.target``
+#: (storage / control).
 CAMPAIGN_LEVELS = ("uarch", "sw", "sw-ld", "src", "src-sticky")
+
+#: Floor for the trial-level watchdog budget: short golden runs still get
+#: enough headroom that a slow-but-terminating faulty run is not misread
+#: as a hang.
+TRIAL_CYCLE_FLOOR = 50_000
 
 
 def default_trials() -> int:
@@ -189,6 +219,12 @@ class CampaignResult:
     kernel_instructions: int = 0
     control_path_masked: int = 0  # masked trials whose cycle count changed
     hardened: bool = False
+    #: Fault model / target axes of a uarch campaign (see
+    #: :data:`repro.fi.gpufi.FAULT_MODELS`). Defaults describe every legacy
+    #: campaign and are then omitted from the cache payload, keeping
+    #: transient-path payloads identical to pre-permanent-fault builds.
+    fault_model: str = "transient"
+    fault_target: str = "storage"
     #: SDC anatomy aggregate (``sdc_anatomy=True`` campaigns only):
     #: ``{"tolerable": int, "critical": int, "records": [...]}`` with one
     #: record per SDC trial in trial order. ``None`` when anatomy was off
@@ -201,6 +237,10 @@ class CampaignResult:
         d["counts"] = self.counts.to_dict()
         if self.sdc_anatomy is None:
             del d["sdc_anatomy"]
+        if self.fault_model == "transient":
+            del d["fault_model"]
+        if self.fault_target == "storage":
+            del d["fault_target"]
         return d
 
     @classmethod
@@ -236,6 +276,16 @@ class CampaignSpec:
     hardened: bool = False
     num_bits: int = 1  # uarch fault model: 1 = single-bit, 2 = adjacent
     ecc_protected: bool = False  # uarch only: SECDED on the target structure
+    #: Persistence axis of a uarch fault (``transient`` / ``stuck0`` /
+    #: ``stuck1`` / ``intermittent``, see :mod:`repro.fi.gpufi`). The
+    #: persistent models pin their bits every cycle for the rest of the
+    #: run; defaults keep the legacy transient pipeline byte-identical.
+    fault_model: str = "transient"
+    #: Site family of a uarch fault: ``storage`` (RF/SMEM/caches, needs a
+    #: ``structure``) or ``control`` (parallelism-management state — PCs,
+    #: active masks, barrier/scheduler registers; ``structure`` must stay
+    #: unset).
+    target: str = "storage"
     use_cache: bool = True
     #: Fingerprint every SDC trial (see :mod:`repro.sdc`): the faulty
     #: outputs are diffed against the golden run into an error-pattern
@@ -318,16 +368,43 @@ def run_campaign(
         sdc_anatomy=spec.sdc_anatomy,
         telemetry=spec.telemetry, telemetry_session=telemetry_session,
     )
+    if spec.fault_model not in FAULT_MODELS:
+        raise ConfigError(
+            f"unknown fault model {spec.fault_model!r} "
+            f"(known: {', '.join(FAULT_MODELS)})")
+    if spec.target not in FAULT_TARGETS:
+        raise ConfigError(
+            f"unknown fault target {spec.target!r} "
+            f"(known: {', '.join(FAULT_TARGETS)})")
+    if spec.level != "uarch" and (spec.fault_model != "transient"
+                                  or spec.target != "storage"):
+        raise ConfigError(
+            "fault_model/target select microarchitecture-level fault "
+            f"variants; the {spec.level!r} level has no notion of them")
     if spec.level == "uarch":
-        if spec.structure is None:
-            raise ConfigError("uarch campaigns need a target structure")
-        structure = (Structure(spec.structure)
-                     if not isinstance(spec.structure, Structure)
-                     else spec.structure)
+        if spec.target == "control":
+            if spec.structure is not None:
+                raise ConfigError(
+                    "control-target campaigns inject the parallelism-"
+                    "management state and pick their own sites; drop the "
+                    "structure")
+            if spec.ecc_protected:
+                raise ConfigError(
+                    "ECC protects storage arrays, not parallelism-"
+                    "management state; drop ecc_protected for "
+                    "target='control'")
+            structure = None
+        else:
+            if spec.structure is None:
+                raise ConfigError("uarch campaigns need a target structure")
+            structure = (Structure(spec.structure)
+                         if not isinstance(spec.structure, Structure)
+                         else spec.structure)
         return _microarch_campaign(
             app, kernel, structure, config,
             harness_factory=harness_factory, hardened=spec.hardened,
             num_bits=spec.num_bits, ecc_protected=spec.ecc_protected,
+            fault_model=spec.fault_model, target=spec.target,
             **runtime)
     if spec.level in ("sw", "sw-ld"):
         return _software_campaign(
@@ -436,14 +513,29 @@ def _total_cycles(gpu: GPU) -> int:
     return sum(rec.stats.cycles for rec in gpu.launch_records)
 
 
+def trial_cycle_budget(profile: AppProfile) -> int:
+    """The cross-launch watchdog budget of one trial.
+
+    ``REPRO_HANG_FACTOR`` times the golden run's total cycles (floored at
+    :data:`TRIAL_CYCLE_FLOOR`): per-launch budgets catch a kernel that
+    loops, but only this cumulative bound catches a host convergence loop
+    that a persistent fault keeps re-launching forever.
+    """
+    factor = get_settings().hang_factor
+    return max(TRIAL_CYCLE_FLOOR,
+               int(factor * max(profile.total_cycles, 1)))
+
+
 def _gpu_factory(profile: AppProfile, config: GPUConfig):
     """Fresh budget-configured GPUs for the runner (start-up, worker
     processes, and post-crash replacement — a trial that blew up may have
     left the device corrupted)."""
+    watchdog = trial_cycle_budget(profile)
 
     def factory() -> GPU:
         gpu = GPU(config)
         gpu.cycle_budget_fn = _budget_fn(profile, config)
+        gpu.trial_cycle_budget = watchdog
         return gpu
 
     return factory
@@ -532,14 +624,20 @@ def _anatomy_aggregate(tally) -> dict:
 
 
 def _journal_meta(level: str, app, kernel: str, tag: str, seed: int,
-                  trials: int, trials_from_env: bool) -> dict:
+                  trials: int, trials_from_env: bool,
+                  extra: dict | None = None) -> dict:
     """Campaign identity written to the journal's leading ``meta`` record,
-    so ``campaign status`` can tell resumable journals from stale ones."""
-    return {
+    so ``campaign status`` can tell resumable journals from stale ones.
+    ``extra`` carries non-default identity axes (fault model/target) —
+    absent by default so legacy journals keep their exact shape."""
+    meta = {
         "level": level, "app": app.name, "kernel": kernel, "tag": tag,
         "root_seed": seed, "trials": trials,
         "trials_from_env": trials_from_env, "cache_version": CACHE_VERSION,
     }
+    if extra:
+        meta.update(extra)
+    return meta
 
 
 def _campaign_telemetry(key: str, telemetry: bool | None,
@@ -567,13 +665,17 @@ def _campaign_telemetry(key: str, telemetry: bool | None,
 def _microarch_campaign(
     app, kernel, structure, config, *, trials, seed, harness_factory,
     hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
-    max_failure_rate, progress, workers, worker_progress, sdc_anatomy,
-    telemetry, telemetry_session,
+    fault_model, target, max_failure_rate, progress, workers,
+    worker_progress, sdc_anatomy, telemetry, telemetry_session,
 ) -> CampaignResult:
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
     trials_from_env = trials is None
     trials = trials if trials is not None else default_trials()
+    # Control-target campaigns have no storage structure; "control" stands
+    # in wherever a structure name keys or labels things.
+    structure_name = structure.value if structure is not None else "control"
+    new_models = fault_model != "transient" or target != "storage"
     key = _cache_key(
         {
             "v": CACHE_VERSION,
@@ -581,7 +683,7 @@ def _microarch_campaign(
             "app": app.name,
             "app_seed": app.seed,
             "kernel": kernel,
-            "structure": structure.value,
+            "structure": structure_name,
             "config": config.name,
             "trials": trials,
             "seed": seed,
@@ -590,6 +692,9 @@ def _microarch_campaign(
             "ecc": ecc_protected,
             # Only present when on: off-path keys keep their legacy shape.
             **({"sdc_anatomy": True} if sdc_anatomy else {}),
+            **({"fault_model": fault_model}
+               if fault_model != "transient" else {}),
+            **({"target": target} if target != "storage" else {}),
         }
     )
     if use_cache:
@@ -611,21 +716,31 @@ def _microarch_campaign(
                            else profile_app(app, config, harness_factory))
         launches = profile.kernel_launches(kernel)
         if not launches:
-            raise ValueError(
+            raise PlanningError(
                 f"{app.name} has no launches of kernel {kernel!r}")
 
-        tag = (f"{app.name}/{kernel}/uarch/{structure.value}"
+        tag = (f"{app.name}/{kernel}/uarch/{structure_name}"
                f"/{config.name}/{hardened}")
+        if new_models:
+            # Non-default axes get their own seed stream and journal/
+            # telemetry identity; the legacy tag (and thus the trial seeds)
+            # is untouched when the new models are off.
+            tag += f"/{fault_model}/{target}"
+        model_tags = ({"fault_model": fault_model, "target": target}
+                      if new_models else None)
+        context = f"{app.name}/{kernel}"
         tally = execute_trials(
             key=key,
             seeds=spawn_seeds(seed, tag, trials),
             trial_fn=_injection_trial_fn(
                 app, profile, harness_factory,
                 lambda s: plan_microarch_fault(launches, structure, s,
-                                               num_bits, ecc_protected),
+                                               num_bits, ecc_protected,
+                                               fault_model, target,
+                                               context=context),
                 "uarch_injector", MicroarchInjector,
                 sdc_anatomy=sdc_anatomy,
-                site_fn=lambda plan: plan.structure.value),
+                site_fn=lambda plan: structure_name),
             gpu_factory=_gpu_factory(profile, config),
             baseline_cycles=profile.total_cycles,
             max_failure_rate=max_failure_rate,
@@ -634,24 +749,28 @@ def _microarch_campaign(
             workers=workers,
             worker_progress=worker_progress,
             meta=_journal_meta("uarch", app, kernel, tag, seed, trials,
-                               trials_from_env),
+                               trials_from_env, extra=model_tags),
             telemetry=tel,
+            event_tags=model_tags,
         )
 
         result = CampaignResult(
             app_name=app.name,
             kernel=kernel,
             injector="uarch",
-            structure=structure.value,
+            structure=structure.value if structure is not None else None,
             trials=trials,
             seed=seed,
             config_name=config.name,
             counts=tally.counts,
-            derating_factor=derating_factor(structure, launches, config),
+            derating_factor=(derating_factor(structure, launches, config)
+                             if structure is not None else 1.0),
             kernel_cycles=profile.kernel_cycles(kernel),
             kernel_instructions=profile.kernel_instructions(kernel),
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
+            fault_model=fault_model,
+            fault_target=target,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
         )
         if use_cache:
@@ -705,17 +824,19 @@ def _software_campaign(
                            else profile_app(app, config, harness_factory))
         launches = profile.kernel_launches(kernel)
         if not launches:
-            raise ValueError(
+            raise PlanningError(
                 f"{app.name} has no launches of kernel {kernel!r}")
 
         sw_launches = profile.kernel_launches(kernel, include_post=False)
+        context = f"{app.name}/{kernel}"
         tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
         tally = execute_trials(
             key=key,
             seeds=spawn_seeds(seed, tag, trials),
             trial_fn=_injection_trial_fn(
                 app, profile, harness_factory,
-                lambda s: plan_software_fault(sw_launches, s, loads_only),
+                lambda s: plan_software_fault(sw_launches, s, loads_only,
+                                              context=context),
                 "sw_injector", SoftwareInjector,
                 sdc_anatomy=sdc_anatomy,
                 site_fn=lambda plan: plan.injected_class or injector_kind),
@@ -800,16 +921,18 @@ def _source_campaign(
                 profile = profile_app(app, config)
         launches = profile.kernel_launches(kernel)
         if not launches:
-            raise ValueError(
+            raise PlanningError(
                 f"{app.name} has no launches of kernel {kernel!r}")
 
+        context = f"{app.name}/{kernel}"
         tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
         tally = execute_trials(
             key=key,
             seeds=spawn_seeds(seed, tag, trials),
             trial_fn=_injection_trial_fn(
                 app, profile, None,
-                lambda s: plan_source_fault(launches, s, sticky),
+                lambda s: plan_source_fault(launches, s, sticky,
+                                            context=context),
                 "sw_injector", SourceInjector,
                 sdc_anatomy=sdc_anatomy,
                 site_fn=lambda plan: "src"),

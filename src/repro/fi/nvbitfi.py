@@ -75,19 +75,26 @@ def plan_software_fault(
     launches: list[dict],
     seed: int,
     loads_only: bool = False,
+    context: str = "",
 ) -> SoftwareFaultPlan:
     """Draw one fault plan, uniform over the kernel's dynamic candidates.
 
     ``launches`` are the profile records of the target kernel; instances are
     weighted by their candidate counts so the draw is uniform over all
-    dynamic candidates of the kernel across its launches.
+    dynamic candidates of the kernel across its launches. ``context``
+    (e.g. ``"app/kernel"``) names the target in planner errors.
     """
+    from repro.errors import PlanningError
+
     rng = derive_rng(seed, "sw-plan")
     key = "injectable_loads" if loads_only else "injectable"
     launches = [rec for rec in launches if rec[key] > 0]
     if not launches:
-        raise ValueError(
-            f"no injectable candidates ({'loads' if loads_only else 'all'})"
+        where = context or "the target kernel"
+        raise PlanningError(
+            f"cannot plan a software fault for {where}: no injectable "
+            f"candidates ({'loads' if loads_only else 'all'}) — profile the "
+            f"kernel first, or pick a kernel that executes instructions"
         )
     weights = np.array([rec[key] for rec in launches], dtype=float)
     idx = int(rng.choice(len(launches), p=weights / weights.sum()))

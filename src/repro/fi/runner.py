@@ -250,6 +250,7 @@ def execute_trials(
     worker_progress: WorkerProgressFn | None = None,
     meta: dict | None = None,
     telemetry: Telemetry | None = None,
+    event_tags: dict | None = None,
 ) -> TrialTally:
     """Run one trial per seed with isolation, journaling and resume.
 
@@ -270,7 +271,10 @@ def execute_trials(
     ``telemetry`` is an optional event emitter (parent-process sink);
     when enabled the engine emits phase spans and per-trial events, and
     pool workers stream their events back through the parent. Results
-    are unaffected either way.
+    are unaffected either way. ``event_tags`` is an optional dict of
+    campaign-identity fields (e.g. ``fault_model``/``target``) merged
+    into the campaign-begin and per-trial ``commit`` events so event
+    streams from different fault models stay distinguishable.
     """
     total = len(seeds)
     threshold = (max_failure_rate if max_failure_rate is not None
@@ -324,7 +328,7 @@ def execute_trials(
 
     if tel.enabled:
         tel.emit("campaign", phase="begin", key=key, total=total,
-                 resumed=done, workers=workers)
+                 resumed=done, workers=workers, **(event_tags or {}))
 
     if workers > 1 and remaining > 1:
         if "fork" in multiprocessing.get_all_start_methods():
@@ -334,7 +338,8 @@ def execute_trials(
                 gpu_factory=gpu_factory, baseline_cycles=baseline_cycles,
                 threshold=threshold, progress=progress,
                 worker_progress=worker_progress, jr=jr, tally=tally,
-                done=done, total=total, workers=tally.workers, tel=tel)
+                done=done, total=total, workers=tally.workers, tel=tel,
+                event_tags=event_tags)
             if jr is not None:
                 jr.discard()
             if tel.enabled:
@@ -348,7 +353,7 @@ def execute_trials(
         key=key, seeds=seeds, trial_fn=trial_fn, gpu_factory=gpu_factory,
         baseline_cycles=baseline_cycles, threshold=threshold,
         progress=progress, jr=jr, tally=tally, done=done, total=total,
-        tel=tel)
+        tel=tel, event_tags=event_tags)
     if jr is not None:
         jr.discard()
     if tel.enabled:
@@ -360,7 +365,7 @@ def execute_trials(
 
 def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                     threshold, progress, jr, tally, done, total,
-                    tel=NULL) -> None:
+                    tel=NULL, event_tags=None) -> None:
     prev_tel = set_current_telemetry(tel)
     try:
         if tel.enabled:
@@ -398,8 +403,9 @@ def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                 else:
                     jr.append(record)
             if tel.enabled:
-                event_fields = {} if extra is None else {
-                    "severity": extra.get("severity")}
+                event_fields = dict(event_tags or {})
+                if extra is not None:
+                    event_fields["severity"] = extra.get("severity")
                 tel.emit("commit", trial=i, outcome=outcome.value,
                          cycles=cycles, **event_fields)
             if progress is not None:
@@ -485,7 +491,8 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
 
 def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                       threshold, progress, worker_progress, jr, tally,
-                      done, total, workers, tel=NULL) -> None:
+                      done, total, workers, tel=NULL,
+                      event_tags=None) -> None:
     """Fan the remaining trials out over forked workers; commit in order.
 
     The parent buffers out-of-order results in ``pending`` and journals /
@@ -575,8 +582,9 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                 if extra is not None:
                     tally.sdc_records.append({"trial": next_index, **extra})
                 if tel.enabled:
-                    event_fields = {} if extra is None else {
-                        "severity": extra.get("severity")}
+                    event_fields = dict(event_tags or {})
+                    if extra is not None:
+                        event_fields["severity"] = extra.get("severity")
                     tel.emit("commit", trial=next_index,
                              outcome=outcome_value, cycles=cycles,
                              **event_fields)

@@ -99,7 +99,7 @@ def count_source_candidates(program, stats) -> None:
 
 
 def plan_source_fault(
-    launches: list[dict], seed: int, sticky: bool
+    launches: list[dict], seed: int, sticky: bool, context: str = ""
 ) -> SourceFaultPlan:
     """Draw one source-register fault plan.
 
@@ -111,10 +111,17 @@ def plan_source_fault(
     matches the behaviour of real sampling-based injectors that discard
     no-op plans.
     """
+    from repro.errors import PlanningError
+
     rng = derive_rng(seed, "svf-src-plan")
     launches = [rec for rec in launches if rec["injectable"] > 0]
     if not launches:
-        raise ValueError("no injectable candidates for source injection")
+        where = context or "the target kernel"
+        raise PlanningError(
+            f"cannot plan a source-operand fault for {where}: no injectable "
+            f"candidates — profile the kernel first, or pick a kernel that "
+            f"executes instructions"
+        )
     weights = np.array([rec["injectable"] for rec in launches], dtype=float)
     idx = int(rng.choice(len(launches), p=weights / weights.sum()))
     chosen = launches[idx]

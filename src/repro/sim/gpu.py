@@ -4,12 +4,19 @@ The GPU executes launches synchronously (the host driver regains control when
 the kernel has drained). Fault-injection hooks:
 
 * ``uarch_injector`` — armed per launch; fired once when the clock reaches the
-  planned cycle, flipping one bit in a hardware structure.
+  planned cycle, flipping one bit in a hardware structure. Persistent plans
+  (stuck-at / intermittent fault models) additionally get an ``enforce``
+  call every clock iteration after firing, re-pinning their bits, and are
+  re-armed (and re-bound to the launch's live state) on every later launch.
 * ``sw_injector`` — receives an ``after_write`` callback for every dynamic
   instruction that produces a general-purpose destination value.
 * ``tracer`` — optional dynamic-trace consumer (register-reuse analysis).
 * ``cycle_budget_fn`` — per-launch cycle budget (timeout detection), set by
   the campaign harness from the fault-free profile.
+* ``trial_cycle_budget`` — cross-launch watchdog: total cycles one app run
+  (all launches together) may execute before :class:`SimTimeout` aborts it.
+  Per-launch budgets cannot catch a host-side convergence loop that a
+  persistent fault keeps from ever converging; this one does.
 """
 
 from __future__ import annotations
@@ -107,6 +114,16 @@ class GPU:
         self.sw_injector = None
         self.tracer = None
         self.cycle_budget_fn = None
+        # Trial watchdog (see module docstring): cumulative cycle budget
+        # across every launch of one app run, and the cycles already burnt
+        # by completed launches of the current run.
+        self.trial_cycle_budget: int | None = None
+        self.trial_cycles_done = 0
+
+    @property
+    def global_cycle(self) -> int:
+        """Cycles executed so far in this app run, across all launches."""
+        return self.trial_cycles_done + self.now
 
     # ------------------------------------------------------------------ #
     # Memory API
@@ -225,6 +242,12 @@ class GPU:
         plan = None
         if self.uarch_injector is not None:
             plan = self.uarch_injector.arm(launch_index, kernel_name, self)
+            if plan is not None and plan.fired:
+                # A persistent fault re-armed for a later launch: the
+                # simulator rebuilt RF/warp state at launch, so the plan
+                # re-resolves its drawn site against the live structures.
+                plan.rebind(self)
+
         if self.sw_injector is not None:
             self.sw_injector.begin_launch(launch_index, kernel_name)
 
@@ -233,6 +256,8 @@ class GPU:
         finally:
             self._dram_if.stats = None
             self._drain_residency()
+            self.trial_cycles_done += stats.cycles
+            self.now = 0
 
         record = LaunchRecord(launch_index, launch, stats, program.name)
         self._collect_cache_stats(stats)
@@ -274,6 +299,8 @@ class GPU:
         now = 0
         self.now = 0
         sms = self.sms
+        trial_budget = self.trial_cycle_budget
+        burnt = self.trial_cycles_done
         while self._pending or any(sm.ctas for sm in sms):
             for sm in sms:
                 warp = sm.pick_ready(now)
@@ -281,8 +308,14 @@ class GPU:
                     latency = sm.execute(warp, now)
                     warp.next_ready = now + latency
 
-            if plan is not None and not plan.fired and now >= plan.cycle:
-                plan.fire(self)
+            if plan is not None:
+                if not plan.fired:
+                    if now >= plan.cycle:
+                        plan.fire(self)
+                elif plan.persistent:
+                    # Stuck-at / intermittent models: the defect re-asserts
+                    # itself every clock iteration, overriding any write.
+                    plan.enforce(self)
 
             resident = 0
             nxt: int | None = None
@@ -307,6 +340,11 @@ class GPU:
             stats.cycles = now
             if now > budget:
                 raise SimTimeout(now, budget)
+            if trial_budget is not None and burnt + now > trial_budget:
+                # Cross-launch watchdog: the whole app run overshot K× its
+                # golden cycle count (REPRO_HANG_FACTOR) — abort instead of
+                # wedging the worker on a fault-induced infinite loop.
+                raise SimTimeout(burnt + now, trial_budget)
         stats.cycles = now
 
     # ------------------------------------------------------------------ #
@@ -324,6 +362,10 @@ class GPU:
         for sm in self.sms:
             windows.extend(sm.smem.live_windows())
         return windows
+
+    def resident_warps(self):
+        """All resident warps across SMs (control-state fault targets)."""
+        return [warp for sm in self.sms for warp in sm.warps]
 
     def cache_instances(self, structure) -> list[Cache]:
         from repro.arch.structures import Structure
@@ -349,6 +391,7 @@ class GPU:
             sm.l1t.reset_stats()
         self.launch_records.clear()
         self.now = 0
+        self.trial_cycles_done = 0
         self.kernel = None
         self.stats = None
         self._pending = []

@@ -81,6 +81,20 @@ class SM:
     # ------------------------------------------------------------------ #
     # Issue
     # ------------------------------------------------------------------ #
+    @property
+    def scheduler_cursor(self) -> int:
+        """The round-robin scheduler's warp cursor.
+
+        Exposed as a named fault-injection site: permanent faults in the
+        warp scheduler's selection state are one of the control-unit
+        targets of the permanent/intermittent fault models.
+        """
+        return self._rr
+
+    @scheduler_cursor.setter
+    def scheduler_cursor(self, value: int) -> None:
+        self._rr = value
+
     def pick_ready(self, now: int) -> Warp | None:
         warps = self.warps
         n = len(warps)
@@ -120,13 +134,14 @@ class SM:
             cur = int(pcs[alive].min())
             active = alive & (pcs == cur)
         entries = gpu.kernel.entries
-        if cur >= len(entries):
-            # Control flow ran off the end of the program (fault-corrupted
-            # predicates can skip the EXIT): a detected crash.
+        if cur >= len(entries) or cur < 0:
+            # Control flow ran outside the program (fault-corrupted
+            # predicates can skip the EXIT; a corrupted PC sign bit goes
+            # negative): a detected crash.
             from repro.errors import IllegalInstruction
 
             raise IllegalInstruction(
-                f"warp {warp.uid} fell off the end of the program (pc={cur})"
+                f"warp {warp.uid} ran outside the program (pc={cur})"
             )
         instr, kind, fn, latency, flags, dst = entries[cur]
 

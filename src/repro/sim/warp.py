@@ -96,6 +96,18 @@ class Warp:
         self.finished = bool(self.done.all())
         return self.finished
 
+    def materialize_pcs(self) -> None:
+        """Switch to per-lane PCs without changing warp semantics.
+
+        While uniform, the per-lane ``pc`` array is a stale cache and ``upc``
+        is authoritative; fault injectors that corrupt an individual lane's
+        PC first call this so the corruption is actually consulted by min-PC
+        scheduling (the lanes reconverge on their own if the PCs stay equal).
+        """
+        if not self.diverged:
+            self.pc[:] = self.upc
+            self.diverged = True
+
     @property
     def runnable(self) -> bool:
         return not self.finished and not self.waiting_barrier

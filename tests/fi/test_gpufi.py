@@ -66,6 +66,22 @@ def test_fire_flips_cache_bit(gv100):
     assert int(np.bitwise_count(diff).sum()) == 1
 
 
+def test_fire_bit_deterministic_per_seed(gv100):
+    """Same seed -> same fire bit: the site draw comes from the plan's own
+    tag-derived stream, not from ambient GPU state."""
+    flips = []
+    for _ in range(2):
+        gpu = GPU(gv100)
+        plan = MicroarchFaultPlan(0, 0, Structure.L2, seed=3)
+        plan.fire(gpu)
+        flips.append(int(np.flatnonzero(gpu.l2.data)[0]))
+    assert flips[0] == flips[1]
+    gpu = GPU(gv100)
+    other = MicroarchFaultPlan(0, 0, Structure.L2, seed=4)
+    other.fire(gpu)
+    assert int(np.flatnonzero(gpu.l2.data)[0]) != flips[0]
+
+
 def test_fire_with_no_live_rf_marks_miss(gv100):
     gpu = GPU(gv100)
     plan = MicroarchFaultPlan(0, 0, Structure.RF, seed=1)

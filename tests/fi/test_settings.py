@@ -6,6 +6,7 @@ from pathlib import Path
 import pytest
 
 from repro.config import (
+    DEFAULT_HANG_FACTOR,
     DEFAULT_MAX_TRIAL_FAILURES,
     DEFAULT_TRIALS,
     DEFAULT_WORKERS,
@@ -17,7 +18,7 @@ from repro.errors import ConfigError, ReproError
 
 _KNOBS = ("REPRO_TRIALS", "REPRO_TRIALS_HARDENED", "REPRO_CACHE_DIR",
           "REPRO_MAX_TRIAL_FAILURES", "REPRO_WORKERS", "REPRO_TELEMETRY",
-          "REPRO_LOG_LEVEL")
+          "REPRO_LOG_LEVEL", "REPRO_HANG_FACTOR")
 
 
 @pytest.fixture()
@@ -36,6 +37,7 @@ def test_defaults(clean_env):
     assert settings.workers == DEFAULT_WORKERS == 1
     assert settings.telemetry is False
     assert settings.log_level is None
+    assert settings.hang_factor == DEFAULT_HANG_FACTOR == 25.0
 
 
 def test_env_overrides(clean_env):
@@ -46,6 +48,7 @@ def test_env_overrides(clean_env):
     clean_env.setenv("REPRO_WORKERS", "3")
     clean_env.setenv("REPRO_TELEMETRY", "1")
     clean_env.setenv("REPRO_LOG_LEVEL", "debug")
+    clean_env.setenv("REPRO_HANG_FACTOR", "4.5")
     settings = get_settings()
     assert settings.trials == 128
     assert settings.trials_hardened == 40
@@ -54,6 +57,7 @@ def test_env_overrides(clean_env):
     assert settings.workers == 3
     assert settings.telemetry is True
     assert settings.log_level == "DEBUG"  # normalized to stdlib names
+    assert settings.hang_factor == 4.5
 
 
 @pytest.mark.parametrize("raw,expected", [
@@ -94,6 +98,12 @@ def test_workers_auto(clean_env):
      "REPRO_WORKERS must be a positive integer or 'auto'"),
     ("REPRO_TELEMETRY", "maybe", "REPRO_TELEMETRY must be a boolean"),
     ("REPRO_LOG_LEVEL", "VERBOSE", "REPRO_LOG_LEVEL must be one of"),
+    ("REPRO_HANG_FACTOR", "soon",
+     "REPRO_HANG_FACTOR must be a positive number"),
+    ("REPRO_HANG_FACTOR", "0",
+     "REPRO_HANG_FACTOR must be a positive number"),
+    ("REPRO_HANG_FACTOR", "-2",
+     "REPRO_HANG_FACTOR must be a positive number"),
 ])
 def test_invalid_values_raise_config_error(clean_env, name, value, match):
     clean_env.setenv(name, value)

@@ -79,6 +79,35 @@ def test_campaign_uarch_run(capsys, tmp_cache):
     assert "quadro-gv100-like" in capsys.readouterr().out
 
 
+def test_campaign_fault_model_and_target_flags(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "uarch",
+                 "--structure", "rf", "--fault-model", "stuck0",
+                 "--trials", "4", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "va/va_k1/uarch" in out and "stuck0/storage" in out
+    assert main(["campaign", "run", "va", "--level", "uarch",
+                 "--target", "control", "--fault-model", "intermittent",
+                 "--trials", "4", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "intermittent/control" in out
+
+
+def test_campaign_fault_model_rejects_garbage(capsys, tmp_cache):
+    with pytest.raises(SystemExit):
+        main(["campaign", "run", "va", "--fault-model", "cosmic"])
+    assert "invalid choice" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["campaign", "run", "va", "--target", "alu"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_campaign_control_target_rejects_sw_level(capsys, tmp_cache):
+    assert main(["campaign", "run", "va", "--level", "sw",
+                 "--target", "control", "--trials", "4"]) == 1
+    err = capsys.readouterr().err
+    assert "campaign failed" in err and "no notion" in err
+
+
 def test_campaign_unknown_app(capsys, tmp_cache):
     assert main(["campaign", "run", "nope"]) == 2
     assert "unknown application" in capsys.readouterr().err

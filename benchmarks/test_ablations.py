@@ -14,8 +14,7 @@ import pytest
 from repro.arch.config import GPUConfig, quadro_gv100_like
 from repro.arch.structures import Structure, structure_bits
 from repro.experiments.common import collect_suite
-from repro.fi.avf import avf_of_structure
-from repro.fi.campaign import CampaignSpec, run_campaign
+from repro.fi import CampaignSpec, avf_of_structure, run_campaign
 from repro.kernels import get_application
 
 

@@ -14,7 +14,7 @@ import time
 import pytest
 
 from repro.arch.config import tesla_v100_like
-from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi import CampaignSpec, profile_app, run_campaign
 from repro.kernels import get_application
 from repro.telemetry.events import TelemetrySession
 

@@ -38,16 +38,17 @@ def main() -> None:
           f"under TMR ({tmr_cycles / plain_cycles:.2f}x, paper: ~3x)")
 
     print(f"\n{'campaign':<28} {'masked':>7} {'sdc':>5} {'t/o':>5} {'due':>5}")
+    base = CampaignSpec(level="uarch", app=app, kernel=KERNEL,
+                        structure=Structure.RF, config=quadro_gv100_like(),
+                        trials=TRIALS, seed=2)
     for hardened, factory, tag in ((False, None, "baseline"),
                                    (True, tmr_harness_factory, "TMR")):
-        uarch = run_campaign(CampaignSpec(
-            level="uarch", app=app, kernel=KERNEL, structure=Structure.RF,
-            config=quadro_gv100_like(), trials=TRIALS, seed=2,
-            hardened=hardened), harness_factory=factory)
-        sw = run_campaign(CampaignSpec(
-            level="sw", app=app, kernel=KERNEL, config=tesla_v100_like(),
-            trials=TRIALS, seed=2, hardened=hardened),
-            harness_factory=factory)
+        uarch = run_campaign(base.derive(hardened=hardened),
+                             harness_factory=factory)
+        sw = run_campaign(base.derive(level="sw", structure=None,
+                                      config=tesla_v100_like(),
+                                      hardened=hardened),
+                          harness_factory=factory)
         for name, result in ((f"AVF-RF {tag}", uarch), (f"SVF {tag}", sw)):
             c = result.counts
             print(f"{name:<28} {c.masked:>7} {c.sdc:>5} {c.timeout:>5} "

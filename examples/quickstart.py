@@ -14,13 +14,12 @@ Run: ``python examples/quickstart.py``
 import numpy as np
 
 from repro.arch import Structure, quadro_gv100_like, tesla_v100_like
-from repro.fi import CampaignSpec, run_campaign
-from repro.fi.avf import avf_of_structure
-from repro.fi.svf import svf_of_kernel
+from repro.fi import (CampaignSpec, StopRule, avf_of_structure,
+                      run_campaign, svf_of_kernel)
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
 from repro.sim import GPU
-from repro.utils.stats import margin_of_error
+from repro.utils.stats import halfwidth
 
 # ----------------------------------------------------------------------- #
 # 1. A kernel: saxpy (y = a*x + y)
@@ -90,27 +89,36 @@ def main() -> None:
 
     # Microarchitecture-level FI (cross-layer AVF) on the register file.
     trials = 100
-    uarch = run_campaign(CampaignSpec(
+    spec = CampaignSpec(
         level="uarch", app=app, kernel="saxpy_k1", structure=Structure.RF,
         config=quadro_gv100_like(), trials=trials, seed=1, use_cache=False,
-    ))
+    )
+    uarch = run_campaign(spec)
     avf = avf_of_structure(uarch)
-    print(f"\nmicroarch FI (RF, n={trials}, ±{margin_of_error(trials):.1%}):")
+    worst = halfwidth(trials // 2, trials)  # 99% Wilson, worst case p=1/2
+    print(f"\nmicroarch FI (RF, n={trials}, ±{worst:.1%} worst case):")
     print(f"  outcomes = {uarch.counts.to_dict()}")
     print(f"  derating factor = {uarch.derating_factor:.3f}")
     print(f"  AVF-RF = {avf.total:.4%} "
           f"(sdc={avf.sdc:.4%} timeout={avf.timeout:.4%} due={avf.due:.4%})")
 
-    # Software-level FI (SVF) on the V100-like device.
-    sw = run_campaign(CampaignSpec(
-        level="sw", app=app, kernel="saxpy_k1", config=tesla_v100_like(),
-        trials=trials, seed=1, use_cache=False,
-    ))
+    # Software-level FI (SVF) on the V100-like device — same campaign,
+    # two fields swapped, so derive the spec instead of rebuilding it.
+    sw = run_campaign(spec.derive(level="sw", structure=None,
+                                  config=tesla_v100_like()))
     svf = svf_of_kernel(sw)
     print(f"\nsoftware FI (n={trials}):")
     print(f"  outcomes = {sw.counts.to_dict()}")
     print(f"  SVF = {svf.total:.2%} "
           f"(sdc={svf.sdc:.2%} timeout={svf.timeout:.2%} due={svf.due:.2%})")
+
+    # Adaptive variant: stop as soon as the 99% Wilson interval on the
+    # failure rate is within ±10% (same seeds, so trials 0..k-1 match the
+    # fixed run above trial for trial).
+    adaptive = run_campaign(spec.derive(
+        stop_rule=StopRule(ci_halfwidth=0.10, min_trials=16)))
+    print(f"\nadaptive microarch FI: stopped after {adaptive.trials} of "
+          f"{adaptive.planned_trials} planned trials")
 
     print("\nNote the scale gap: SVF only sees live destination values, AVF "
           "covers every hardware bit — the paper's central comparison.")

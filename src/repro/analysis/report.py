@@ -9,20 +9,21 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.utils.stats import proportion_ci
+from repro.utils.stats import halfwidth
 
 
 def rate_with_ci(successes: int, n: int, confidence: float = 0.99) -> str:
     """A failure rate with its Wilson-interval half-width: ``"12.5% ±3.1%"``.
 
-    The half-width is ``(hi - lo) / 2`` of :func:`proportion_ci`, so the
-    printed band is symmetric even though Wilson itself is not; ``n <= 0``
-    (e.g. every trial crashed) renders as ``"0.0% ±0.0%"``.
+    The band comes from :func:`repro.utils.stats.halfwidth` — the same
+    quantity adaptive stop rules track — so the printed band is symmetric
+    even though Wilson itself is not; ``n <= 0`` (e.g. every trial
+    crashed) renders as ``"0.0% ±0.0%"``.
     """
     if n <= 0:
         return "0.0% ±0.0%"
-    p_hat, lo, hi = proportion_ci(successes, n, confidence)
-    return f"{p_hat * 100:.1f}% ±{(hi - lo) / 2 * 100:.1f}%"
+    return (f"{successes / n * 100:.1f}% "
+            f"±{halfwidth(successes, n, confidence) * 100:.1f}%")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

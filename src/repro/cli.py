@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli staticvf bfs
     python -m repro.cli campaign run va --level sw --trials 128
     python -m repro.cli campaign run bfs --trials 200 --workers auto
+    python -m repro.cli campaign run va --ci-halfwidth 0.05 --budget 512
+    python -m repro.cli campaign plan --budget 4000
     python -m repro.cli campaign run va --workers 4 --trace out.json
     python -m repro.cli campaign report .repro_cache/telemetry/<key>.jsonl
     python -m repro.cli campaign status
@@ -25,6 +27,13 @@ Interrupted campaigns journal completed trials under
 ``.repro_cache/journal/`` and resume automatically when re-run
 (``campaign status`` shows what is in flight and flags journals a
 configuration change has orphaned).
+
+Adaptive campaigns: ``campaign run --ci-halfwidth H`` stops a campaign
+once the Wilson interval on its failure rate is tight enough (never
+before ``--min-trials``), with ``--budget`` as the trial ceiling;
+``campaign plan`` dry-runs the two-level suite planner, showing how a
+global microarch budget would split across (app, kernel, structure)
+cells from static-ACE and software-pilot priors.
 
 Campaign observability: ``campaign run --telemetry`` streams structured
 events (phase timers, per-trial outcomes, worker utilization) to a JSONL
@@ -60,13 +69,14 @@ EXPERIMENTS = {
     "speed-gap": "repro.experiments.speed_gap",
     "sdc-anatomy": "repro.experiments.sdc_anatomy",
     "permanent-faults": "repro.experiments.permanent_faults",
+    "adaptive-campaign": "repro.experiments.adaptive_campaign",
 }
 
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
     "fig9", "fig10", "fig11", "svf-fix", "static-vf", "sdc-anatomy",
-    "permanent-faults",
+    "permanent-faults", "adaptive-campaign",
 }
 
 
@@ -247,8 +257,7 @@ def _parse_workers_arg(value: str) -> int:
 def _cmd_campaign_run(args) -> int:
     from repro.analysis.report import rate_with_ci
     from repro.errors import ReproError
-    from repro.fi.campaign import CampaignSpec, run_campaign
-    from repro.fi.outcomes import FaultOutcome
+    from repro.fi import CampaignSpec, FaultOutcome, StopRule, run_campaign
     from repro.fi.runner import resolve_workers
     from repro.hardening import tmr_harness_factory
     from repro.kernels import get_application
@@ -282,6 +291,22 @@ def _cmd_campaign_run(args) -> int:
     structure = (args.structure
                  if args.level == "uarch" and args.target == "storage"
                  else None)
+    stop_rule = None
+    if args.ci_halfwidth is not None:
+        from repro.config import get_settings
+
+        min_trials = (args.min_trials if args.min_trials is not None
+                      else get_settings().min_trials)
+        try:
+            stop_rule = StopRule(ci_halfwidth=args.ci_halfwidth,
+                                 min_trials=min_trials)
+        except ReproError as exc:
+            print(f"bad stop rule: {exc}", file=sys.stderr)
+            return 2
+    elif args.budget is not None:
+        print("--budget needs --ci-halfwidth (a budget without a stop "
+              "rule is just --trials)", file=sys.stderr)
+        return 2
     spec = CampaignSpec(
         level=args.level,
         app=app,
@@ -297,6 +322,8 @@ def _cmd_campaign_run(args) -> int:
         use_cache=not args.no_cache,
         sdc_anatomy=args.sdc_anatomy,
         telemetry=True if telemetry_on else None,
+        stop_rule=stop_rule,
+        budget=args.budget,
     )
     try:
         result = run_campaign(
@@ -315,8 +342,18 @@ def _cmd_campaign_run(args) -> int:
         if session is not None:
             session.close()
     counts = result.counts
+    planned = (f" of {result.planned_trials} planned"
+               if result.planned_trials is not None
+               and result.planned_trials != result.trials else "")
     print(f"{label} on {result.config_name}: "
-          f"{result.trials} trials, seed {result.seed}")
+          f"{result.trials} trials{planned}, seed {result.seed}")
+    if stop_rule is not None:
+        achieved = stop_rule.achieved(counts)
+        reached = achieved if achieved is not None else float("inf")
+        status = "reached" if reached <= stop_rule.ci_halfwidth else "missed"
+        print(f"  stop rule: {stop_rule.confidence:.0%} CI half-width "
+              f"{achieved if achieved is not None else float('nan'):.3f} "
+              f"({status} target {stop_rule.ci_halfwidth})")
     for outcome in FaultOutcome:
         n = getattr(counts, outcome.value)
         if outcome is not FaultOutcome.CRASH or n:
@@ -341,6 +378,39 @@ def _cmd_campaign_run(args) -> int:
             # most the cache-hit marker was recorded); nothing to trace.
             print("  telemetry: result served from the cache — re-run "
                   "with --no-cache to trace a live campaign")
+    return 0
+
+
+def _cmd_campaign_plan(args) -> int:
+    from repro.errors import ReproError
+    from repro.fi import default_trials, plan_suite, render_plan
+    from repro.kernels import application_names, kernel_programs
+
+    apps = None
+    if args.apps:
+        apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+        known = set(application_names())
+        unknown = [a for a in apps if a not in known]
+        if unknown:
+            print(f"unknown application(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    budget = args.budget
+    if budget is None:
+        # Match the fixed path's spend: default_trials() per suite cell
+        # (5 structures per kernel), so the table shows where the same
+        # budget *should* have gone.
+        kernels = [k for k in kernel_programs()
+                   if apps is None or k[0] in apps]
+        budget = default_trials() * 5 * len(kernels)
+    try:
+        plan = plan_suite(budget=budget, apps=apps,
+                          pilot_trials=args.pilot_trials,
+                          seed=args.seed, workers=args.workers)
+    except ReproError as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+    print(render_plan(plan))
     return 0
 
 
@@ -396,7 +466,8 @@ def _cmd_campaign_report(args) -> int:
 
 
 def _cmd_campaign_status(_args) -> int:
-    from repro.fi.campaign import CACHE_VERSION, default_trials
+    from repro.fi import default_trials
+    from repro.fi.campaign import CACHE_VERSION
     from repro.fi.journal import cache_dir, journal_dir, list_journals
     from repro.fi.runner import journal_validity
 
@@ -588,6 +659,18 @@ def main(argv: list[str] | None = None) -> int:
                       help="GPU configuration (default: the level's "
                            "paper pairing — gv100 for uarch, v100 for sw)")
     crun.add_argument("--trials", type=int, default=None)
+    crun.add_argument("--ci-halfwidth", type=float, default=None,
+                      metavar="H",
+                      help="stop early once the Wilson CI on the failure "
+                           "rate has half-width <= H (also via "
+                           "REPRO_CI_HALFWIDTH)")
+    crun.add_argument("--min-trials", type=int, default=None,
+                      metavar="N",
+                      help="never stop before N classified trials "
+                           "(default: REPRO_MIN_TRIALS or 16)")
+    crun.add_argument("--budget", type=int, default=None, metavar="N",
+                      help="trial ceiling for an adaptive campaign "
+                           "(requires --ci-halfwidth; replaces --trials)")
     crun.add_argument("--seed", type=int, default=1)
     crun.add_argument("--workers", type=_parse_workers_arg, default=None,
                       metavar="N|auto",
@@ -613,6 +696,24 @@ def main(argv: list[str] | None = None) -> int:
                            "(implies --telemetry; open in chrome://tracing "
                            "or ui.perfetto.dev)")
     crun.set_defaults(func=_cmd_campaign_run)
+    cplan = campaign_sub.add_parser(
+        "plan", help="dry-run the two-level suite planner: show how a "
+                     "global microarch budget splits across cells")
+    cplan.add_argument("--budget", type=int, default=None, metavar="N",
+                       help="global microarch trial budget (default: "
+                            "the fixed path's spend, default_trials() "
+                            "per cell)")
+    cplan.add_argument("--apps", default=None, metavar="A,B,...",
+                       help="comma-separated application ids "
+                            "(default: the whole suite)")
+    cplan.add_argument("--pilot-trials", type=int, default=8, metavar="N",
+                       help="software-level pilot trials per kernel "
+                            "for the priors (default: 8)")
+    cplan.add_argument("--seed", type=int, default=1)
+    cplan.add_argument("--workers", type=_parse_workers_arg, default=None,
+                       metavar="N|auto",
+                       help="pool size for the pilot campaigns")
+    cplan.set_defaults(func=_cmd_campaign_plan)
     creport = campaign_sub.add_parser(
         "report", help="summarize a campaign's telemetry event stream")
     creport.add_argument("target",

@@ -27,6 +27,14 @@ Recognised variables:
 * ``REPRO_TELEMETRY`` — enable campaign telemetry (structured events,
   phase timers, worker metrics) for campaigns that don't set it on their
   :class:`~repro.fi.campaign.CampaignSpec`. Boolean; default off.
+* ``REPRO_CI_HALFWIDTH`` — adaptive early stopping: stop a campaign cell
+  once the Wilson CI on its failure rate reaches this half-width
+  (fraction in (0, 1), e.g. ``0.05``). Unset (the default) keeps every
+  campaign on the fixed-budget path; campaigns that set an explicit
+  ``stop_rule`` on their spec ignore this knob.
+* ``REPRO_MIN_TRIALS`` — floor below which the adaptive stopping rule
+  never fires (positive int, default 16). Only consulted when
+  ``REPRO_CI_HALFWIDTH`` drives the stop rule.
 * ``REPRO_LOG_LEVEL`` — level of the ``repro`` logger hierarchy
   (``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL``). Unset leaves
   the logger at the stdlib default (effectively ``WARNING``).
@@ -46,6 +54,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_WORKERS",
     "DEFAULT_HANG_FACTOR",
+    "DEFAULT_MIN_TRIALS",
     "Settings",
     "get_settings",
 ]
@@ -67,6 +76,12 @@ DEFAULT_WORKERS = 1
 #: 25 without looping forever is indistinguishable from a hang in practice.
 DEFAULT_HANG_FACTOR = 25.0
 
+#: Floor below which adaptive early stopping never fires. Small samples
+#: make the Wilson interval look deceptively tight when the first trials
+#: all mask; 16 trials is the smallest n at which a run of all-MASKED
+#: outcomes still leaves a 99 % interval wider than ~0.3.
+DEFAULT_MIN_TRIALS = 16
+
 #: The environment variables a Settings resolution depends on, in the order
 #: used for the memoization key.
 _ENV_VARS = (
@@ -77,6 +92,8 @@ _ENV_VARS = (
     "REPRO_WORKERS",
     "REPRO_HANG_FACTOR",
     "REPRO_TELEMETRY",
+    "REPRO_CI_HALFWIDTH",
+    "REPRO_MIN_TRIALS",
     "REPRO_LOG_LEVEL",
 )
 
@@ -129,6 +146,18 @@ def _parse_positive_float(name: str, raw: str) -> float:
     return value
 
 
+def _parse_open_fraction(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a fraction in (0, 1), got {raw!r}"
+        ) from None
+    if not 0.0 < value < 1.0:
+        raise ConfigError(f"{name} must be within (0, 1), got {value}")
+    return value
+
+
 def _parse_bool(name: str, raw: str) -> bool:
     value = raw.strip().lower()
     if value in _TRUTHY:
@@ -175,6 +204,8 @@ class Settings:
     workers: int = DEFAULT_WORKERS
     hang_factor: float = DEFAULT_HANG_FACTOR
     telemetry: bool = False
+    ci_halfwidth: float | None = None
+    min_trials: int = DEFAULT_MIN_TRIALS
     log_level: str | None = None
 
     @classmethod
@@ -208,6 +239,11 @@ class Settings:
                 "REPRO_HANG_FACTOR", v)
         if (v := raw("REPRO_TELEMETRY")) is not None:
             kwargs["telemetry"] = _parse_bool("REPRO_TELEMETRY", v)
+        if (v := raw("REPRO_CI_HALFWIDTH")) is not None:
+            kwargs["ci_halfwidth"] = _parse_open_fraction(
+                "REPRO_CI_HALFWIDTH", v)
+        if (v := raw("REPRO_MIN_TRIALS")) is not None:
+            kwargs["min_trials"] = _parse_positive_int("REPRO_MIN_TRIALS", v)
         if (v := raw("REPRO_LOG_LEVEL")) is not None:
             kwargs["log_level"] = _parse_log_level("REPRO_LOG_LEVEL", v)
         return cls(**kwargs)

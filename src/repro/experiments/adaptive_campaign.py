@@ -1,0 +1,190 @@
+"""Adaptive two-level campaigns: the fixed grid's CI at a fraction of its trials.
+
+The fixed experiment grid spends the same ``trials`` on every
+(app, kernel, structure) cell, so every cell ends with at worst the
+``halfwidth(trials/2, trials)`` Wilson half-width on its failure rate —
+and most cells (the mostly-masked caches) converge far earlier, burning
+microarch trials that buy no precision. This experiment runs the suite
+both ways at matched precision: the fixed grid, and the two-level
+adaptive path (:func:`repro.fi.plan_suite` steering a global budget with
+static-ACE and software-pilot priors, :class:`repro.fi.StopRule`
+stopping each cell once its Wilson interval is as tight as the fixed
+grid's worst case). It reports per-app trial spend, the achieved
+half-widths, and how far the app-level AVF estimates drift — the
+two-level validation move of Hari et al. (PAPERS.md) applied to
+campaign *budgeting* rather than SDC modelling.
+
+Both sides share seed streams (adaptive trial k replays fixed trial k),
+so the comparison isolates the scheduling policy.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import quadro_gv100_like
+from repro.arch.structures import Structure
+from repro.config import DEFAULT_MIN_TRIALS
+from repro.experiments.common import APP_ORDER, ProgressFactory, app_label
+from repro.fi import (
+    CampaignSpec,
+    StopRule,
+    avf_of_application,
+    avf_of_chip,
+    default_trials,
+    plan_suite,
+    profile_app,
+    run_campaign,
+    run_plan,
+)
+from repro.kernels import all_applications
+from repro.utils.stats import halfwidth
+
+
+def _achieved(result, confidence: float = 0.99) -> float:
+    """Wilson half-width a finished cell achieved on its failure rate."""
+    counts = result.counts
+    failures = counts.sdc + counts.timeout + counts.due
+    n = max(counts.classified, 1)
+    return halfwidth(failures, n, confidence)
+
+
+def data(
+    trials: int | None = None,
+    apps: "list[str] | None" = None,
+    workers: int | None = None,
+    progress_factory: ProgressFactory | None = None,
+) -> dict:
+    """Run the suite fixed and adaptive at matched CI; return the ledger."""
+    if trials is None:
+        trials = default_trials()
+    seed = 1
+    min_trials = min(DEFAULT_MIN_TRIALS, trials)
+    # The precision every fixed cell is guaranteed: the Wilson half-width
+    # at the variance-maximising p=1/2. Cells with tamer rates beat it;
+    # no cell does worse.
+    target = halfwidth(trials // 2, trials)
+    rule = StopRule(ci_halfwidth=target, min_trials=min_trials)
+    uarch_config = quadro_gv100_like()
+    applications = [a for a in all_applications()
+                    if apps is None or a.name in apps]
+
+    # Fixed side: the plain uarch grid (cache-shared with collect_suite
+    # at matching trials/seed). Profiles are simulated lazily and shared
+    # across an app's cells, as in collect_suite.
+    fixed: dict[tuple[str, str], dict[Structure, object]] = {}
+    for app in applications:
+        profile_box: list = []
+
+        def supplier(_app=app, _box=profile_box):
+            if not _box:
+                _box.append(profile_app(_app, uarch_config))
+            return _box[0]
+
+        for kernel in app.kernel_names:
+            fixed[(app.name, kernel)] = {
+                s: run_campaign(
+                    CampaignSpec(level="uarch", app=app, kernel=kernel,
+                                 structure=s, config=uarch_config,
+                                 trials=trials, seed=seed, workers=workers),
+                    profile_supplier=supplier,
+                    progress=(progress_factory(
+                        f"{app.name}/{kernel}/uarch-{s.value} (fixed)")
+                        if progress_factory else None),
+                )
+                for s in Structure
+            }
+
+    # Adaptive side: same global spend, two-level allocation, CI stop.
+    n_cells = sum(len(v) for v in fixed.values())
+    plan = plan_suite(budget=trials * n_cells, apps=apps,
+                      pilot_trials=min(8, trials), seed=seed,
+                      min_trials=min_trials, workers=workers)
+    # min_ceiling=trials: a cell whose prior under-budgeted it may keep
+    # sampling up to the fixed grid's per-cell count, so no cell ends
+    # wider than the fixed grid could have left it.
+    adaptive = run_plan(plan, rule, workers=workers, min_ceiling=trials,
+                        progress_factory=progress_factory)
+
+    rows: dict[str, dict] = {}
+    fixed_worst = 0.0
+    adaptive_worst = 0.0
+    max_avf_delta = 0.0
+    for app in applications:
+        fixed_avf: dict[str, object] = {}
+        adaptive_avf: dict[str, object] = {}
+        cycles: dict[str, int] = {}
+        fixed_spend = 0
+        adaptive_spend = 0
+        for kernel in app.kernel_names:
+            f_cell = fixed[(app.name, kernel)]
+            a_cell = {s: adaptive[(app.name, kernel, s.value)]
+                      for s in Structure}
+            fixed_avf[kernel] = avf_of_chip(f_cell, uarch_config)
+            adaptive_avf[kernel] = avf_of_chip(a_cell, uarch_config)
+            cycles[kernel] = next(iter(f_cell.values())).kernel_cycles
+            fixed_spend += sum(r.counts.total for r in f_cell.values())
+            adaptive_spend += sum(r.counts.total for r in a_cell.values())
+            fixed_worst = max(fixed_worst,
+                              *(_achieved(r) for r in f_cell.values()))
+            adaptive_worst = max(adaptive_worst,
+                                 *(_achieved(r) for r in a_cell.values()))
+        f_total = avf_of_application(fixed_avf, cycles).total
+        a_total = avf_of_application(adaptive_avf, cycles).total
+        max_avf_delta = max(max_avf_delta, abs(f_total - a_total))
+        rows[app.name] = {
+            "fixed_trials": fixed_spend,
+            "adaptive_trials": adaptive_spend,
+            "fixed_avf": f_total,
+            "adaptive_avf": a_total,
+        }
+
+    fixed_total = sum(r["fixed_trials"] for r in rows.values())
+    adaptive_total = sum(r["adaptive_trials"] for r in rows.values())
+    return {
+        "trials": trials,
+        "cells": n_cells,
+        "target_halfwidth": target,
+        "rows": rows,
+        "fixed_uarch_trials": fixed_total,
+        "adaptive_uarch_trials": adaptive_total,
+        "saved_fraction": (1.0 - adaptive_total / fixed_total
+                           if fixed_total else 0.0),
+        "pilot_sw_trials": plan.pilot_cost,
+        "fixed_worst_halfwidth": fixed_worst,
+        "adaptive_worst_halfwidth": adaptive_worst,
+        "max_avf_delta": max_avf_delta,
+    }
+
+
+def run(trials: int | None = None) -> str:
+    d = data(trials)
+    lines = ["== Adaptive two-level campaigns vs the fixed grid =="]
+    lines.append(
+        f"matched 99% CI half-width target {d['target_halfwidth']:.3f} "
+        f"(fixed grid's worst case at n={d['trials']})")
+    lines.append(f"{'app':<12} {'fixed':>7} {'adaptive':>9} {'saved':>7} "
+                 f"{'AVF fixed':>10} {'AVF adapt':>10}")
+    for app in APP_ORDER:
+        if app not in d["rows"]:
+            continue
+        r = d["rows"][app]
+        saved = (1.0 - r["adaptive_trials"] / r["fixed_trials"]
+                 if r["fixed_trials"] else 0.0)
+        lines.append(
+            f"{app_label(app):<12} {r['fixed_trials']:>7} "
+            f"{r['adaptive_trials']:>9} {saved:>7.0%} "
+            f"{r['fixed_avf']:>10.4%} {r['adaptive_avf']:>10.4%}")
+    lines.append(
+        f"total microarch trials: {d['fixed_uarch_trials']} fixed -> "
+        f"{d['adaptive_uarch_trials']} adaptive "
+        f"({d['saved_fraction']:.0%} saved over {d['cells']} cells), "
+        f"steered by {d['pilot_sw_trials']} software-level pilot trials")
+    lines.append(
+        f"worst achieved half-width: fixed {d['fixed_worst_halfwidth']:.3f}, "
+        f"adaptive {d['adaptive_worst_halfwidth']:.3f}")
+    lines.append(
+        f"max app-level |AVF drift|: {d['max_avf_delta']:.4%}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -17,21 +17,20 @@ from typing import Callable
 from repro.arch.config import quadro_gv100_like, tesla_v100_like
 from repro.arch.structures import Structure
 from repro.config import get_settings
-from repro.fi.avf import (
+from repro.fi import (
+    CampaignResult,
+    CampaignSpec,
     VulnBreakdown,
     avf_of_application,
     avf_of_cache_group,
     avf_of_chip,
     avf_of_structure,
-)
-from repro.fi.campaign import (
-    CampaignResult,
-    CampaignSpec,
     default_trials,
     profile_app,
     run_campaign,
+    svf_of_application,
+    svf_of_kernel,
 )
-from repro.fi.svf import svf_of_application, svf_of_kernel
 from repro.hardening import tmr_harness_factory
 from repro.kernels import all_applications
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.report import format_table
 from repro.arch.structures import Structure
 from repro.experiments.common import collect_suite, kernel_label
-from repro.fi.avf import avf_of_structure
+from repro.fi import avf_of_structure
 
 KERNELS = (
     ("lud", "lud_k2"),

@@ -12,7 +12,7 @@ from repro.analysis.report import format_table
 from repro.analysis.utilization import FIG3_METRICS, kernel_metrics, normalized_pair
 from repro.arch.config import quadro_gv100_like
 from repro.experiments.common import collect_suite, kernel_label
-from repro.fi.campaign import profile_app
+from repro.fi import profile_app
 from repro.kernels import get_application
 
 PAIRS = (

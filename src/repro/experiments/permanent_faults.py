@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.analysis.report import format_table
 from repro.fi.avf import avf_by_fault_model, outcome_mix
-from repro.fi.campaign import CampaignResult, CampaignSpec, run_campaign
+from repro.fi import CampaignResult, CampaignSpec, run_campaign
 from repro.fi.gpufi import FAULT_MODELS, FAULT_TARGETS
 
 #: Applications for the model comparison: one regular data-parallel kernel
@@ -30,16 +30,15 @@ APPS = ("va", "bfs")
 def data(trials: int | None = None, apps: tuple[str, ...] | None = None):
     """model -> target -> app -> CampaignResult for the whole grid."""
     grid: dict[str, dict[str, dict[str, CampaignResult]]] = {}
+    base = CampaignSpec(level="uarch", app="va", trials=trials)
     for model in FAULT_MODELS:
         grid[model] = {}
         for target in FAULT_TARGETS:
             grid[model][target] = {}
             for app in apps or APPS:
-                spec = CampaignSpec(
-                    level="uarch",
+                spec = base.derive(
                     app=app,
                     structure="rf" if target == "storage" else None,
-                    trials=trials,
                     fault_model=model,
                     target=target,
                 )

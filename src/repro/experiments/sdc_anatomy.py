@@ -20,8 +20,7 @@ from repro.analysis.report import format_table, rate_with_ci, stacked_row
 from repro.analysis.trends import compare_trends
 from repro.arch.config import quadro_gv100_like
 from repro.arch.structures import structure_bits
-from repro.fi.avf import VulnBreakdown, avf_of_application
-from repro.fi.svf import svf_of_application
+from repro.fi import VulnBreakdown, avf_of_application, svf_of_application
 from repro.experiments.common import app_label, collect_suite
 
 #: Paper's Table I headline: fraction of app pairs ranked oppositely.

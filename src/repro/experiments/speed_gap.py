@@ -14,25 +14,22 @@ import time
 
 from repro.arch.config import quadro_gv100_like, tesla_v100_like
 from repro.arch.structures import Structure
-from repro.fi.campaign import CampaignSpec, run_campaign
+from repro.fi import CampaignSpec, run_campaign
 from repro.kernels import get_application
 
 
 def data(trials: int = 12, app_name: str = "hotspot"):
     app = get_application(app_name)
     kernel = app.kernel_names[0]
+    base = CampaignSpec(level="uarch", app=app, kernel=kernel,
+                        config=quadro_gv100_like(), trials=trials,
+                        use_cache=False)
     t0 = time.perf_counter()
     for structure in Structure:
-        run_campaign(CampaignSpec(
-            level="uarch", app=app, kernel=kernel, structure=structure,
-            config=quadro_gv100_like(), trials=trials, use_cache=False,
-        ))
+        run_campaign(base.derive(structure=structure))
     avf_time = time.perf_counter() - t0
     t0 = time.perf_counter()
-    run_campaign(CampaignSpec(
-        level="sw", app=app, kernel=kernel, config=tesla_v100_like(),
-        trials=trials, use_cache=False,
-    ))
+    run_campaign(base.derive(level="sw", config=tesla_v100_like()))
     svf_time = time.perf_counter() - t0
     return {
         "avf_seconds": avf_time,

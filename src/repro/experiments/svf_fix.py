@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.report import format_table
 from repro.arch.config import tesla_v100_like
-from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi import CampaignSpec, profile_app, run_campaign
 from repro.kernels import get_application
 
 KERNELS = (
@@ -34,10 +34,11 @@ def data(trials: int | None = None):
     for app_name, kernel in KERNELS:
         app = get_application(app_name)
         profile = profile_app(app, config)
+        base = CampaignSpec(level="sw", app=app, kernel=kernel,
+                            config=config, trials=trials, seed=21)
+
         def cell(level):
-            return run_campaign(CampaignSpec(
-                level=level, app=app, kernel=kernel, config=config,
-                trials=trials, seed=21), profile=profile)
+            return run_campaign(base.derive(level=level), profile=profile)
 
         dest = cell("sw")
         transient = cell("src")

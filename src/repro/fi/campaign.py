@@ -45,6 +45,17 @@ isolated and retried instead of aborting the campaign, cache writes are
 atomic (temp file + ``os.replace``), and ``workers > 1`` fans trials out
 over a forked worker pool with bit-identical results.
 
+Campaigns can stop early: ``CampaignSpec(stop_rule=StopRule(...))`` (or
+``REPRO_CI_HALFWIDTH``) ends the trial loop once the Wilson interval on
+the failure rate is at least as tight as requested (never before the
+rule's ``min_trials``), and ``CampaignSpec(budget=N)`` plans an adaptive
+campaign for up to ``N`` trials instead of the fixed ``trials`` count
+(see :mod:`repro.fi.planner`). Both fields enter the cache key only when
+set, and per-trial seeds come from the same prefix-stable streams either
+way — fixed-budget campaigns stay byte-identical (keys, journals,
+tallies), and an adaptive campaign agrees with the fixed one on every
+trial it runs.
+
 Campaigns are observable: ``CampaignSpec(telemetry=True)`` (or
 ``REPRO_TELEMETRY=1``) streams structured events — phase spans for the
 golden run, injection, classification, journal commits and cache I/O,
@@ -60,10 +71,13 @@ Environment knobs (see :mod:`repro.config`):
 * ``REPRO_WORKERS`` — default trial-execution pool size (default 1).
 * ``REPRO_HANG_FACTOR`` — trial watchdog headroom (default 25x golden).
 * ``REPRO_TELEMETRY`` — default-enable campaign telemetry.
+* ``REPRO_CI_HALFWIDTH`` / ``REPRO_MIN_TRIALS`` — default adaptive stop
+  rule for specs that don't carry one.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -83,6 +97,7 @@ from repro.fi.gpufi import (
 from repro.fi.journal import cache_dir
 from repro.fi.nvbitfi import SoftwareInjector, plan_software_fault
 from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.fi.planner import StopRule
 from repro.fi.runner import ProgressFn, WorkerProgressFn, execute_trials
 from repro.kernels.base import DeviceHarness, GPUApplication, outputs_equal
 from repro.log import get_logger
@@ -210,7 +225,7 @@ class CampaignResult:
     kernel: str
     injector: str  # "uarch" | "sw" | "sw-ld" | "sw-src-*"
     structure: str | None
-    trials: int
+    trials: int  # trials actually run (== planned unless stopped early)
     seed: int
     config_name: str
     counts: OutcomeCounts
@@ -231,6 +246,11 @@ class CampaignResult:
     #: (and then absent from the cache payload, keeping off-path payloads
     #: identical to anatomy-unaware builds).
     sdc_anatomy: dict | None = None
+    #: Adaptive campaigns only (``None`` → absent from the cache payload):
+    #: the trial budget the campaign was planned for, and the stop rule's
+    #: identity payload. ``trials`` then records the count actually run.
+    planned_trials: int | None = None
+    stop_rule: dict | None = None
 
     def to_dict(self) -> dict:
         d = dict(self.__dict__)
@@ -241,6 +261,10 @@ class CampaignResult:
             del d["fault_model"]
         if self.fault_target == "storage":
             del d["fault_target"]
+        if self.planned_trials is None:
+            del d["planned_trials"]
+        if self.stop_rule is None:
+            del d["stop_rule"]
         return d
 
     @classmethod
@@ -299,6 +323,29 @@ class CampaignSpec:
     #: from cache keys, journals and tallies, which stay bit-identical
     #: with telemetry on or off.
     telemetry: bool | None = None
+    #: Adaptive early stopping (see :class:`repro.fi.planner.StopRule`):
+    #: end the trial loop once the Wilson CI on the rule's metric is at
+    #: least as tight as requested, never before its ``min_trials``.
+    #: ``None`` defers to ``REPRO_CI_HALFWIDTH`` (unset → fixed budget).
+    #: Enters the cache key only when set, so fixed-budget identities are
+    #: untouched.
+    stop_rule: "StopRule | None" = None
+    #: Adaptive trial budget: plan up to this many trials instead of the
+    #: fixed ``trials`` count. Requires a stop rule (an uncapped plan
+    #: with no way to stop is a config error, and a budget without a rule
+    #: is just ``trials``). Enters the cache key only when set.
+    budget: int | None = None
+
+    def derive(self, **overrides) -> "CampaignSpec":
+        """A copy of this spec with the given fields replaced.
+
+        The campaign analogue of :func:`dataclasses.replace`: experiments
+        that sweep one axis (hardened, fault model, structure, trial
+        count) derive the variants from one base spec instead of
+        restating every field —
+        ``spec.derive(hardened=True, trials=40)``.
+        """
+        return dataclasses.replace(self, **overrides)
 
 
 def _resolve_app(app) -> GPUApplication:
@@ -360,6 +407,7 @@ def run_campaign(
     app = _resolve_app(spec.app)
     kernel = spec.kernel if spec.kernel is not None else app.kernel_names[0]
     config = _resolve_config(spec.config, spec.level)
+    stop_rule = _resolve_stop_rule(spec)
     runtime = dict(
         trials=spec.trials, seed=spec.seed, use_cache=spec.use_cache,
         profile=profile, profile_supplier=profile_supplier,
@@ -367,6 +415,7 @@ def run_campaign(
         workers=spec.workers, worker_progress=worker_progress,
         sdc_anatomy=spec.sdc_anatomy,
         telemetry=spec.telemetry, telemetry_session=telemetry_session,
+        stop_rule=stop_rule, budget=spec.budget,
     )
     if spec.fault_model not in FAULT_MODELS:
         raise ConfigError(
@@ -417,6 +466,35 @@ def run_campaign(
     runtime.pop("profile_supplier")
     return _source_campaign(
         app, kernel, config, sticky=spec.level == "src-sticky", **runtime)
+
+
+def _resolve_stop_rule(spec: CampaignSpec) -> "StopRule | None":
+    """The effective stop rule: the spec's, else the env default.
+
+    ``REPRO_CI_HALFWIDTH`` opts every spec without an explicit rule into
+    adaptive stopping (with ``REPRO_MIN_TRIALS`` as the floor) — and like
+    every identity-bearing knob it then enters the cache key, so env-
+    adaptive and fixed runs never share cache entries.
+    """
+    rule = spec.stop_rule
+    if rule is not None and not isinstance(rule, StopRule):
+        raise ConfigError(
+            f"stop_rule must be a repro.fi.planner.StopRule, "
+            f"got {type(rule).__name__}")
+    if rule is None:
+        settings = get_settings()
+        if settings.ci_halfwidth is not None:
+            rule = StopRule(ci_halfwidth=settings.ci_halfwidth,
+                            min_trials=settings.min_trials)
+    if spec.budget is not None:
+        if not (isinstance(spec.budget, int) and spec.budget >= 1):
+            raise ConfigError(
+                f"budget must be a positive integer, got {spec.budget!r}")
+        if rule is None:
+            raise ConfigError(
+                "budget plans an adaptive campaign and needs a stop_rule "
+                "(or REPRO_CI_HALFWIDTH); for a fixed count use trials")
+    return rule
 
 
 def _cache_key(payload: dict) -> str:
@@ -667,11 +745,17 @@ def _microarch_campaign(
     hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
     fault_model, target, max_failure_rate, progress, workers,
     worker_progress, sdc_anatomy, telemetry, telemetry_session,
+    stop_rule, budget,
 ) -> CampaignResult:
     from repro.fi.avf import derating_factor  # local: avoid import cycle
 
-    trials_from_env = trials is None
+    trials_from_env = trials is None and budget is None
     trials = trials if trials is not None else default_trials()
+    # An explicit budget caps the adaptive plan regardless of `trials`;
+    # the key's "trials" entry is always the planned count, so a
+    # budget-100 spec and a trials-100 spec with the same rule (which
+    # behave identically) share one cache entry.
+    planned = budget if budget is not None else trials
     # Control-target campaigns have no storage structure; "control" stands
     # in wherever a structure name keys or labels things.
     structure_name = structure.value if structure is not None else "control"
@@ -685,7 +769,7 @@ def _microarch_campaign(
             "kernel": kernel,
             "structure": structure_name,
             "config": config.name,
-            "trials": trials,
+            "trials": planned,
             "seed": seed,
             "hardened": hardened,
             "num_bits": num_bits,
@@ -695,6 +779,8 @@ def _microarch_campaign(
             **({"fault_model": fault_model}
                if fault_model != "transient" else {}),
             **({"target": target} if target != "storage" else {}),
+            **({"stop_rule": stop_rule.to_payload()}
+               if stop_rule is not None else {}),
         }
     )
     if use_cache:
@@ -731,7 +817,7 @@ def _microarch_campaign(
         context = f"{app.name}/{kernel}"
         tally = execute_trials(
             key=key,
-            seeds=spawn_seeds(seed, tag, trials),
+            seeds=spawn_seeds(seed, tag, planned),
             trial_fn=_injection_trial_fn(
                 app, profile, harness_factory,
                 lambda s: plan_microarch_fault(launches, structure, s,
@@ -748,10 +834,11 @@ def _microarch_campaign(
             journal=use_cache,
             workers=workers,
             worker_progress=worker_progress,
-            meta=_journal_meta("uarch", app, kernel, tag, seed, trials,
+            meta=_journal_meta("uarch", app, kernel, tag, seed, planned,
                                trials_from_env, extra=model_tags),
             telemetry=tel,
             event_tags=model_tags,
+            stop_rule=stop_rule,
         )
 
         result = CampaignResult(
@@ -759,7 +846,8 @@ def _microarch_campaign(
             kernel=kernel,
             injector="uarch",
             structure=structure.value if structure is not None else None,
-            trials=trials,
+            trials=(tally.counts.total if stop_rule is not None
+                    else trials),
             seed=seed,
             config_name=config.name,
             counts=tally.counts,
@@ -772,6 +860,9 @@ def _microarch_campaign(
             fault_model=fault_model,
             fault_target=target,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
+            planned_trials=planned if stop_rule is not None else None,
+            stop_rule=(stop_rule.to_payload() if stop_rule is not None
+                       else None),
         )
         if use_cache:
             with tel.span("cache.store"):
@@ -786,10 +877,11 @@ def _software_campaign(
     app, kernel, config, *, trials, seed, loads_only, harness_factory,
     hardened, use_cache, profile, profile_supplier, max_failure_rate,
     progress, workers, worker_progress, sdc_anatomy, telemetry,
-    telemetry_session,
+    telemetry_session, stop_rule, budget,
 ) -> CampaignResult:
-    trials_from_env = trials is None
+    trials_from_env = trials is None and budget is None
     trials = trials if trials is not None else default_trials()
+    planned = budget if budget is not None else trials
     injector_kind = "sw-ld" if loads_only else "sw"
     key = _cache_key(
         {
@@ -799,10 +891,12 @@ def _software_campaign(
             "app_seed": app.seed,
             "kernel": kernel,
             "config": config.name,
-            "trials": trials,
+            "trials": planned,
             "seed": seed,
             "hardened": hardened,
             **({"sdc_anatomy": True} if sdc_anatomy else {}),
+            **({"stop_rule": stop_rule.to_payload()}
+               if stop_rule is not None else {}),
         }
     )
     if use_cache:
@@ -832,7 +926,7 @@ def _software_campaign(
         tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
         tally = execute_trials(
             key=key,
-            seeds=spawn_seeds(seed, tag, trials),
+            seeds=spawn_seeds(seed, tag, planned),
             trial_fn=_injection_trial_fn(
                 app, profile, harness_factory,
                 lambda s: plan_software_fault(sw_launches, s, loads_only,
@@ -847,9 +941,10 @@ def _software_campaign(
             journal=use_cache,
             workers=workers,
             worker_progress=worker_progress,
-            meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
-                               trials_from_env),
+            meta=_journal_meta(injector_kind, app, kernel, tag, seed,
+                               planned, trials_from_env),
             telemetry=tel,
+            stop_rule=stop_rule,
         )
 
         result = CampaignResult(
@@ -857,7 +952,8 @@ def _software_campaign(
             kernel=kernel,
             injector=injector_kind,
             structure=None,
-            trials=trials,
+            trials=(tally.counts.total if stop_rule is not None
+                    else trials),
             seed=seed,
             config_name=config.name,
             counts=tally.counts,
@@ -870,6 +966,9 @@ def _software_campaign(
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
+            planned_trials=planned if stop_rule is not None else None,
+            stop_rule=(stop_rule.to_payload() if stop_rule is not None
+                       else None),
         )
         if use_cache:
             with tel.span("cache.store"):
@@ -883,12 +982,13 @@ def _software_campaign(
 def _source_campaign(
     app, kernel, config, *, trials, seed, sticky, use_cache, profile,
     max_failure_rate, progress, workers, worker_progress, sdc_anatomy,
-    telemetry, telemetry_session,
+    telemetry, telemetry_session, stop_rule, budget,
 ) -> CampaignResult:
     from repro.fi.svf_modes import SourceInjector, plan_source_fault
 
-    trials_from_env = trials is None
+    trials_from_env = trials is None and budget is None
     trials = trials if trials is not None else default_trials()
+    planned = budget if budget is not None else trials
     injector_kind = "sw-src-sticky" if sticky else "sw-src-transient"
     key = _cache_key(
         {
@@ -898,9 +998,11 @@ def _source_campaign(
             "app_seed": app.seed,
             "kernel": kernel,
             "config": config.name,
-            "trials": trials,
+            "trials": planned,
             "seed": seed,
             **({"sdc_anatomy": True} if sdc_anatomy else {}),
+            **({"stop_rule": stop_rule.to_payload()}
+               if stop_rule is not None else {}),
         }
     )
     if use_cache:
@@ -928,7 +1030,7 @@ def _source_campaign(
         tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}"
         tally = execute_trials(
             key=key,
-            seeds=spawn_seeds(seed, tag, trials),
+            seeds=spawn_seeds(seed, tag, planned),
             trial_fn=_injection_trial_fn(
                 app, profile, None,
                 lambda s: plan_source_fault(launches, s, sticky,
@@ -943,9 +1045,10 @@ def _source_campaign(
             journal=use_cache,
             workers=workers,
             worker_progress=worker_progress,
-            meta=_journal_meta(injector_kind, app, kernel, tag, seed, trials,
-                               trials_from_env),
+            meta=_journal_meta(injector_kind, app, kernel, tag, seed,
+                               planned, trials_from_env),
             telemetry=tel,
+            stop_rule=stop_rule,
         )
 
         result = CampaignResult(
@@ -953,7 +1056,8 @@ def _source_campaign(
             kernel=kernel,
             injector=injector_kind,
             structure=None,
-            trials=trials,
+            trials=(tally.counts.total if stop_rule is not None
+                    else trials),
             seed=seed,
             config_name=config.name,
             counts=tally.counts,
@@ -963,6 +1067,9 @@ def _source_campaign(
             control_path_masked=tally.control_path_masked,
             hardened=False,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
+            planned_trials=planned if stop_rule is not None else None,
+            stop_rule=(stop_rule.to_payload() if stop_rule is not None
+                       else None),
         )
         if use_cache:
             with tel.span("cache.store"):

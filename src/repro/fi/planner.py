@@ -1,0 +1,381 @@
+"""Adaptive two-level campaign planning: stop early, spend trials wisely.
+
+Fixed-budget campaigns run every cell for the same N trials even when the
+Wilson interval on its failure rate converged long ago — and on this
+suite the slowest kernels are ~7x more expensive per trial than the
+fastest (EXPERIMENTS.md), so the over-sampled cells dominate wall-clock.
+This module closes the gap from two directions, following Hari et al.,
+"Estimating Silent Data Corruption Rates Using a Two-Level Model"
+(PAPERS.md): cheap low-level estimates steer the expensive trials to
+where the variance actually lives.
+
+* :class:`StopRule` — CI-driven early stopping for a single campaign.
+  The rule rides into :func:`repro.fi.runner.execute_trials` on
+  ``CampaignSpec(stop_rule=...)`` (or ``REPRO_CI_HALFWIDTH``) and fires
+  once the Wilson interval on the committed in-order trial prefix is at
+  least as tight as requested, never before ``min_trials``. Because the
+  committed prefix is identical at any worker count and across
+  kill/resume, the stopping trial count is too.
+
+* :func:`plan_suite` / :class:`SuitePlan` — two-level allocation of a
+  global microarch trial budget across (app, kernel, structure) cells.
+  Level one is cheap: the static ACE-style AVF estimate of
+  :mod:`repro.staticanalysis.vf` (zero injections, Spearman +0.87
+  against campaigns) combined with a small software-level pilot
+  campaign per kernel (milliseconds per trial vs the uarch level's
+  full-device simulation). Level two spends the real budget
+  Neyman-style: each cell gets trials in proportion to its AVF
+  aggregation weight times the binomial standard deviation
+  ``sqrt(p(1-p))`` of its prior failure rate, floored at ``min_trials``.
+  :func:`run_plan` then executes the cells as adaptive campaigns, so the
+  stop rule claws back whatever the prior over-estimated.
+
+The planner never touches campaign *identity*: specs without a stop rule
+keep byte-identical cache keys, journals and tallies, and adaptive specs
+derive their per-trial seeds from the same prefix-stable streams as the
+fixed path (:func:`repro.utils.rng.spawn_seeds`), so a fixed 64-trial
+cell and an adaptive cell that stops at 24 agree on trials 0..23.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_MIN_TRIALS
+from repro.errors import ConfigError
+from repro.fi.outcomes import OutcomeCounts
+from repro.log import get_logger
+from repro.utils.stats import halfwidth
+
+__all__ = [
+    "DEFAULT_PILOT_TRIALS", "STOP_METRICS", "StopRule", "CellPlan",
+    "SuitePlan", "plan_suite", "render_plan", "run_plan",
+]
+
+log = get_logger(__name__)
+
+#: Outcome proportions a stop rule can track: ``failure`` is the paper's
+#: FR (SDC + Timeout + DUE over classified trials), ``sdc`` the SDC
+#: fraction alone.
+STOP_METRICS = ("failure", "sdc")
+
+#: Software-level pilot trials per kernel for the two-level prior. Eight
+#: Laplace-smoothed trials are enough to separate "mostly masks" from
+#: "mostly corrupts" — the prior only has to *rank* cells, the stop rule
+#: corrects its magnitude.
+DEFAULT_PILOT_TRIALS = 8
+
+
+@dataclass(frozen=True)
+class StopRule:
+    """CI-driven early stopping for one campaign cell.
+
+    ``satisfied(counts)`` is True once the ``confidence``-level Wilson
+    interval on the chosen ``metric`` over the classified trials has a
+    half-width of at most ``ci_halfwidth`` — and never before
+    ``min_trials`` classified trials, guarding against the deceptively
+    tight intervals of tiny all-masked samples.
+
+    ``chunk`` only tunes the parallel scheduler's round size (how many
+    trials are in flight beyond the committed prefix); it can change how
+    much speculative work is discarded, never which trial the rule stops
+    at, so it is excluded from campaign identity (:meth:`to_payload`).
+    """
+
+    ci_halfwidth: float
+    min_trials: int = DEFAULT_MIN_TRIALS
+    confidence: float = 0.99
+    metric: str = "failure"
+    chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.ci_halfwidth, (int, float))
+                and 0.0 < self.ci_halfwidth < 1.0):
+            raise ConfigError(
+                f"stop rule ci_halfwidth must be in (0, 1), "
+                f"got {self.ci_halfwidth!r}")
+        if not (isinstance(self.min_trials, int) and self.min_trials >= 1):
+            raise ConfigError(
+                f"stop rule min_trials must be a positive integer, "
+                f"got {self.min_trials!r}")
+        if self.metric not in STOP_METRICS:
+            raise ConfigError(
+                f"unknown stop metric {self.metric!r} "
+                f"(known: {', '.join(STOP_METRICS)})")
+        if self.chunk is not None and not (
+                isinstance(self.chunk, int) and self.chunk >= 1):
+            raise ConfigError(
+                f"stop rule chunk must be a positive integer, "
+                f"got {self.chunk!r}")
+        try:
+            halfwidth(0, 1, self.confidence)
+        except ValueError as exc:
+            raise ConfigError(f"stop rule confidence: {exc}") from None
+
+    def _successes(self, counts: OutcomeCounts) -> int:
+        if self.metric == "sdc":
+            return counts.sdc
+        return counts.sdc + counts.timeout + counts.due
+
+    def satisfied(self, counts: OutcomeCounts) -> bool:
+        """Is the CI on the committed prefix tight enough to stop?"""
+        n = counts.classified
+        if n < self.min_trials:
+            return False
+        return (halfwidth(self._successes(counts), n, self.confidence)
+                <= self.ci_halfwidth)
+
+    def achieved(self, counts: OutcomeCounts) -> float | None:
+        """The half-width actually reached (None before any trials)."""
+        n = counts.classified
+        if n <= 0:
+            return None
+        return halfwidth(self._successes(counts), n, self.confidence)
+
+    def to_payload(self) -> dict:
+        """Identity-relevant fields for cache keys and result records."""
+        return {"ci_halfwidth": self.ci_halfwidth,
+                "min_trials": self.min_trials,
+                "confidence": self.confidence,
+                "metric": self.metric}
+
+
+# ------------------------------------------------------ two-level planning
+
+#: Prior attenuation from a kernel's software-visible corruption rate to
+#: the per-trial failure rate of each microarch structure. Calibrated to
+#: the suite's measured shape (EXPERIMENTS.md Fig. 10): RF faults land in
+#: allocated registers (the static ACE fraction refines this per kernel),
+#: SMEM lines are narrower but heavily reused, and cache lines are large,
+#: short-lived and mostly clean. Only the *ranking* matters — the stop
+#: rule corrects magnitudes cell by cell.
+STRUCTURE_ATTENUATION = {
+    "rf": 1.0,
+    "smem": 0.5,
+    "l1d": 0.15,
+    "l1t": 0.15,
+    "l2": 0.25,
+}
+
+#: Priors are clamped into this band: a cell the pilot never saw fail
+#: still deserves a little budget (the floor), and sqrt(p(1-p)) is
+#: symmetric around 0.5 anyway (the cap).
+_PRIOR_FLOOR, _PRIOR_CAP = 0.005, 0.5
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One (app, kernel, structure) cell of a planned suite."""
+
+    app: str
+    kernel: str
+    structure: str
+    pilot_rate: float  # Laplace-smoothed SVF pilot failure rate
+    static_ace: float  # static ACE fraction of the kernel (RF liveness)
+    prior: float  # prior per-trial failure rate fed to the allocator
+    weight: float  # Neyman allocation weight (unnormalised)
+    trials: int  # allocated microarch trial budget
+
+
+@dataclass(frozen=True)
+class SuitePlan:
+    """A global microarch budget split across suite cells."""
+
+    budget: int
+    pilot_trials: int
+    seed: int
+    min_trials: int
+    cells: tuple[CellPlan, ...]
+
+    @property
+    def allocated(self) -> int:
+        return sum(c.trials for c in self.cells)
+
+    @property
+    def pilot_cost(self) -> int:
+        """Software-level pilot trials spent building the priors."""
+        return self.pilot_trials * len(
+            {(c.app, c.kernel) for c in self.cells})
+
+    def specs(self, stop_rule: "StopRule | None" = None,
+              workers: int | None = None,
+              min_ceiling: "int | None" = None) -> list:
+        """One adaptive uarch :class:`~repro.fi.campaign.CampaignSpec`
+        per cell, budgeted per the plan.
+
+        ``min_ceiling`` raises every cell's trial ceiling to at least
+        that many trials. With a stop rule this costs nothing where the
+        prior was right (the rule stops first) but lets a cell whose
+        prior *under*-estimated its variance keep sampling to the target
+        instead of silently missing it at its allocation.
+        """
+        from repro.fi.campaign import CampaignSpec
+
+        return [
+            CampaignSpec(level="uarch", app=c.app, kernel=c.kernel,
+                         structure=c.structure,
+                         trials=max(c.trials, min_ceiling or 0),
+                         seed=self.seed, workers=workers,
+                         stop_rule=stop_rule)
+            for c in self.cells
+        ]
+
+
+def _largest_remainder(weights: list[float], amount: int) -> list[int]:
+    """Split ``amount`` proportionally to ``weights``, summing exactly.
+
+    Deterministic largest-remainder rounding; ties break by position so a
+    plan is reproducible input for input.
+    """
+    total = sum(weights)
+    if total <= 0 or amount <= 0:
+        return [0] * len(weights)
+    quotas = [amount * w / total for w in weights]
+    shares = [math.floor(q) for q in quotas]
+    leftover = amount - sum(shares)
+    by_remainder = sorted(range(len(weights)),
+                          key=lambda i: (shares[i] - quotas[i], i))
+    for i in by_remainder[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+def _allocate(weights: list[float], budget: int, floor: int) -> list[int]:
+    """Floor every cell, then split the remainder Neyman-style."""
+    n = len(weights)
+    if budget < floor * n:
+        log.warning(
+            "suite budget %d cannot give %d cells the %d-trial floor; "
+            "allocating the floor evenly and truncating", budget, n, floor)
+        shares = _largest_remainder([1.0] * n, budget)
+        return [max(1, s) if budget >= n else s for s in shares]
+    extra = _largest_remainder(weights, budget - floor * n)
+    return [floor + e for e in extra]
+
+
+def plan_suite(
+    *,
+    budget: int,
+    apps: "list[str] | None" = None,
+    pilot_trials: int = DEFAULT_PILOT_TRIALS,
+    seed: int = 1,
+    min_trials: "int | None" = None,
+    workers: int | None = None,
+    use_cache: bool = True,
+) -> SuitePlan:
+    """Allocate a global microarch trial budget across suite cells.
+
+    Builds the two-level prior for every (app, kernel, structure) cell —
+    a ``pilot_trials``-trial software-level campaign per kernel (cheap,
+    cached, sharing the fixed path's seed streams) times the static ACE
+    fraction and a per-structure attenuation — then splits ``budget``
+    proportionally to ``weight x sqrt(p(1-p))``, where the weight is the
+    cell's share in the chip- and app-level AVF aggregation (structure
+    bits x kernel cycles), floored at ``min_trials`` per cell.
+    """
+    from repro.arch.config import quadro_gv100_like, tesla_v100_like
+    from repro.arch.structures import Structure, structure_bits
+    from repro.fi.avf import derating_factor
+    from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+    from repro.kernels import all_applications, kernel_programs
+    from repro.staticanalysis import static_vf_report
+
+    if not (isinstance(budget, int) and budget >= 1):
+        raise ConfigError(f"budget must be a positive integer, got {budget!r}")
+    if not (isinstance(pilot_trials, int) and pilot_trials >= 1):
+        raise ConfigError(
+            f"pilot_trials must be a positive integer, got {pilot_trials!r}")
+    if min_trials is None:
+        min_trials = DEFAULT_MIN_TRIALS
+    uarch_config = quadro_gv100_like()
+    programs = kernel_programs()
+    bits_total = sum(structure_bits(s, uarch_config) for s in Structure)
+
+    raw: list[dict] = []
+    for app in all_applications():
+        if apps is not None and app.name not in apps:
+            continue
+        profile = profile_app(app, uarch_config)
+        app_cycles = max(profile.total_cycles, 1)
+        for kernel in app.kernel_names:
+            pilot = run_campaign(
+                CampaignSpec(level="sw", app=app, kernel=kernel,
+                             trials=pilot_trials, seed=seed,
+                             workers=workers, use_cache=use_cache))
+            # Laplace smoothing: 0/8 pilots still leave a nonzero prior.
+            n = pilot.counts.classified
+            failures = pilot.counts.sdc + pilot.counts.timeout \
+                + pilot.counts.due
+            pilot_rate = (failures + 1) / (n + 2)
+            ace = static_vf_report(programs[(app.name, kernel)]).ace_fraction
+            launches = profile.kernel_launches(kernel)
+            cycle_share = profile.kernel_cycles(kernel) / app_cycles
+            for s in Structure:
+                atten = STRUCTURE_ATTENUATION[s.value]
+                prior = pilot_rate * atten * (ace if s is Structure.RF
+                                              else 1.0)
+                prior = min(_PRIOR_CAP, max(_PRIOR_FLOOR, prior))
+                df = derating_factor(s, launches, uarch_config)
+                bits_share = structure_bits(s, uarch_config) / bits_total
+                weight = (bits_share * cycle_share * max(df, 1e-6)
+                          * math.sqrt(prior * (1.0 - prior)))
+                raw.append(dict(app=app.name, kernel=kernel,
+                                structure=s.value, pilot_rate=pilot_rate,
+                                static_ace=ace, prior=prior, weight=weight))
+    if not raw:
+        raise ConfigError("no suite cells matched the requested apps")
+
+    shares = _allocate([c["weight"] for c in raw], budget, min_trials)
+    cells = tuple(CellPlan(trials=t, **c) for c, t in zip(raw, shares))
+    return SuitePlan(budget=budget, pilot_trials=pilot_trials, seed=seed,
+                     min_trials=min_trials, cells=cells)
+
+
+def render_plan(plan: SuitePlan) -> str:
+    """The ``campaign plan`` dry-run table."""
+    lines = ["== Adaptive suite plan (two-level allocation) =="]
+    header = (f"{'cell':<32} {'pilot FR':>9} {'ACE':>6} {'prior':>7} "
+              f"{'weight':>8} {'trials':>7}")
+    lines.append(header)
+    weight_total = sum(c.weight for c in plan.cells) or 1.0
+    for c in plan.cells:
+        cell = f"{c.app}/{c.kernel}/{c.structure}"
+        lines.append(
+            f"{cell:<32} {c.pilot_rate:>9.3f} {c.static_ace:>6.2f} "
+            f"{c.prior:>7.3f} {c.weight / weight_total:>8.2%} {c.trials:>7}")
+    lines.append(
+        f"budget {plan.budget} -> {plan.allocated} microarch trials over "
+        f"{len(plan.cells)} cells (floor {plan.min_trials}/cell), "
+        f"steered by {plan.pilot_cost} software-level pilot trials")
+    return "\n".join(lines)
+
+
+def run_plan(
+    plan: SuitePlan,
+    stop_rule: "StopRule | None" = None,
+    *,
+    workers: int | None = None,
+    min_ceiling: "int | None" = None,
+    progress_factory=None,
+) -> dict:
+    """Execute a suite plan's cells as (optionally adaptive) campaigns.
+
+    Returns ``{(app, kernel, structure): CampaignResult}``. With a
+    ``stop_rule`` each cell may stop below its allocation; without one
+    the allocation is spent exactly. ``min_ceiling`` is forwarded to
+    :meth:`SuitePlan.specs`: cells the prior under-budgeted may run past
+    their allocation (up to the ceiling) rather than miss the CI target.
+    """
+    from repro.fi.campaign import run_campaign
+
+    results: dict = {}
+    for cell, spec in zip(plan.cells,
+                          plan.specs(stop_rule, workers, min_ceiling)):
+        progress = None
+        if progress_factory is not None:
+            progress = progress_factory(
+                f"{cell.app}/{cell.kernel}/uarch-{cell.structure}")
+        results[(cell.app, cell.kernel, cell.structure)] = run_campaign(
+            spec, progress=progress)
+    return results

@@ -24,14 +24,28 @@ fast* rather than about *which fault to inject*:
 
 * **Parallel execution** — ``workers > 1`` fans the remaining trials out
   over a pool of forked worker processes (``REPRO_WORKERS``, ``auto`` =
-  ``os.cpu_count() - 1``). Each worker builds its own fresh GPU state and
-  runs a deterministic, statically-assigned slice of the trial indices;
-  the parent process stays the **single writer** of the journal and
+  ``os.cpu_count() - 1``). The parent submits trial indices to the pool
+  in *rounds* (each round strided across the workers in the same
+  deterministic order as the historical static shards) and drains results
+  as they arrive; it stays the **single writer** of the journal and
   commits results strictly in trial order, buffering out-of-order
-  arrivals. Serial and parallel runs therefore produce bit-identical
-  journals, tallies, and cache payloads, and kill/resume works the same
-  regardless of completion order. Platforms without the ``fork`` start
-  method fall back to serial execution with a warning.
+  arrivals. A fixed-budget campaign submits everything in one round, so
+  serial and parallel runs produce bit-identical journals, tallies, and
+  cache payloads, and kill/resume works the same regardless of completion
+  order. Platforms without the ``fork`` start method fall back to serial
+  execution with a warning.
+
+* **Adaptive early stopping** — an optional ``stop_rule`` (duck-typed;
+  see :class:`repro.fi.planner.StopRule`) is evaluated against the
+  committed in-order prefix after every commit (including journal
+  replay). Once it is satisfied the campaign is *complete*: the journal
+  is discarded, later-arriving pool results are dropped unjournaled, and
+  the tally reports ``stopped_early``. Because the decision only ever
+  looks at the committed prefix — which is identical at any worker count
+  and across kill/resume — adaptive campaigns inherit every determinism
+  guarantee of the fixed path. With a stop rule the parallel scheduler
+  submits bounded chunks per round instead of one block, keeping at most
+  a couple of rounds in flight so a satisfied rule wastes little work.
 
 * **Progress reporting** — an optional ``progress`` callback fires after
   every committed trial (including trials replayed from the journal), in
@@ -126,15 +140,28 @@ class TrialTally:
     resumed: int = 0  # trials replayed from the journal, not simulated
     crash_events: int = 0  # journaled crash *attempts* (>= counts.crash)
     workers: int = 1  # pool size the live trials actually ran with
+    planned: int = 0  # trials the campaign was planned for (len(seeds))
+    stopped_early: bool = False  # a stop rule fired before the plan ran dry
+    rounds: int = 0  # chunked scheduling rounds submitted (pool path only)
     #: Per-trial extra records (``{"trial": i, **extra}``) in trial order —
     #: populated only by trial functions that return a third element.
     sdc_records: list[dict] = field(default_factory=list)
+
+    @property
+    def saved(self) -> int:
+        """Planned trials an early stop made unnecessary."""
+        return max(0, self.planned - self.counts.total)
 
     def _record(self, outcome: FaultOutcome, cycles: int,
                 baseline_cycles: int) -> None:
         self.counts.add(outcome)
         if outcome is FaultOutcome.MASKED and cycles != baseline_cycles:
             self.control_path_masked += 1
+
+
+def _stop_satisfied(stop_rule, tally: TrialTally) -> bool:
+    """Evaluate the (duck-typed) stop rule on the committed prefix."""
+    return stop_rule is not None and stop_rule.satisfied(tally.counts)
 
 
 def _journal_prefix_valid(records: list[dict], seeds: list[int]) -> bool:
@@ -251,6 +278,7 @@ def execute_trials(
     meta: dict | None = None,
     telemetry: Telemetry | None = None,
     event_tags: dict | None = None,
+    stop_rule=None,
 ) -> TrialTally:
     """Run one trial per seed with isolation, journaling and resume.
 
@@ -275,12 +303,19 @@ def execute_trials(
     campaign-identity fields (e.g. ``fault_model``/``target``) merged
     into the campaign-begin and per-trial ``commit`` events so event
     streams from different fault models stay distinguishable.
+
+    ``stop_rule`` enables adaptive early stopping: any object exposing
+    ``satisfied(counts) -> bool`` (and optionally ``min_trials`` /
+    ``chunk`` for chunk sizing), evaluated on the committed in-order
+    prefix after every commit. ``len(seeds)`` is then the trial *budget*
+    rather than an exact count.
     """
     total = len(seeds)
     threshold = (max_failure_rate if max_failure_rate is not None
                  else max_trial_failure_rate())
     workers = resolve_workers(workers)
     tally = TrialTally()
+    tally.planned = total
     jr = CampaignJournal(key) if journal else None
     tel = telemetry if telemetry is not None else NULL
 
@@ -309,6 +344,13 @@ def execute_trials(
             done += 1
             if progress is not None:
                 progress(done, total, outcome)
+            if _stop_satisfied(stop_rule, tally):
+                # The rule fires at the same committed prefix whether the
+                # trials ran live or were replayed, so a resumed adaptive
+                # campaign stops at the identical trial count (any journal
+                # records past this point are discarded with the journal).
+                tally.stopped_early = True
+                break
         tally.resumed = done
         if done:
             log.info("campaign %s: resumed %d/%d trials from journal",
@@ -321,7 +363,7 @@ def execute_trials(
                 )
 
     remaining = total - done
-    if remaining <= 0:
+    if remaining <= 0 or tally.stopped_early:
         if jr is not None:
             jr.discard()
         return tally
@@ -339,11 +381,10 @@ def execute_trials(
                 threshold=threshold, progress=progress,
                 worker_progress=worker_progress, jr=jr, tally=tally,
                 done=done, total=total, workers=tally.workers, tel=tel,
-                event_tags=event_tags)
+                event_tags=event_tags, stop_rule=stop_rule)
             if jr is not None:
                 jr.discard()
-            if tel.enabled:
-                tel.emit("campaign", phase="end", key=key, committed=total)
+            _emit_end(tel, key, tally, stop_rule)
             return tally
         log.warning("REPRO_WORKERS=%d requested but the 'fork' start method "
                     "is unavailable on this platform; running serially",
@@ -353,19 +394,28 @@ def execute_trials(
         key=key, seeds=seeds, trial_fn=trial_fn, gpu_factory=gpu_factory,
         baseline_cycles=baseline_cycles, threshold=threshold,
         progress=progress, jr=jr, tally=tally, done=done, total=total,
-        tel=tel, event_tags=event_tags)
+        tel=tel, event_tags=event_tags, stop_rule=stop_rule)
     if jr is not None:
         jr.discard()
-    if tel.enabled:
-        tel.emit("campaign", phase="end", key=key, committed=total)
+    _emit_end(tel, key, tally, stop_rule)
     return tally
+
+
+def _emit_end(tel: Telemetry, key: str, tally: TrialTally,
+              stop_rule) -> None:
+    if not tel.enabled:
+        return
+    extra = ({"planned": tally.planned, "saved": tally.saved,
+              "rounds": tally.rounds} if stop_rule is not None else {})
+    tel.emit("campaign", phase="end", key=key,
+             committed=tally.counts.total, **extra)
 
 
 # --------------------------------------------------------------- serial path
 
 def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                     threshold, progress, jr, tally, done, total,
-                    tel=NULL, event_tags=None) -> None:
+                    tel=NULL, event_tags=None, stop_rule=None) -> None:
     prev_tel = set_current_telemetry(tel)
     try:
         if tel.enabled:
@@ -414,6 +464,11 @@ def _execute_serial(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
             if tally.counts.crash / total > threshold:
                 raise _threshold_error(key, tally.counts.crash, total,
                                        threshold)
+            if _stop_satisfied(stop_rule, tally):
+                tally.stopped_early = True
+                log.info("campaign %s: stop rule satisfied after %d/%d "
+                         "trials", key, i + 1, total)
+                break
     finally:
         set_current_telemetry(prev_tel)
 
@@ -430,18 +485,21 @@ def _shippable(exc: BaseException):
         return None
 
 
-def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
+def _worker_main(worker_id: int, task_q, seeds: list[int],
                  trial_fn: TrialFn, gpu_factory, out_q,
                  tel_args: "tuple[str, float] | None" = None) -> None:
     """Worker-process body (reached via fork: closures need no pickling).
 
-    Runs its statically-assigned slice of trial indices with the same
-    isolation/retry contract as the serial path and streams
+    Blocks on its private ``task_q`` for lists of trial indices (one list
+    per scheduling round), runs them with the same isolation/retry
+    contract as the serial path, and streams
     ``("trial", worker_id, index, outcome, cycles, extra, crash_records)``
-    messages to the parent, which owns all journal writes. Any exception
-    that must abort the campaign (an escaped :class:`ExecutionError`,
-    KeyboardInterrupt, ...) is shipped as a ``("fatal", ...)`` message for
-    the parent to re-raise.
+    messages to the parent, which owns all journal writes. The worker's
+    GPU state persists across rounds exactly as it persists across trials
+    (each trial resets it). Any exception that must abort the campaign
+    (an escaped :class:`ExecutionError`, KeyboardInterrupt, ...) is
+    shipped as a ``("fatal", ...)`` message for the parent to re-raise;
+    otherwise the worker runs until the parent terminates the pool.
 
     ``tel_args`` (``(campaign, t0)``, or None for telemetry off) wires a
     buffered event emitter: events accumulate locally and are flushed as
@@ -464,68 +522,112 @@ def _worker_main(worker_id: int, indices: list[int], seeds: list[int],
                 gpu = gpu_factory()
         else:
             gpu = gpu_factory()
-        for i in indices:
-            crash_records: list[dict] = []
+        while True:
+            indices = task_q.get()
+            if indices is None:
+                return
+            for i in indices:
+                crash_records: list[dict] = []
 
-            def on_crash(exc, tb, retry, _i=i):
-                crash_records.append(
-                    _crash_record(_i, seeds[_i], exc, tb, retry))
+                def on_crash(exc, tb, retry, _i=i):
+                    crash_records.append(
+                        _crash_record(_i, seeds[_i], exc, tb, retry))
 
-            if tel.enabled:
-                with tel.span("trial", trial=i):
+                if tel.enabled:
+                    with tel.span("trial", trial=i):
+                        outcome, cycles, extra, gpu = _attempt_trial(
+                            trial_fn, gpu, gpu_factory, i, seeds[i],
+                            on_crash)
+                else:
                     outcome, cycles, extra, gpu = _attempt_trial(
                         trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
-            else:
-                outcome, cycles, extra, gpu = _attempt_trial(
-                    trial_fn, gpu, gpu_factory, i, seeds[i], on_crash)
-            if buffer:
-                out_q.put(("events", worker_id, buffer[:]))
-                buffer.clear()
-            out_q.put(("trial", worker_id, i, outcome.value, int(cycles),
-                       extra, crash_records))
-        out_q.put(("done", worker_id))
+                if buffer:
+                    out_q.put(("events", worker_id, buffer[:]))
+                    buffer.clear()
+                out_q.put(("trial", worker_id, i, outcome.value,
+                           int(cycles), extra, crash_records))
     except BaseException as exc:  # noqa: BLE001 — shipped to the parent
         out_q.put(("fatal", worker_id, _shippable(exc), repr(exc),
                    traceback.format_exc()))
 
 
+def _round_chunk(stop_rule, workers: int) -> int:
+    """Trials per adaptive scheduling round: enough to keep every worker
+    busy between refills without racing far past the stopping point."""
+    chunk = getattr(stop_rule, "chunk", None)
+    return chunk if chunk else max(2 * workers, 8)
+
+
 def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                       threshold, progress, worker_progress, jr, tally,
                       done, total, workers, tel=NULL,
-                      event_tags=None) -> None:
-    """Fan the remaining trials out over forked workers; commit in order.
+                      event_tags=None, stop_rule=None) -> None:
+    """Submit trials to a persistent forked pool in rounds; commit in order.
 
-    The parent buffers out-of-order results in ``pending`` and journals /
+    Each round covers a contiguous index range strided across the workers
+    (worker ``w`` gets indices ``start+w, start+w+workers, ...``) — for a
+    fixed-budget campaign there is exactly one round covering everything,
+    which reproduces the historical static shards index for index. The
+    parent buffers out-of-order results in ``pending`` and journals /
     tallies / reports them strictly by trial index, so the journal is
     byte-compatible with a serial run's and kill/resume semantics are
-    unchanged. Worker ``w`` owns indices ``done+w, done+w+workers, ...`` —
-    a deterministic static assignment (trials cost roughly the same, so
-    striding balances well without a task queue).
+    unchanged.
+
+    With a ``stop_rule`` the rounds are bounded chunks: the first reaches
+    the rule's ``min_trials`` floor, later ones keep roughly two chunks in
+    flight, and a new round is submitted only while the committed prefix
+    leaves the rule unsatisfied. Once it is satisfied the scheduler stops
+    submitting and drops any still-in-flight results — they were never
+    journaled, so the committed prefix (and hence the tally) is identical
+    at any worker count.
     """
     ctx = multiprocessing.get_context("fork")
     result_q = ctx.Queue()
-    indices = list(range(done, total))
     tel_args = (tel.campaign, tel.t0) if tel.enabled else None
+    task_qs = [ctx.Queue() for _ in range(workers)]
     procs: list[tuple[int, multiprocessing.Process]] = []
     for w in range(workers):
-        shard = indices[w::workers]
-        if not shard:
-            continue
         proc = ctx.Process(
             target=_worker_main,
-            args=(w, shard, seeds, trial_fn, gpu_factory, result_q, tel_args),
+            args=(w, task_qs[w], seeds, trial_fn, gpu_factory, result_q,
+                  tel_args),
             daemon=True, name=f"repro-trial-worker-{w}")
         proc.start()
         procs.append((w, proc))
-    log.info("campaign %s: running %d remaining trials on %d workers",
-             key, len(indices), len(procs))
+
+    next_to_submit = done
+
+    def submit_round(count: int) -> None:
+        nonlocal next_to_submit
+        chunk = range(next_to_submit, min(total, next_to_submit + count))
+        if not chunk:
+            return
+        for w in range(workers):
+            shard = list(chunk)[w::workers]
+            if shard:
+                task_qs[w].put(shard)
+        next_to_submit = chunk.stop
+        tally.rounds += 1
+        if tel.enabled and stop_rule is not None:
+            tel.emit("plan", round=tally.rounds, submitted=len(chunk),
+                     horizon=next_to_submit)
+
+    if stop_rule is None:
+        chunk_size = total - done  # everything in one round, as ever
+        submit_round(chunk_size)
+    else:
+        chunk_size = _round_chunk(stop_rule, workers)
+        floor = getattr(stop_rule, "min_trials", 1)
+        submit_round(max(chunk_size, floor - done))
+    log.info("campaign %s: running up to %d remaining trials on %d workers",
+             key, total - done, workers)
 
     pending: dict[int, tuple[str, int, list[dict]]] = {}
     per_worker: dict[int, int] = {w: 0 for w, _ in procs}
     running = {w for w, _ in procs}
     next_index = done
     try:
-        while next_index < total:
+        while next_index < total and not tally.stopped_early:
             try:
                 msg = result_q.get(timeout=0.5)
             except queue_mod.Empty:
@@ -542,9 +644,6 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
             kind = msg[0]
             if kind == "events":
                 tel.ingest(msg[2])
-                continue
-            if kind == "done":
-                running.discard(msg[1])
                 continue
             if kind == "fatal":
                 _, worker_id, exc, text, tb = msg
@@ -594,6 +693,18 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
                 if tally.counts.crash / total > threshold:
                     raise _threshold_error(
                         key, tally.counts.crash, total, threshold)
+                if _stop_satisfied(stop_rule, tally):
+                    tally.stopped_early = True
+                    log.info("campaign %s: stop rule satisfied after %d/%d "
+                             "trials", key, next_index, total)
+                    break
+
+            # Refill the pool while the rule is undecided: keep at most
+            # ~two chunks in flight so satisfaction wastes little work.
+            if (stop_rule is not None and not tally.stopped_early
+                    and next_to_submit < total
+                    and next_to_submit - next_index <= chunk_size):
+                submit_round(chunk_size)
     finally:
         for _, proc in procs:
             if proc.is_alive():
@@ -601,3 +712,6 @@ def _execute_parallel(*, key, seeds, trial_fn, gpu_factory, baseline_cycles,
         for _, proc in procs:
             proc.join(timeout=5)
         result_q.close()
+        for q in task_qs:
+            q.close()
+            q.cancel_join_thread()

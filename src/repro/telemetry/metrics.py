@@ -177,6 +177,12 @@ class CampaignSummary:
     cache_hits: int = 0
     cache_misses: int = 0
     kernels: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Adaptive campaigns only: chunked scheduling rounds submitted, the
+    #: planned trial budget, and how many of those trials the stop rule
+    #: made unnecessary.
+    planning_rounds: int = 0
+    trials_planned: int = 0
+    trials_saved: int = 0
 
 
 def summarize_events(events: list[dict]) -> CampaignSummary:
@@ -198,6 +204,11 @@ def summarize_events(events: list[dict]) -> CampaignSummary:
                 s.meta = {k: v for k, v in e.items()
                           if k not in ("ts", "kind", "name", "phase")}
                 s.resumed = int(e.get("resumed", 0))
+            elif e.get("phase") == "end" and "planned" in e:
+                s.trials_planned = int(e.get("planned", 0))
+                s.trials_saved = int(e.get("saved", 0))
+        elif kind == "plan":
+            s.planning_rounds += 1
         elif kind == "span":
             name = e.get("name", "")
             s.phases.setdefault(name, Histogram()).observe(dur)
@@ -259,6 +270,12 @@ def render_summary(s: CampaignSummary) -> str:
     lines.append(f"  trials committed   {s.trials}"
                  + (f"  (+{s.resumed} replayed from journal)" if s.resumed
                     else ""))
+    if s.trials_planned:
+        lines.append(
+            f"  adaptive stop      saved {s.trials_saved} of "
+            f"{s.trials_planned} planned trial(s) "
+            f"({s.trials_saved / s.trials_planned:.0%}) over "
+            f"{s.planning_rounds} planning round(s)")
     lines.append(f"  wall time          {s.wall_time:.3f} s")
     lines.append(f"  throughput         {s.trials_per_sec:.2f} trials/s")
     if s.trial_latency.count:

@@ -10,6 +10,7 @@ from repro.utils.bitops import (
 )
 from repro.utils.rng import derive_rng, spawn_seeds
 from repro.utils.stats import (
+    halfwidth,
     margin_of_error,
     proportion_ci,
     required_trials,
@@ -25,6 +26,7 @@ __all__ = [
     "popcount_u32",
     "derive_rng",
     "spawn_seeds",
+    "halfwidth",
     "margin_of_error",
     "proportion_ci",
     "required_trials",

@@ -75,6 +75,23 @@ def proportion_ci(
     return p_hat, max(0.0, center - half), min(1.0, center + half)
 
 
+def halfwidth(
+    successes: int, n: int, confidence: float = 0.99,
+    method: str = "wilson",
+) -> float:
+    """Symmetric half-width ``(hi - lo) / 2`` of :func:`proportion_ci`.
+
+    This is the quantity adaptive campaigns stop on (see
+    :class:`repro.fi.planner.StopRule`) and the band
+    :func:`repro.analysis.report.rate_with_ci` prints: Wilson by default,
+    like :func:`proportion_ci`, because FI outcome rates live near 0 where
+    the normal interval collapses. Monotonically shrinks as ``n`` grows
+    for a fixed proportion, so a stopping rule on it is well-behaved.
+    """
+    _, lo, hi = proportion_ci(successes, n, confidence, method)
+    return (hi - lo) / 2
+
+
 def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     """Weighted mean; the building block of chip-level AVF and app-level SVF.
 

@@ -1,8 +1,6 @@
 from repro.analysis.control_path import control_path_rate, control_path_rate_merged
 from repro.analysis.report import bar, format_table, stacked_row
-from repro.fi.avf import VulnBreakdown
-from repro.fi.campaign import CampaignResult
-from repro.fi.outcomes import OutcomeCounts
+from repro.fi import CampaignResult, OutcomeCounts, VulnBreakdown
 
 
 def test_format_table_aligned():

@@ -2,7 +2,7 @@ import pytest
 
 from repro.analysis.utilization import FIG3_METRICS, kernel_metrics, normalized_pair
 from repro.arch.config import quadro_gv100_like
-from repro.fi.campaign import profile_app
+from repro.fi import profile_app
 from repro.kernels import get_application
 
 

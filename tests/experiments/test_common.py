@@ -11,9 +11,7 @@ from repro.experiments.common import (
     hardened_trials,
     kernel_label,
 )
-from repro.fi.avf import VulnBreakdown
-from repro.fi.campaign import CampaignResult
-from repro.fi.outcomes import OutcomeCounts
+from repro.fi import CampaignResult, OutcomeCounts, VulnBreakdown
 
 
 def fake_result(app, kernel, injector, structure=None, cycles=100, instrs=50):

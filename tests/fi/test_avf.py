@@ -10,8 +10,7 @@ from repro.fi.avf import (
     avf_of_structure,
     derating_factor,
 )
-from repro.fi.campaign import CampaignResult
-from repro.fi.outcomes import OutcomeCounts
+from repro.fi import CampaignResult, OutcomeCounts
 
 
 def make_result(structure, masked=50, sdc=30, timeout=10, due=10, df=0.5,

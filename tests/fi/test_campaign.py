@@ -5,11 +5,7 @@ import pytest
 
 from repro.arch.structures import Structure
 from repro.errors import ConfigError
-from repro.fi.campaign import (
-    CampaignSpec,
-    profile_app,
-    run_campaign,
-)
+from repro.fi import CampaignSpec, profile_app, run_campaign
 from repro.kernels import get_application
 
 

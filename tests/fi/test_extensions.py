@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arch.structures import Structure
-from repro.fi.campaign import CampaignSpec, run_campaign
+from repro.fi import CampaignSpec, run_campaign
 from repro.fi.gpufi import ECCUncorrectableError, MicroarchFaultPlan
 from repro.fi.pvf import pvf_from_campaign
 from repro.fi.svf_modes import SourceFaultPlan, SourceInjector
@@ -51,11 +51,11 @@ def test_ecc_campaign_all_masked(tmp_cache, gv100):
 
 def test_multibit_campaign_runs(tmp_cache, gv100):
     app = get_application("va")
-    base = dict(level="uarch", app=app, kernel="va_k1",
-                structure=Structure.RF, config=gv100, trials=30, seed=4,
-                use_cache=False)
-    r1 = run_campaign(CampaignSpec(**base))
-    r2 = run_campaign(CampaignSpec(**base, num_bits=2))
+    base = CampaignSpec(level="uarch", app=app, kernel="va_k1",
+                        structure=Structure.RF, config=gv100, trials=30,
+                        seed=4, use_cache=False)
+    r1 = run_campaign(base)
+    r2 = run_campaign(base.derive(num_bits=2))
     # Paper: single- and multi-bit flips behave similarly (no wild jump).
     assert abs(r1.counts.failure_rate - r2.counts.failure_rate) < 0.5
 

@@ -1,7 +1,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.fi import FaultOutcome, OutcomeCounts
 
 
 def test_add_and_rates():

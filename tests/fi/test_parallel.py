@@ -6,10 +6,9 @@ import json
 import pytest
 
 from repro.errors import CampaignError
-from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi import CampaignSpec, FaultOutcome, profile_app, run_campaign
 from repro.fi.journal import list_journals
 from repro.fi.runner import execute_trials, resolve_workers
-from repro.fi.outcomes import FaultOutcome
 from repro.kernels import get_application
 from tests.fi.test_runner import FlakyApp
 

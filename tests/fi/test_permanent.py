@@ -9,7 +9,8 @@ import pytest
 from repro.arch.structures import Structure
 from repro.errors import PlanningError, SimTimeout
 from repro.fi import campaign as campaign_mod
-from repro.fi.campaign import CampaignSpec, run_campaign, trial_cycle_budget
+from repro.fi import CampaignSpec, run_campaign
+from repro.fi.campaign import trial_cycle_budget
 from repro.fi.gpufi import (
     MicroarchFaultPlan,
     MicroarchInjector,
@@ -314,7 +315,7 @@ def test_watchdog_off_path_is_silent(gv100):
 
 
 def test_trial_cycle_budget_scales_with_hang_factor(monkeypatch, v100):
-    from repro.fi.campaign import profile_app
+    from repro.fi import profile_app
 
     profile = profile_app(get_application("va"), v100)
     monkeypatch.setenv("REPRO_HANG_FACTOR", "3")

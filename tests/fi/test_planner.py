@@ -1,0 +1,179 @@
+"""Adaptive planner unit + property tests: StopRule semantics, the
+largest-remainder allocator, and the two-level suite planner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fi import StopRule, SuitePlan, plan_suite, render_plan
+from repro.fi.outcomes import FaultOutcome, OutcomeCounts
+from repro.fi.planner import _allocate, _largest_remainder
+from repro.fi.runner import execute_trials
+from repro.utils.stats import halfwidth
+
+# ---------------------------------------------------------------- StopRule
+
+@pytest.mark.parametrize("kwargs,match", [
+    (dict(ci_halfwidth=0.0), "ci_halfwidth"),
+    (dict(ci_halfwidth=1.0), "ci_halfwidth"),
+    (dict(ci_halfwidth=-0.1), "ci_halfwidth"),
+    (dict(ci_halfwidth=0.1, min_trials=0), "min_trials"),
+    (dict(ci_halfwidth=0.1, min_trials=2.5), "min_trials"),
+    (dict(ci_halfwidth=0.1, metric="latency"), "unknown stop metric"),
+    (dict(ci_halfwidth=0.1, chunk=0), "chunk"),
+    (dict(ci_halfwidth=0.1, confidence=0.42), "confidence"),
+])
+def test_stop_rule_validation(kwargs, match):
+    with pytest.raises(ConfigError, match=match):
+        StopRule(**kwargs)
+
+
+def test_stop_rule_payload_excludes_chunk():
+    rule = StopRule(ci_halfwidth=0.1, min_trials=8, chunk=4)
+    payload = rule.to_payload()
+    assert "chunk" not in payload  # scheduling detail, not identity
+    assert payload == {"ci_halfwidth": 0.1, "min_trials": 8,
+                       "confidence": 0.99, "metric": "failure"}
+
+
+def test_stop_rule_sdc_metric_ignores_other_failures():
+    rule = StopRule(ci_halfwidth=0.4, min_trials=1, metric="sdc")
+    counts = OutcomeCounts(masked=10, timeout=30, due=10)
+    # failure metric would sit near p=0.8; the sdc metric sees 0/50
+    assert rule.satisfied(counts)
+    assert rule.achieved(counts) == halfwidth(0, 50)
+
+
+def test_stop_rule_crashes_do_not_count_as_evidence():
+    rule = StopRule(ci_halfwidth=0.3, min_trials=10)
+    assert not rule.satisfied(OutcomeCounts(masked=5, crash=20))
+    assert rule.satisfied(OutcomeCounts(masked=10, crash=20))
+
+
+@given(
+    stream=st.lists(st.booleans(), min_size=1, max_size=120),
+    min_trials=st.integers(min_value=1, max_value=40),
+    target=st.sampled_from([0.05, 0.1, 0.2, 0.3, 0.45]),
+)
+def test_stop_never_fires_below_min_trials(stream, min_trials, target):
+    """On any Bernoulli outcome stream: the rule stays quiet until
+    ``min_trials`` classified trials, and once it fires, the achieved
+    half-width really is at most the requested one."""
+    rule = StopRule(ci_halfwidth=target, min_trials=min_trials)
+    counts = OutcomeCounts()
+    for failed in stream:
+        counts.add(FaultOutcome.SDC if failed else FaultOutcome.MASKED)
+        if counts.classified < min_trials:
+            assert not rule.satisfied(counts)
+        elif rule.satisfied(counts):
+            assert rule.achieved(counts) <= target
+            return
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    fail_mod=st.integers(min_value=2, max_value=7),
+    min_trials=st.integers(min_value=4, max_value=24),
+    target=st.sampled_from([0.1, 0.2, 0.3]),
+)
+def test_execute_trials_stops_at_the_rule(fail_mod, min_trials, target):
+    """The engine's committed tally obeys the rule on synthetic streams:
+    never below the floor, and within the target whenever it stopped
+    early (serial path, journal off)."""
+    rule = StopRule(ci_halfwidth=target, min_trials=min_trials)
+
+    def trial_fn(gpu, trial_seed):
+        return (FaultOutcome.SDC if trial_seed % fail_mod == 0
+                else FaultOutcome.MASKED, 100)
+
+    tally = execute_trials(
+        key="prop", seeds=list(range(1, 201)), trial_fn=trial_fn,
+        gpu_factory=lambda: object(), baseline_cycles=100,
+        journal=False, stop_rule=rule)
+    assert tally.planned == 200
+    if tally.stopped_early:
+        assert tally.counts.classified >= min_trials
+        assert rule.achieved(tally.counts) <= target
+        # ...and it stopped at the *first* satisfying prefix: one trial
+        # back the rule was still unsatisfied (or we sat at the floor).
+        n = tally.counts.total
+        prefix = OutcomeCounts()
+        for s in range(1, n):
+            prefix.add(trial_fn(None, s)[0])
+        assert not rule.satisfied(prefix)
+    else:
+        assert tally.counts.total == 200
+
+
+# --------------------------------------------------------------- allocator
+
+@given(
+    weights=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                     min_size=1, max_size=20),
+    amount=st.integers(min_value=0, max_value=10_000),
+)
+def test_largest_remainder_sums_exactly(weights, amount):
+    shares = _largest_remainder(weights, amount)
+    assert len(shares) == len(weights)
+    assert all(s >= 0 for s in shares)
+    if sum(weights) > 0 and amount > 0:
+        assert sum(shares) == amount
+    else:
+        assert shares == [0] * len(weights)
+
+
+def test_largest_remainder_is_proportional_and_deterministic():
+    assert _largest_remainder([3.0, 1.0], 8) == [6, 2]
+    assert _largest_remainder([1.0, 1.0, 1.0], 10) == [4, 3, 3]  # ties by position
+    assert _largest_remainder([1.0, 1.0], 0) == [0, 0]
+
+
+@given(
+    weights=st.lists(st.floats(min_value=0.001, max_value=10.0),
+                     min_size=1, max_size=12),
+    floor=st.integers(min_value=1, max_value=16),
+    slack=st.integers(min_value=0, max_value=200),
+)
+def test_allocate_respects_floor_and_budget(weights, floor, slack):
+    budget = floor * len(weights) + slack
+    shares = _allocate(weights, budget, floor)
+    assert sum(shares) == budget
+    assert all(s >= floor for s in shares)
+
+
+def test_allocate_underfunded_budget_splits_evenly():
+    shares = _allocate([5.0, 1.0, 1.0], budget=6, floor=16)
+    assert sum(shares) == 6
+    assert max(shares) - min(shares) <= 1  # even, not weight-steered
+
+
+# -------------------------------------------------------------- plan_suite
+
+def test_plan_suite_covers_every_cell_and_spends_the_budget(tmp_cache):
+    plan = plan_suite(budget=400, apps=["va"], pilot_trials=4, min_trials=8)
+    assert isinstance(plan, SuitePlan)
+    # va has one kernel x five structures
+    assert {(c.app, c.kernel) for c in plan.cells} == {("va", "va_k1")}
+    assert {c.structure for c in plan.cells} == {"rf", "smem", "l1d",
+                                                 "l1t", "l2"}
+    assert plan.allocated == 400
+    assert all(c.trials >= 8 for c in plan.cells)
+    assert plan.pilot_cost == 4  # one kernel's pilot
+    # priors are clamped and the RF cell carries the ACE refinement
+    assert all(0.005 <= c.prior <= 0.5 for c in plan.cells)
+
+    specs = plan.specs()
+    assert [s.trials for s in specs] == [c.trials for c in plan.cells]
+    assert all(s.level == "uarch" for s in specs)
+
+    table = render_plan(plan)
+    assert "va/va_k1/rf" in table
+    assert "budget 400 -> 400" in table
+
+
+def test_plan_suite_rejects_bad_inputs(tmp_cache):
+    with pytest.raises(ConfigError, match="budget"):
+        plan_suite(budget=0, apps=["va"])
+    with pytest.raises(ConfigError, match="no suite cells"):
+        plan_suite(budget=100, apps=["not-an-app"])

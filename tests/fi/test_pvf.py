@@ -3,8 +3,7 @@
 import pytest
 
 from repro.arch.structures import Structure
-from repro.fi.campaign import CampaignResult, CampaignSpec, run_campaign
-from repro.fi.outcomes import OutcomeCounts
+from repro.fi import CampaignResult, CampaignSpec, OutcomeCounts, run_campaign
 from repro.fi.pvf import PVFResult, pvf_from_campaign, run_pvf_campaign
 from repro.kernels import get_application
 

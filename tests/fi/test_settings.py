@@ -8,6 +8,7 @@ import pytest
 from repro.config import (
     DEFAULT_HANG_FACTOR,
     DEFAULT_MAX_TRIAL_FAILURES,
+    DEFAULT_MIN_TRIALS,
     DEFAULT_TRIALS,
     DEFAULT_WORKERS,
     Settings,
@@ -18,7 +19,8 @@ from repro.errors import ConfigError, ReproError
 
 _KNOBS = ("REPRO_TRIALS", "REPRO_TRIALS_HARDENED", "REPRO_CACHE_DIR",
           "REPRO_MAX_TRIAL_FAILURES", "REPRO_WORKERS", "REPRO_TELEMETRY",
-          "REPRO_LOG_LEVEL", "REPRO_HANG_FACTOR")
+          "REPRO_LOG_LEVEL", "REPRO_HANG_FACTOR", "REPRO_CI_HALFWIDTH",
+          "REPRO_MIN_TRIALS")
 
 
 @pytest.fixture()
@@ -38,6 +40,8 @@ def test_defaults(clean_env):
     assert settings.telemetry is False
     assert settings.log_level is None
     assert settings.hang_factor == DEFAULT_HANG_FACTOR == 25.0
+    assert settings.ci_halfwidth is None
+    assert settings.min_trials == DEFAULT_MIN_TRIALS == 16
 
 
 def test_env_overrides(clean_env):
@@ -49,6 +53,8 @@ def test_env_overrides(clean_env):
     clean_env.setenv("REPRO_TELEMETRY", "1")
     clean_env.setenv("REPRO_LOG_LEVEL", "debug")
     clean_env.setenv("REPRO_HANG_FACTOR", "4.5")
+    clean_env.setenv("REPRO_CI_HALFWIDTH", "0.05")
+    clean_env.setenv("REPRO_MIN_TRIALS", "24")
     settings = get_settings()
     assert settings.trials == 128
     assert settings.trials_hardened == 40
@@ -58,6 +64,8 @@ def test_env_overrides(clean_env):
     assert settings.telemetry is True
     assert settings.log_level == "DEBUG"  # normalized to stdlib names
     assert settings.hang_factor == 4.5
+    assert settings.ci_halfwidth == 0.05
+    assert settings.min_trials == 24
 
 
 @pytest.mark.parametrize("raw,expected", [
@@ -104,6 +112,14 @@ def test_workers_auto(clean_env):
      "REPRO_HANG_FACTOR must be a positive number"),
     ("REPRO_HANG_FACTOR", "-2",
      "REPRO_HANG_FACTOR must be a positive number"),
+    ("REPRO_CI_HALFWIDTH", "wide",
+     "REPRO_CI_HALFWIDTH must be a fraction"),
+    ("REPRO_CI_HALFWIDTH", "0", "REPRO_CI_HALFWIDTH must be within"),
+    ("REPRO_CI_HALFWIDTH", "1.0", "REPRO_CI_HALFWIDTH must be within"),
+    ("REPRO_MIN_TRIALS", "few",
+     "REPRO_MIN_TRIALS must be a positive integer"),
+    ("REPRO_MIN_TRIALS", "0",
+     "REPRO_MIN_TRIALS must be a positive integer"),
 ])
 def test_invalid_values_raise_config_error(clean_env, name, value, match):
     clean_env.setenv(name, value)

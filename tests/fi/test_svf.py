@@ -1,9 +1,7 @@
 import pytest
 
-from repro.fi.avf import VulnBreakdown
-from repro.fi.campaign import CampaignResult
-from repro.fi.outcomes import OutcomeCounts
-from repro.fi.svf import svf_of_application, svf_of_kernel
+from repro.fi import (CampaignResult, OutcomeCounts, VulnBreakdown,
+                      svf_of_application, svf_of_kernel)
 
 
 def make_sw_result(masked=40, sdc=40, timeout=10, due=10, injector="sw"):

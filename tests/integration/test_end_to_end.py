@@ -3,9 +3,8 @@
 import numpy as np
 
 from repro.arch.structures import Structure
-from repro.fi.campaign import profile_app
+from repro.fi import FaultOutcome, profile_app
 from repro.fi.gpufi import MicroarchFaultPlan, MicroarchInjector
-from repro.fi.outcomes import FaultOutcome
 from repro.isa import assemble
 from repro.kernels import get_application
 from repro.sim import GPU
@@ -90,7 +89,7 @@ def test_timeout_classification(tmp_cache, gv100):
 def test_due_from_corrupted_pointer(tmp_cache, v100):
     """Register-value faults in address/index computations must be able to
     produce DUEs; BFS (pointer-chasing) is the DUE-heavy workload."""
-    from repro.fi.campaign import CampaignSpec, run_campaign
+    from repro.fi import CampaignSpec, run_campaign
 
     app = get_application("bfs")
     result = run_campaign(CampaignSpec(

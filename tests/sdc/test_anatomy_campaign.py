@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi import CampaignSpec, profile_app, run_campaign
 from repro.fi.journal import list_journals
 from repro.kernels import get_application
 from repro.sdc.fingerprint import SDCFingerprint

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
+from repro.fi import CampaignSpec, profile_app, run_campaign
 from repro.kernels import get_application
 from repro.telemetry.events import TelemetrySession, read_events
 

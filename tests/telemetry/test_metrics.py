@@ -171,3 +171,25 @@ def test_severity_counters_absent_without_anatomy():
     s = summarize_events(_stream())
     assert s.sdc_severity == {}
     assert "sdc severity" not in render_summary(s)
+
+
+def test_adaptive_planning_rounds_and_savings():
+    events = _stream()
+    events.append({"ts": 0.8, "kind": "plan", "name": "", "campaign": "k1",
+                   "worker": None, "round": 1, "submitted": 4, "horizon": 0})
+    events.append({"ts": 0.9, "kind": "campaign", "name": "", "campaign": "k1",
+                   "worker": None, "phase": "end", "key": "k1",
+                   "committed": 4, "planned": 16, "saved": 12, "rounds": 1})
+    s = summarize_events(events)
+    assert s.planning_rounds == 1
+    assert s.trials_planned == 16
+    assert s.trials_saved == 12
+    text = render_summary(s)
+    assert "saved 12 of 16 planned trial(s) (75%)" in text
+    assert "1 planning round(s)" in text
+
+
+def test_no_adaptive_line_without_stop_rule():
+    s = summarize_events(_stream())
+    assert s.trials_planned == 0
+    assert "adaptive stop" not in render_summary(s)

@@ -194,7 +194,7 @@ def test_campaign_status_flags_stale_journal(capsys, tmp_cache, monkeypatch):
     """A journal left by a run whose trial count came from REPRO_TRIALS is
     reported as invalid once REPRO_TRIALS changes (its remaining plan no
     longer matches what a resume would execute)."""
-    from repro.fi.campaign import CampaignSpec, run_campaign
+    from repro.fi import CampaignSpec, run_campaign
 
     monkeypatch.setenv("REPRO_TRIALS", "12")
 

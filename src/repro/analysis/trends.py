@@ -12,6 +12,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.log import get_logger
+
+log = get_logger(__name__)
+
 
 def _sign(x: float, tol: float = 1e-12) -> int:
     if x > tol:
@@ -74,10 +78,18 @@ def spearman(
         raise ValueError(f"metric key mismatch: {sorted(missing)}")
     names = sorted(metric_a)
     if len(names) < 2:
+        log.warning(
+            "spearman over %d workload(s): rank order undefined, "
+            "returning 0.0", len(names))
         return 0.0
     ra = _ranks(np.array([metric_a[n] for n in names], dtype=float))
     rb = _ranks(np.array([metric_b[n] for n in names], dtype=float))
     if ra.std() == 0.0 or rb.std() == 0.0:
+        which = "both metrics" if ra.std() == rb.std() == 0.0 else (
+            "metric A" if ra.std() == 0.0 else "metric B")
+        log.warning(
+            "spearman degenerate: %s rank every workload identically "
+            "(all ties); returning 0.0 instead of NaN", which)
         return 0.0
     return float(np.corrcoef(ra, rb)[0, 1])
 

@@ -78,6 +78,24 @@ def rf_derating(regs_per_thread: int, threads: int, config: GPUConfig) -> float:
     return min(1.0, rf_allocation_bits(regs_per_thread, threads) / system)
 
 
+def smem_allocation_bits(smem_bytes_per_cta: int, ctas: int) -> int:
+    """SMEM bits a launch allocates: per-CTA window x resident CTAs."""
+    return smem_bytes_per_cta * 8 * ctas
+
+
+def smem_derating(smem_bytes_per_cta: int, ctas: int,
+                  config: GPUConfig) -> float:
+    """SMEM derating factor DF of one launch: allocated / physical bits.
+
+    The SMEM twin of :func:`rf_derating`, shared by the injection
+    campaigns and the static SMEM estimator
+    (:func:`repro.staticanalysis.vf.static_structure_report`) so both
+    sides of the static-vs-campaign comparison scale identically.
+    """
+    system = structure_bits(Structure.SMEM, config)
+    return min(1.0, smem_allocation_bits(smem_bytes_per_cta, ctas) / system)
+
+
 def structure_inventory(config: GPUConfig) -> dict[Structure, int]:
     """Bit counts of every injectable structure, for chip-AVF weighting."""
     return {s: structure_bits(s, config) for s in Structure}

@@ -65,6 +65,7 @@ EXPERIMENTS = {
     "fig12": "repro.experiments.fig12_register_reuse",
     "svf-fix": "repro.experiments.svf_fix",
     "static-vf": "repro.experiments.static_vf",
+    "static-structures": "repro.experiments.static_structures",
     "protection": "repro.experiments.protection_study",
     "speed-gap": "repro.experiments.speed_gap",
     "sdc-anatomy": "repro.experiments.sdc_anatomy",
@@ -75,8 +76,8 @@ EXPERIMENTS = {
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "svf-fix", "static-vf", "sdc-anatomy",
-    "permanent-faults", "adaptive-campaign",
+    "fig9", "fig10", "fig11", "svf-fix", "static-vf", "static-structures",
+    "sdc-anatomy", "permanent-faults", "adaptive-campaign",
 }
 
 
@@ -159,26 +160,52 @@ def _select_programs(selector: str):
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.kernels import lint_waivers
     from repro.staticanalysis import Severity, lint_program
 
     programs = _select_programs(args.target)
     if programs is None:
         return 2
+    launches_by_kernel: dict = {}
+    if not args.no_launches:
+        from repro.staticanalysis.launches import kernel_launch_contexts
+
+        for app, kernel in programs:
+            launches_by_kernel[(app, kernel)] = kernel_launch_contexts(
+                app, kernel)
     failed = 0
     waived_total = 0
+    records: list[dict] = []
     for (app, kernel), program in programs.items():
         waivers = () if args.no_waivers else lint_waivers(kernel)
-        report = lint_program(program, waivers)
+        report = lint_program(
+            program, waivers,
+            launches=launches_by_kernel.get((app, kernel), ()))
         waived_total += len(report.waived)
-        if report.findings or (args.show_waived and report.waived):
+        if args.format == "json":
+            records.extend(
+                dict(rule=f.rule, app=app, kernel=kernel, pc=f.instr_index,
+                     severity=str(f.severity), message=f.message,
+                     waived=waived)
+                for f, waived in (
+                    [(f, False) for f in report.findings]
+                    + [(f, True) for f, _ in report.waived])
+            )
+        elif report.findings or (args.show_waived and report.waived):
             print(report.render(show_waived=args.show_waived))
         if any(f.severity >= Severity.WARNING for f in report.findings):
             failed += 1
     n = len(programs)
-    status = "clean" if not failed else f"{failed} kernel(s) with findings"
-    print(f"linted {n} kernel(s): {status}"
-          + (f", {waived_total} finding(s) waived" if waived_total else ""))
+    if args.format == "json":
+        print(json.dumps(records, indent=2))
+    else:
+        status = ("clean" if not failed
+                  else f"{failed} kernel(s) with findings")
+        print(f"linted {n} kernel(s): {status}"
+              + (f", {waived_total} finding(s) waived" if waived_total
+                 else ""))
     return 1 if failed else 0
 
 
@@ -188,6 +215,8 @@ def _cmd_staticvf(args) -> int:
     programs = _select_programs(args.target)
     if programs is None:
         return 2
+    if args.structure in ("smem", "control"):
+        return _staticvf_structures(programs)
     header = (f"{'kernel':<16} {'instrs':>6} {'regs':>5} {'live':>6} "
               f"{'ACE':>7} {'reads/wr':>8} {'dead-wr':>7}")
     print(header)
@@ -200,6 +229,29 @@ def _cmd_staticvf(args) -> int:
     print("\nACE = live register-bit-cycles / allocated register-bit-cycles "
           "(static, injection-free).\nSee 'repro.cli run static-vf' for the "
           "comparison against campaign AVF-RF.")
+    return 0
+
+
+def _staticvf_structures(programs) -> int:
+    """``staticvf --structure smem|control``: launch-aware estimates."""
+    from repro.arch.config import quadro_gv100_like
+    from repro.staticanalysis import static_structure_report
+    from repro.staticanalysis.launches import kernel_launch_contexts
+
+    config = quadro_gv100_like()
+    header = (f"{'kernel':<16} {'SMEM ACE':>9} {'SMEM DF':>9} "
+              f"{'AVF-SMEM':>10} {'ctrl ACE':>9}")
+    print(header)
+    print("-" * len(header))
+    for (app, kernel), program in programs.items():
+        contexts = kernel_launch_contexts(app, kernel)
+        r = static_structure_report(program, contexts, config)
+        print(f"{kernel:<16} {r.smem_ace:>9.1%} {r.smem_derating:>9.4f} "
+              f"{r.avf_smem:>10.4%} {r.control_ace:>9.1%}")
+    print("\nSMEM ACE = store-to-last-load live byte-weight over the "
+          "shared window (abstract\ninterpretation); control ACE = "
+          "loop-trip-weighted PC/active-mask lifetime.\nSee 'repro.cli run "
+          "static-structures' for the comparison against campaigns.")
     return 0
 
 
@@ -620,12 +672,27 @@ def main(argv: list[str] | None = None) -> int:
                                   "(repro.kernels.waivers)")
     lint_parser.add_argument("--show-waived", action="store_true",
                              help="also print waived findings")
+    lint_parser.add_argument("--format", default="table",
+                             choices=["table", "json"],
+                             help="output format: human table (default) or "
+                                  "a JSON record per finding")
+    lint_parser.add_argument("--no-launches", action="store_true",
+                             help="skip the launch-aware value-set rules "
+                                  "(race, oob-shared, oob-global, "
+                                  "redundant-barrier); these need one "
+                                  "fault-free run per app to capture "
+                                  "launch geometry")
     lint_parser.set_defaults(func=_cmd_lint)
 
     staticvf_parser = sub.add_parser(
         "staticvf", help="static (injection-free) vulnerability estimates")
     staticvf_parser.add_argument("target", nargs="?", default="all",
                                  help="application id, kernel id, or 'all'")
+    staticvf_parser.add_argument("--structure", default="rf",
+                                 choices=["rf", "smem", "control"],
+                                 help="estimate family: RF liveness table "
+                                      "(default) or the launch-aware "
+                                      "SMEM/control estimates")
     staticvf_parser.set_defaults(func=_cmd_staticvf)
 
     campaign_parser = sub.add_parser(

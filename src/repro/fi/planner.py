@@ -172,7 +172,10 @@ class CellPlan:
     kernel: str
     structure: str
     pilot_rate: float  # Laplace-smoothed SVF pilot failure rate
-    static_ace: float  # static ACE fraction of the kernel (RF liveness)
+    #: The structure's own static ACE factor: RF liveness for ``rf``,
+    #: value-set live shared intervals for ``smem``, 1.0 where no static
+    #: estimator applies (caches).
+    static_ace: float
     prior: float  # prior per-trial failure rate fed to the allocator
     weight: float  # Neyman allocation weight (unnormalised)
     trials: int  # allocated microarch trial budget
@@ -274,12 +277,13 @@ def plan_suite(
     cell's share in the chip- and app-level AVF aggregation (structure
     bits x kernel cycles), floored at ``min_trials`` per cell.
     """
-    from repro.arch.config import quadro_gv100_like, tesla_v100_like
+    from repro.arch.config import quadro_gv100_like
     from repro.arch.structures import Structure, structure_bits
     from repro.fi.avf import derating_factor
     from repro.fi.campaign import CampaignSpec, profile_app, run_campaign
     from repro.kernels import all_applications, kernel_programs
-    from repro.staticanalysis import static_vf_report
+    from repro.staticanalysis import static_smem_ace, static_vf_report
+    from repro.staticanalysis.launches import capture_launch_contexts
 
     if not (isinstance(budget, int) and budget >= 1):
         raise ConfigError(f"budget must be a positive integer, got {budget!r}")
@@ -308,13 +312,26 @@ def plan_suite(
             failures = pilot.counts.sdc + pilot.counts.timeout \
                 + pilot.counts.due
             pilot_rate = (failures + 1) / (n + 2)
-            ace = static_vf_report(programs[(app.name, kernel)]).ace_fraction
+            program = programs[(app.name, kernel)]
+            contexts = [c for c in capture_launch_contexts(app)
+                        if c.kernel == kernel]
+            # Per-structure static ACE priors: RF from liveness, SMEM from
+            # the abstract interpreter's live shared intervals (floored —
+            # the estimate bounds *state*, not control corruption, so a
+            # zero never zeroes a cell the pilot saw fail). Caches have no
+            # static estimator and keep the attenuation alone.
+            static_factor = {
+                Structure.RF: static_vf_report(program).ace_fraction,
+                Structure.SMEM: max(
+                    0.25,
+                    sum(static_smem_ace(program, c) for c in contexts)
+                    / max(len(contexts), 1)),
+            }
             launches = profile.kernel_launches(kernel)
             cycle_share = profile.kernel_cycles(kernel) / app_cycles
             for s in Structure:
                 atten = STRUCTURE_ATTENUATION[s.value]
-                prior = pilot_rate * atten * (ace if s is Structure.RF
-                                              else 1.0)
+                prior = pilot_rate * atten * static_factor.get(s, 1.0)
                 prior = min(_PRIOR_CAP, max(_PRIOR_FLOOR, prior))
                 df = derating_factor(s, launches, uarch_config)
                 bits_share = structure_bits(s, uarch_config) / bits_total
@@ -322,7 +339,8 @@ def plan_suite(
                           * math.sqrt(prior * (1.0 - prior)))
                 raw.append(dict(app=app.name, kernel=kernel,
                                 structure=s.value, pilot_rate=pilot_rate,
-                                static_ace=ace, prior=prior, weight=weight))
+                                static_ace=static_factor.get(s, 1.0),
+                                prior=prior, weight=weight))
     if not raw:
         raise ConfigError("no suite cells matched the requested apps")
 

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _N = 32  # sequence length; matrix is (N+1)^2
 _B = 8  # tile size
@@ -246,3 +247,17 @@ class NeedlemanWunsch(GPUApplication):
                     m[i - 1, j] - _PENALTY,
                 )
         return {"matrix": m.astype(np.int32)}
+
+
+@quality_metric(
+    "nw", "alignment-score-tolerance",
+    doc="the answer is the global alignment score, the score matrix's "
+        "bottom-right cell; an SDC is tolerable iff that score moved by "
+        "at most one gap penalty")
+def _nw_quality(faulty, golden):
+    f = faulty["matrix"].astype(np.int64)
+    g = golden["matrix"].astype(np.int64)
+    ok = bool(f.shape == g.shape
+              and abs(int(f[-1, -1]) - int(g[-1, -1])) <= _PENALTY)
+    score = float((f == g).mean()) if f.shape == g.shape else 0.0
+    return score, ok

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _ROWS = 8
 _COLS = 120
@@ -135,3 +136,15 @@ class PathFinder(GPUApplication):
             right = np.concatenate((dp[1:], [dp[-1]]))
             dp = wall[r] + np.minimum(np.minimum(left, dp), right)
         return {"result": dp}
+
+
+@quality_metric(
+    "pathfinder", "path-cost-equality",
+    doc="the answer is the cheapest descent, min over the final DP row; "
+        "an SDC is tolerable iff that minimum cost is unchanged")
+def _pathfinder_quality(faulty, golden):
+    f = faulty["result"].astype(np.int64)
+    g = golden["result"].astype(np.int64)
+    ok = bool(f.shape == g.shape and f.min() == g.min())
+    score = float((f == g).mean()) if f.shape == g.shape else 0.0
+    return score, ok

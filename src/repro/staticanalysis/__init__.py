@@ -44,9 +44,13 @@ from repro.staticanalysis.lint import (
 from repro.staticanalysis.vf import (
     GUARD_PROB,
     LOOP_WEIGHT,
+    StaticStructureReport,
     StaticVFReport,
     instruction_weights,
     static_avf_rf,
+    static_control_ace,
+    static_smem_ace,
+    static_structure_report,
     static_vf_report,
 )
 
@@ -78,8 +82,12 @@ __all__ = [
     "lint_program",
     "GUARD_PROB",
     "LOOP_WEIGHT",
+    "StaticStructureReport",
     "StaticVFReport",
     "instruction_weights",
     "static_avf_rf",
+    "static_control_ace",
+    "static_smem_ace",
+    "static_structure_report",
     "static_vf_report",
 ]

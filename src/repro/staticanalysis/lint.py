@@ -316,16 +316,30 @@ _ALL_CHECKS = (
 
 
 def lint_program(
-    program: Program, waivers: tuple[Waiver, ...] = ()
+    program: Program,
+    waivers: tuple[Waiver, ...] = (),
+    launches=(),
 ) -> LintReport:
-    """Run every rule over ``program`` and fold in the waivers."""
+    """Run every rule over ``program`` and fold in the waivers.
+
+    ``launches`` is an optional sequence of
+    :class:`~repro.staticanalysis.launches.LaunchContext`; when provided,
+    the launch-aware value-set rules (``race``, ``oob-shared``,
+    ``oob-global``, ``redundant-barrier``) run too.
+    """
     cfg = build_cfg(program)
     report = LintReport(program=program)
+    all_findings: list[Finding] = []
     for check in _ALL_CHECKS:
-        for finding in check(cfg):
-            waiver = next((w for w in waivers if w.matches(finding)), None)
-            if waiver is not None:
-                report.waived.append((finding, waiver))
-            else:
-                report.findings.append(finding)
+        all_findings.extend(check(cfg))
+    if launches:
+        from repro.staticanalysis.races import absint_findings
+
+        all_findings.extend(absint_findings(program, launches))
+    for finding in all_findings:
+        waiver = next((w for w in waivers if w.matches(finding)), None)
+        if waiver is not None:
+            report.waived.append((finding, waiver))
+        else:
+            report.findings.append(finding)
     return report

@@ -1,0 +1,505 @@
+"""Static shared-memory race and out-of-bounds detection.
+
+Built on the value-set abstract interpreter (:mod:`.absint`), this module
+adds four launch-aware linter rules:
+
+==================== ======== =================================================
+rule                 severity meaning
+==================== ======== =================================================
+``race``             ERROR    two threads of one CTA can touch the same
+                              shared-memory word in the same barrier epoch,
+                              at least one of them writing
+``oob-shared``       ERROR    an LDS/STS address set escapes the CTA's
+                              declared shared-memory window (or is misaligned)
+``oob-global``       ERROR    an LD/ST/LDT address set does not fit inside
+                              any buffer passed to the kernel
+``redundant-barrier`` WARNING a BAR.SYNC that no conflicting shared/global
+                              access pair needs for ordering
+==================== ======== =================================================
+
+**Barrier epochs.** ``BAR`` terminates its basic block (see ``cfg``), so the
+epoch structure is a property of CFG edges: an edge out of a BAR-terminated
+block crosses an epoch boundary.  Two accesses are *epoch-concurrent* when
+
+* one access's block reaches the other's along a barrier-free path and the
+  CTA has more than one warp (warps drift apart freely between barriers), or
+* their blocks sit behind *different* successors of a thread-splitting fork:
+  a conditional branch whose guard is not CTA-uniform — or a uniform branch
+  that a multi-warp CTA can re-evaluate mid-epoch (a barrier-free cycle
+  through the branch block), so two warps may still resolve it differently.
+
+A CTA-uniform branch outside barrier-free cycles sends *every* thread of an
+epoch the same way, so the two sides of e.g. a uniform wavefront loop can
+never coexist in one epoch.  Within a single warp, lockstep execution orders
+distinct instructions, so only same-instruction lane overlap and genuine
+divergence races remain.
+
+**Conflicts.** Access address sets are affine in ``tid``/``ctaid``/loop-phi
+symbols, optionally filtered by relational guard constraints (e.g. a
+reduction's ``tid.x < stride``).  For a candidate thread pair (t1, t2) of
+the same CTA the decision procedure folds ``ctaid`` terms (same CTA) and
+*cancellable* phi terms (uniform counters pinned per epoch by barriers or
+warp lockstep) into the interval delta, and enumerates the remaining
+symbol product exactly — per-thread tid axes, a shared axis per cancellable
+symbol referenced by constraints, per-access axes for independent phi
+symbols — dropping assignments that violate each access's constraints.
+A race needs two *distinct* threads, so the enumeration skips the diagonal
+unless some block dimension the addresses ignore still distinguishes the
+threads.  Oversized products fall back to a conservative interval test.
+
+The checks only fire on *bounded* address sets: a TOP address (truly
+data-dependent indexing, e.g. bfs's gather) is never reported.  Findings are
+deduplicated across a kernel's distinct launch contexts — a finding from any
+context is real.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.isa.opcodes import Opcode
+from repro.staticanalysis.absint import AbstractInterpretation, analyze
+from repro.staticanalysis.cfg import guard_always_false
+from repro.staticanalysis.lint import Finding, Severity
+
+#: Word accesses overlap when their byte addresses differ by at most this.
+_OVERLAP = 3
+#: Exact pair-enumeration cap; larger products use the interval test.
+_MAX_PAIRS = 1 << 18
+#: Cap on one enumerated symbol axis.
+_MAX_AXIS = 512
+#: Cap on total per-access assignment work across shared-axis values.
+_MAX_WORK = 1 << 18
+
+_TID_DIMS = ("tid.x", "tid.y", "tid.z")
+
+
+# --------------------------------------------------------------------------- #
+# Barrier epochs
+# --------------------------------------------------------------------------- #
+class _Epochs:
+    """Epoch-concurrency oracle for one interpretation.
+
+    ``relax_bar`` treats one block's BAR terminator as a NOP — used by the
+    redundant-barrier rule to ask what the barrier actually orders.
+    """
+
+    def __init__(self, interp: AbstractInterpretation,
+                 relax_bar: int | None = None):
+        cfg, program = interp.cfg, interp.program
+        warp = getattr(interp.ctx, "warp_size", 32)
+        self.single_warp = interp._nthreads <= warp
+        ends_in_bar = [
+            program[blk.end - 1].opcode == Opcode.BAR
+            and blk.index != relax_bar
+            for blk in cfg.blocks
+        ]
+        n = len(cfg.blocks)
+        reach: list[set[int]] = []
+        for w in range(n):
+            seen = {w}
+            stack = [w]
+            while stack:
+                u = stack.pop()
+                if ends_in_bar[u]:
+                    continue
+                for v in cfg.blocks[u].successors:
+                    if v >= 0 and v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            reach.append(seen)
+        self.reach = reach
+
+        # Thread-splitting forks: conditional branches that can send two
+        # threads of one epoch down different successors.
+        uniform = getattr(interp, "branch_uniform", {})
+        self.forks: list[tuple[int, list[int]]] = []
+        for blk in cfg.blocks:
+            succs = sorted({v for v in blk.successors if v >= 0})
+            if len(succs) < 2:
+                continue
+            # A CTA-uniform branch cannot split an epoch's threads — unless
+            # a multi-warp CTA re-evaluates it mid-epoch (a barrier-free
+            # cycle back to the branch block lets warps disagree across
+            # iterations).
+            safe = uniform.get(blk.index, False) and (
+                self.single_warp
+                or not any(blk.index in reach[v] for v in succs))
+            if not safe:
+                self.forks.append((blk.index, succs))
+
+    def concurrent(self, a, b) -> bool:
+        """Can accesses ``a`` and ``b`` execute in the same barrier epoch
+        from two distinct, unordered threads?"""
+        ua, ub = a.block, b.block
+        if a.index == b.index:
+            return True  # two lanes execute one instruction simultaneously
+        if not self.single_warp and (
+                ub in self.reach[ua] or ua in self.reach[ub]):
+            return True  # warps drift apart freely between barriers
+        for _, succs in self.forks:
+            sides_a = [s for s in succs if ua in self.reach[s]]
+            sides_b = [s for s in succs if ub in self.reach[s]]
+            if any(s1 != s2 for s1 in sides_a for s2 in sides_b):
+                return True  # divergence splits threads across the fork
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Conflict decision procedure
+# --------------------------------------------------------------------------- #
+def _sym_vals(interp, acc, sym) -> "list[int] | None":
+    """Concrete members of a symbol's (guard-refined) range."""
+    rng = interp.sym_range(sym, overrides=acc.sym_ranges)
+    if rng.is_top or rng.hi - rng.lo > _MAX_AXIS * max(rng.stride, 1):
+        return None
+    return list(range(rng.lo, rng.hi + 1, rng.stride or 1))
+
+
+def _cancellable(interp, sym: str) -> bool:
+    """Does the pair of threads see a single value for ``sym``?
+
+    Uniform loop counters cancel when every loop cycle crosses a barrier
+    (each epoch pins one iteration) *or* the CTA is a single warp (lockstep
+    pins one iteration).
+    """
+    if not interp.cancellable(sym):
+        warp = getattr(interp.ctx, "warp_size", 32)
+        info = interp.phi.get(sym)
+        return (info is not None and info.uniform
+                and interp._nthreads <= warp)
+    return True
+
+
+def _conflict(interp, a, b, allow_cancel: bool = True) -> bool:
+    """May threads t1 != t2 of one CTA touch overlapping words at a and b?"""
+    if a.value.is_top or b.value.is_top:
+        return True
+    ca = dict(a.value.coeffs)
+    cb = dict(b.value.coeffs)
+    cons_a = tuple(getattr(a, "constraints", ()))
+    cons_b = tuple(getattr(b, "constraints", ()))
+    con_syms = {s for c in cons_a + cons_b for s, _ in c.coeffs}
+    base = a.value.base.sub(b.value.base)
+    if base.is_top:
+        return True
+
+    tid_enum: list[str] = []
+    shared_axes: list[tuple[str, list[int]]] = []  # same value, both threads
+    extra_a: list[tuple[str, list[int]]] = []      # per-access phi axes
+    extra_b: list[tuple[str, list[int]]] = []
+    for s in sorted(set(ca) | set(cb) | con_syms):
+        if s in _TID_DIMS:
+            tid_enum.append(s)
+            continue
+        c_a, c_b = ca.get(s, 0), cb.get(s, 0)
+        ra = interp.sym_range(s, overrides=a.sym_ranges)
+        rb = interp.sym_range(s, overrides=b.sym_ranges)
+        shared = s.startswith("ctaid.") or (
+            allow_cancel and _cancellable(interp, s))
+        if s in con_syms:
+            # Constraints reference this symbol: enumerate it so they can
+            # filter assignments (fold only if the range is unbounded).
+            va = _sym_vals(interp, a, s)
+            vb = _sym_vals(interp, b, s)
+            if va is not None and vb is not None:
+                if shared:
+                    common = sorted(set(va) & set(vb))
+                    if not common:
+                        return False  # no epoch satisfies both refinements
+                    shared_axes.append((s, common))
+                else:
+                    in_cons_a = any(s == cs for c in cons_a
+                                    for cs, _ in c.coeffs)
+                    in_cons_b = any(s == cs for c in cons_b
+                                    for cs, _ in c.coeffs)
+                    if c_a or in_cons_a:
+                        extra_a.append((s, va))
+                    if c_b or in_cons_b:
+                        extra_b.append((s, vb))
+                continue
+        if shared:
+            if c_a - c_b:
+                base = base.add(ra.join(rb).scale(c_a - c_b))
+        else:
+            if c_a:
+                base = base.add(ra.scale(c_a))
+            if c_b:
+                base = base.add(rb.scale(-c_b))
+        if base.is_top:
+            return True
+
+    # Distinctness slack: a block dimension the addresses ignore can still
+    # distinguish the two threads (same delta, different thread).
+    slack = False
+    for dim in _TID_DIMS:
+        if dim in tid_enum:
+            continue
+        va = _sym_vals(interp, a, dim)
+        vb = _sym_vals(interp, b, dim)
+        if va is None or vb is None or len(va) > 1 or len(vb) > 1 \
+                or (va and vb and va[0] != vb[0]):
+            slack = True
+            break
+
+    def _interval_fallback() -> bool:
+        acc = base
+        for s, _ in shared_axes:
+            c_d = ca.get(s, 0) - cb.get(s, 0)
+            if c_d:
+                ra = interp.sym_range(s, overrides=a.sym_ranges)
+                rb = interp.sym_range(s, overrides=b.sym_ranges)
+                acc = acc.add(ra.join(rb).scale(c_d))
+        for s, _ in extra_a:
+            if ca.get(s, 0):
+                acc = acc.add(interp.sym_range(
+                    s, overrides=a.sym_ranges).scale(ca[s]))
+        for s, _ in extra_b:
+            if cb.get(s, 0):
+                acc = acc.add(interp.sym_range(
+                    s, overrides=b.sym_ranges).scale(-cb[s]))
+        for dim in tid_enum:
+            if ca.get(dim, 0):
+                acc = acc.add(interp.sym_range(
+                    dim, overrides=a.sym_ranges).scale(ca[dim]))
+            if cb.get(dim, 0):
+                acc = acc.add(interp.sym_range(
+                    dim, overrides=b.sym_ranges).scale(-cb[dim]))
+        return acc.is_top or acc.intersects_range(-_OVERLAP, _OVERLAP)
+
+    axes_a: list[tuple[str, list[int]]] = []
+    axes_b: list[tuple[str, list[int]]] = []
+    for dim in tid_enum:
+        va = _sym_vals(interp, a, dim)
+        vb = _sym_vals(interp, b, dim)
+        if va is None or vb is None:
+            return _interval_fallback()
+        axes_a.append((dim, va))
+        axes_b.append((dim, vb))
+    axes_a += extra_a
+    axes_b += extra_b
+
+    if not axes_a and not axes_b and not shared_axes:
+        return slack and base.intersects_range(-_OVERLAP, _OVERLAP)
+
+    def _size(axes) -> int:
+        n = 1
+        for _, vals in axes:
+            n *= len(vals)
+        return n
+
+    n_shared = _size(shared_axes)
+    n_a, n_b = _size(axes_a), _size(axes_b)
+    if n_shared * (n_a + n_b) > _MAX_WORK:
+        return _interval_fallback()
+
+    def _assignments(axes, cons, acc, coeffs, shared_assign):
+        names = [s for s, _ in axes]
+        out = []
+        for combo in itertools.product(*[vals for _, vals in axes]):
+            assign = dict(shared_assign)
+            assign.update(zip(names, combo))
+            if all(interp.constraint_sat(c, overrides=acc.sym_ranges,
+                                         assign=assign) for c in cons):
+                v = sum(coeffs.get(s, 0) * x for s, x in assign.items())
+                out.append((tuple(assign.get(d) for d in _TID_DIMS), v))
+        return out
+
+    shared_names = [s for s, _ in shared_axes]
+    window = base.hi - base.lo + 2 * _OVERLAP + 1
+    for shared_combo in itertools.product(
+            *[vals for _, vals in shared_axes]):
+        shared_assign = dict(zip(shared_names, shared_combo))
+        pool_a = _assignments(axes_a, cons_a, a, ca, shared_assign)
+        pool_b = _assignments(axes_b, cons_b, b, cb, shared_assign)
+        if not pool_a or not pool_b:
+            continue
+        if window <= 128:
+            by_val: dict[int, set] = {}
+            for t2, v2 in pool_b:
+                by_val.setdefault(v2, set()).add(t2)
+            for t1, v1 in pool_a:
+                for v2 in range(v1 + base.lo - _OVERLAP,
+                                v1 + base.hi + _OVERLAP + 1):
+                    t2s = by_val.get(v2)
+                    if not t2s:
+                        continue
+                    d = v1 - v2
+                    if not base.intersects_range(-_OVERLAP - d,
+                                                 _OVERLAP - d):
+                        continue
+                    if slack or any(t2 != t1 for t2 in t2s):
+                        return True
+        else:
+            if len(pool_a) * len(pool_b) > _MAX_PAIRS:
+                return _interval_fallback()
+            for t1, v1 in pool_a:
+                for t2, v2 in pool_b:
+                    if t1 == t2 and not slack:
+                        continue
+                    d = v1 - v2
+                    if base.intersects_range(-_OVERLAP - d, _OVERLAP - d):
+                        return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------------- #
+def _shared_accesses(interp):
+    return [a for a in interp.accesses.values()
+            if a.is_shared and a.feasible]
+
+
+def _check_races(interp: AbstractInterpretation) -> list[Finding]:
+    findings = []
+    epochs = _Epochs(interp)
+    shared = _shared_accesses(interp)
+    for i, a in enumerate(shared):
+        for b in shared[i:]:
+            if not (a.is_store or b.is_store):
+                continue
+            if not epochs.concurrent(a, b):
+                continue
+            if _conflict(interp, a, b):
+                lo, hi = sorted((a.index, b.index))
+                what = "write/write" if a.is_store and b.is_store \
+                    else "read/write"
+                findings.append(Finding(
+                    rule="race",
+                    severity=Severity.ERROR,
+                    message=(f"shared-memory {what} race: instructions "
+                             f"{lo} and {hi} can touch the same word from "
+                             f"two threads in one barrier epoch"),
+                    instr_index=lo,
+                    block=a.block,
+                ))
+    return findings
+
+
+def _check_oob(interp: AbstractInterpretation) -> list[Finding]:
+    findings = []
+    smem = interp.ctx.smem_bytes
+    buffers = tuple(getattr(interp.ctx, "buffers", ()) or ())
+    for i, acc in sorted(interp.accesses.items()):
+        if not acc.feasible:
+            continue
+        rng = interp.address_range_exact(i)
+        if rng is None:
+            continue  # constraints admit no assignment: cannot execute
+        if rng.is_top:
+            continue  # data-dependent address: nothing provable
+        if acc.is_shared:
+            bad = (rng.lo < 0 or rng.hi + 4 > smem
+                   or rng.lo % 4 != 0 or rng.stride % 4 != 0)
+            if bad:
+                findings.append(Finding(
+                    rule="oob-shared",
+                    severity=Severity.ERROR,
+                    message=(f"shared access can reach offsets "
+                             f"[{rng.lo}, {rng.hi + 3}] of a "
+                             f"{smem}-byte window"
+                             + ("" if rng.lo % 4 == 0
+                                and rng.stride % 4 == 0
+                                else " (and may be misaligned)")),
+                    instr_index=i,
+                    block=acc.block,
+                ))
+        else:
+            if not buffers:
+                continue  # no declared extents to check against
+            fits = any(rng.lo >= addr and rng.hi + 4 <= addr + nbytes
+                       for addr, nbytes in buffers)
+            if not fits:
+                findings.append(Finding(
+                    rule="oob-global",
+                    severity=Severity.ERROR,
+                    message=(f"global access spans [{rng.lo}, {rng.hi + 3}] "
+                             f"which fits no buffer passed to the kernel "
+                             f"({', '.join(f'[{a}, {a + n})' for a, n in buffers)})"),
+                    instr_index=i,
+                    block=acc.block,
+                ))
+    return findings
+
+
+def _check_redundant_barriers(interp: AbstractInterpretation) -> list[Finding]:
+    """A BAR is justified iff removing it would create a new conflicting
+    concurrent pair; phi cancellation is disabled for the spanning test
+    (removing the barrier breaks the synchronization cancellation relies
+    on), so imprecision errs toward *not* flagging."""
+    findings = []
+    cfg = interp.cfg
+    program = interp.program
+    epochs = _Epochs(interp)
+    accesses = [a for a in interp.accesses.values() if a.feasible]
+    bar_blocks = [blk.index for blk in cfg.blocks
+                  if blk.end > blk.start
+                  and program[blk.end - 1].opcode == Opcode.BAR
+                  and not guard_always_false(program[blk.end - 1])]
+    for u in bar_blocks:
+        relaxed = _Epochs(interp, relax_bar=u)
+        justified = False
+        for i, a in enumerate(accesses):
+            for b in accesses[i:]:
+                if not (a.is_store or b.is_store):
+                    continue
+                if a.is_shared != b.is_shared:
+                    continue
+                if not relaxed.concurrent(a, b):
+                    continue  # still ordered without this BAR
+                if not _conflict(interp, a, b, allow_cancel=False):
+                    continue  # does not overlap even unsynchronized
+                # The pair races without the BAR.  It is justified unless
+                # the pair *already* races with the BAR in place (then the
+                # BAR fixes nothing).
+                if not (epochs.concurrent(a, b) and _conflict(interp, a, b)):
+                    justified = True
+                    break
+            if justified:
+                break
+        if not justified:
+            bar_index = cfg.blocks[u].end - 1
+            findings.append(Finding(
+                rule="redundant-barrier",
+                severity=Severity.WARNING,
+                message=("BAR.SYNC orders no conflicting shared/global "
+                         "access pair: no two threads need it to "
+                         "synchronize"),
+                instr_index=bar_index,
+                block=u,
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def absint_findings(program, contexts) -> list[Finding]:
+    """Race/OOB/barrier findings for a kernel over its launch contexts.
+
+    Each distinct launch shape is analyzed independently; findings are
+    deduplicated by (rule, instruction) — a finding from *any* context is a
+    finding. ``redundant-barrier`` inverts that: a barrier must be
+    unjustified in *every* context to be reported.
+    """
+    seen: dict[tuple, Finding] = {}
+    bar_votes: dict[tuple, int] = {}
+    bar_finding: dict[tuple, Finding] = {}
+    n_ok = 0
+    for ctx in contexts:
+        interp = analyze(program, ctx)
+        if interp.degraded:
+            continue
+        n_ok += 1
+        for f in (_check_races(interp) + _check_oob(interp)):
+            seen.setdefault((f.rule, f.instr_index, f.message), f)
+        for f in _check_redundant_barriers(interp):
+            key = (f.rule, f.instr_index)
+            bar_votes[key] = bar_votes.get(key, 0) + 1
+            bar_finding[key] = f
+    out = list(seen.values())
+    for key, votes in bar_votes.items():
+        if votes == n_ok:  # unjustified under every analyzable context
+            out.append(bar_finding[key])
+    return sorted(out, key=lambda f: (f.rule, f.instr_index or 0))

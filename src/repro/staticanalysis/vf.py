@@ -22,6 +22,21 @@ program-analysis SDC model (PAPERS.md):
   of the dynamic register-reuse analyzer in :mod:`repro.analysis.reuse`:
   expected reads-before-redefinition per destination write, from def-use
   chains instead of a trace.
+
+Beyond the RF, the same ACE reasoning extends to the two other structures
+the campaigns target (validated by the ``static-structures`` experiment):
+
+* ``static_smem_ace`` — shared-memory bits are ACE from a store until the
+  last load that can read them (value-set intersection from the abstract
+  interpreter, :mod:`repro.staticanalysis.absint`), with the store-to-load
+  interval measured in static execution weight. Scoped to barrier epochs:
+  tiles are produce/consume state, so a word with no downstream reader
+  contributes nothing.
+* ``static_control_ace`` — control state (per-warp PC, active mask) has no
+  bytes to trace; its lifetime is the warp's weighted dynamic instruction
+  count. A PC bit is live essentially everywhere, an active-mask bit is
+  load-bearing only where control flow is non-uniform, so the estimate is
+  the loop-trip-weighted mean of the two exposures.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import GPUConfig
-from repro.arch.structures import rf_derating
+from repro.arch.structures import rf_derating, smem_derating
 from repro.isa.program import Program
 from repro.staticanalysis.cfg import (
     ControlFlowGraph,
@@ -186,4 +201,142 @@ def static_vf_report(
         avf_rf=ace * derating,
         mean_reads_per_write=mean_reads,
         dead_write_fraction=dead_fraction,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# SMEM and control-state estimators (launch-context aware)
+# --------------------------------------------------------------------------- #
+def _access_bytes(rng, smem_bytes: int) -> int:
+    """Bytes one static access's lanes can collectively touch."""
+    if rng.is_top:
+        return smem_bytes
+    words = (rng.hi - rng.lo) // max(rng.stride, 4) + 1
+    return max(4, min(smem_bytes, 4 * words))
+
+
+def static_smem_ace(program: Program, ctx) -> float:
+    """Live shared-memory byte-weight over allocated byte-weight.
+
+    For every shared store, the stored footprint is ACE from the store to
+    the *last* shared load whose abstract address set intersects it
+    (program order; loop repetition is carried by the instruction
+    weights). A stored tile nothing reads downstream — or a barrier epoch
+    that only rewrites it — contributes nothing, mirroring the
+    write-to-last-read rule of RF liveness.
+    """
+    from repro.staticanalysis.absint import analyze
+
+    smem = ctx.smem_bytes
+    if smem <= 0:
+        return 0.0
+    interp = analyze(program, ctx)
+    if interp.degraded:
+        return 0.0
+    weights = instruction_weights(interp.cfg)
+    mass = sum(weights)
+    if mass <= 0.0:
+        return 0.0
+    # Prefix weight mass: cum[i] = weight of instructions [0, i).
+    cum = [0.0]
+    for w in weights:
+        cum.append(cum[-1] + w)
+    shared = [a for a in interp.accesses.values()
+              if a.is_shared and a.feasible]
+    stores = [a for a in shared if a.is_store]
+    loads = [a for a in shared if not a.is_store]
+    live_mass = 0.0
+    for s in stores:
+        s_rng = interp.address_range(s.index)
+        last = None
+        for ld in loads:
+            if ld.index <= s.index:
+                continue
+            l_rng = interp.address_range(ld.index)
+            if s_rng.is_top or l_rng.is_top or (
+                    l_rng.lo <= s_rng.hi + 3 and s_rng.lo <= l_rng.hi + 3):
+                last = ld.index if last is None else max(last, ld.index)
+        if last is None:
+            continue
+        live_mass += _access_bytes(s_rng, smem) * (cum[last + 1] - cum[s.index])
+    return min(1.0, live_mass / (smem * mass))
+
+
+def static_control_ace(program: Program) -> float:
+    """ACE fraction of per-warp control state (PC + active mask).
+
+    Two equal-weight exposures, both integrated over the loop-trip
+    instruction weights: the PC is live for essentially the warp's whole
+    lifetime (any flip derails the remaining execution), while an
+    active-mask bit only carries architecturally-required state where
+    control flow is non-uniform — in uniform regions the mask is a
+    recomputable constant. Straight-line kernels bottom out at 0.5,
+    divergent loop nests approach 1.0.
+    """
+    cfg = build_cfg(program)
+    weights = instruction_weights(cfg)
+    mass = sum(weights)
+    if mass <= 0.0:
+        return 0.0
+    uniform = cfg.uniform_blocks()
+    divergent_mass = 0.0
+    for block in cfg.blocks:
+        if block.index in uniform:
+            continue
+        divergent_mass += sum(weights[block.start:block.end])
+    return 0.5 + 0.5 * (divergent_mass / mass)
+
+
+@dataclass(frozen=True)
+class StaticStructureReport:
+    """Static SMEM/control vulnerability estimates of one kernel."""
+
+    kernel: str
+    #: Live shared bytes-weight / allocated, context-averaged.
+    smem_ace: float
+    #: Allocated SMEM bits / physical SMEM bits (0 when no SMEM is used).
+    smem_derating: float
+    #: The SMEM headline: ``smem_ace * smem_derating``.
+    avf_smem: float
+    #: Loop-trip-weighted PC/active-mask lifetime fraction.
+    control_ace: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel}: AVF-SMEM(est) = {self.avf_smem:.4%} "
+            f"(ACE {self.smem_ace:.1%} x DF {self.smem_derating:.4f}), "
+            f"control ACE {self.control_ace:.1%}"
+        )
+
+
+def static_structure_report(
+    program: Program,
+    contexts,
+    config: GPUConfig | None = None,
+) -> StaticStructureReport:
+    """SMEM + control estimates of one kernel over its launch contexts.
+
+    Context-dependent quantities (SMEM ACE, derating) are averaged over
+    the distinct launch shapes in ``contexts``
+    (:class:`~repro.staticanalysis.launches.LaunchContext`); like the
+    RF estimator this is injection-free — geometry is a property of the
+    launch, not of any fault.
+    """
+    contexts = tuple(contexts)
+    smem_ace = 0.0
+    df = 0.0
+    if contexts:
+        smem_ace = sum(static_smem_ace(program, c)
+                       for c in contexts) / len(contexts)
+        if config is not None:
+            df = sum(smem_derating(c.smem_bytes, c.nctas, config)
+                     for c in contexts) / len(contexts)
+        else:
+            df = 1.0 if any(c.smem_bytes for c in contexts) else 0.0
+    return StaticStructureReport(
+        kernel=program.name,
+        smem_ace=smem_ace,
+        smem_derating=df,
+        avf_smem=smem_ace * df,
+        control_ace=static_control_ace(program),
     )

@@ -2,7 +2,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.analysis.trends import compare_trends
+from repro.analysis.trends import compare_trends, spearman
 
 
 def test_identical_metrics_all_consistent():
@@ -55,3 +55,37 @@ def test_partition_property(metric):
 def test_row_rendering():
     cmp = compare_trends({"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 1.0})
     assert "100%" in cmp.row()
+
+
+def test_spearman_perfect_and_reversed():
+    a = {"a": 1.0, "b": 2.0, "c": 3.0}
+    b = {"a": 3.0, "b": 2.0, "c": 1.0}
+    assert spearman(a, a) == pytest.approx(1.0)
+    assert spearman(a, b) == pytest.approx(-1.0)
+
+
+def test_spearman_key_mismatch_rejected():
+    with pytest.raises(ValueError):
+        spearman({"a": 1.0, "b": 2.0}, {"a": 1.0, "c": 2.0})
+
+
+def test_spearman_constant_metric_warns_not_nan(caplog):
+    a = {"a": 1.0, "b": 2.0, "c": 3.0}
+    const = {"a": 0.5, "b": 0.5, "c": 0.5}
+    with caplog.at_level("WARNING", logger="repro.analysis.trends"):
+        rho = spearman(a, const)
+    assert rho == 0.0  # not NaN — np.corrcoef would warn and return NaN
+    assert "degenerate" in caplog.text and "metric B" in caplog.text
+
+
+def test_spearman_both_metrics_constant(caplog):
+    const = {"a": 0.5, "b": 0.5}
+    with caplog.at_level("WARNING", logger="repro.analysis.trends"):
+        assert spearman(const, const) == 0.0
+    assert "both metrics" in caplog.text
+
+
+def test_spearman_single_workload_warns(caplog):
+    with caplog.at_level("WARNING", logger="repro.analysis.trends"):
+        assert spearman({"a": 1.0}, {"a": 2.0}) == 0.0
+    assert "rank order undefined" in caplog.text

@@ -1,5 +1,9 @@
 from repro.arch import Structure, quadro_gv100_like, structure_bits, structure_inventory
-from repro.arch.structures import CACHE_STRUCTURES
+from repro.arch.structures import (
+    CACHE_STRUCTURES,
+    smem_allocation_bits,
+    smem_derating,
+)
 
 
 def test_inventory_covers_all_structures():
@@ -41,3 +45,20 @@ def test_cache_group():
 def test_per_sm_property():
     assert Structure.RF.per_sm
     assert not Structure.L2.per_sm
+
+
+def test_smem_allocation_bits():
+    assert smem_allocation_bits(1024, 4) == 1024 * 8 * 4
+    assert smem_allocation_bits(0, 16) == 0
+
+
+def test_smem_derating_is_allocated_fraction_clamped():
+    config = quadro_gv100_like()
+    system = structure_bits(Structure.SMEM, config)
+    assert smem_derating(0, 1, config) == 0.0
+    # Allocating exactly the system's SMEM saturates the derating factor,
+    # and over-subscription clamps at 1 rather than overshooting.
+    assert smem_derating(system // 8, 1, config) == 1.0
+    assert smem_derating(system // 8, 100, config) == 1.0
+    half = smem_derating(system // 16, 1, config)
+    assert half == 0.5

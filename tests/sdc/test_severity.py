@@ -79,6 +79,40 @@ def test_kmeans_metric_tolerates_small_misassignment():
     assert verdict.severity is SDCSeverity.CRITICAL
 
 
+def test_pathfinder_metric_keyed_on_cheapest_path():
+    from repro.kernels import get_application
+
+    get_application("pathfinder")
+
+    golden = {"result": np.array([7, 3, 9, 5], dtype=np.int32)}
+    faulty = {"result": golden["result"].copy()}
+    faulty["result"][2] = 11  # a non-minimal cell moved: answer unchanged
+    verdict = classify_sdc("pathfinder", faulty, golden)
+    assert verdict.severity is SDCSeverity.TOLERABLE
+    assert verdict.score == 0.75
+    faulty["result"][1] = 4  # the minimum itself moved: critical
+    verdict = classify_sdc("pathfinder", faulty, golden)
+    assert verdict.severity is SDCSeverity.CRITICAL
+
+
+def test_nw_metric_tolerates_one_gap_penalty():
+    from repro.kernels import get_application
+
+    get_application("nw")
+
+    golden = {"matrix": np.arange(9, dtype=np.int32).reshape(3, 3)}
+    faulty = {"matrix": golden["matrix"].copy()}
+    faulty["matrix"][0, 0] = 99  # interior noise, score cell intact
+    assert classify_sdc("nw", faulty, golden).severity \
+        is SDCSeverity.TOLERABLE
+    faulty["matrix"][-1, -1] += 10  # exactly one penalty: still tolerable
+    assert classify_sdc("nw", faulty, golden).severity \
+        is SDCSeverity.TOLERABLE
+    faulty["matrix"][-1, -1] += 1  # beyond one penalty: critical
+    assert classify_sdc("nw", faulty, golden).severity \
+        is SDCSeverity.CRITICAL
+
+
 def test_bfs_metric_is_exact():
     from repro.kernels import get_application
 

@@ -1,0 +1,141 @@
+"""Abstract-domain units: strided intervals, affine values, constraints."""
+
+from repro.isa import assemble
+from repro.staticanalysis.absint import (
+    SI,
+    SI_TOP,
+    AVal,
+    Constraint,
+    _atom_constraint,
+    Atom,
+    analyze,
+    aval_add,
+    aval_const,
+    aval_scale,
+    aval_sub,
+)
+from repro.staticanalysis.launches import LaunchContext
+
+
+# ------------------------------------------------------------ SI domain
+
+def test_si_singleton_and_range():
+    s = SI(5)
+    assert s.is_singleton and s.lo == s.hi == 5 and s.stride == 0
+    r = SI(0, 12, 4)
+    assert r.contains(8) and not r.contains(6) and not r.contains(16)
+
+
+def test_si_join_computes_gcd_stride():
+    a = SI(0, 8, 4)
+    b = SI(2, 10, 4)
+    j = a.join(b)
+    assert j.lo == 0 and j.hi == 10
+    assert j.stride == 2  # gcd(4, 4, offset 2)
+    for v in (0, 4, 8, 2, 6, 10):
+        assert j.contains(v)
+
+
+def test_si_add_and_scale():
+    a = SI(0, 12, 4)
+    assert a.add(SI(3)) == SI(3, 15, 4)
+    assert a.scale(2) == SI(0, 24, 8)
+    assert a.scale(0) == SI(0)
+
+
+def test_si_meet_range():
+    a = SI(0, 100, 4)
+    m = a.meet_range(10, 20)
+    assert m is not None and m.lo == 12 and m.hi == 20
+    assert a.meet_range(101, 200) is None
+    assert a.meet_range(1, 3) is None  # stride excludes everything
+
+
+def test_si_top_and_mod32_containment():
+    assert SI_TOP.is_top
+    # uint32 wraparound: -4 and 0xFFFFFFFC are the same word.
+    s = SI(-4)
+    assert s.contains_mod32(0xFFFFFFFC)
+
+
+# ------------------------------------------------------------ AVal domain
+
+def test_aval_affine_arithmetic():
+    tid = AVal((("tid.x", 1),), SI(0), True)
+    v = aval_add(aval_scale(tid, 4), aval_const(16))
+    assert v.coeffs == (("tid.x", 4),)
+    assert v.base == SI(16)
+    d = aval_sub(v, v)
+    assert d.coeffs == () and d.base == SI(0)
+
+
+def test_aval_sub_cancels_symbols():
+    a = AVal((("tid.x", 2), ("ctaid.x", 1)), SI(0), False)
+    b = AVal((("tid.x", 2),), SI(5), False)
+    d = aval_sub(a, b)
+    assert d.coeffs == (("ctaid.x", 1),)
+    assert d.base == SI(-5)
+
+
+# ------------------------------------------------------- constraints
+
+def test_atom_constraint_from_relational_atom():
+    # tid.x < 10  ==>  1*tid.x in (-inf, 9]
+    lhs = AVal((("tid.x", 1),), SI(0), False)
+    atom = Atom(reg=0, op="LT", rhs=SI(10), signed=True,
+                lhs_val=lhs, rhs_val=aval_const(10))
+    con = _atom_constraint(atom)
+    assert con is not None
+    assert con.coeffs == (("tid.x", 1),)
+    assert con.lo is None and con.hi == 9
+
+
+def test_constraint_sat_filters_assignments():
+    prog = assemble(
+        """
+        S2R R0, SR_TID.X
+        ISETP.LT P0, R0, 0x8
+    @P0 SHL R1, R0, 0x2
+    @P0 ST [R1], R0
+        EXIT
+    """
+    )
+    ctx = LaunchContext(kernel=prog.name, grid=(1, 1), block=(32, 1),
+                        const_bank=(), buffers=((0, 32),))
+    interp = analyze(prog, ctx)
+    st_index = 3
+    acc = interp.accesses[st_index]
+    cons = [c for c in acc.constraints if c.coeffs]
+    assert cons, "the guard should leave a relational constraint"
+    con = cons[0]
+    assert interp.constraint_sat(con, overrides=acc.sym_ranges,
+                                 assign={"tid.x": 3})
+    assert not interp.constraint_sat(con, overrides=acc.sym_ranges,
+                                     assign={"tid.x": 20})
+
+
+def test_guarded_store_address_range_honours_constraint():
+    # Without the tid < 8 guard the store would span 128 bytes; the
+    # constraint-aware exact range must stop at 8 * 4 = 32.
+    prog = assemble(
+        """
+        S2R R0, SR_TID.X
+        ISETP.LT P0, R0, 0x8
+    @P0 SHL R1, R0, 0x2
+    @P0 ST [R1], R0
+        EXIT
+    """
+    )
+    ctx = LaunchContext(kernel=prog.name, grid=(1, 1), block=(32, 1),
+                        const_bank=(), buffers=((0, 32),))
+    interp = analyze(prog, ctx)
+    rng = interp.address_range_exact(3)
+    assert rng is not None
+    assert rng.lo == 0 and rng.hi == 28
+
+
+def test_constraint_sort_key_is_total():
+    a = Constraint((("tid.x", 1),), None, 9)
+    b = Constraint((("tid.x", 1),), 0, None)
+    assert sorted([a, b], key=Constraint.sort_key) \
+        == sorted([b, a], key=Constraint.sort_key)

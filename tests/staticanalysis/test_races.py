@@ -1,0 +1,161 @@
+"""Launch-aware value-set rules: race, oob-shared, oob-global,
+redundant-barrier.
+
+Each test assembles a deliberately defective kernel and checks that the
+rule fires under a hand-built :class:`LaunchContext`, plus the matching
+"fixed" kernel stays clean — the rules must separate the two.
+"""
+
+from repro.isa import assemble
+from repro.staticanalysis import Waiver, lint_program
+from repro.staticanalysis.launches import LaunchContext
+from repro.staticanalysis.races import absint_findings
+
+# smem[tid] written, smem[tid + 1] read with no barrier in between: with
+# two warps in the block, warp 0's read of word 32 races warp 1's write.
+_RACY = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    IADD R2, R1, 0x4
+    LDS R3, [R2]
+    EXIT
+""",
+    name="t_racy",
+)
+
+_FIXED = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    BAR.SYNC
+    IADD R2, R1, 0x4
+    LDS R3, [R2]
+    EXIT
+""",
+    name="t_fixed",
+)
+
+# Each thread touches only its own word: the barrier orders nothing.
+_USELESS_BAR = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    BAR.SYNC
+    LDS R2, [R1]
+    EXIT
+""",
+    name="t_useless_bar",
+)
+
+# ST at c[0x0][0x0] + 4*tid with 32 threads spans 128 bytes of a 64-byte
+# buffer; the STS twin overruns the shared window the same way.
+_OOB = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    IADD R2, R1, c[0x0][0x0]
+    ST [R2], R0
+    EXIT
+""",
+    name="t_oob",
+)
+
+
+def _ctx(program, block=(64, 1), smem_bytes=512, const_bank=(), buffers=()):
+    return LaunchContext(
+        kernel=program.name,
+        grid=(1, 1),
+        block=block,
+        const_bank=const_bank,
+        buffers=buffers,
+        smem_bytes=smem_bytes,
+    )
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def test_missing_barrier_race_is_flagged():
+    findings = absint_findings(_RACY, [_ctx(_RACY)])
+    races = [f for f in findings if f.rule == "race"]
+    assert races, findings
+    assert "read/write" in races[0].message
+    assert races[0].instr_index == 2  # anchored at the earlier access
+
+
+def test_barrier_fixes_the_race_and_is_justified():
+    findings = absint_findings(_FIXED, [_ctx(_FIXED)])
+    assert rules_of(findings) == set(), findings
+
+
+def test_single_warp_block_cannot_race_across_instructions():
+    # One warp executes in lockstep: STS finishes before LDS starts.
+    findings = absint_findings(_RACY, [_ctx(_RACY, block=(32, 1))])
+    assert "race" not in rules_of(findings), findings
+
+
+def test_redundant_barrier_is_flagged():
+    findings = absint_findings(_USELESS_BAR, [_ctx(_USELESS_BAR)])
+    bars = [f for f in findings if f.rule == "redundant-barrier"]
+    assert len(bars) == 1, findings
+    assert bars[0].instr_index == 3
+
+
+def test_oob_global_and_shared_are_flagged():
+    ctx = _ctx(_OOB, block=(32, 1), smem_bytes=64,
+               const_bank=(4096,), buffers=((4096, 64),))
+    findings = absint_findings(_OOB, [ctx])
+    assert {"oob-global", "oob-shared"} <= rules_of(findings), findings
+    oob_g = next(f for f in findings if f.rule == "oob-global")
+    assert oob_g.instr_index == 4
+    oob_s = next(f for f in findings if f.rule == "oob-shared")
+    assert oob_s.instr_index == 2
+
+
+def test_bigger_extents_make_the_same_kernel_clean():
+    ctx = _ctx(_OOB, block=(32, 1), smem_bytes=128,
+               const_bank=(4096,), buffers=((4096, 128),))
+    findings = absint_findings(_OOB, [ctx])
+    assert rules_of(findings) & {"oob-global", "oob-shared"} == set(), findings
+
+
+def test_findings_dedup_across_contexts():
+    # The same defect under two launch shapes reports once per message.
+    c64 = _ctx(_RACY)
+    c128 = _ctx(_RACY, block=(128, 1))
+    findings = absint_findings(_RACY, [c64, c128])
+    races = [f for f in findings if f.rule == "race"]
+    assert len(races) == len({(f.instr_index, f.message) for f in races})
+
+
+def test_suite_kernels_lint_clean_with_launch_contexts():
+    """The CI gate, launch-aware: all 23 kernels pass the value-set rules
+    under their real launch shapes, modulo the reviewed waivers."""
+    from repro.kernels import kernel_programs, lint_waivers
+    from repro.staticanalysis.launches import suite_launch_contexts
+
+    ctxs = suite_launch_contexts()
+    for (app, kernel), program in sorted(kernel_programs().items()):
+        report = lint_program(program, waivers=lint_waivers(kernel),
+                              launches=ctxs[(app, kernel)])
+        assert report.ok, f"{app}/{kernel}:\n{report.render()}"
+
+
+def test_lint_program_integration_and_waivers():
+    report = lint_program(_RACY, launches=(_ctx(_RACY),))
+    assert not report.ok
+    assert report.by_rule("race")
+    waived = lint_program(
+        _RACY,
+        waivers=(Waiver(rule="race", reason="intentional test defect"),
+                 Waiver(rule="dead-write")),  # R3 is a sink on purpose
+        launches=(_ctx(_RACY),),
+    )
+    assert waived.ok
+    assert waived.waived

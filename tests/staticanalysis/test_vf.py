@@ -10,8 +10,12 @@ from repro.staticanalysis import (
     build_cfg,
     instruction_weights,
     static_avf_rf,
+    static_control_ace,
+    static_smem_ace,
+    static_structure_report,
     static_vf_report,
 )
+from repro.staticanalysis.launches import LaunchContext
 
 
 def test_weights_scale_with_loop_depth():
@@ -127,3 +131,83 @@ def test_static_avf_rf_uses_launch_geometry(gv100):
     # Explicit derating wins over geometry.
     report = static_vf_report(prog, derating=0.25)
     assert report.avf_rf == pytest.approx(report.ace_fraction * 0.25)
+
+
+# ------------------------------------------------- SMEM / control estimates
+
+_SMEM_ROUNDTRIP = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    BAR.SYNC
+    LDS R2, [R1]
+    MOV R3, 0x0
+    ST [R3], R2
+    EXIT
+""",
+    name="smem_rt",
+)
+
+_SMEM_WRITE_ONLY = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    STS [R1], R0
+    EXIT
+""",
+    name="smem_wo",
+)
+
+
+def _ctx(prog, smem_bytes=128):
+    return LaunchContext(kernel=prog.name, grid=(1, 1), block=(32, 1),
+                         const_bank=(), buffers=((0, 128),),
+                         smem_bytes=smem_bytes)
+
+
+def test_static_smem_ace_store_to_last_load():
+    ace = static_smem_ace(_SMEM_ROUNDTRIP, _ctx(_SMEM_ROUNDTRIP))
+    assert 0.0 < ace <= 1.0
+
+
+def test_static_smem_ace_zero_without_loads():
+    # A store nothing ever reads back carries no live interval.
+    assert static_smem_ace(_SMEM_WRITE_ONLY, _ctx(_SMEM_WRITE_ONLY)) == 0.0
+
+
+def test_static_control_ace_floor_and_divergence():
+    # Straight-line code: only the PC half of the control state is
+    # load-bearing, so the estimate sits exactly on the 0.5 floor.
+    assert static_control_ace(_SMEM_ROUNDTRIP) == pytest.approx(0.5)
+    # Half the warp skips the middle block: its mask bits carry state.
+    divergent = assemble(
+        """
+        S2R R0, SR_TID.X
+        ISETP.LT P0, R0, 0x10
+    @P0 BRA skip
+        IADD R1, R0, 0x1
+    skip:
+        EXIT
+    """
+    )
+    assert static_control_ace(divergent) > 0.5
+
+
+def test_static_structure_report_composes(gv100):
+    ctx = _ctx(_SMEM_ROUNDTRIP)
+    report = static_structure_report(_SMEM_ROUNDTRIP, [ctx], gv100)
+    assert report.kernel == "smem_rt"
+    assert report.avf_smem == pytest.approx(
+        report.smem_ace * report.smem_derating)
+    assert 0.0 < report.smem_derating <= 1.0
+    assert report.control_ace == pytest.approx(0.5)
+    assert "smem_rt" in report.summary()
+
+
+def test_static_structure_report_no_smem(gv100):
+    prog = assemble("MOV R1, 0x0\nST [R1], R1\nEXIT", name="nosmem")
+    report = static_structure_report(prog, [_ctx(prog, smem_bytes=0)], gv100)
+    assert report.smem_ace == 0.0
+    assert report.smem_derating == 0.0
+    assert report.avf_smem == 0.0

@@ -50,6 +50,34 @@ def test_lint_unknown_selector(capsys):
     assert "unknown app/kernel" in capsys.readouterr().err
 
 
+def test_lint_json_format(capsys):
+    import json
+
+    assert main(["lint", "all", "--format", "json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert records, "the suite's waived findings must appear in the JSON"
+    assert all(r["waived"] for r in records)
+    keys = {"rule", "app", "kernel", "pc", "severity", "message", "waived"}
+    assert all(keys <= set(r) for r in records)
+
+
+def test_lint_json_reports_unwaived_findings(capsys):
+    import json
+
+    assert main(["lint", "lud_k2", "--format", "json", "--no-waivers"]) == 1
+    records = json.loads(capsys.readouterr().out)
+    races = [r for r in records if r["rule"] == "race"]
+    assert races and not any(r["waived"] for r in races)
+    assert all(r["severity"] == "error" for r in races)
+
+
+def test_lint_no_launches_skips_launch_rules(capsys):
+    # Without launch geometry the race/OOB rules cannot run, so the
+    # bit-sliced lud_k2 races disappear even with waivers disabled.
+    assert main(["lint", "lud_k2", "--no-launches", "--no-waivers"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
 def test_staticvf_table(capsys):
     assert main(["staticvf", "va"]) == 0
     out = capsys.readouterr().out
@@ -60,6 +88,19 @@ def test_staticvf_all(capsys):
     assert main(["staticvf", "all"]) == 0
     out = capsys.readouterr().out
     assert "bfs_k1" in out and "hotspot_k1" in out
+
+
+def test_staticvf_smem_structure(capsys):
+    assert main(["staticvf", "nw", "--structure", "smem"]) == 0
+    out = capsys.readouterr().out
+    assert "SMEM ACE" in out and "AVF-SMEM" in out
+    assert "nw_k1" in out and "nw_k2" in out
+
+
+def test_staticvf_control_structure(capsys):
+    assert main(["staticvf", "va_k1", "--structure", "control"]) == 0
+    out = capsys.readouterr().out
+    assert "ctrl ACE" in out and "va_k1" in out
 
 
 def test_campaign_run_and_status(capsys, tmp_cache):

@@ -1,0 +1,66 @@
+"""Run-ledger cost: recording a completed campaign must stay within a
+few percent of the identical unrecorded run, and the tallies must match
+bit for bit (the store is observability, never behaviour).
+
+Same protocol as the telemetry benchmark: the ledger writes one upsert
+per *campaign* (never per trial), so the budget is <=2% overhead on a
+200-trial run. Each variant is timed three times interleaved and the
+minima are compared; the assertion allows 5% for shared-box timer noise.
+"""
+
+import time
+
+import pytest
+
+from repro.arch.config import tesla_v100_like
+from repro.fi import CampaignSpec, profile_app, run_campaign
+from repro.kernels import get_application
+
+APP, KERNEL, TRIALS, SEED = "bfs", "bfs_k1", 200, 1
+
+
+def _campaign(profile):
+    return run_campaign(
+        CampaignSpec(level="sw", app=APP, kernel=KERNEL,
+                     config=tesla_v100_like(), trials=TRIALS, seed=SEED,
+                     workers=1, use_cache=False),
+        profile=profile)
+
+
+def test_store_overhead_within_budget(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "ledger.sqlite3"))
+    config = tesla_v100_like()
+    profile = profile_app(get_application(APP), config)
+
+    monkeypatch.setenv("REPRO_STORE", "1")
+    _campaign(profile)  # warm caches/imports AND the ledger schema
+
+    def run_with_store(store: str):
+        monkeypatch.setenv("REPRO_STORE", store)
+        return _campaign(profile)
+
+    plain_times, recorded_times = [], []
+    plain = recorded = None
+    for _ in range(3):  # interleave so drift hits both variants equally
+        start = time.perf_counter()
+        plain = run_with_store("0")
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        recorded = run_with_store("1")
+        recorded_times.append(time.perf_counter() - start)
+    benchmark.pedantic(lambda: run_with_store("1"), rounds=1, iterations=1)
+
+    assert recorded.counts == plain.counts  # behaviour unchanged
+    plain_s, recorded_s = min(plain_times), min(recorded_times)
+    overhead = recorded_s / plain_s - 1.0
+    print(f"\n{TRIALS}-trial {APP}/{KERNEL} sw campaign: "
+          f"store off {plain_s:.2f}s, on {recorded_s:.2f}s "
+          f"({overhead:+.1%} overhead, min of 3)")
+    assert overhead <= 0.05, (
+        f"run-ledger overhead {overhead:.1%} exceeds budget "
+        f"(target <=2%, assert at 5% for timer noise)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

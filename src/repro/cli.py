@@ -17,6 +17,14 @@ Usage::
     python -m repro.cli campaign report .repro_cache/telemetry/<key>.jsonl
     python -m repro.cli campaign status
     python -m repro.cli campaign run kmeans --level uarch --sdc-anatomy
+    python -m repro.cli campaign ls --app va --level uarch
+    python -m repro.cli campaign history va --structure rf
+    python -m repro.cli campaign show <campaign key>
+    python -m repro.cli campaign watch <campaign key>
+    python -m repro.cli campaign backfill
+    python -m repro.cli campaign gc --yes
+    python -m repro.cli perf record nightly <key> --out baseline.json
+    python -m repro.cli perf check <key> --baseline baseline.json --bench .
     python -m repro.cli sdc profile <campaign key> --by site
     python -m repro.cli sdc report
 
@@ -554,6 +562,295 @@ def _cmd_campaign_status(_args) -> int:
     return 0
 
 
+def _open_ledger():
+    """The run ledger, or None (error printed) when none exists yet.
+
+    Opening creates the database, so query commands check for the file
+    first — a pointless empty ledger in the cache dir would be this CLI's
+    only side effect.
+    """
+    from repro.store import RunLedger, store_path
+
+    path = store_path()
+    if not path.exists():
+        print(f"no run ledger at {path}; run a campaign (REPRO_STORE=1 is "
+              f"the default) or 'campaign backfill' to index the cache",
+              file=sys.stderr)
+        return None
+    return RunLedger(path)
+
+
+def _run_table(rows) -> None:
+    header = (f"{'key':<14} {'level':<8} {'tag':<44} {'trials':>6} "
+              f"{'fail%':>7} {'vf':>8} {'src':<8}")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(f"{r['cache_key'][:12]:<14} {r['level']:<8} "
+              f"{r['tag'][:44]:<44} {r['trials']:>6} "
+              f"{r['failure_rate']:>7.1%} {r['vf']:>8.4f} {r['source']:<8}")
+
+
+def _cmd_campaign_ls(args) -> int:
+    ledger = _open_ledger()
+    if ledger is None:
+        return 2
+    with ledger:
+        rows = ledger.runs(app=args.app, kernel=args.kernel,
+                           level=args.level, structure=args.structure,
+                           fault_model=args.fault_model, tag=args.tag)
+    if not rows:
+        print("no recorded campaigns match")
+        return 0
+    _run_table(rows)
+    print(f"{len(rows)} recorded campaign(s)")
+    return 0
+
+
+def _cmd_campaign_history(args) -> int:
+    ledger = _open_ledger()
+    if ledger is None:
+        return 2
+    with ledger:
+        rows = ledger.history(args.app, kernel=args.kernel,
+                              level=args.level, structure=args.structure)
+    if not rows:
+        print(f"no recorded campaigns for {args.app}")
+        return 0
+    # One trend block per spec family (same cell, any seed/budget),
+    # oldest first — the cross-campaign AVF/SVF trend, no payloads read.
+    by_family: dict[str, list] = {}
+    for r in rows:
+        by_family.setdefault(r["spec_fingerprint"], []).append(r)
+    for family in by_family.values():
+        print(f"{family[0]['tag']}  ({len(family)} run(s))")
+        print(f"  {'key':<14} {'seed':>5} {'trials':>6} {'masked':>6} "
+              f"{'sdc':>5} {'fail%':>7} {'vf':>8}")
+        for r in family:
+            print(f"  {r['cache_key'][:12]:<14} {r['seed']:>5} "
+                  f"{r['trials']:>6} {r['masked']:>6} {r['sdc']:>5} "
+                  f"{r['failure_rate']:>7.1%} {r['vf']:>8.4f}")
+        vfs = [r["vf"] for r in family]
+        if len(vfs) > 1:
+            print(f"  vf range {min(vfs):.4f} .. {max(vfs):.4f} "
+                  f"(last {vfs[-1]:.4f})")
+        print()
+    return 0
+
+
+def _cmd_campaign_show(args) -> int:
+    ledger = _open_ledger()
+    if ledger is None:
+        return 2
+    with ledger:
+        row = ledger.get(args.key)
+        if row is None:
+            matches = [r for r in ledger.runs()
+                       if r["cache_key"].startswith(args.key)]
+            if len(matches) == 1:
+                row = matches[0]
+            elif matches:
+                print(f"{args.key!r} is ambiguous: "
+                      + ", ".join(m["cache_key"][:16] for m in matches),
+                      file=sys.stderr)
+                return 2
+        if row is None:
+            print(f"no recorded campaign {args.key!r}", file=sys.stderr)
+            return 1
+        perf = ledger.perf_samples(row["cache_key"])
+    import datetime
+
+    for name in ("cache_key", "tag", "spec_fingerprint", "level", "app",
+                 "kernel", "structure", "config", "fault_model", "target",
+                 "hardened", "sdc_anatomy", "seed", "trials",
+                 "planned_trials", "stopped_early", "masked", "sdc",
+                 "timeout", "due", "crash", "failure_rate", "derating",
+                 "vf", "kernel_cycles", "kernel_instructions",
+                 "control_path_masked", "source", "observations"):
+        print(f"  {name:<20} {row[name]}")
+    when = datetime.datetime.fromtimestamp(row["recorded_at"])
+    print(f"  {'recorded_at':<20} {when:%Y-%m-%d %H:%M:%S}")
+    if perf:
+        print(f"  perf samples ({len(perf)}):")
+        for p in perf:
+            print(f"    {p['trials']:>5} trial(s) w{p['workers']}: "
+                  f"{p['trials_per_sec']:.2f} trials/s, "
+                  f"p99 {p['latency_p99'] * 1e3:.1f} ms "
+                  f"[{p['source']}]")
+    return 0
+
+
+def _cmd_campaign_watch(args) -> int:
+    from pathlib import Path
+
+    from repro.store import watch
+
+    key = Path(args.target).stem  # bare key, journal path, events path all
+                                  # reduce to the campaign key
+    snap = watch(key, interval=args.interval, once=args.once)
+    if not snap.committed and not snap.running:
+        print(f"nothing to watch for {key!r}: no journal, no cached "
+              f"result", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_backfill(args) -> int:
+    from repro.fi.journal import cache_dir
+    from repro.store import RunLedger, store_path
+
+    with RunLedger(store_path()) as ledger:
+        imported, skipped = ledger.backfill(args.cache_dir or cache_dir())
+    print(f"backfilled {imported} cached campaign(s) into {store_path()}"
+          + (f" ({skipped} unreadable payload(s) skipped)" if skipped
+             else ""))
+    return 0
+
+
+def _cmd_campaign_gc(args) -> int:
+    from repro.fi import default_trials
+    from repro.fi.campaign import CACHE_VERSION
+    from repro.fi.journal import cache_dir, list_journals
+    from repro.fi.runner import journal_validity
+
+    doomed: list = []  # (path, why)
+    d = cache_dir()
+    for path in sorted(d.glob("*.corrupt")) if d.is_dir() else []:
+        doomed.append((path, "quarantined corrupt cache entry"))
+    current_trials = default_trials()
+    for info in list_journals():
+        resumable, reason = journal_validity(
+            info.meta, info.records, current_trials, CACHE_VERSION)
+        if not resumable:
+            doomed.append((d / "journal" / f"{info.key}.jsonl",
+                           f"stale journal ({reason})"))
+    if not doomed:
+        print("nothing to prune")
+        return 0
+    total = 0
+    for path, why in doomed:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        total += size
+        verb = "deleting" if args.yes else "would delete"
+        print(f"  {verb} {path} ({size} bytes): {why}")
+        if args.yes:
+            try:
+                path.unlink()
+            except OSError as exc:
+                print(f"    could not delete: {exc}", file=sys.stderr)
+    action = "reclaimed" if args.yes else "reclaimable (re-run with --yes)"
+    print(f"{len(doomed)} file(s), {total} bytes {action}")
+    return 0
+
+
+def _perf_metrics_from_target(target: str):
+    """Resolve a ``perf`` target (events path / journal / key) to
+    ``(PerfMetrics, key)`` or ``(None, None)`` with the error printed."""
+    from repro.store import PerfMetrics
+    from repro.telemetry import read_events, summarize_events
+
+    events_path = _resolve_report_events(target)
+    if events_path is None:
+        return None, None
+    events = read_events(events_path)
+    if not events:
+        print(f"{events_path} holds no events", file=sys.stderr)
+        return None, None
+    return (PerfMetrics.from_summary(summarize_events(events)),
+            events_path.stem)
+
+
+def _cmd_perf_record(args) -> int:
+    from repro.store import RunLedger, store_path, write_baseline_file
+
+    metrics, key = _perf_metrics_from_target(args.target)
+    if metrics is None:
+        return 2
+    with RunLedger(store_path()) as ledger:
+        ledger.set_baseline(args.name, metrics, cache_key=key,
+                            note=args.note)
+        ledger.record_perf(key, metrics, source="perf-record")
+    print(f"baseline {args.name!r}: {metrics.trials} trial(s), "
+          f"{metrics.trials_per_sec:.2f} trials/s, "
+          f"p99 {metrics.latency_p99 * 1e3:.1f} ms -> {store_path()}")
+    if args.out:
+        path = write_baseline_file(args.out, args.name, metrics,
+                                   note=args.note)
+        print(f"baseline file: {path}")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from repro.store import (RunLedger, check_metrics, load_baseline_file,
+                             render_verdict, store_path, write_bench_artifact)
+
+    metrics, key = _perf_metrics_from_target(args.target)
+    if metrics is None:
+        return 2
+    name = args.name
+    if args.baseline:
+        file_name, baseline = load_baseline_file(args.baseline)
+        name = name or file_name or "baseline"
+    else:
+        if not name:
+            print("perf check needs --name (a recorded baseline) or "
+                  "--baseline FILE", file=sys.stderr)
+            return 2
+        ledger = _open_ledger()
+        if ledger is None:
+            return 2
+        with ledger:
+            baseline = ledger.get_baseline(name)
+        if baseline is None:
+            print(f"no baseline {name!r} in the ledger; record one with "
+                  f"'perf record'", file=sys.stderr)
+            return 2
+    from repro.store import DEFAULT_LATENCY_TOL, DEFAULT_THROUGHPUT_TOL
+
+    verdict = check_metrics(
+        metrics, baseline, name=name,
+        latency_tol=(args.latency_tol if args.latency_tol is not None
+                     else DEFAULT_LATENCY_TOL),
+        throughput_tol=(args.throughput_tol
+                        if args.throughput_tol is not None
+                        else DEFAULT_THROUGHPUT_TOL))
+    print(render_verdict(verdict))
+    if args.bench:
+        trajectory: list = []
+        path = store_path()
+        if path.exists():
+            with RunLedger(path) as ledger:
+                ledger.record_perf(key, metrics, source="perf-check")
+                trajectory = ledger.perf_samples(key)
+        artifact = write_bench_artifact(args.bench, verdict, metrics,
+                                        baseline, trajectory)
+        print(f"bench artifact: {artifact}")
+    return 0 if verdict.ok else 1
+
+
+def _cmd_perf_ls(_args) -> int:
+    ledger = _open_ledger()
+    if ledger is None:
+        return 2
+    with ledger:
+        baselines = ledger.baselines()
+        samples = ledger.perf_samples()
+    if baselines:
+        print("named baselines:")
+        for b in baselines:
+            print(f"  {b['name']:<20} {b['trials']:>5} trial(s) "
+                  f"w{b['workers']}  {b['trials_per_sec']:>8.2f} trials/s  "
+                  f"p99 {b['latency_p99'] * 1e3:>7.1f} ms"
+                  + (f"  ({b['note']})" if b['note'] else ""))
+    else:
+        print("no named baselines (record one with 'perf record')")
+    print(f"{len(samples)} perf sample(s) recorded")
+    return 0
+
+
 def _resolve_sdc_records(target: str):
     """Map a ``sdc profile`` target to its anatomy records.
 
@@ -792,6 +1089,99 @@ def main(argv: list[str] | None = None) -> int:
     cstatus = campaign_sub.add_parser(
         "status", help="list in-flight journals and cached results")
     cstatus.set_defaults(func=_cmd_campaign_status)
+    cls_ = campaign_sub.add_parser(
+        "ls", help="list recorded campaigns from the run ledger")
+    cls_.add_argument("--app", default=None)
+    cls_.add_argument("--kernel", default=None)
+    cls_.add_argument("--level", default=None,
+                      choices=["uarch", "sw", "sw-ld", "sw-src-transient",
+                               "sw-src-sticky"])
+    cls_.add_argument("--structure", default=None,
+                      choices=["rf", "smem", "l1d", "l1t", "l2"])
+    cls_.add_argument("--fault-model", default=None,
+                      choices=["transient", "stuck0", "stuck1",
+                               "intermittent"])
+    cls_.add_argument("--tag", default=None, metavar="SUBSTR",
+                      help="substring match on the campaign tag")
+    cls_.set_defaults(func=_cmd_campaign_ls)
+    chistory = campaign_sub.add_parser(
+        "history", help="cross-campaign trend tables for one app "
+                        "(per spec family, oldest run first)")
+    chistory.add_argument("app", help="application id")
+    chistory.add_argument("--kernel", default=None)
+    chistory.add_argument("--level", default=None,
+                          choices=["uarch", "sw", "sw-ld",
+                                   "sw-src-transient", "sw-src-sticky"])
+    chistory.add_argument("--structure", default=None,
+                          choices=["rf", "smem", "l1d", "l1t", "l2"])
+    chistory.set_defaults(func=_cmd_campaign_history)
+    cshow = campaign_sub.add_parser(
+        "show", help="every recorded field of one campaign")
+    cshow.add_argument("key", help="campaign cache key (prefix ok)")
+    cshow.set_defaults(func=_cmd_campaign_show)
+    cwatch = campaign_sub.add_parser(
+        "watch", help="live dashboard over an in-flight campaign "
+                      "(journal + telemetry tail; also renders a "
+                      "completed campaign's final frame)")
+    cwatch.add_argument("target",
+                        help="campaign key, journal path, or events path")
+    cwatch.add_argument("--interval", type=float, default=1.0, metavar="S",
+                        help="refresh interval in seconds (default 1)")
+    cwatch.add_argument("--once", action="store_true",
+                        help="render one frame and exit")
+    cwatch.set_defaults(func=_cmd_campaign_watch)
+    cbackfill = campaign_sub.add_parser(
+        "backfill", help="index existing cached campaign payloads into "
+                         "the run ledger")
+    cbackfill.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="cache directory to scan "
+                                "(default: REPRO_CACHE_DIR)")
+    cbackfill.set_defaults(func=_cmd_campaign_backfill)
+    cgc = campaign_sub.add_parser(
+        "gc", help="prune quarantined .corrupt cache entries and stale "
+                   "journals (dry-run by default)")
+    cgc.add_argument("--yes", action="store_true",
+                     help="actually delete (default: report only)")
+    cgc.set_defaults(func=_cmd_campaign_gc)
+
+    perf_parser = sub.add_parser(
+        "perf", help="performance baselines and regression gates over "
+                     "recorded campaign telemetry")
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+    precord = perf_sub.add_parser(
+        "record", help="fold a campaign's telemetry into a named baseline")
+    precord.add_argument("name", help="baseline name")
+    precord.add_argument("target",
+                         help="events .jsonl, journal path, or campaign key")
+    precord.add_argument("--note", default="", help="free-form annotation")
+    precord.add_argument("--out", default=None, metavar="FILE",
+                         help="also export the baseline as committable JSON")
+    precord.set_defaults(func=_cmd_perf_record)
+    pcheck = perf_sub.add_parser(
+        "check", help="gate a campaign's p99 latency and trials/sec "
+                      "against a baseline (exit 1 on regression)")
+    pcheck.add_argument("target",
+                        help="events .jsonl, journal path, or campaign key")
+    pcheck.add_argument("--name", default=None,
+                        help="ledger baseline to gate against")
+    pcheck.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON file (e.g. committed in CI) "
+                             "instead of a ledger baseline")
+    pcheck.add_argument("--latency-tol", type=float, default=None,
+                        metavar="F",
+                        help="allowed p99 latency growth as a fraction "
+                             "(default 0.5 = +50%%)")
+    pcheck.add_argument("--throughput-tol", type=float, default=None,
+                        metavar="F",
+                        help="allowed trials/sec drop as a fraction "
+                             "(default 0.5 = -50%%)")
+    pcheck.add_argument("--bench", default=None, metavar="DIR",
+                        help="write the BENCH_<name>.json trajectory "
+                             "artifact into DIR")
+    pcheck.set_defaults(func=_cmd_perf_check)
+    pls = perf_sub.add_parser(
+        "ls", help="list named baselines and recorded perf samples")
+    pls.set_defaults(func=_cmd_perf_ls)
 
     sdc_parser = sub.add_parser(
         "sdc", help="inspect SDC anatomy (fingerprints, severity, profiles)")

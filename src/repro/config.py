@@ -38,6 +38,12 @@ Recognised variables:
 * ``REPRO_LOG_LEVEL`` — level of the ``repro`` logger hierarchy
   (``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL``). Unset leaves
   the logger at the stdlib default (effectively ``WARNING``).
+* ``REPRO_STORE`` — record completed campaigns to the SQLite run ledger
+  (see :mod:`repro.store`). Boolean; default **on**. Side-effect-only:
+  the ledger observes campaigns but never influences them — cache keys,
+  journals, tallies and payloads are identical either way.
+* ``REPRO_STORE_PATH`` — ledger database location (default
+  ``<cache_dir>/ledger.sqlite3``).
 """
 
 from __future__ import annotations
@@ -95,6 +101,8 @@ _ENV_VARS = (
     "REPRO_CI_HALFWIDTH",
     "REPRO_MIN_TRIALS",
     "REPRO_LOG_LEVEL",
+    "REPRO_STORE",
+    "REPRO_STORE_PATH",
 )
 
 #: Accepted spellings for boolean knobs.
@@ -207,6 +215,8 @@ class Settings:
     ci_halfwidth: float | None = None
     min_trials: int = DEFAULT_MIN_TRIALS
     log_level: str | None = None
+    store: bool = True
+    store_path: Path | None = None
 
     @classmethod
     def from_env(cls, environ=None) -> "Settings":
@@ -246,6 +256,10 @@ class Settings:
             kwargs["min_trials"] = _parse_positive_int("REPRO_MIN_TRIALS", v)
         if (v := raw("REPRO_LOG_LEVEL")) is not None:
             kwargs["log_level"] = _parse_log_level("REPRO_LOG_LEVEL", v)
+        if (v := raw("REPRO_STORE")) is not None:
+            kwargs["store"] = _parse_bool("REPRO_STORE", v)
+        if (v := raw("REPRO_STORE_PATH")) is not None:
+            kwargs["store_path"] = Path(v)
         return cls(**kwargs)
 
 

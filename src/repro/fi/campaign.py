@@ -740,6 +740,33 @@ def _campaign_telemetry(key: str, telemetry: bool | None,
     return session.telemetry(key), session, owns
 
 
+def _record_to_ledger(key: str, result: CampaignResult,
+                      session: "TelemetrySession | None") -> None:
+    """Run-ledger completion hook (``REPRO_STORE``, default on).
+
+    Observation-only and off the trial hot path: one upsert per finished
+    campaign, plus one perf sample folded from the telemetry stream when
+    the campaign kept one. Every failure downgrades to a warning — a
+    locked or read-only ledger must never fail a campaign, and the hook
+    touches nothing the campaign produced (keys, journals, tallies and
+    payloads are identical with the store on or off).
+    """
+    if not get_settings().store:
+        return
+    try:
+        from repro.store import record_completed_campaign  # late: only
+                                                           # recorders pay
+                                                           # the import
+        events_path = None
+        if session is not None and session.events_written:
+            session.flush()
+            events_path = session.path
+        record_completed_campaign(key, result.to_dict(),
+                                  events_path=events_path)
+    except Exception as exc:
+        log.warning("run ledger record failed for campaign %s: %s", key, exc)
+
+
 def _microarch_campaign(
     app, kernel, structure, config, *, trials, seed, harness_factory,
     hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
@@ -867,6 +894,7 @@ def _microarch_campaign(
         if use_cache:
             with tel.span("cache.store"):
                 _cache_store(key, result.to_dict())
+        _record_to_ledger(key, result, session)
         return result
     finally:
         if owns_session:
@@ -973,6 +1001,7 @@ def _software_campaign(
         if use_cache:
             with tel.span("cache.store"):
                 _cache_store(key, result.to_dict())
+        _record_to_ledger(key, result, session)
         return result
     finally:
         if owns_session:
@@ -1074,6 +1103,7 @@ def _source_campaign(
         if use_cache:
             with tel.span("cache.store"):
                 _cache_store(key, result.to_dict())
+        _record_to_ledger(key, result, session)
         return result
     finally:
         if owns_session:

@@ -26,7 +26,10 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.log import get_logger
 from repro.sdc.fingerprint import BIT_BUCKETS
+
+log = get_logger(__name__)
 
 __all__ = [
     "CorruptionProfile", "build_profiles", "load_journal_records",
@@ -159,7 +162,11 @@ def load_journal_records(path: Path | str) -> list[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                break  # torn tail (killed mid-write): keep the valid prefix
+                # Torn tail (killed mid-write): keep the valid prefix.
+                log.warning(
+                    "journal %s has a torn record after %d entr(ies); "
+                    "dropping the tail", Path(path).name, len(records))
+                break
             if isinstance(record, dict):
                 records.append(record)
     return records

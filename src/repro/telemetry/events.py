@@ -52,6 +52,9 @@ from pathlib import Path
 from typing import Callable
 
 from repro.config import get_settings
+from repro.log import get_logger
+
+log = get_logger(__name__)
 
 __all__ = [
     "NULL", "Telemetry", "TelemetrySession", "current_telemetry",
@@ -223,6 +226,13 @@ class TelemetrySession:
         """The parent-process emitter writing into this session."""
         return Telemetry(self.write, campaign=campaign)
 
+    def flush(self) -> None:
+        """Push buffered events to disk without ending the session, so a
+        reader (the run-ledger completion hook, ``campaign watch``) sees
+        every event emitted so far."""
+        if self._file is not None:
+            self._file.flush()
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
@@ -237,14 +247,24 @@ class TelemetrySession:
 
 
 def read_events(path: Path | str) -> list[dict]:
-    """Load an event stream back; tolerates a torn final line."""
+    """Load an event stream back; tolerates a torn final line.
+
+    A campaign killed mid-write (or still writing) leaves a partial last
+    line; the valid prefix is kept and the tear is reported as a logged
+    warning rather than an exception — event streams are observability
+    data, never worth failing a reader over.
+    """
     events: list[dict] = []
     with open(path, encoding="utf-8") as f:
         for line in f:
             try:
                 event = json.loads(line)
             except json.JSONDecodeError:
-                break  # torn tail (killed mid-write): keep the valid prefix
+                log.warning(
+                    "event stream %s has a torn record after %d event(s) "
+                    "(interrupted write); dropping the tail",
+                    Path(path).name, len(events))
+                break
             if isinstance(event, dict):
                 events.append(event)
     return events

@@ -20,10 +20,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.log import get_logger
+
 __all__ = [
     "CampaignSummary", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "render_summary", "summarize_events",
 ]
+
+log = get_logger(__name__)
 
 
 class Counter:
@@ -186,15 +190,30 @@ class CampaignSummary:
 
 
 def summarize_events(events: list[dict]) -> CampaignSummary:
-    """Fold an event stream into a :class:`CampaignSummary`."""
+    """Fold an event stream into a :class:`CampaignSummary`.
+
+    Robust to damaged streams: an empty event list (telemetry file
+    created but no events survived a crash) returns the explicitly-empty
+    summary — all counts zero, empty histograms — and malformed events
+    (non-dict entries, unparseable ``ts``/``dur``, e.g. from a torn JSONL
+    tail that still parsed as JSON) are skipped with one logged warning
+    instead of raising out of ``campaign report``.
+    """
     s = CampaignSummary()
+    if not events:
+        return s
     reg = MetricsRegistry()
     t_min = math.inf
     t_max = 0.0
+    malformed = 0
 
     for e in events:
-        ts = float(e.get("ts", 0.0))
-        dur = float(e.get("dur", 0.0))
+        try:
+            ts = float(e.get("ts", 0.0))
+            dur = float(e.get("dur", 0.0))
+        except (AttributeError, TypeError, ValueError):
+            malformed += 1
+            continue
         t_min = min(t_min, ts)
         t_max = max(t_max, ts + dur)
         kind = e.get("kind")
@@ -237,8 +256,10 @@ def summarize_events(events: list[dict]) -> CampaignSummary:
                 for counter, value in counters.items():
                     roll[counter] = roll.get(counter, 0) + int(value)
 
-    if events:
-        s.wall_time = max(0.0, t_max - t_min)
+    if malformed:
+        log.warning("skipped %d malformed event(s) while summarizing "
+                    "(damaged stream?)", malformed)
+    s.wall_time = max(0.0, t_max - t_min)
     if s.wall_time > 0:
         s.trials_per_sec = s.trials / s.wall_time
 

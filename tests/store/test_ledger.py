@@ -1,0 +1,187 @@
+"""Record/query semantics of the run ledger: idempotent upserts, filtered
+queries, backfill-vs-live identity, and concurrent writers."""
+
+import json
+import multiprocessing as mp
+import sqlite3
+
+from repro.store import (
+    RunLedger,
+    row_from_payload,
+    spec_fingerprint,
+    tag_from_payload,
+)
+from repro.store.ledger import ROW_FIELDS
+
+
+def _payload(**overrides):
+    base = {
+        "app_name": "va", "kernel": "va_k1", "injector": "uarch",
+        "structure": "rf", "trials": 64, "seed": 1,
+        "config_name": "quadro-gv100-like",
+        "counts": {"masked": 40, "sdc": 12, "timeout": 5, "due": 5,
+                   "crash": 2},
+        "derating_factor": 0.25, "kernel_cycles": 1000,
+        "kernel_instructions": 2000, "control_path_masked": 3,
+        "hardened": False,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_tag_matches_campaign_formats():
+    assert tag_from_payload(_payload()) == \
+        "va/va_k1/uarch/rf/quadro-gv100-like/False"
+    assert tag_from_payload(_payload(structure=None, fault_model="stuck1",
+                                     fault_target="control")) == \
+        "va/va_k1/uarch/control/quadro-gv100-like/False/stuck1/control"
+    assert tag_from_payload(_payload(injector="sw", structure=None,
+                                     hardened=True,
+                                     config_name="tesla-v100-like")) == \
+        "va/va_k1/sw/tesla-v100-like/True"
+    assert tag_from_payload(_payload(injector="sw-src-sticky",
+                                     structure=None,
+                                     config_name="tesla-v100-like")) == \
+        "va/va_k1/sw-src-sticky/tesla-v100-like"
+
+
+def test_fingerprint_ignores_seed_and_trials():
+    a = spec_fingerprint(_payload(seed=1, trials=64))
+    b = spec_fingerprint(_payload(seed=9, trials=512))
+    c = spec_fingerprint(_payload(structure="smem"))
+    assert a == b
+    assert a != c
+
+
+def test_row_from_payload_metrics():
+    row = row_from_payload("k1", _payload())
+    classified = 40 + 12 + 5 + 5
+    assert row["failure_rate"] == (12 + 5 + 5) / classified
+    assert row["vf"] == row["failure_rate"] * 0.25
+    assert row["crash"] == 2
+    assert row["stopped_early"] == 0
+    assert set(row) == set(ROW_FIELDS)
+
+
+def test_stopped_early_flag():
+    row = row_from_payload("k", _payload(planned_trials=128, trials=64))
+    assert row["stopped_early"] == 1
+    row = row_from_payload("k", _payload(planned_trials=64, trials=64))
+    assert row["stopped_early"] == 0
+
+
+def test_upsert_is_idempotent(tmp_path):
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_result("k1", _payload(), now=100.0)
+        ledger.record_result("k1", _payload(), now=200.0)
+        rows = ledger.runs()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["observations"] == 2
+        assert row["recorded_at"] == 100.0  # first sighting preserved
+        assert row["updated_at"] == 200.0
+
+
+def test_upsert_updates_data_fields(tmp_path):
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_result("k1", _payload())
+        richer = _payload()
+        richer["counts"] = {"masked": 30, "sdc": 22, "timeout": 5,
+                            "due": 5, "crash": 2}
+        ledger.record_result("k1", richer)
+        row = ledger.get("k1")
+        assert row["sdc"] == 22
+
+
+def test_backfill_and_live_rows_field_identical(tmp_path):
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    payload = _payload()
+    (cache / "backkey.json").write_text(json.dumps(payload))
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_result("livekey", payload, source="live")
+        imported, skipped = ledger.backfill(cache)
+        assert (imported, skipped) == (1, 0)
+        live = ledger.get("livekey")
+        back = ledger.get("backkey")
+        assert back["source"] == "backfill"
+        bookkeeping = {"cache_key", "recorded_at", "updated_at", "source",
+                       "observations"}
+        live_fields = {k: v for k, v in live.items() if k not in bookkeeping}
+        back_fields = {k: v for k, v in back.items() if k not in bookkeeping}
+        assert live_fields == back_fields
+
+
+def test_backfill_skips_unreadable_payloads(tmp_path):
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    (cache / "good.json").write_text(json.dumps(_payload()))
+    (cache / "torn.json").write_text('{"app_name": "va", ')
+    (cache / "foreign.json").write_text('{"not": "a campaign"}')
+    with RunLedger(tmp_path / "l.db") as ledger:
+        imported, skipped = ledger.backfill(cache)
+        assert (imported, skipped) == (1, 2)
+        assert ledger.get("good") is not None
+    # strictly read-only on the cache: nothing quarantined or removed
+    assert sorted(p.name for p in cache.iterdir()) == \
+        ["foreign.json", "good.json", "torn.json"]
+
+
+def test_runs_filters(tmp_path):
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_result("k1", _payload(), now=1.0)
+        ledger.record_result("k2", _payload(structure="smem"), now=2.0)
+        ledger.record_result(
+            "k3", _payload(app_name="bfs", kernel="bfs_k1", injector="sw",
+                           structure=None, config_name="tesla-v100-like"),
+            now=3.0)
+        assert {r["cache_key"] for r in ledger.runs(app="va")} == {"k1", "k2"}
+        assert [r["cache_key"] for r in ledger.runs(structure="smem")] == \
+            ["k2"]
+        assert [r["cache_key"] for r in ledger.runs(level="sw")] == ["k3"]
+        assert [r["cache_key"] for r in ledger.runs(tag="bfs/")] == ["k3"]
+        assert [r["cache_key"] for r in ledger.runs()][0] == "k3"  # newest
+
+
+def test_history_orders_families_oldest_first(tmp_path):
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_result("k2", _payload(seed=2), now=20.0)
+        ledger.record_result("k1", _payload(seed=1), now=10.0)
+        ledger.record_result("k3", _payload(structure="smem"), now=15.0)
+        rows = ledger.history("va", structure="rf")
+        assert [r["cache_key"] for r in rows] == ["k1", "k2"]
+
+
+def _record_many(db_path: str, prefix: str, n: int) -> None:
+    with RunLedger(db_path) as ledger:
+        for i in range(n):
+            ledger.record_result(f"{prefix}{i}", _payload(seed=i))
+
+
+def test_concurrent_writers_share_one_ledger(tmp_path):
+    """Two processes recording into the same WAL-mode ledger: every row
+    lands, no 'database is locked' escapes."""
+    db = tmp_path / "l.db"
+    RunLedger(db).close()  # create + migrate before the writers race
+    ctx = mp.get_context("fork")
+    procs = [ctx.Process(target=_record_many, args=(str(db), prefix, 25))
+             for prefix in ("a", "b")]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+        assert p.exitcode == 0
+    with RunLedger(db) as ledger:
+        assert len(ledger.runs()) == 50
+
+
+def test_ledger_context_manager_closes(tmp_path):
+    ledger = RunLedger(tmp_path / "l.db")
+    with ledger:
+        pass
+    try:
+        ledger.conn.execute("SELECT 1")
+        closed = False
+    except sqlite3.ProgrammingError:
+        closed = True
+    assert closed

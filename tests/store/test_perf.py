@@ -1,0 +1,142 @@
+"""Perf baselines and regression gates: summary folding, tolerance math,
+the synthetic 2x-latency regression, and the BENCH artifact."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    PerfMetrics,
+    RunLedger,
+    check_metrics,
+    load_baseline_file,
+    render_verdict,
+    write_baseline_file,
+    write_bench_artifact,
+)
+from repro.telemetry.metrics import summarize_events
+
+
+def _metrics(**overrides):
+    base = dict(trials=200, workers=2, wall_time=10.0, trials_per_sec=20.0,
+                latency_p50=0.010, latency_p95=0.020, latency_p99=0.030,
+                worker_utilization=0.9, cache_hit_rate=0.0)
+    base.update(overrides)
+    return PerfMetrics(**base)
+
+
+def _trial_events(latencies, workers=2):
+    events = [{"ts": 0.0, "kind": "campaign", "phase": "begin",
+               "campaign": "k", "worker": None}]
+    t = 0.0
+    for i, dur in enumerate(latencies):
+        worker = i % workers
+        events.append({"ts": t, "kind": "span", "name": "trial",
+                       "dur": dur, "worker": worker})
+        events.append({"ts": t + dur, "kind": "commit", "outcome": "masked",
+                       "worker": None})
+        t += dur
+    return events
+
+
+def test_from_summary_folds_percentiles_and_workers():
+    latencies = [0.01] * 98 + [0.05, 0.10]
+    m = PerfMetrics.from_summary(summarize_events(_trial_events(latencies)))
+    assert m.trials == 100
+    assert m.workers == 2
+    assert m.latency_p50 == 0.01
+    assert m.latency_p99 == pytest.approx(0.05)
+    assert m.trials_per_sec > 0
+
+
+def test_from_summary_serial_counts_one_worker():
+    events = _trial_events([0.01] * 4, workers=1)
+    for e in events:
+        if e["kind"] == "span":
+            e["worker"] = None  # serial path: parent runs the trials
+    m = PerfMetrics.from_summary(summarize_events(events))
+    assert m.workers == 1
+
+
+def test_check_passes_identical_metrics():
+    verdict = check_metrics(_metrics(), _metrics(), name="same")
+    assert verdict.ok
+    assert "PASS" in render_verdict(verdict)
+
+
+def test_check_fails_on_2x_latency_regression():
+    """The gate's reason to exist: a synthetic 2x p99 regression trips the
+    latency check at the default 50% tolerance."""
+    baseline = _metrics()
+    regressed = _metrics(latency_p99=baseline.latency_p99 * 2.0)
+    verdict = check_metrics(regressed, baseline, name="regressed")
+    assert not verdict.ok
+    failed = [c for c in verdict.checks if not c.ok]
+    assert [c.metric for c in failed] == ["latency_p99"]
+    assert "FAIL" in render_verdict(verdict)
+
+
+def test_check_fails_on_throughput_collapse():
+    baseline = _metrics()
+    slow = _metrics(trials_per_sec=baseline.trials_per_sec * 0.25)
+    verdict = check_metrics(slow, baseline)
+    assert not verdict.ok
+    assert [c.metric for c in verdict.checks if not c.ok] == \
+        ["trials_per_sec"]
+
+
+def test_check_tolerances_are_configurable():
+    baseline = _metrics()
+    mild = _metrics(latency_p99=baseline.latency_p99 * 1.2)
+    assert check_metrics(mild, baseline).ok
+    assert not check_metrics(mild, baseline, latency_tol=0.1).ok
+
+
+def test_zero_baseline_disables_gates():
+    empty = _metrics(latency_p99=0.0, trials_per_sec=0.0)
+    assert check_metrics(_metrics(), empty).ok
+
+
+def test_baseline_file_round_trip(tmp_path):
+    m = _metrics()
+    path = write_baseline_file(tmp_path / "b.json", "nightly", m,
+                               note="seed run")
+    name, loaded = load_baseline_file(path)
+    assert name == "nightly"
+    assert loaded == m
+
+
+def test_bench_artifact_shape(tmp_path):
+    baseline = _metrics()
+    current = _metrics(latency_p99=baseline.latency_p99 * 2.0)
+    verdict = check_metrics(current, baseline, name="ci gate")
+    trajectory = [{"recorded_at": 1.0, "latency_p99": 0.03}]
+    path = write_bench_artifact(tmp_path, verdict, current, baseline,
+                                trajectory)
+    assert path.name == "BENCH_ci-gate.json"
+    payload = json.loads(path.read_text())
+    assert payload["verdict"]["ok"] is False
+    assert payload["current"]["latency_p99"] == current.latency_p99
+    assert payload["trajectory"] == trajectory
+
+
+def test_ledger_baseline_round_trip(tmp_path):
+    m = _metrics()
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.set_baseline("nightly", m, cache_key="k", note="v1")
+        assert ledger.get_baseline("nightly") == m
+        faster = _metrics(trials_per_sec=40.0)
+        ledger.set_baseline("nightly", faster)  # named upsert
+        assert ledger.get_baseline("nightly") == faster
+        assert len(ledger.baselines()) == 1
+        assert ledger.get_baseline("absent") is None
+
+
+def test_perf_samples_accumulate(tmp_path):
+    with RunLedger(tmp_path / "l.db") as ledger:
+        ledger.record_perf("k", _metrics(), now=1.0)
+        ledger.record_perf("k", _metrics(trials_per_sec=30.0), now=2.0)
+        samples = ledger.perf_samples("k")
+        assert len(samples) == 2  # append-only: a trajectory, not an upsert
+        assert samples[0]["recorded_at"] == 1.0
+        assert samples[1]["trials_per_sec"] == 30.0

@@ -1,0 +1,156 @@
+"""The run-ledger completion hook: campaigns record themselves, stay
+byte-identical with the store on or off, and survive ledger failures."""
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.fi import CampaignSpec, run_campaign
+from repro.store import RunLedger, store_path
+
+
+def _spec(**overrides):
+    base = dict(level="sw", app="va", trials=8, seed=1, workers=1)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def _cache_payloads(cache):
+    return {p.name: json.loads(p.read_text())
+            for p in sorted(cache.glob("*.json"))}
+
+
+def test_completion_records_row(tmp_cache):
+    result = run_campaign(_spec())
+    with RunLedger(store_path()) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["app"] == "va"
+        assert row["level"] == "sw"
+        assert row["source"] == "live"
+        assert row["trials"] == 8
+        assert row["masked"] == result.counts.masked
+        assert row["sdc"] == result.counts.sdc
+        assert row["failure_rate"] == pytest.approx(
+            result.counts.failure_rate)
+
+
+def test_telemetry_campaign_records_perf_sample(tmp_cache):
+    run_campaign(_spec(telemetry=True))
+    with RunLedger(store_path()) as ledger:
+        rows = ledger.runs()
+        samples = ledger.perf_samples(rows[0]["cache_key"])
+        assert len(samples) == 1
+        assert samples[0]["trials"] == 8
+        assert samples[0]["latency_p99"] > 0
+        assert samples[0]["trials_per_sec"] > 0
+
+
+def test_cache_hit_does_not_rerecord(tmp_cache):
+    run_campaign(_spec())
+    with RunLedger(store_path()) as ledger:
+        first = ledger.runs()[0]
+    run_campaign(_spec())  # served from cache: completion hook not reached
+    with RunLedger(store_path()) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 1
+        assert rows[0]["observations"] == first["observations"] == 1
+
+
+def test_rerun_upserts_no_duplicate_rows(tmp_cache):
+    """Re-executing the same spec (cache off -> same key recomputed)
+    upserts the one row instead of appending."""
+    run_campaign(_spec(use_cache=False))
+    run_campaign(_spec(use_cache=False))
+    with RunLedger(store_path()) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 1
+        assert rows[0]["observations"] == 2
+
+
+def test_store_off_leaves_no_ledger(tmp_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", "0")
+    run_campaign(_spec())
+    assert not store_path().exists()
+
+
+def test_store_is_observation_only(tmp_path, monkeypatch):
+    """Cached payloads are byte-identical with the ledger on or off, at
+    any worker count — the observation-only acceptance criterion."""
+    results = {}
+    for name, store, workers in (("on-serial", "1", 1),
+                                 ("off-serial", "0", 1),
+                                 ("on-pool", "1", 4),
+                                 ("off-pool", "0", 4)):
+        cache = tmp_path / name
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        monkeypatch.setenv("REPRO_STORE", store)
+        run_campaign(_spec(trials=12, workers=workers))
+        results[name] = _cache_payloads(cache)
+        assert results[name], f"{name}: no cached payload written"
+    assert results["on-serial"] == results["off-serial"]
+    assert results["on-serial"] == results["on-pool"]
+    assert results["on-serial"] == results["off-pool"]
+    assert (tmp_path / "on-serial" / "ledger.sqlite3").exists()
+    assert not (tmp_path / "off-serial" / "ledger.sqlite3").exists()
+
+
+def test_live_and_backfill_rows_field_identical(tmp_path, monkeypatch):
+    """Backfilling the cache written by a live-recorded campaign
+    reproduces the live row exactly (minus source/timestamps)."""
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    run_campaign(_spec())
+    ledger_path = tmp_path / "second.db"
+    with RunLedger(store_path()) as live_ledger:
+        live = live_ledger.runs()[0]
+    with RunLedger(ledger_path) as back_ledger:
+        imported, skipped = back_ledger.backfill(cache)
+        assert (imported, skipped) == (1, 0)
+        back = back_ledger.runs()[0]
+    bookkeeping = {"recorded_at", "updated_at", "source", "observations"}
+    assert {k: v for k, v in live.items() if k not in bookkeeping} == \
+        {k: v for k, v in back.items() if k not in bookkeeping}
+
+
+def _run_pool_campaign(cache_dir: str, ledger_path: str, seed: int) -> None:
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    os.environ["REPRO_STORE_PATH"] = ledger_path
+    run_campaign(_spec(seed=seed, workers=2))
+
+
+def test_two_pool_campaigns_record_concurrently(tmp_path):
+    """Two worker-pool campaigns finishing around the same time both land
+    in one shared ledger (WAL + busy timeout, no lost rows)."""
+    ledger_path = tmp_path / "shared.db"
+    ctx = mp.get_context("fork")
+    procs = [
+        ctx.Process(target=_run_pool_campaign,
+                    args=(str(tmp_path / f"cache{seed}"), str(ledger_path),
+                          seed))
+        for seed in (1, 2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+        assert p.exitcode == 0
+    with RunLedger(ledger_path) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 2
+        assert {r["seed"] for r in rows} == {1, 2}
+
+
+def test_ledger_failure_never_fails_campaign(tmp_cache, monkeypatch):
+    """A broken ledger (unwritable path) downgrades to a warning; the
+    campaign still completes and caches."""
+    monkeypatch.setenv("REPRO_STORE_PATH",
+                       "/proc/definitely-not-writable/l.db")
+    result = run_campaign(_spec())
+    assert result.counts.total == 8
+    cached = list(tmp_cache.glob("*.json"))
+    assert len(cached) == 1

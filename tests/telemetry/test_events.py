@@ -166,3 +166,21 @@ def test_default_paths_live_under_cache_dir(tmp_cache):
     assert telemetry_dir() == tmp_cache / "telemetry"
     assert telemetry_events_path("deadbeef") == (
         tmp_cache / "telemetry" / "deadbeef.jsonl")
+
+
+def test_read_events_warns_on_torn_tail(tmp_path, caplog):
+    path = tmp_path / "events.jsonl"
+    good = json.dumps({"ts": 0.1, "kind": "commit", "name": "",
+                       "campaign": "k", "worker": None})
+    path.write_text(good + "\n" + '{"ts": 0.2, "kind": "co')
+    with caplog.at_level("WARNING", logger="repro.telemetry.events"):
+        read_events(path)
+    assert "torn record after 1 event(s)" in caplog.text
+
+
+def test_flush_makes_events_readable_mid_session(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with TelemetrySession(path) as session:
+        session.telemetry("k").emit("campaign", phase="begin")
+        session.flush()
+        assert len(read_events(path)) == 1  # visible before close

@@ -193,3 +193,33 @@ def test_no_adaptive_line_without_stop_rule():
     s = summarize_events(_stream())
     assert s.trials_planned == 0
     assert "adaptive stop" not in render_summary(s)
+
+
+# ------------------------------------------ damaged-stream hardening
+
+def test_empty_stream_is_explicitly_empty_summary():
+    s = summarize_events([])
+    assert s.trials == 0
+    assert s.outcome_counts == {}
+    assert s.trial_latency.count == 0
+    assert s.wall_time == 0.0
+    assert "trials committed   0" in render_summary(s)
+
+
+def test_malformed_events_skipped_with_warning(caplog):
+    events = _stream()
+    events.append({"ts": "not-a-number", "kind": "commit",
+                   "outcome": "masked"})
+    events.append("not even a dict")
+    with caplog.at_level("WARNING", logger="repro.telemetry.metrics"):
+        s = summarize_events(events)
+    assert s.trials == 4  # the well-formed prefix still folds
+    assert "skipped 2 malformed event(s)" in caplog.text
+
+
+def test_wall_time_survives_malformed_events():
+    events = _stream()
+    events.insert(0, {"ts": None, "kind": "span", "name": "trial",
+                      "dur": 99.0})
+    s = summarize_events(events)
+    assert s.wall_time < 10.0  # bogus 99 s span did not stretch the clock

@@ -300,3 +300,149 @@ def test_sdc_profile_unknown_target(capsys, tmp_cache):
 def test_sdc_report_empty_cache(capsys, tmp_cache):
     assert main(["sdc", "report"]) == 1
     assert "no cached campaign" in capsys.readouterr().err
+
+
+# ----------------------------------------- run ledger & perf gate CLI
+
+def _seed_history(tmp_cache, seeds=(1, 2, 3)):
+    for seed in seeds:
+        assert main(["campaign", "run", "va", "--level", "sw",
+                     "--trials", "6", "--seed", str(seed), "--quiet"]) == 0
+
+
+def test_campaign_ls_and_filters(capsys, tmp_cache):
+    _seed_history(tmp_cache, seeds=(1, 2))
+    capsys.readouterr()
+    assert main(["campaign", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "va/va_k1/sw" in out and "2 recorded campaign(s)" in out
+    assert main(["campaign", "ls", "--app", "bfs"]) == 0
+    assert "no recorded campaigns match" in capsys.readouterr().out
+
+
+def test_campaign_ls_without_ledger(capsys, tmp_cache):
+    assert main(["campaign", "ls"]) == 2
+    assert "no run ledger" in capsys.readouterr().err
+
+
+def test_campaign_history_trends_across_seeds(capsys, tmp_cache):
+    """The acceptance criterion: AVF trend for one app across three runs,
+    straight from the ledger, no payload decoding."""
+    _seed_history(tmp_cache)
+    capsys.readouterr()
+    assert main(["campaign", "history", "va"]) == 0
+    out = capsys.readouterr().out
+    assert "3 run(s)" in out
+    assert "vf range" in out
+    for seed in ("1", "2", "3"):
+        assert f" {seed} " in out
+
+
+def test_campaign_show_by_key_prefix(capsys, tmp_cache):
+    _seed_history(tmp_cache, seeds=(1,))
+    capsys.readouterr()
+    assert main(["campaign", "ls"]) == 0
+    key = capsys.readouterr().out.split("\n")[2].split()[0]
+    assert main(["campaign", "show", key[:8]]) == 0
+    out = capsys.readouterr().out
+    assert "va/va_k1/sw" in out and "failure_rate" in out
+    assert main(["campaign", "show", "feedfacedead"]) == 1
+    assert "no recorded campaign" in capsys.readouterr().err
+
+
+def test_campaign_watch_once_on_completed_campaign(capsys, tmp_cache):
+    _seed_history(tmp_cache, seeds=(1,))
+    cached = sorted(tmp_cache.glob("*.json"))
+    assert cached
+    capsys.readouterr()
+    assert main(["campaign", "watch", cached[0].stem, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "[completed]" in out and "watch " in out
+
+
+def test_campaign_watch_unknown_key(capsys, tmp_cache):
+    tmp_cache.mkdir(parents=True, exist_ok=True)
+    assert main(["campaign", "watch", "feedfacedead", "--once"]) == 1
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_campaign_backfill_imports_cache(capsys, tmp_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", "0")  # run without live recording
+    _seed_history(tmp_cache, seeds=(1, 2))
+    monkeypatch.setenv("REPRO_STORE", "1")
+    capsys.readouterr()
+    assert main(["campaign", "backfill"]) == 0
+    assert "backfilled 2 cached campaign(s)" in capsys.readouterr().out
+    assert main(["campaign", "ls"]) == 0
+    assert "2 recorded campaign(s)" in capsys.readouterr().out
+
+
+def test_campaign_gc_dry_run_then_delete(capsys, tmp_cache):
+    tmp_cache.mkdir(parents=True, exist_ok=True)
+    corrupt = tmp_cache / "deadbeef.json.corrupt"
+    corrupt.write_text("{ torn")
+    capsys.readouterr()
+    assert main(["campaign", "gc"]) == 0
+    out = capsys.readouterr().out
+    assert "would delete" in out and "re-run with --yes" in out
+    assert corrupt.exists()  # dry run by default
+    assert main(["campaign", "gc", "--yes"]) == 0
+    assert "reclaimed" in capsys.readouterr().out
+    assert not corrupt.exists()
+    assert main(["campaign", "gc"]) == 0
+    assert "nothing to prune" in capsys.readouterr().out
+
+
+def _run_with_events(tmp_path, seed=1):
+    events = tmp_path / f"events-s{seed}.jsonl"
+    assert main(["campaign", "run", "va", "--level", "sw", "--trials", "6",
+                 "--seed", str(seed), "--events", str(events),
+                 "--quiet"]) == 0
+    return events
+
+
+def test_perf_record_then_check_passes(capsys, tmp_cache, tmp_path):
+    events = _run_with_events(tmp_path)
+    capsys.readouterr()
+    assert main(["perf", "record", "nightly", str(events)]) == 0
+    assert "baseline 'nightly'" in capsys.readouterr().out
+    assert main(["perf", "check", str(events), "--name", "nightly"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "latency_p99" in out
+    assert main(["perf", "ls"]) == 0
+    assert "nightly" in capsys.readouterr().out
+
+
+def test_perf_check_fails_on_injected_regression(capsys, tmp_cache,
+                                                 tmp_path):
+    """Gate proof: a baseline doctored to half the observed p99 (i.e. a
+    2x current-vs-baseline latency regression) exits non-zero and leaves
+    a BENCH artifact."""
+    import json as _json
+
+    events = _run_with_events(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    capsys.readouterr()
+    assert main(["perf", "record", "gate", str(events),
+                 "--out", str(baseline)]) == 0
+    doc = _json.loads(baseline.read_text())
+    doc["metrics"]["latency_p99"] /= 2.0
+    doc["metrics"]["trials_per_sec"] *= 4.0
+    baseline.write_text(_json.dumps(doc))
+    bench_dir = tmp_path / "bench"
+    capsys.readouterr()
+    assert main(["perf", "check", str(events), "--baseline", str(baseline),
+                 "--bench", str(bench_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    artifacts = list(bench_dir.glob("BENCH_*.json"))
+    assert len(artifacts) == 1
+    payload = _json.loads(artifacts[0].read_text())
+    assert payload["verdict"]["ok"] is False
+
+
+def test_perf_check_unknown_baseline(capsys, tmp_cache, tmp_path):
+    events = _run_with_events(tmp_path)
+    capsys.readouterr()
+    assert main(["perf", "check", str(events), "--name", "absent"]) == 2
+    assert "no baseline" in capsys.readouterr().err

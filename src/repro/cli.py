@@ -79,13 +79,14 @@ EXPERIMENTS = {
     "sdc-anatomy": "repro.experiments.sdc_anatomy",
     "permanent-faults": "repro.experiments.permanent_faults",
     "adaptive-campaign": "repro.experiments.adaptive_campaign",
+    "hardening-zoo": "repro.experiments.hardening_zoo",
 }
 
 #: Experiments whose run() accepts a ``trials`` keyword.
 _TRIALS_AWARE = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
     "fig9", "fig10", "fig11", "svf-fix", "static-vf", "static-structures",
-    "sdc-anatomy", "permanent-faults", "adaptive-campaign",
+    "sdc-anatomy", "permanent-faults", "adaptive-campaign", "hardening-zoo",
 }
 
 
@@ -118,7 +119,7 @@ def _cmd_run(args) -> int:
 def _cmd_apps(_args) -> int:
     from repro.kernels import all_applications
 
-    for app in all_applications():
+    for app in all_applications(suite="all"):
         print(app.describe())
     return 0
 
@@ -156,7 +157,7 @@ def _select_programs(selector: str):
     programs = kernel_programs()
     if selector == "all":
         return programs
-    if selector in application_names():
+    if selector in application_names(suite="all"):
         return {k: p for k, p in programs.items() if k[0] == selector}
     by_kernel = {k: p for k, p in programs.items() if k[1] == selector}
     if by_kernel:
@@ -334,9 +335,15 @@ def _cmd_campaign_run(args) -> int:
         print(f"{args.app} has no kernel {kernel!r} "
               f"(has: {', '.join(app.kernel_names)})", file=sys.stderr)
         return 2
+    if args.harden and args.hardened:
+        print("--harden names a registry scheme and --hardened is its "
+              "legacy TMR shorthand; pass one, not both", file=sys.stderr)
+        return 2
     label = f"{args.app}/{kernel}/{args.level}"
     if args.fault_model != "transient" or args.target != "storage":
         label += f"/{args.fault_model}/{args.target}"
+    if args.harden:
+        label += f"/{args.harden}"
     reporter = None if args.quiet else _CampaignProgress(label)
     factory = tmr_harness_factory if args.hardened else None
     telemetry_on = bool(args.telemetry or args.trace or args.events)
@@ -377,6 +384,7 @@ def _cmd_campaign_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         hardened=args.hardened,
+        harden=args.harden,
         fault_model=args.fault_model,
         target=args.target,
         use_cache=not args.no_cache,
@@ -598,7 +606,8 @@ def _cmd_campaign_ls(args) -> int:
     with ledger:
         rows = ledger.runs(app=args.app, kernel=args.kernel,
                            level=args.level, structure=args.structure,
-                           fault_model=args.fault_model, tag=args.tag)
+                           fault_model=args.fault_model, tag=args.tag,
+                           harden=args.harden)
     if not rows:
         print("no recorded campaigns match")
         return 0
@@ -613,7 +622,8 @@ def _cmd_campaign_history(args) -> int:
         return 2
     with ledger:
         rows = ledger.history(args.app, kernel=args.kernel,
-                              level=args.level, structure=args.structure)
+                              level=args.level, structure=args.structure,
+                              harden=args.harden)
     if not rows:
         print(f"no recorded campaigns for {args.app}")
         return 0
@@ -662,7 +672,7 @@ def _cmd_campaign_show(args) -> int:
 
     for name in ("cache_key", "tag", "spec_fingerprint", "level", "app",
                  "kernel", "structure", "config", "fault_model", "target",
-                 "hardened", "sdc_anatomy", "seed", "trials",
+                 "hardened", "harden", "sdc_anatomy", "seed", "trials",
                  "planned_trials", "stopped_early", "masked", "sdc",
                  "timeout", "due", "crash", "failure_rate", "derating",
                  "vf", "kernel_cycles", "kernel_instructions",
@@ -1042,6 +1052,11 @@ def main(argv: list[str] | None = None) -> int:
                            "REPRO_WORKERS; 'auto' = all cores but one)")
     crun.add_argument("--hardened", action="store_true",
                       help="run the TMR-hardened variant")
+    crun.add_argument("--harden", default=None,
+                      choices=["tmr", "dmr", "abft", "range"],
+                      help="run under a hardening-zoo scheme (named "
+                           "DeviceHarness registry; distinct cache "
+                           "entries per scheme)")
     crun.add_argument("--sdc-anatomy", action="store_true",
                       help="fingerprint every SDC trial and classify its "
                            "severity (see 'sdc profile'; distinct cache "
@@ -1101,6 +1116,10 @@ def main(argv: list[str] | None = None) -> int:
     cls_.add_argument("--fault-model", default=None,
                       choices=["transient", "stuck0", "stuck1",
                                "intermittent"])
+    cls_.add_argument("--harden", default=None,
+                      choices=["tmr", "dmr", "abft", "range", "none"],
+                      help="filter by hardening-zoo scheme "
+                           "('none' = unhardened rows)")
     cls_.add_argument("--tag", default=None, metavar="SUBSTR",
                       help="substring match on the campaign tag")
     cls_.set_defaults(func=_cmd_campaign_ls)
@@ -1114,6 +1133,10 @@ def main(argv: list[str] | None = None) -> int:
                                    "sw-src-transient", "sw-src-sticky"])
     chistory.add_argument("--structure", default=None,
                           choices=["rf", "smem", "l1d", "l1t", "l2"])
+    chistory.add_argument("--harden", default=None,
+                          choices=["tmr", "dmr", "abft", "range", "none"],
+                          help="filter by hardening-zoo scheme "
+                               "('none' = unhardened rows)")
     chistory.set_defaults(func=_cmd_campaign_history)
     cshow = campaign_sub.add_parser(
         "show", help="every recorded field of one campaign")

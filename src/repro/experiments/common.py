@@ -5,7 +5,8 @@ shares: per kernel, microarchitecture-level FI on all five structures on the
 GV100-like configuration and software-level FI (plus the loads-only SVF-LD
 variant) on the V100-like configuration — the paper's tool pairing.
 
-Hardened variants run the same applications through the TMR harness.
+Hardened variants run the same applications through the ``"tmr"`` scheme
+from the hardening registry (:mod:`repro.hardening.registry`).
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from repro.fi import (
     svf_of_application,
     svf_of_kernel,
 )
-from repro.hardening import tmr_harness_factory
+from repro.hardening import hardening_scheme
 from repro.kernels import all_applications
 
 #: Paper's figure/application ordering.
@@ -168,7 +169,9 @@ def collect_suite(
         trials = hardened_trials() if hardened else default_trials()
     uarch_config = quadro_gv100_like()
     sw_config = tesla_v100_like()
-    factory = tmr_harness_factory if hardened else None
+    # The suite's hardened pass is TMR by name from the hardening-zoo
+    # registry (spec identity — hardened=True — is unchanged).
+    factory = hardening_scheme("tmr") if hardened else None
     kernels: dict[tuple[str, str], KernelData] = {}
     for app in all_applications():
         if apps is not None and app.name not in apps:

@@ -234,6 +234,11 @@ class CampaignResult:
     kernel_instructions: int = 0
     control_path_masked: int = 0  # masked trials whose cycle count changed
     hardened: bool = False
+    #: Hardening-zoo scheme name when the campaign ran under a registry
+    #: scheme (``CampaignSpec.harden``); ``None`` otherwise — and then
+    #: absent from the cache payload, keeping unhardened payloads
+    #: identical to pre-zoo builds.
+    harden: str | None = None
     #: Fault model / target axes of a uarch campaign (see
     #: :data:`repro.fi.gpufi.FAULT_MODELS`). Defaults describe every legacy
     #: campaign and are then omitted from the cache payload, keeping
@@ -255,6 +260,8 @@ class CampaignResult:
     def to_dict(self) -> dict:
         d = dict(self.__dict__)
         d["counts"] = self.counts.to_dict()
+        if self.harden is None:
+            del d["harden"]
         if self.sdc_anatomy is None:
             del d["sdc_anatomy"]
         if self.fault_model == "transient":
@@ -298,6 +305,14 @@ class CampaignSpec:
     seed: int = 1
     workers: int | None = None
     hardened: bool = False
+    #: Hardening-zoo scheme by name (``tmr``/``dmr``/``abft``/``range``,
+    #: see :mod:`repro.hardening.registry`): the campaign resolves its
+    #: harness factory from the registry, and the scheme joins the cache
+    #: key, seed tag and journal meta. ``None`` (the default) leaves
+    #: every existing identity byte-for-byte untouched. The legacy
+    #: ``hardened`` flag stays the experiment-local TMR shorthand;
+    #: setting both is a config error.
+    harden: str | None = None
     num_bits: int = 1  # uarch fault model: 1 = single-bit, 2 = adjacent
     ecc_protected: bool = False  # uarch only: SECDED on the target structure
     #: Persistence axis of a uarch fault (``transient`` / ``stuck0`` /
@@ -430,6 +445,22 @@ def run_campaign(
         raise ConfigError(
             "fault_model/target select microarchitecture-level fault "
             f"variants; the {spec.level!r} level has no notion of them")
+    if spec.harden is not None:
+        if spec.level.startswith("src"):
+            raise ConfigError(
+                "source-level campaigns have no hardened variant")
+        if spec.hardened:
+            raise ConfigError(
+                "harden names a scheme from the hardening registry and "
+                "hardened is its legacy TMR shorthand; set one, not both")
+        if harness_factory is not None:
+            raise ConfigError(
+                "harden resolves the harness factory from the hardening "
+                "registry; drop the explicit harness_factory")
+        from repro.hardening.registry import hardening_scheme  # local:
+        # the default path must not import kernel/hardening modules.
+
+        harness_factory = hardening_scheme(spec.harden)
     if spec.level == "uarch":
         if spec.target == "control":
             if spec.structure is not None:
@@ -452,6 +483,7 @@ def run_campaign(
         return _microarch_campaign(
             app, kernel, structure, config,
             harness_factory=harness_factory, hardened=spec.hardened,
+            harden=spec.harden,
             num_bits=spec.num_bits, ecc_protected=spec.ecc_protected,
             fault_model=spec.fault_model, target=spec.target,
             **runtime)
@@ -459,6 +491,7 @@ def run_campaign(
         return _software_campaign(
             app, kernel, config, loads_only=spec.level == "sw-ld",
             harness_factory=harness_factory, hardened=spec.hardened,
+            harden=spec.harden,
             **runtime)
     # src / src-sticky
     if spec.hardened:
@@ -769,8 +802,8 @@ def _record_to_ledger(key: str, result: CampaignResult,
 
 def _microarch_campaign(
     app, kernel, structure, config, *, trials, seed, harness_factory,
-    hardened, use_cache, profile, profile_supplier, num_bits, ecc_protected,
-    fault_model, target, max_failure_rate, progress, workers,
+    hardened, harden, use_cache, profile, profile_supplier, num_bits,
+    ecc_protected, fault_model, target, max_failure_rate, progress, workers,
     worker_progress, sdc_anatomy, telemetry, telemetry_session,
     stop_rule, budget,
 ) -> CampaignResult:
@@ -803,6 +836,7 @@ def _microarch_campaign(
             "ecc": ecc_protected,
             # Only present when on: off-path keys keep their legacy shape.
             **({"sdc_anatomy": True} if sdc_anatomy else {}),
+            **({"harden": harden} if harden else {}),
             **({"fault_model": fault_model}
                if fault_model != "transient" else {}),
             **({"target": target} if target != "storage" else {}),
@@ -839,8 +873,13 @@ def _microarch_campaign(
             # telemetry identity; the legacy tag (and thus the trial seeds)
             # is untouched when the new models are off.
             tag += f"/{fault_model}/{target}"
+        if harden:
+            tag += f"/{harden}"
         model_tags = ({"fault_model": fault_model, "target": target}
                       if new_models else None)
+        meta_extra = dict(model_tags or {})
+        if harden:
+            meta_extra["harden"] = harden
         context = f"{app.name}/{kernel}"
         tally = execute_trials(
             key=key,
@@ -862,7 +901,7 @@ def _microarch_campaign(
             workers=workers,
             worker_progress=worker_progress,
             meta=_journal_meta("uarch", app, kernel, tag, seed, planned,
-                               trials_from_env, extra=model_tags),
+                               trials_from_env, extra=meta_extra or None),
             telemetry=tel,
             event_tags=model_tags,
             stop_rule=stop_rule,
@@ -884,6 +923,7 @@ def _microarch_campaign(
             kernel_instructions=profile.kernel_instructions(kernel),
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
+            harden=harden,
             fault_model=fault_model,
             fault_target=target,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
@@ -903,9 +943,9 @@ def _microarch_campaign(
 
 def _software_campaign(
     app, kernel, config, *, trials, seed, loads_only, harness_factory,
-    hardened, use_cache, profile, profile_supplier, max_failure_rate,
-    progress, workers, worker_progress, sdc_anatomy, telemetry,
-    telemetry_session, stop_rule, budget,
+    hardened, harden, use_cache, profile, profile_supplier,
+    max_failure_rate, progress, workers, worker_progress, sdc_anatomy,
+    telemetry, telemetry_session, stop_rule, budget,
 ) -> CampaignResult:
     trials_from_env = trials is None and budget is None
     trials = trials if trials is not None else default_trials()
@@ -923,6 +963,7 @@ def _software_campaign(
             "seed": seed,
             "hardened": hardened,
             **({"sdc_anatomy": True} if sdc_anatomy else {}),
+            **({"harden": harden} if harden else {}),
             **({"stop_rule": stop_rule.to_payload()}
                if stop_rule is not None else {}),
         }
@@ -952,6 +993,8 @@ def _software_campaign(
         sw_launches = profile.kernel_launches(kernel, include_post=False)
         context = f"{app.name}/{kernel}"
         tag = f"{app.name}/{kernel}/{injector_kind}/{config.name}/{hardened}"
+        if harden:
+            tag += f"/{harden}"
         tally = execute_trials(
             key=key,
             seeds=spawn_seeds(seed, tag, planned),
@@ -970,7 +1013,8 @@ def _software_campaign(
             workers=workers,
             worker_progress=worker_progress,
             meta=_journal_meta(injector_kind, app, kernel, tag, seed,
-                               planned, trials_from_env),
+                               planned, trials_from_env,
+                               extra={"harden": harden} if harden else None),
             telemetry=tel,
             stop_rule=stop_rule,
         )
@@ -993,6 +1037,7 @@ def _software_campaign(
             ),
             control_path_masked=tally.control_path_masked,
             hardened=hardened,
+            harden=harden,
             sdc_anatomy=_anatomy_aggregate(tally) if sdc_anatomy else None,
             planned_trials=planned if stop_rule is not None else None,
             stop_rule=(stop_rule.to_payload() if stop_rule is not None

@@ -1,5 +1,41 @@
 """Software-based hardening transforms (Section IV of the paper)."""
 
+from repro.hardening.abft import (
+    ABFTCheckError,
+    ABFTHarness,
+    GemmSignature,
+    abft_harness_factory,
+    register_gemm_signature,
+)
+from repro.hardening.dmr import DMRHarness, DMRMismatchError, dmr_harness_factory
+from repro.hardening.range import (
+    RangeHarness,
+    range_harness_factory,
+    register_range_bounds,
+)
+from repro.hardening.registry import (
+    HARDENING_SCHEMES,
+    hardening_names,
+    hardening_scheme,
+)
 from repro.hardening.tmr import TMRHarness, TMRVoteError, tmr_harness_factory
 
-__all__ = ["TMRHarness", "TMRVoteError", "tmr_harness_factory"]
+__all__ = [
+    "ABFTCheckError",
+    "ABFTHarness",
+    "DMRHarness",
+    "DMRMismatchError",
+    "GemmSignature",
+    "HARDENING_SCHEMES",
+    "RangeHarness",
+    "TMRHarness",
+    "TMRVoteError",
+    "abft_harness_factory",
+    "dmr_harness_factory",
+    "hardening_names",
+    "hardening_scheme",
+    "range_harness_factory",
+    "register_gemm_signature",
+    "register_range_bounds",
+    "tmr_harness_factory",
+]

@@ -1,0 +1,145 @@
+"""Selective Dual Modular Redundancy: duplicate, compare, signal DUE.
+
+:class:`DMRHarness` is the detection-only sibling of
+:class:`~repro.hardening.tmr.TMRHarness`: every allocation/upload is
+duplicated, every launch runs twice (copy-sequential, ~2x the execution
+time), and a device-side comparison kernel checks the two copies of each
+declared output word-by-word, raising a sticky flag on any mismatch. The
+flag is checked at :meth:`DMRHarness.finalize`; a set flag is a DUE —
+duplication-with-comparison detects but, with only two copies, can never
+arbitrate which one is right.
+
+Comparison launches are named ``<kernel>@cmp`` so per-kernel campaigns
+treat the check as part of the hardened unit at the microarchitecture
+level while the software-level injector (which instruments only the
+computational kernel) skips it — the same convention as TMR's ``@vote``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness
+from repro.sim.gpu import GPU, Buffer
+
+
+class DMRMismatchError(ExecutionError):
+    """The two DMR copies disagree (detected, uncorrectable: DUE)."""
+
+
+#: Word-wise comparison of two buffer copies.
+#: params: c[0x0][0x0/0x4] = copies A0/A1, c[0x0][0x8] = flag buffer,
+#:         c[0x0][0xc] = word count.
+_CMP_ASM = """
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    ISETP.GE P0, R3, c[0x0][0xc]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R5, R4, c[0x0][0x0]
+    IADD R6, R4, c[0x0][0x4]
+    LD R7, [R5]
+    LD R8, [R6]
+    ISETP.NE P1, R7, R8
+    MOV R9, 0x1
+    IADD R10, RZ, c[0x0][0x8]
+@P1 ST [R10], R9
+    EXIT
+"""
+
+CMP_PROGRAM = assemble(_CMP_ASM, name="dmr_cmp")
+
+_CMP_BLOCK = 64
+
+
+class DMRHarness(DeviceHarness):
+    """Device harness applying duplication-with-comparison per launch."""
+
+    def __init__(self):
+        self._shadows: dict[int, tuple[Buffer, Buffer]] = {}
+        self._flag: Buffer | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pre-processing: duplicated allocation / upload
+    # ------------------------------------------------------------------ #
+    def alloc(self, gpu: GPU, nbytes: int) -> Buffer:
+        b0 = gpu.malloc(nbytes)
+        b1 = gpu.malloc(nbytes)
+        self._shadows[b0.addr] = (b0, b1)
+        return b0
+
+    def upload(self, gpu: GPU, array: np.ndarray) -> Buffer:
+        b0 = self.alloc(gpu, array.nbytes)
+        for copy in self._shadows[b0.addr]:
+            gpu.memcpy_htod(copy, array)
+        return b0
+
+    def download(self, gpu: GPU, buf: Buffer, dtype=np.uint32,
+                 count: int | None = None) -> np.ndarray:
+        return gpu.memcpy_dtoh(buf, dtype, count)
+
+    def htod(self, gpu: GPU, buf: Buffer, array: np.ndarray) -> None:
+        copies = self._shadows.get(buf.addr)
+        if copies is None:
+            gpu.memcpy_htod(buf, array)
+            return
+        for copy in copies:
+            gpu.memcpy_htod(copy, array)
+
+    # ------------------------------------------------------------------ #
+    # Kernel execution + post-processing comparison
+    # ------------------------------------------------------------------ #
+    def _copy_param(self, param, copy_index: int):
+        if isinstance(param, Buffer) and param.addr in self._shadows:
+            return self._shadows[param.addr][copy_index]
+        return param
+
+    def _ensure_flag(self, gpu: GPU) -> Buffer:
+        if self._flag is None:
+            self._flag = gpu.malloc(4)
+            gpu.memcpy_htod(self._flag, np.zeros(1, dtype=np.uint32))
+        return self._flag
+
+    def launch(self, gpu: GPU, program, grid, block, params=(),
+               smem_bytes: int = 0, name: str | None = None,
+               outputs: tuple[Buffer, ...] = ()) -> None:
+        kernel_name = name or program.name
+        for copy_index in range(2):
+            copy_params = [self._copy_param(p, copy_index) for p in params]
+            gpu.launch(program, grid, block, copy_params, smem_bytes,
+                       kernel_name)
+        flag = self._ensure_flag(gpu)
+        for buf in outputs:
+            copies = self._shadows.get(buf.addr)
+            if copies is None:
+                raise ExecutionError(
+                    f"DMR compare requested on unmanaged buffer "
+                    f"0x{buf.addr:x}"
+                )
+            nwords = buf.nbytes // 4
+            cmp_grid = (-(-nwords // _CMP_BLOCK), 1)
+            gpu.launch(
+                CMP_PROGRAM,
+                cmp_grid,
+                (_CMP_BLOCK, 1),
+                [copies[0], copies[1], flag, nwords],
+                0,
+                f"{kernel_name}@cmp",
+            )
+
+    def finalize(self, gpu: GPU) -> None:
+        """Raise a DUE if any comparison saw the copies disagree."""
+        if self._flag is not None:
+            flag = gpu.memcpy_dtoh(self._flag, np.uint32)
+            if int(flag[0]) != 0:
+                raise DMRMismatchError(
+                    "duplication-with-comparison mismatch")
+
+
+def dmr_harness_factory() -> DMRHarness:
+    """Harness factory for :func:`repro.fi.campaign.run_campaign`."""
+    return DMRHarness()

@@ -1,0 +1,102 @@
+"""Range restriction: clamp activation outputs to analytic bounds.
+
+The cheapest scheme in the zoo and the only one with no DUE path:
+after every launch of a kernel with registered output bounds,
+:class:`RangeHarness` runs a ``<kernel>@clamp`` pass over the declared
+output buffers applying ``fmax(lo, fmin(hi, x))`` elementwise
+(``FMNMX`` semantics, so NaN collapses to the bound as well). Clean
+in-range data is untouched bit-for-bit; corrupted values with blown
+exponents — the corruptions the severity metrics rate critical — are
+squashed back into the representable activation range, turning critical
+SDCs into tolerable ones rather than DUEs. In-range corruptions pass
+through undetected: range restriction trades coverage for near-zero
+overhead, and the hardening-zoo matrix is designed to show exactly that
+trade against DMR/ABFT/TMR.
+
+Bounds are per kernel, not per app: :data:`RANGE_BOUNDS` ships analytic
+envelopes for the nn suite's kernels (e.g. a row softmax output lives in
+``[0, 1]`` by construction), and :func:`register_range_bounds` lets any
+app declare its own. Kernels without bounds run unprotected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness
+from repro.sim.gpu import GPU, Buffer
+
+#: kernel name -> (lo, hi) clamp bounds for its declared output buffers.
+RANGE_BOUNDS: dict[str, tuple[np.float32, np.float32]] = {}
+
+
+def register_range_bounds(kernel: str, lo: float, hi: float
+                          ) -> tuple[np.float32, np.float32]:
+    """Register (or replace) the output clamp range of one kernel."""
+    bounds = (np.float32(lo), np.float32(hi))
+    RANGE_BOUNDS[kernel] = bounds
+    return bounds
+
+
+# Analytic envelopes for the nn suite (input distributions are fixed by
+# each app's make_inputs): gemm products of 16-long dot products of
+# values in [-1.5, 1.5] stay well inside +/-64; the 3x3 conv taps bound
+# |out| by 9 * 1.5 * 0.5; softmax rows are probabilities; the MLP hidden
+# layer is a relu of dot products bounded by 16 * 0.5 * 0.5.
+register_range_bounds("gemm_tile", -64.0, 64.0)
+register_range_bounds("conv2d_dir", -8.0, 8.0)
+register_range_bounds("softmax_row", 0.0, 1.0)
+register_range_bounds("relu_act", 0.0, 8.0)
+
+
+#: Elementwise clamp of a buffer into [lo, hi] (FMNMX: NaN -> bound).
+#: params: 0x0=buf 0x4=nwords 0x8=lo(f32) 0xc=hi(f32)
+_CLAMP_ASM = """
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[0x0][0x4]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R4, R4, c[0x0][0x0]
+    LD R5, [R4]
+    FMNMX.MAX R5, R5, c[0x0][0x8]
+    FMNMX.MIN R5, R5, c[0x0][0xc]
+    ST [R4], R5
+    EXIT
+"""
+
+CLAMP_PROGRAM = assemble(_CLAMP_ASM, name="range_clamp")
+
+_CLAMP_BLOCK = 64
+
+
+class RangeHarness(DeviceHarness):
+    """Pass-through harness clamping the outputs of bounded kernels."""
+
+    def launch(self, gpu: GPU, program, grid, block, params=(),
+               smem_bytes: int = 0, name: str | None = None,
+               outputs: tuple[Buffer, ...] = ()) -> None:
+        kernel_name = name or program.name
+        gpu.launch(program, grid, block, params, smem_bytes, kernel_name)
+        bounds = RANGE_BOUNDS.get(kernel_name)
+        if bounds is None:
+            return
+        lo, hi = bounds
+        for buf in outputs:
+            nwords = buf.nbytes // 4
+            gpu.launch(
+                CLAMP_PROGRAM,
+                (-(-nwords // _CLAMP_BLOCK), 1),
+                (_CLAMP_BLOCK, 1),
+                [buf, nwords, lo, hi],
+                0,
+                f"{kernel_name}@clamp",
+            )
+
+
+def range_harness_factory() -> RangeHarness:
+    """Harness factory for :func:`repro.fi.campaign.run_campaign`."""
+    return RangeHarness()

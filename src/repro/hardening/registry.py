@@ -1,0 +1,50 @@
+"""Named registry of hardening schemes (the "hardening zoo").
+
+Every scheme is a :class:`~repro.kernels.base.DeviceHarness` factory, so
+any app runs under any scheme without modification — the harness
+indirection is the whole protection API. Campaigns select a scheme by
+name via ``CampaignSpec.harden`` / ``campaign run --harden``:
+
+========  ==========================================================
+name      scheme
+========  ==========================================================
+tmr       triple modular redundancy, majority vote (corrects, ~3x)
+dmr       duplication with comparison (detects -> DUE, ~2x)
+abft      GEMM checksums (locates + corrects single elements, o(n^3))
+range     output clamping to analytic bounds (no detection, ~free)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.hardening.abft import abft_harness_factory
+from repro.hardening.dmr import dmr_harness_factory
+from repro.hardening.range import range_harness_factory
+from repro.hardening.tmr import tmr_harness_factory
+from repro.kernels.base import DeviceHarness
+
+HARDENING_SCHEMES: dict[str, Callable[[], DeviceHarness]] = {
+    "tmr": tmr_harness_factory,
+    "dmr": dmr_harness_factory,
+    "abft": abft_harness_factory,
+    "range": range_harness_factory,
+}
+
+
+def hardening_names() -> tuple[str, ...]:
+    """Registered scheme names, registry order."""
+    return tuple(HARDENING_SCHEMES)
+
+
+def hardening_scheme(name: str) -> Callable[[], DeviceHarness]:
+    """Look up a harness factory by scheme name."""
+    try:
+        return HARDENING_SCHEMES[name]
+    except KeyError:
+        known = ", ".join(sorted(HARDENING_SCHEMES))
+        raise ConfigError(
+            f"unknown hardening scheme {name!r} (known: {known})"
+        ) from None

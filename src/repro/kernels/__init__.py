@@ -1,4 +1,6 @@
-"""The paper's benchmark suite: 11 applications, 23 kernels.
+"""The benchmark suites: the paper's 11 applications (23 kernels) plus
+the neural workloads of :mod:`repro.kernels.nn` (``suite="nn"``; 29
+app x kernel pairs under ``suite="all"``).
 
 Each application is a host driver (buffer management + kernel launches in
 our SASS-like ISA) with a deterministic input generator and a NumPy golden

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _IN = 32  # input layer size (power of two for the fold)
 _HID = 4  # hidden layer size
@@ -204,3 +205,24 @@ class BackProp(GPUApplication):
         w[0, 1:] = w0[0, 1:] + dw_bias
         oldw_new[0, 1:] = dw_bias
         return {"hidden": hidden, "weights": w, "oldw": oldw_new}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "backprop", "weight-delta",
+    doc="max absolute deviation across the adjusted weights, momentum "
+        "terms and hidden activations vs golden; <= 0.01 (and no NaN/Inf) "
+        "counts as tolerable — one step's noise at that scale is washed "
+        "out by subsequent training epochs")
+def _backprop_quality(faulty, golden):
+    # np.max propagates NaN (unlike builtin max), so a NaN anywhere in
+    # the outputs lands in err and classifies critical below.
+    err = float(np.max([
+        np.abs(faulty[key].astype(np.float64)
+               - golden[key].astype(np.float64)).max()
+        for key in ("weights", "oldw", "hidden")
+    ]))
+    ok = bool(np.isfinite(err) and err <= 0.01)
+    score = 1.0 / (1.0 + 100.0 * err) if np.isfinite(err) else 0.0
+    return score, ok

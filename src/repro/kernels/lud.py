@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _N = 16
 _B = 8
@@ -431,3 +432,28 @@ class LUD(GPUApplication):
 
     def reference(self):
         return {"matrix": _reference_lud(self.inputs["matrix"])}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+def _lu_product(packed: np.ndarray) -> np.ndarray:
+    """Reconstruct L @ U from the in-place packed factor matrix."""
+    m = packed.astype(np.float64)
+    lower = np.tril(m, -1) + np.eye(m.shape[0])
+    return lower @ np.triu(m)
+
+
+@quality_metric(
+    "lud", "decomposition-residual",
+    doc="relative Frobenius distance between the faulty and golden "
+        "reconstructions L*U; <= 1e-4 counts as tolerable (both factor "
+        "sets then decompose essentially the same matrix)")
+def _lud_quality(faulty, golden):
+    rec_f = _lu_product(faulty["matrix"])
+    rec_g = _lu_product(golden["matrix"])
+    num = float(np.linalg.norm(rec_f - rec_g))
+    den = float(np.linalg.norm(rec_g))
+    res = num / den if den else num
+    ok = bool(np.isfinite(res) and res <= 1e-4)
+    score = 1.0 / (1.0 + 1e4 * res) if np.isfinite(res) else 0.0
+    return score, ok

@@ -1,0 +1,28 @@
+"""Neural workloads for the ISA simulator (the "nn" suite).
+
+Four applications built from three kernel families:
+
+* :mod:`repro.kernels.nn.gemm` — ``gemm_tile``, a tiled shared-memory
+  GEMM (``C = A @ B``) with an 8x8 tile staged through SMEM. The other
+  nn apps compose it, and :mod:`repro.hardening.abft` registers its
+  parameter signature for checksum protection.
+* :mod:`repro.kernels.nn.conv2d` — ``conv2d_dir``, a direct 3x3 valid
+  convolution with the filter taps staged through SMEM.
+* :mod:`repro.kernels.nn.attention` — scaled-dot-product attention
+  (``softmax(Q Kt / sqrt(d)) V``) from ``gemm_tile`` plus a per-row
+  ``softmax_row`` kernel.
+* :mod:`repro.kernels.nn.mlp` — a classifier-style two-layer MLP forward
+  pass (``relu_act`` between two ``gemm_tile`` launches) whose quality
+  metric is top-1 agreement.
+
+Every app registers a quality metric in :mod:`repro.sdc.severity` at
+module import, so severity-aware campaigns never fall back to the
+CRITICAL exact-output default on neural workloads.
+"""
+
+from repro.kernels.nn.attention import Attention
+from repro.kernels.nn.conv2d import Conv2D
+from repro.kernels.nn.gemm import GEMM
+from repro.kernels.nn.mlp import MLP
+
+__all__ = ["GEMM", "Conv2D", "Attention", "MLP"]

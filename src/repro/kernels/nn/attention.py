@@ -1,0 +1,150 @@
+"""Attention — scaled-dot-product attention block. Two kernels.
+
+``softmax(Q @ Kt * scale) @ V`` for one head: the score and output
+products run on :data:`~repro.kernels.nn.gemm.GEMM_TILE`, and
+``softmax_row`` normalizes each score row in place (one thread per row:
+max-subtracted, the ``1/sqrt(d)`` scale and the ``log2(e)`` base change
+folded into one multiplier before ``MUFU.EX2``, then an ``MUFU.RCP``
+normalization). Keys are stored pre-transposed (``kt``) so both products
+are plain row-major GEMMs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.nn.gemm import GEMM_TILE, gemm_reference, launch_gemm
+from repro.sdc.severity import quality_metric
+
+_SEQ = 8   # sequence length (rows of Q)
+_D = 8     # head dimension
+
+#: One multiplier for the exponent path: ``exp(scale*(x-m))`` is computed
+#: as ``exp2(((x-m)) * (scale*log2 e))``.
+_EXP_C = np.float32((1.0 / math.sqrt(_D)) * math.log2(math.e))
+
+SOFTMAX_ROW = assemble(
+    """
+    # params: 0x0=buf 0x4=cols 0x8=c (= scale*log2(e), f32)
+    S2R R0, SR_TID.X             # row
+    IMAD R1, R0, c[0x0][0x4], RZ
+    SHL R1, R1, 0x2
+    IADD R1, R1, c[0x0][0x0]     # row base
+    # pass 1: m = max_j x[j]
+    MOV R2, 0fff800000           # -inf
+    MOV R3, RZ
+    MOV R4, R1
+maxloop:
+    LD R5, [R4]
+    FMNMX.MAX R2, R2, R5
+    IADD R4, R4, 0x4
+    IADD R3, R3, 0x1
+    ISETP.LT P0, R3, c[0x0][0x4]
+@P0 BRA maxloop
+    # pass 2: t[j] = exp2((x[j]-m)*c), accumulated into sum
+    MOV R6, RZ                   # sum = +0.0f
+    MOV R3, RZ
+    MOV R4, R1
+exploop:
+    LD R5, [R4]
+    FSUB R5, R5, R2
+    FMUL R5, R5, c[0x0][0x8]
+    MUFU.EX2 R5, R5
+    ST [R4], R5
+    FADD R6, R6, R5
+    IADD R4, R4, 0x4
+    IADD R3, R3, 0x1
+    ISETP.LT P0, R3, c[0x0][0x4]
+@P0 BRA exploop
+    # pass 3: y[j] = t[j] * (1/sum)
+    MUFU.RCP R7, R6
+    MOV R3, RZ
+    MOV R4, R1
+normloop:
+    LD R5, [R4]
+    FMUL R5, R5, R7
+    ST [R4], R5
+    IADD R4, R4, 0x4
+    IADD R3, R3, 0x1
+    ISETP.LT P0, R3, c[0x0][0x4]
+@P0 BRA normloop
+    EXIT
+""",
+    name="softmax_row",
+)
+
+
+def softmax_rows_reference(x: np.ndarray, c: np.float32) -> np.ndarray:
+    """Row softmax mirroring ``softmax_row``'s float32 operation order."""
+    x = x.astype(np.float32)
+    m = np.max(x, axis=1, keepdims=True)
+    t = np.exp2((x - m) * c)
+    s = np.zeros(x.shape[0], dtype=np.float32)
+    for j in range(x.shape[1]):
+        s = s + t[:, j]
+    r = np.float32(1.0) / s
+    return t * r[:, None]
+
+
+class Attention(GPUApplication):
+    """One attention head: scores, row softmax, value mix."""
+
+    name = "attention"
+    kernel_names = ("gemm_tile", "softmax_row")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        def mat():
+            return (rng.random((_SEQ, _D), dtype=np.float32)
+                    + np.float32(0.5))
+
+        # kt holds the keys already transposed: S = Q @ Kt row-major.
+        return {"q": mat(), "kt": mat(), "v": mat()}
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_q = h.upload(gpu, inp["q"])
+        buf_kt = h.upload(gpu, inp["kt"])
+        buf_v = h.upload(gpu, inp["v"])
+        buf_s = h.alloc(gpu, 4 * _SEQ * _SEQ)
+        buf_o = h.alloc(gpu, 4 * _SEQ * _D)
+        launch_gemm(h, gpu, buf_q, buf_kt, buf_s, _SEQ, _SEQ, _D)
+        h.launch(
+            gpu, SOFTMAX_ROW, (1, 1), (_SEQ, 1),
+            [buf_s, _SEQ, _EXP_C],
+            name="softmax_row", outputs=(buf_s,),
+        )
+        launch_gemm(h, gpu, buf_s, buf_v, buf_o, _SEQ, _D, _SEQ)
+        out = h.download(gpu, buf_o, np.float32, _SEQ * _D)
+        return {"attn": out.reshape(_SEQ, _D)}
+
+    def reference(self):
+        inp = self.inputs
+        scores = gemm_reference(inp["q"], inp["kt"])
+        probs = softmax_rows_reference(scores, _EXP_C)
+        return {"attn": gemm_reference(probs, inp["v"])}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "attention", "max-rel-error",
+    doc="max relative error of the faulty attention output vs golden; "
+        "<= 1e-2 (and no NaN/Inf) counts as tolerable")
+def _attention_quality(faulty, golden):
+    g = golden["attn"].astype(np.float64)
+    f = faulty["attn"].astype(np.float64)
+    rel = np.abs(f - g) / np.maximum(np.abs(g), 1e-6)
+    err = float(rel.max())
+    ok = bool(np.isfinite(err) and err <= 1e-2)
+    score = 1.0 / (1.0 + 100.0 * err) if np.isfinite(err) else 0.0
+    return score, ok
+
+
+# kernel_programs() scans module-level Program constants; the shared GEMM
+# kernel must be visible here under the app's own (app, kernel) key.
+_PROGRAMS = (GEMM_TILE, SOFTMAX_ROW)

@@ -1,0 +1,134 @@
+"""Conv2D — direct 3x3 valid convolution, two output channels. One kernel.
+
+``conv2d_dir`` computes one output pixel per thread: the 3x3 filter taps of
+the CTA's output channel are staged through shared memory by the first nine
+threads, then every thread accumulates its 3x3 input window with FFMA in
+tap order (dy-major, dx-minor). Grid y selects the output channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.nn.gemm import snr_quality
+from repro.sdc.severity import quality_metric
+
+_IH = 10   # input height/width (valid conv -> 8x8 output)
+_IW = 10
+_OH = 8
+_OW = 8
+_KH = 3
+_OC = 2    # output channels (filters)
+
+CONV2D_DIR = assemble(
+    """
+    # params: 0x0=in 0x4=w 0x8=out 0xc=iw 0x10=ow 0x14=oc_stride(=ow*ow)
+    # SMEM: ws[9] = this CTA's 3x3 filter taps (36 bytes)
+    S2R R0, SR_TID.X             # ox
+    S2R R1, SR_TID.Y             # oy
+    S2R R2, SR_CTAID.Y           # oc
+    S2R R3, SR_NTID.X            # OW
+    # stage filter taps: threads 0..8 of the CTA load w[oc*9 + lidx]
+    IMAD R4, R1, R3, R0          # lidx = oy*OW + ox
+    ISETP.LT P1, R4, 0x9
+    IMAD R5, R2, 0x9, R4         # oc*9 + lidx
+    SHL R5, R5, 0x2
+    IADD R5, R5, c[0x0][0x4]
+@P1 LD R6, [R5]
+    SHL R7, R4, 0x2
+@P1 STS [R7], R6
+    BAR.SYNC
+    MOV R8, RZ                   # acc = +0.0f
+    # input base: in + 4*(oy*iw + ox)
+    IMAD R9, R1, c[0x0][0xc], R0
+    SHL R9, R9, 0x2
+    IADD R9, R9, c[0x0][0x0]
+    MOV R10, RZ                  # dy
+dyloop:
+    MOV R11, RZ                  # dx
+dxloop:
+    # in[(oy+dy)*iw + (ox+dx)]
+    IMAD R12, R10, c[0x0][0xc], R11
+    SHL R12, R12, 0x2
+    IADD R12, R12, R9
+    LD R13, [R12]
+    # ws[dy*3 + dx]
+    IMAD R14, R10, 0x3, R11
+    SHL R14, R14, 0x2
+    LDS R15, [R14]
+    FFMA R8, R13, R15, R8
+    IADD R11, R11, 0x1
+    ISETP.LT P0, R11, 0x3
+@P0 BRA dxloop
+    IADD R10, R10, 0x1
+    ISETP.LT P0, R10, 0x3
+@P0 BRA dyloop
+    # out[oc*oc_stride + oy*ow + ox]
+    IMAD R16, R1, c[0x0][0x10], R0
+    IMAD R17, R2, c[0x0][0x14], R16
+    SHL R17, R17, 0x2
+    IADD R17, R17, c[0x0][0x8]
+    ST [R17], R8
+    EXIT
+""",
+    name="conv2d_dir",
+)
+
+_CONV_SMEM_BYTES = _KH * _KH * 4
+
+
+def conv2d_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Valid 3x3 conv mirroring the kernel's float32 FFMA tap order."""
+    acc = np.zeros((_OC, _OH, _OW), dtype=np.float32)
+    for dy in range(_KH):
+        for dx in range(_KH):
+            window = image[dy : dy + _OH, dx : dx + _OW]
+            taps = weights[:, dy, dx].reshape(_OC, 1, 1)
+            acc = window[None, :, :] * taps + acc
+    return acc
+
+
+class Conv2D(GPUApplication):
+    """3x3 valid convolution of a 10x10 image into two 8x8 feature maps."""
+
+    name = "conv2d"
+    kernel_names = ("conv2d_dir",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "image": (rng.random((_IH, _IW), dtype=np.float32)
+                      + np.float32(0.5)),
+            "weights": (rng.random((_OC, _KH, _KH), dtype=np.float32)
+                        - np.float32(0.5)),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_in = h.upload(gpu, inp["image"])
+        buf_w = h.upload(gpu, inp["weights"])
+        buf_out = h.alloc(gpu, 4 * _OC * _OH * _OW)
+        h.launch(
+            gpu, CONV2D_DIR, (1, _OC), (_OW, _OH),
+            [buf_in, buf_w, buf_out, _IW, _OW, _OH * _OW],
+            smem_bytes=_CONV_SMEM_BYTES, name="conv2d_dir",
+            outputs=(buf_out,),
+        )
+        out = h.download(gpu, buf_out, np.float32, _OC * _OH * _OW)
+        return {"fmaps": out.reshape(_OC, _OH, _OW)}
+
+    def reference(self):
+        inp = self.inputs
+        return {"fmaps": conv2d_reference(inp["image"], inp["weights"])}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "conv2d", "output-snr",
+    doc="SNR of the faulty feature maps vs the golden ones; >= 40 dB "
+        "(and no NaN/Inf) counts as tolerable")
+def _conv2d_quality(faulty, golden):
+    return snr_quality(faulty["fmaps"], golden["fmaps"])

@@ -1,0 +1,184 @@
+"""GEMM — tiled shared-memory matrix multiply (``C = A @ B``). One kernel.
+
+``gemm_tile`` is the workhorse of the nn suite: an 8x8-tile GEMM whose CTA
+stages one tile of A and one tile of B through shared memory per K-step,
+then accumulates with FFMA in ascending-k order. The kernel is fully
+generic over (M, N, K) as long as each is a multiple of the tile edge, so
+the attention and MLP apps launch the same program on their own shapes.
+
+The ascending-k FFMA accumulation order is part of the kernel's contract:
+:func:`gemm_reference` mirrors it for the bitwise test oracle, and the
+ABFT correction kernel (:mod:`repro.hardening.abft`) recomputes a located
+element with the same order so a corrected element is bit-identical to an
+uncorrupted run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
+
+#: Tile edge; CTAs are (TILE, TILE) and M/N/K must be multiples of it.
+TILE = 8
+
+_M = 16
+_N = 16
+_K = 16
+
+GEMM_TILE = assemble(
+    """
+    # params: 0x0=A 0x4=B 0x8=C 0xc=M 0x10=N 0x14=K
+    # SMEM: As[8][8] at 0x0, Bs[8][8] at 0x100 (2*8*8*4 = 512 bytes)
+    S2R R0, SR_TID.X             # tx
+    S2R R1, SR_TID.Y             # ty
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    S2R R4, SR_NTID.X            # TILE
+    IMAD R5, R2, R4, R0          # col = ctaid.x*TILE + tx
+    IMAD R6, R3, R4, R1          # row = ctaid.y*TILE + ty
+    MOV R7, RZ                   # acc = +0.0f
+    MOV R8, RZ                   # kt = K-tile base
+    IMAD R9, R1, R4, R0          # local idx = ty*TILE + tx
+    SHL R9, R9, 0x2              # As slot
+    IADD R10, R9, 0x100          # Bs slot
+    SHL R18, R1, 0x5             # As row base: ty*TILE*4
+    SHL R19, R0, 0x2
+    IADD R19, R19, 0x100         # Bs col base: 0x100 + tx*4
+tile:
+    # As[ty][tx] = A[row*K + kt + tx]
+    IADD R11, R8, R0
+    IMAD R12, R6, c[0x0][0x14], R11
+    SHL R12, R12, 0x2
+    IADD R12, R12, c[0x0][0x0]
+    LD R13, [R12]
+    STS [R9], R13
+    # Bs[ty][tx] = B[(kt + ty)*N + col]
+    IADD R14, R8, R1
+    IMAD R15, R14, c[0x0][0x10], R5
+    SHL R15, R15, 0x2
+    IADD R15, R15, c[0x0][0x4]
+    LD R16, [R15]
+    STS [R10], R16
+    BAR.SYNC
+    MOV R17, RZ                  # k
+kloop:
+    SHL R20, R17, 0x2
+    IADD R21, R18, R20           # As[ty][k]
+    LDS R22, [R21]
+    SHL R23, R17, 0x5
+    IADD R24, R19, R23           # Bs[k][tx]
+    LDS R25, [R24]
+    FFMA R7, R22, R25, R7
+    IADD R17, R17, 0x1
+    ISETP.LT P0, R17, 0x8
+@P0 BRA kloop
+    BAR.SYNC
+    IADD R8, R8, 0x8
+    ISETP.LT P0, R8, c[0x0][0x14]
+@P0 BRA tile
+    IMAD R26, R6, c[0x0][0x10], R5
+    SHL R26, R26, 0x2
+    IADD R26, R26, c[0x0][0x8]
+    ST [R26], R7
+    EXIT
+""",
+    name="gemm_tile",
+)
+
+#: Shared-memory bytes per CTA (one A tile + one B tile).
+GEMM_SMEM_BYTES = 2 * TILE * TILE * 4
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` mirroring the kernel's float32 FFMA order (ascending k)."""
+    m, k = a.shape
+    acc = np.zeros((m, b.shape[1]), dtype=np.float32)
+    for kk in range(k):
+        acc = a[:, kk : kk + 1] * b[kk : kk + 1, :] + acc
+    return acc
+
+
+def launch_gemm(harness, gpu, buf_a, buf_b, buf_c, m, n, k):
+    """Launch ``gemm_tile`` for ``C[m,n] = A[m,k] @ B[k,n]``.
+
+    One helper so every nn app declares the same grid math and the same
+    ``outputs=(C,)`` contract (the hardening harnesses key off it).
+    """
+    if m % TILE or n % TILE or k % TILE:
+        raise ValueError(f"gemm_tile needs M/N/K multiples of {TILE}, "
+                         f"got ({m}, {n}, {k})")
+    harness.launch(
+        gpu, GEMM_TILE, (n // TILE, m // TILE), (TILE, TILE),
+        [buf_a, buf_b, buf_c, m, n, k],
+        smem_bytes=GEMM_SMEM_BYTES, name="gemm_tile", outputs=(buf_c,),
+    )
+
+
+class GEMM(GPUApplication):
+    """Single 16x16x16 matrix multiply through the tiled kernel."""
+
+    name = "gemm"
+    kernel_names = ("gemm_tile",)
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        # Entries in [0.5, 1.5]: away from zero so relative-error metrics
+        # and ABFT checksum tolerances have a stable scale.
+        return {
+            "a": (rng.random((_M, _K), dtype=np.float32)
+                  + np.float32(0.5)),
+            "b": (rng.random((_K, _N), dtype=np.float32)
+                  + np.float32(0.5)),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_a = h.upload(gpu, inp["a"])
+        buf_b = h.upload(gpu, inp["b"])
+        buf_c = h.alloc(gpu, 4 * _M * _N)
+        launch_gemm(h, gpu, buf_a, buf_b, buf_c, _M, _N, _K)
+        out = h.download(gpu, buf_c, np.float32, _M * _N)
+        return {"c": out.reshape(_M, _N)}
+
+    def reference(self):
+        inp = self.inputs
+        return {"c": gemm_reference(inp["a"], inp["b"])}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+def output_snr_db(faulty: np.ndarray, golden: np.ndarray) -> float:
+    """Output SNR in dB (inf for a value-identical output)."""
+    g = golden.astype(np.float64).ravel()
+    f = faulty.astype(np.float64).ravel()
+    err = f - g
+    noise = float(np.dot(err, err))
+    if noise == 0.0:
+        return float("inf")
+    signal = float(np.dot(g, g))
+    if not np.isfinite(noise) or signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def snr_quality(faulty: np.ndarray, golden: np.ndarray,
+                tolerable_db: float = 40.0) -> tuple[float, bool]:
+    """(score, tolerable) from output SNR: >= ``tolerable_db`` passes."""
+    snr = output_snr_db(faulty, golden)
+    if snr == float("inf"):
+        return 1.0, True
+    if not np.isfinite(snr):
+        return 0.0, False
+    score = min(1.0, max(0.0, snr / (2.0 * tolerable_db)))
+    return score, bool(snr >= tolerable_db)
+
+
+@quality_metric(
+    "gemm", "output-snr",
+    doc="SNR of the faulty product vs the golden one; >= 40 dB (and no "
+        "NaN/Inf) counts as tolerable")
+def _gemm_quality(faulty, golden):
+    return snr_quality(faulty["c"], golden["c"])

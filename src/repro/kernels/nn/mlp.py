@@ -1,0 +1,108 @@
+"""MLP — classifier-style two-layer forward pass. Two kernels.
+
+``logits = relu(X @ W1) @ W2`` for a batch of 8 samples: both products run
+on :data:`~repro.kernels.nn.gemm.GEMM_TILE`; ``relu_act`` clamps the
+hidden activations elementwise (``FMNMX.MAX`` against +0.0). The quality
+metric is top-1 agreement — the classifier survives an SDC whenever every
+sample's argmax class is unchanged, the "masked by the network" behaviour
+the DNN reliability literature reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.nn.gemm import GEMM_TILE, gemm_reference, launch_gemm
+from repro.sdc.severity import quality_metric
+
+_BATCH = 8
+_IN = 16
+_HID = 16
+_OUT = 8
+
+RELU_ACT = assemble(
+    """
+    # params: 0x0=buf 0x4=nwords
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[0x0][0x4]
+@P0 EXIT
+    SHL R4, R3, 0x2
+    IADD R4, R4, c[0x0][0x0]
+    LD R5, [R4]
+    FMNMX.MAX R5, R5, 0f00000000
+    ST [R4], R5
+    EXIT
+""",
+    name="relu_act",
+)
+
+_RELU_BLOCK = 64
+
+
+def relu_reference(x: np.ndarray) -> np.ndarray:
+    """Elementwise relu mirroring ``FMNMX.MAX`` (NaN maps to the bound)."""
+    return np.fmax(x.astype(np.float32), np.float32(0.0))
+
+
+class MLP(GPUApplication):
+    """Two-layer MLP forward pass over a batch of 8 samples."""
+
+    name = "mlp"
+    kernel_names = ("gemm_tile", "relu_act")
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        return {
+            "x": (rng.random((_BATCH, _IN), dtype=np.float32)
+                  - np.float32(0.5)),
+            "w1": (rng.random((_IN, _HID), dtype=np.float32)
+                   - np.float32(0.5)),
+            "w2": (rng.random((_HID, _OUT), dtype=np.float32)
+                   - np.float32(0.5)),
+        }
+
+    def run(self, gpu, harness: DeviceHarness | None = None):
+        h = harness or DeviceHarness()
+        inp = self.inputs
+        buf_x = h.upload(gpu, inp["x"])
+        buf_w1 = h.upload(gpu, inp["w1"])
+        buf_w2 = h.upload(gpu, inp["w2"])
+        buf_h = h.alloc(gpu, 4 * _BATCH * _HID)
+        buf_l = h.alloc(gpu, 4 * _BATCH * _OUT)
+        launch_gemm(h, gpu, buf_x, buf_w1, buf_h, _BATCH, _HID, _IN)
+        nwords = _BATCH * _HID
+        h.launch(
+            gpu, RELU_ACT, (-(-nwords // _RELU_BLOCK), 1), (_RELU_BLOCK, 1),
+            [buf_h, nwords],
+            name="relu_act", outputs=(buf_h,),
+        )
+        launch_gemm(h, gpu, buf_h, buf_w2, buf_l, _BATCH, _OUT, _HID)
+        out = h.download(gpu, buf_l, np.float32, _BATCH * _OUT)
+        return {"logits": out.reshape(_BATCH, _OUT)}
+
+    def reference(self):
+        inp = self.inputs
+        hidden = relu_reference(gemm_reference(inp["x"], inp["w1"]))
+        return {"logits": gemm_reference(hidden, inp["w2"])}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "mlp", "top1-agreement",
+    doc="fraction of batch samples whose argmax class matches the golden "
+        "run; tolerable only at full agreement")
+def _mlp_quality(faulty, golden):
+    f = faulty["logits"]
+    g = golden["logits"]
+    if not np.all(np.isfinite(f)):
+        return 0.0, False
+    agree = float(np.mean(np.argmax(f, axis=1) == np.argmax(g, axis=1)))
+    return agree, bool(agree == 1.0)
+
+
+_PROGRAMS = (GEMM_TILE, RELU_ACT)

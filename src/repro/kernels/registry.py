@@ -1,4 +1,18 @@
-"""Registry of the paper's 11 benchmark applications (23 kernels).
+"""Registry of the benchmark applications.
+
+Two suites share one registry surface:
+
+* ``"paper"`` — the paper's 11 Rodinia-style applications (23 kernels),
+  exactly the set every figure and table is computed over. Functions that
+  feed the figure pipeline (:func:`application_names`,
+  :func:`all_applications`) default to this suite so the published
+  results never silently grow.
+* ``"nn"`` — the neural workloads of :mod:`repro.kernels.nn` (tiled
+  shared-memory GEMM, direct conv2d, softmax/attention, an MLP forward
+  pass), the hardening-zoo targets.
+* ``"all"`` — both. Static tooling (linter, CFG dumps, launch-aware
+  analyses via :func:`kernel_programs` / :func:`kernel_index`) defaults
+  here: every registered kernel is lint-gated, not just the paper's.
 
 Applications register lazily so importing the registry stays cheap; kernel
 programs are assembled at first module import.
@@ -25,41 +39,69 @@ _APPS: dict[str, tuple[str, str]] = {
     "bfs": ("repro.kernels.bfs", "BFS"),
 }
 
+#: Neural workloads (:mod:`repro.kernels.nn`): kept out of the paper suite
+#: so figure experiments and their cache identities are untouched.
+_NN_APPS: dict[str, tuple[str, str]] = {
+    "gemm": ("repro.kernels.nn.gemm", "GEMM"),
+    "conv2d": ("repro.kernels.nn.conv2d", "Conv2D"),
+    "attention": ("repro.kernels.nn.attention", "Attention"),
+    "mlp": ("repro.kernels.nn.mlp", "MLP"),
+}
 
-def application_names() -> list[str]:
-    """All application ids, in the paper's presentation order."""
-    return list(_APPS)
+_SUITES: dict[str, dict[str, tuple[str, str]]] = {
+    "paper": _APPS,
+    "nn": _NN_APPS,
+    "all": {**_APPS, **_NN_APPS},
+}
+
+
+def _suite_apps(suite: str) -> dict[str, tuple[str, str]]:
+    try:
+        return _SUITES[suite]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {suite!r}; known: {', '.join(_SUITES)}"
+        ) from None
+
+
+def application_names(suite: str = "paper") -> list[str]:
+    """Application ids of one suite, in presentation order."""
+    return list(_suite_apps(suite))
 
 
 def get_application(name: str, seed: int = 2024) -> GPUApplication:
-    """Instantiate one benchmark application by id."""
-    try:
-        module_name, class_name = _APPS[name]
-    except KeyError:
+    """Instantiate one benchmark application by id (any suite)."""
+    entry = _SUITES["all"].get(name)
+    if entry is None:
         raise KeyError(
-            f"unknown application {name!r}; known: {', '.join(_APPS)}"
-        ) from None
+            f"unknown application {name!r}; known: "
+            f"{', '.join(_SUITES['all'])}"
+        )
+    module_name, class_name = entry
     module = importlib.import_module(module_name)
     return getattr(module, class_name)(seed=seed)
 
 
-def all_applications(seed: int = 2024) -> list[GPUApplication]:
-    """Instantiate the full suite."""
-    return [get_application(name, seed) for name in _APPS]
+def all_applications(seed: int = 2024, suite: str = "paper"
+                     ) -> list[GPUApplication]:
+    """Instantiate one suite (the paper's 11 apps by default)."""
+    return [get_application(name, seed) for name in _suite_apps(suite)]
 
 
-def kernel_programs(seed: int = 2024) -> dict[tuple[str, str], "Program"]:
+def kernel_programs(seed: int = 2024, suite: str = "all"
+                    ) -> dict[tuple[str, str], "Program"]:
     """All assembled kernel programs, keyed ``(app name, kernel name)``.
 
     Kernels are module-level :class:`~repro.isa.program.Program` constants of
     their application modules; this collects them without running anything —
     the entry point for the static-analysis subsystem (linter, CFG dumps,
-    static vulnerability estimators).
+    static vulnerability estimators). Defaults to every registered kernel
+    (paper + nn) so static gates cover the whole codebase.
     """
     from repro.isa.program import Program
 
     programs: dict[tuple[str, str], Program] = {}
-    for app in all_applications(seed):
+    for app in all_applications(seed, suite=suite):
         module = importlib.import_module(type(app).__module__)
         by_name = {
             value.name: value
@@ -76,10 +118,11 @@ def kernel_programs(seed: int = 2024) -> dict[tuple[str, str], "Program"]:
     return programs
 
 
-def kernel_index(seed: int = 2024) -> list[tuple[str, str]]:
-    """Flat list of (app name, kernel name) over the whole suite (23 kernels)."""
+def kernel_index(seed: int = 2024, suite: str = "all"
+                 ) -> list[tuple[str, str]]:
+    """Flat list of (app name, kernel name) over one suite."""
     pairs: list[tuple[str, str]] = []
-    for app in all_applications(seed):
+    for app in all_applications(seed, suite=suite):
         for kernel in app.kernel_names:
             pairs.append((app.name, kernel))
     return pairs

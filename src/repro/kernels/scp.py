@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _PAIRS = 4
 _ELEMS = 64  # == block size; one element per thread
@@ -94,3 +95,19 @@ class ScalarProd(GPUApplication):
             acc[:, :s] = acc[:, :s] + acc[:, s : 2 * s]
             s //= 2
         return {"dot": acc[:, 0].copy()}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "scp", "elementwise-rel-error",
+    doc="max relative error of the dot products vs golden; <= 1e-4 "
+        "(and no NaN/Inf) counts as tolerable")
+def _scp_quality(faulty, golden):
+    f = faulty["dot"].astype(np.float64)
+    g = golden["dot"].astype(np.float64)
+    rel = np.abs(f - g) / np.maximum(np.abs(g), 1.0)
+    err = float(rel.max())
+    ok = bool(np.isfinite(err) and err <= 1e-4)
+    score = 1.0 / (1.0 + 1e4 * err) if np.isfinite(err) else 0.0
+    return score, ok

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.nn.gemm import snr_quality
+from repro.sdc.severity import quality_metric
 
 _ROWS = 16
 _COLS = 16
@@ -453,3 +455,13 @@ class SradV1(GPUApplication):
             img = _k5_mirror(img, cval, d_n, d_s, d_w, d_e)
         img = np.log2(img) * _LN2_255  # K6 mirror
         return {"image": img.astype(np.float32)}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "sradv1", "image-snr",
+    doc="SNR of the despeckled image vs the golden one; >= 40 dB (and no "
+        "NaN/Inf) counts as tolerable")
+def _sradv1_quality(faulty, golden):
+    return snr_quality(faulty["image"], golden["image"])

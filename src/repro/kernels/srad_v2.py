@@ -19,7 +19,9 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.kernels.nn.gemm import snr_quality
 from repro.kernels.srad_v1 import _k4_mirror, _k5_mirror
+from repro.sdc.severity import quality_metric
 
 _ROWS = 16
 _COLS = 16
@@ -283,3 +285,13 @@ class SradV2(GPUApplication):
             cval, d_n, d_s, d_w, d_e = _k4_mirror(img, q0sqr)
             img = _k5_mirror(img, cval, d_n, d_s, d_w, d_e)
         return {"image": (np.log2(img) * _LN2_255).astype(np.float32)}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "sradv2", "image-snr",
+    doc="SNR of the despeckled image vs the golden one; >= 40 dB (and no "
+        "NaN/Inf) counts as tolerable")
+def _sradv2_quality(faulty, golden):
+    return snr_quality(faulty["image"], golden["image"])

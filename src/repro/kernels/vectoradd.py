@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.isa import assemble
 from repro.kernels.base import DeviceHarness, GPUApplication
+from repro.sdc.severity import quality_metric
 
 _N = 192
 _BLOCK = 64
@@ -63,3 +64,19 @@ class VectorAdd(GPUApplication):
     def reference(self):
         inp = self.inputs
         return {"c": inp["a"] + inp["b"]}
+
+
+# --------------------------------------------------------------- SDC anatomy
+
+@quality_metric(
+    "va", "elementwise-rel-error",
+    doc="max relative error of the sums vs golden; <= 1e-4 (and no "
+        "NaN/Inf) counts as tolerable")
+def _va_quality(faulty, golden):
+    f = faulty["c"].astype(np.float64)
+    g = golden["c"].astype(np.float64)
+    rel = np.abs(f - g) / np.maximum(np.abs(g), 1.0)
+    err = float(rel.max())
+    ok = bool(np.isfinite(err) and err <= 1e-4)
+    score = 1.0 / (1.0 + 1e4 * err) if np.isfinite(err) else 0.0
+    return score, ok

@@ -119,7 +119,7 @@ def suite_launch_contexts(seed: int = 2024,
     from repro.kernels.registry import all_applications
 
     out: dict[tuple[str, str], tuple[LaunchContext, ...]] = {}
-    for app in all_applications(seed):
+    for app in all_applications(seed, suite="all"):
         ctxs = capture_launch_contexts(app)
         for kernel in app.kernel_names:
             out[(app.name, kernel)] = tuple(

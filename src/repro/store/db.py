@@ -43,7 +43,7 @@ log = get_logger(__name__)
 
 #: Applied migrations == ``PRAGMA user_version``. Append a new script to
 #: :data:`MIGRATIONS` (never edit an existing one) to evolve the schema.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: ``MIGRATIONS[i]`` upgrades a database at ``user_version == i`` to
 #: ``i + 1``. Scripts must be pure SQL (executescript) and idempotent
@@ -120,6 +120,12 @@ MIGRATIONS: list[str] = [
         cache_hit_rate     REAL NOT NULL,
         note               TEXT
     );
+    """,
+    # v1 -> v2: the hardening-zoo scheme axis (CampaignSpec.harden).
+    # Nullable: every pre-zoo row (and every defaults-off campaign)
+    # carries NULL, exactly like the payload omits the field.
+    """
+    ALTER TABLE runs ADD COLUMN harden TEXT
     """,
 ]
 

@@ -48,7 +48,7 @@ log = get_logger(__name__)
 #: the bookkeeping columns owned by the upsert).
 ROW_FIELDS = (
     "cache_key", "spec_fingerprint", "tag", "level", "app", "kernel",
-    "structure", "config", "fault_model", "target", "hardened",
+    "structure", "config", "fault_model", "target", "hardened", "harden",
     "sdc_anatomy", "seed", "trials", "planned_trials", "stopped_early",
     "masked", "sdc", "timeout", "due", "crash", "failure_rate", "derating",
     "vf", "kernel_cycles", "kernel_instructions", "control_path_masked",
@@ -70,6 +70,9 @@ def spec_fingerprint(payload: dict) -> str:
         "fault_model": payload.get("fault_model", "transient"),
         "target": payload.get("fault_target", "storage"),
         "sdc_anatomy": payload.get("sdc_anatomy") is not None,
+        # Present only when set, like the payload field itself: every
+        # pre-zoo row keeps its fingerprint.
+        **({"harden": payload["harden"]} if payload.get("harden") else {}),
     }
     blob = json.dumps(identity, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:24]
@@ -89,6 +92,7 @@ def tag_from_payload(payload: dict) -> str:
     kind = payload["injector"]
     config = payload["config_name"]
     hardened = bool(payload.get("hardened", False))
+    harden = payload.get("harden")
     if kind == "uarch":
         structure = payload.get("structure") or "control"
         tag = f"{app}/{kernel}/uarch/{structure}/{config}/{hardened}"
@@ -96,10 +100,15 @@ def tag_from_payload(payload: dict) -> str:
         target = payload.get("fault_target", "storage")
         if fault_model != "transient" or target != "storage":
             tag += f"/{fault_model}/{target}"
+        if harden:
+            tag += f"/{harden}"
         return tag
     if kind.startswith("sw-src"):
         return f"{app}/{kernel}/{kind}/{config}"
-    return f"{app}/{kernel}/{kind}/{config}/{hardened}"
+    tag = f"{app}/{kernel}/{kind}/{config}/{hardened}"
+    if harden:
+        tag += f"/{harden}"
+    return tag
 
 
 def row_from_payload(key: str, payload: dict) -> dict:
@@ -132,6 +141,7 @@ def row_from_payload(key: str, payload: dict) -> dict:
         "fault_model": payload.get("fault_model", "transient"),
         "target": payload.get("fault_target", "storage"),
         "hardened": int(bool(payload.get("hardened", False))),
+        "harden": payload.get("harden"),
         "sdc_anatomy": int(payload.get("sdc_anatomy") is not None),
         "seed": int(payload["seed"]),
         "trials": trials,
@@ -230,11 +240,20 @@ class RunLedger:
     def runs(self, *, app: str | None = None, kernel: str | None = None,
              level: str | None = None, structure: str | None = None,
              fault_model: str | None = None, tag: str | None = None,
-             hardened: bool | None = None) -> list[dict]:
+             hardened: bool | None = None,
+             harden: str | None = None) -> list[dict]:
         """Filtered run rows, newest first. ``tag`` matches substrings so
-        ``--tag va/`` finds every campaign of one app."""
+        ``--tag va/`` finds every campaign of one app. ``harden`` filters
+        by hardening-zoo scheme name (``"none"`` selects unhardened
+        rows)."""
         clauses: list[str] = []
         params: list[object] = []
+        if harden is not None:
+            if harden == "none":
+                clauses.append("harden IS NULL")
+            else:
+                clauses.append("harden = ?")
+                params.append(harden)
         for column, value in (("app", app), ("kernel", kernel),
                               ("level", level), ("structure", structure),
                               ("fault_model", fault_model)):
@@ -254,13 +273,13 @@ class RunLedger:
         return [dict(r) for r in rows]
 
     def history(self, app: str, *, kernel: str | None = None,
-                level: str | None = None,
-                structure: str | None = None) -> list[dict]:
+                level: str | None = None, structure: str | None = None,
+                harden: str | None = None) -> list[dict]:
         """One app's recorded runs oldest-first — the trend table behind
         ``campaign history``: how AVF/SVF moved across recorded runs of
         each spec family, straight off the ledger."""
         rows = self.runs(app=app, kernel=kernel, level=level,
-                         structure=structure)
+                         structure=structure, harden=harden)
         return sorted(rows, key=lambda r: (r["spec_fingerprint"],
                                            r["recorded_at"],
                                            r["cache_key"]))

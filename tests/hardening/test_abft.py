@@ -1,0 +1,237 @@
+"""ABFT harness: checksum detection, localisation, bit-exact correction.
+
+The property tests drive the check pipeline directly: run a clean GEMM,
+corrupt the product on-device, then run the four check kernels and assert
+every above-tolerance single-element corruption is located and repaired
+bit-identically (and that clean runs never fire).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import quadro_gv100_like
+from repro.hardening.abft import (
+    ABFTCheckError,
+    ABFTHarness,
+    COL_PROGRAM,
+    EPS_ABS,
+    EPS_REL,
+    FIX_PROGRAM,
+    GEMM_SIGNATURES,
+    GemmSignature,
+    ROW_PROGRAM,
+    SUM_PROGRAM,
+    _CHECK_BLOCK,
+    _grid_1d,
+)
+from repro.kernels import get_application
+from repro.kernels.base import DeviceHarness, outputs_equal
+from repro.kernels.nn.gemm import GEMM_SMEM_BYTES, GEMM_TILE, TILE, gemm_reference
+from repro.sim import GPU
+
+M = N = K = 16
+
+
+def _clean_gemm(seed):
+    """Device-side GEMM on fresh random inputs; returns (gpu, bufs, golden)."""
+    rng = np.random.default_rng(seed)
+    a = (rng.random((M, K), dtype=np.float32) + np.float32(0.5))
+    b = (rng.random((K, N), dtype=np.float32) + np.float32(0.5))
+    gpu = GPU(quadro_gv100_like())
+    buf_a = gpu.upload(a)
+    buf_b = gpu.upload(b)
+    buf_c = gpu.malloc(4 * M * N)
+    gpu.launch(GEMM_TILE, (N // TILE, M // TILE), (TILE, TILE),
+               [buf_a, buf_b, buf_c, M, N, K], GEMM_SMEM_BYTES, "gemm_tile")
+    golden = gemm_reference(a, b)
+    return gpu, (buf_a, buf_b, buf_c), golden
+
+
+def _run_checks(gpu, bufs):
+    """The harness's four-kernel check; returns (harness, rowbad, colbad)."""
+    harness = ABFTHarness()
+    buf_a, buf_b, buf_c = bufs
+    params = [buf_a, buf_b, buf_c, M, N, K]
+    harness.run_gemm_checks(gpu, params, GEMM_SIGNATURES["gemm_tile"],
+                            "gemm_tile")
+    return harness
+
+
+def _flag_vectors(gpu, bufs):
+    """Row/col discrepancy flags via the check kernels, caller-owned."""
+    buf_a, buf_b, buf_c = bufs
+    asum = gpu.malloc(4 * K)
+    bsum = gpu.malloc(4 * K)
+    rowbad = gpu.upload(np.zeros(M, dtype=np.uint32))
+    colbad = gpu.upload(np.zeros(N, dtype=np.uint32))
+    gpu.launch(SUM_PROGRAM, _grid_1d(K), (_CHECK_BLOCK, 1),
+               [buf_a, buf_b, asum, bsum, M, N, K], 0, "sum")
+    gpu.launch(ROW_PROGRAM, _grid_1d(M), (_CHECK_BLOCK, 1),
+               [buf_c, buf_a, bsum, rowbad, M, N, K, EPS_REL, EPS_ABS],
+               0, "row")
+    gpu.launch(COL_PROGRAM, _grid_1d(N), (_CHECK_BLOCK, 1),
+               [buf_c, buf_b, asum, colbad, M, N, K, EPS_REL, EPS_ABS],
+               0, "col")
+    return (gpu.memcpy_dtoh(rowbad, np.uint32, M),
+            gpu.memcpy_dtoh(colbad, np.uint32, N))
+
+
+def test_check_programs_assemble():
+    for prog, name in ((SUM_PROGRAM, "abft_sum"), (ROW_PROGRAM, "abft_row"),
+                       (COL_PROGRAM, "abft_col"), (FIX_PROGRAM, "abft_fix")):
+        assert prog.name == name
+
+
+def test_gemm_tile_signature_registered():
+    assert GEMM_SIGNATURES["gemm_tile"] == GemmSignature(0, 1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("name", ["gemm", "conv2d", "attention", "mlp"])
+def test_clean_nn_run_is_bit_identical(name):
+    """ABFT on a fault-free run: outputs untouched, no DUE."""
+    app = get_application(name)
+    gpu = GPU(quadro_gv100_like())
+    harness = ABFTHarness()
+    out = app.run(gpu, harness)
+    harness.finalize(gpu)
+    ref = {k: np.asarray(v) for k, v in app.reference().items()}
+    assert outputs_equal(out, ref)
+
+
+def test_unprotected_kernel_passes_through():
+    """Apps with no GEMM launches run under ABFT with zero check launches."""
+    app = get_application("va")
+    gpu = GPU(quadro_gv100_like())
+    harness = ABFTHarness()
+    out = app.run(gpu, harness)
+    harness.finalize(gpu)
+    assert not [r for r in gpu.launch_records if "@abft" in r.name]
+    assert outputs_equal(out, {k: np.asarray(v)
+                               for k, v in app.reference().items()})
+
+
+def _gemm_and_check_cycles(size):
+    """(gemm cycles, check cycles) for a size^3 product."""
+    rng = np.random.default_rng(0)
+    a = (rng.random((size, size), dtype=np.float32) + np.float32(0.5))
+    b = (rng.random((size, size), dtype=np.float32) + np.float32(0.5))
+    gpu = GPU(quadro_gv100_like())
+    buf_a, buf_b = gpu.upload(a), gpu.upload(b)
+    buf_c = gpu.malloc(4 * size * size)
+    gpu.launch(GEMM_TILE, (size // TILE, size // TILE), (TILE, TILE),
+               [buf_a, buf_b, buf_c, size, size, size],
+               GEMM_SMEM_BYTES, "gemm_tile")
+    gemm_cycles = sum(r.cycles for r in gpu.launch_records)
+    harness = ABFTHarness()
+    harness.run_gemm_checks(gpu, [buf_a, buf_b, buf_c, size, size, size],
+                            GEMM_SIGNATURES["gemm_tile"], "gemm_tile")
+    harness.finalize(gpu)
+    total = sum(r.cycles for r in gpu.launch_records)
+    return gemm_cycles, total - gemm_cycles
+
+
+def test_check_overhead_is_sub_cubic():
+    """ABFT's economic argument: checks are O(K*(M+N)) against the
+    product's O(M*N*K), so the relative overhead shrinks with size (at
+    the suite's toy 16^3 shape the serial check loops still dominate —
+    the asymptote, not the constant, is the contract)."""
+    g16, c16 = _gemm_and_check_cycles(16)
+    g32, c32 = _gemm_and_check_cycles(32)
+    assert c32 / g32 < c16 / g16
+
+
+# ------------------------------------------------------------ properties
+
+#: Bit positions whose flip is guaranteed above tolerance for C entries in
+#: [4, 36] (inputs in [0.5, 1.5], K = 16): any exponent bit at least
+#: halves/doubles the magnitude (|delta| >= |c|/2 >= 2) and the sign bit
+#: shifts by 2|c|; both dwarf the ~1e-3 row/col tolerance at this scale.
+_BIG_BITS = st.integers(23, 31)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), row=st.integers(0, M - 1),
+       col=st.integers(0, N - 1), bit=_BIG_BITS)
+def test_single_corruption_detected_and_corrected(seed, row, col, bit):
+    """Every above-tolerance single-element corruption is repaired
+    bit-identically (never a DUE, never a silent pass)."""
+    gpu, bufs, golden = _clean_gemm(seed)
+    buf_c = bufs[2]
+    c = gpu.memcpy_dtoh(buf_c, np.float32, M * N).reshape(M, N)
+    assert np.array_equal(c, golden)
+    c[row, col] = np.frombuffer(
+        (c[row, col : col + 1].view(np.uint32) ^ np.uint32(1 << bit)
+         ).tobytes(), dtype=np.float32)[0]
+    gpu.memcpy_htod(buf_c, c)
+    harness = _run_checks(gpu, bufs)
+    harness.finalize(gpu)  # located + corrected: no DUE
+    fixed = gpu.memcpy_dtoh(buf_c, np.float32, M * N).reshape(M, N)
+    assert np.array_equal(fixed, golden)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_clean_run_never_fires(seed):
+    """No row/col flag ever raises on uncorrupted data (float round-off
+    stays below the check tolerance by construction)."""
+    gpu, bufs, golden = _clean_gemm(seed)
+    rowbad, colbad = _flag_vectors(gpu, bufs)
+    assert not rowbad.any()
+    assert not colbad.any()
+    harness = _run_checks(gpu, bufs)
+    harness.finalize(gpu)
+    assert np.array_equal(
+        gpu.memcpy_dtoh(bufs[2], np.float32, M * N).reshape(M, N), golden)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16), row=st.integers(0, M - 1),
+       cols=st.sets(st.integers(0, N - 1), min_size=2, max_size=4),
+       bit=_BIG_BITS)
+def test_multi_element_corruption_raises_due(seed, row, cols, bit):
+    """Two or more corrupted columns cannot be located: sticky DUE."""
+    gpu, bufs, _ = _clean_gemm(seed)
+    buf_c = bufs[2]
+    c = gpu.memcpy_dtoh(buf_c, np.float32, M * N).reshape(M, N)
+    for col in cols:
+        view = c[row, col : col + 1].view(np.uint32)
+        view ^= np.uint32(1 << bit)
+    gpu.memcpy_htod(buf_c, c)
+    harness = _run_checks(gpu, bufs)
+    with pytest.raises(ABFTCheckError):
+        harness.finalize(gpu)
+
+
+def test_sub_tolerance_corruption_passes_silently():
+    """A mantissa-LSB flip is below tolerance: ABFT (by design) leaves it
+    to the severity metrics, which rate it tolerable."""
+    gpu, bufs, _ = _clean_gemm(seed=1)
+    buf_c = bufs[2]
+    c = gpu.memcpy_dtoh(buf_c, np.float32, M * N)
+    corrupted = c.copy()
+    corrupted[:1].view(np.uint32)[0] ^= np.uint32(1)  # mantissa bit 0
+    gpu.memcpy_htod(buf_c, corrupted)
+    harness = _run_checks(gpu, bufs)
+    harness.finalize(gpu)
+    out = gpu.memcpy_dtoh(buf_c, np.float32, M * N)
+    assert np.array_equal(out, corrupted)  # untouched, no DUE
+
+
+def test_checks_are_harness_suffixed_launches():
+    app = get_application("gemm")
+    gpu = GPU(quadro_gv100_like())
+    app.run(gpu, ABFTHarness())
+    names = [r.name for r in gpu.launch_records]
+    assert names.count("gemm_tile") == 1
+    for suffix in ("@abft-sum", "@abft-row", "@abft-col", "@abft-fix"):
+        assert names.count(f"gemm_tile{suffix}") == 1
+
+
+def test_plain_harness_matches_abft_clean_output():
+    app_plain = get_application("gemm")
+    app_abft = get_application("gemm")
+    out_plain = app_plain.run(GPU(quadro_gv100_like()), DeviceHarness())
+    out_abft = app_abft.run(GPU(quadro_gv100_like()), ABFTHarness())
+    assert outputs_equal(out_plain, out_abft)

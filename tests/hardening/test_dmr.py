@@ -1,0 +1,108 @@
+"""DMR harness: duplication, word comparison, DUE-only semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.errors import ExecutionError
+from repro.hardening.dmr import CMP_PROGRAM, DMRHarness, DMRMismatchError
+from repro.isa import assemble
+from repro.kernels import get_application
+from repro.kernels.base import outputs_equal
+from repro.sim import GPU
+
+_INC = assemble(
+    """
+    S2R R0, SR_TID.X
+    SHL R1, R0, 0x2
+    IADD R1, R1, c[0x0][0x0]
+    LD R2, [R1]
+    IADD R2, R2, 0x1
+    ST [R1], R2
+    EXIT
+""",
+    name="inc",
+)
+
+
+def test_cmp_program_assembles():
+    assert CMP_PROGRAM.name == "dmr_cmp"
+
+
+@pytest.mark.parametrize("name", ["va", "hotspot", "gemm", "mlp"])
+def test_hardened_fault_free_run_is_correct(name):
+    app = get_application(name)
+    gpu = GPU(quadro_gv100_like())
+    harness = DMRHarness()
+    out = app.run(gpu, harness)
+    harness.finalize(gpu)
+    ref = {k: np.asarray(v) for k, v in app.reference().items()}
+    assert outputs_equal(out, ref)
+
+
+def test_launches_duplicated_with_compares():
+    app = get_application("hotspot")
+    gpu = GPU(quadro_gv100_like())
+    app.run(gpu, DMRHarness())
+    names = [rec.name for rec in gpu.launch_records]
+    assert names.count("hotspot_k1") == 4  # 2 iterations x 2 copies
+    assert names.count("hotspot_k1@cmp") == 2
+
+
+def test_execution_time_roughly_doubles():
+    app = get_application("scp")
+    gpu_plain = GPU(quadro_gv100_like())
+    app.run(gpu_plain)
+    plain = sum(r.cycles for r in gpu_plain.launch_records)
+    gpu_dmr = GPU(quadro_gv100_like())
+    app.run(gpu_dmr, DMRHarness())
+    hardened = sum(r.cycles for r in gpu_dmr.launch_records)
+    assert hardened > 1.8 * plain
+
+
+def test_copy_divergence_raises_due():
+    """Corrupt copy 1's input: the copies' outputs diverge and the word
+    compare must flag it — DMR detects but can never arbitrate."""
+    gpu = GPU(quadro_gv100_like())
+    harness = DMRHarness()
+    data = np.arange(32, dtype=np.uint32)
+    buf = harness.upload(gpu, data)
+    copies = harness._shadows[buf.addr]
+    bad = data.copy()
+    bad[5] ^= 0x80
+    gpu.memcpy_htod(copies[1], bad)
+    harness.launch(gpu, _INC, (1, 1), (32, 1), [buf], name="inc",
+                   outputs=(buf,))
+    with pytest.raises(DMRMismatchError):
+        harness.finalize(gpu)
+
+
+def test_agreeing_copies_finalize_clean():
+    gpu = GPU(quadro_gv100_like())
+    harness = DMRHarness()
+    data = np.arange(32, dtype=np.uint32)
+    buf = harness.upload(gpu, data)
+    harness.launch(gpu, _INC, (1, 1), (32, 1), [buf], name="inc",
+                   outputs=(buf,))
+    harness.finalize(gpu)
+    assert np.array_equal(harness.download(gpu, buf, np.uint32, 32),
+                          data + 1)
+
+
+def test_htod_mirrors_both_copies():
+    gpu = GPU(quadro_gv100_like())
+    harness = DMRHarness()
+    buf = harness.alloc(gpu, 16)
+    payload = np.arange(4, dtype=np.uint32)
+    harness.htod(gpu, buf, payload)
+    for copy in harness._shadows[buf.addr]:
+        assert np.array_equal(gpu.memcpy_dtoh(copy, np.uint32, 4), payload)
+
+
+def test_compare_on_unmanaged_buffer_rejected():
+    gpu = GPU(quadro_gv100_like())
+    harness = DMRHarness()
+    rogue = gpu.malloc(64)
+    noop = assemble("EXIT", name="noop")
+    with pytest.raises(ExecutionError):
+        harness.launch(gpu, noop, (1, 1), (32, 1), [], outputs=(rogue,))

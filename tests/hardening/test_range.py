@@ -1,0 +1,90 @@
+"""Range-restriction harness: clamping semantics, NaN squashing."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like
+from repro.hardening.range import (
+    CLAMP_PROGRAM,
+    RANGE_BOUNDS,
+    RangeHarness,
+    register_range_bounds,
+)
+from repro.isa import assemble
+from repro.kernels import get_application
+from repro.kernels.base import outputs_equal
+from repro.sim import GPU
+
+_NOOP = assemble("EXIT", name="noop")
+
+
+def test_clamp_program_assembles():
+    assert CLAMP_PROGRAM.name == "range_clamp"
+
+
+def test_nn_suite_bounds_registered():
+    for kernel in ("gemm_tile", "conv2d_dir", "softmax_row", "relu_act"):
+        lo, hi = RANGE_BOUNDS[kernel]
+        assert lo < hi
+
+
+@pytest.mark.parametrize("name", ["gemm", "conv2d", "attention", "mlp"])
+def test_clean_nn_run_is_bit_identical(name):
+    """In-range data passes through the clamp bit-for-bit."""
+    app = get_application(name)
+    gpu = GPU(quadro_gv100_like())
+    harness = RangeHarness()
+    out = app.run(gpu, harness)
+    harness.finalize(gpu)
+    ref = {k: np.asarray(v) for k, v in app.reference().items()}
+    assert outputs_equal(out, ref)
+
+
+def test_clamp_launches_follow_bounded_kernels():
+    app = get_application("mlp")
+    gpu = GPU(quadro_gv100_like())
+    app.run(gpu, RangeHarness())
+    names = [r.name for r in gpu.launch_records]
+    assert names.count("gemm_tile@clamp") == names.count("gemm_tile") > 0
+    assert names.count("relu_act@clamp") == names.count("relu_act") > 0
+
+
+def test_unbounded_kernel_untouched():
+    app = get_application("va")
+    gpu = GPU(quadro_gv100_like())
+    out = app.run(gpu, RangeHarness())
+    assert not [r for r in gpu.launch_records if r.name.endswith("@clamp")]
+    assert outputs_equal(out, {k: np.asarray(v)
+                               for k, v in app.reference().items()})
+
+
+def test_out_of_range_values_squashed():
+    """Blown exponents and NaN collapse to the registered bounds; in-range
+    values are untouched."""
+    register_range_bounds("probe", -2.0, 2.0)
+    try:
+        gpu = GPU(quadro_gv100_like())
+        harness = RangeHarness()
+        data = np.array([1.5, -1.5, 1e30, -1e30, np.nan, 0.0, 2.0, -2.0],
+                        dtype=np.float32)
+        buf = harness.upload(gpu, data)
+        harness.launch(gpu, _NOOP, (1, 1), (1, 1), [], name="probe",
+                       outputs=(buf,))
+        out = harness.download(gpu, buf, np.float32, data.size)
+        # FMNMX ignores a NaN operand (fmax/fmin semantics), so NaN
+        # collapses to lo at the max(lo) step and stays there.
+        expected = np.array([1.5, -1.5, 2.0, -2.0, -2.0, 0.0, 2.0, -2.0],
+                            dtype=np.float32)
+        assert np.array_equal(out, expected)
+    finally:
+        del RANGE_BOUNDS["probe"]
+
+
+def test_register_range_bounds_replaces():
+    try:
+        register_range_bounds("probe2", 0.0, 1.0)
+        assert RANGE_BOUNDS["probe2"] == (np.float32(0.0), np.float32(1.0))
+        register_range_bounds("probe2", -1.0, 1.0)
+        assert RANGE_BOUNDS["probe2"][0] == np.float32(-1.0)
+    finally:
+        del RANGE_BOUNDS["probe2"]

@@ -1,0 +1,105 @@
+"""The nn suite: bit-exact references, suite plumbing, quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import quadro_gv100_like, tesla_v100_like
+from repro.kernels import (
+    all_applications,
+    application_names,
+    get_application,
+    kernel_programs,
+)
+from repro.kernels.base import outputs_equal
+from repro.sdc.severity import classify_sdc, registered_metric
+from repro.sim import GPU
+
+NN_APPS = ("gemm", "conv2d", "attention", "mlp")
+
+
+def _as_arrays(outputs):
+    return {k: np.asarray(v) for k, v in outputs.items()}
+
+
+@pytest.mark.parametrize("name", NN_APPS)
+def test_nn_app_matches_reference_gv100(name):
+    app = get_application(name)
+    assert outputs_equal(app.run(GPU(quadro_gv100_like())),
+                         _as_arrays(app.reference()))
+
+
+@pytest.mark.parametrize("name", NN_APPS)
+def test_nn_app_matches_reference_v100(name):
+    app = get_application(name)
+    assert outputs_equal(app.run(GPU(tesla_v100_like())),
+                         _as_arrays(app.reference()))
+
+
+@pytest.mark.parametrize("name", NN_APPS)
+def test_nn_app_deterministic(name):
+    app = get_application(name)
+    assert outputs_equal(app.run(GPU(quadro_gv100_like())),
+                         app.run(GPU(quadro_gv100_like())))
+
+
+@pytest.mark.parametrize("name", NN_APPS)
+def test_nn_app_has_quality_metric(name):
+    metric = registered_metric(name)
+    assert metric is not None
+    app = get_application(name)
+    golden = app.reference()
+    verdict = classify_sdc(name, golden, golden)
+    assert verdict.severity.value == "tolerable"
+    assert verdict.score == 1.0
+
+
+def test_nn_suite_membership():
+    assert set(application_names(suite="nn")) == set(NN_APPS)
+    assert set(NN_APPS) < set(application_names(suite="all"))
+    # The paper suite is untouched by the nn additions.
+    assert not set(NN_APPS) & set(application_names())
+
+
+def test_all_suite_has_29_app_kernel_pairs():
+    pairs = [(app.name, k) for app in all_applications(suite="all")
+             for k in app.kernel_names]
+    assert len(pairs) == 23 + 6
+    # gemm_tile is shared by gemm, attention and mlp, so the 29 pairs
+    # collapse to 27 distinct program names.
+    assert len({k for _, k in pairs}) == 27
+
+
+def test_nn_kernel_programs_discoverable():
+    names = {kernel for _, kernel in kernel_programs(suite="nn")}
+    assert names == {"gemm_tile", "conv2d_dir", "softmax_row", "relu_act"}
+
+
+def test_gemm_tile_shared_across_apps():
+    """attention and mlp launch the same gemm_tile program as gemm."""
+    for name in ("attention", "mlp"):
+        app = get_application(name)
+        gpu = GPU(quadro_gv100_like())
+        app.run(gpu)
+        assert any(r.name == "gemm_tile" for r in gpu.launch_records), name
+
+
+def test_nn_kernels_use_shared_memory():
+    app = get_application("gemm")
+    gpu = GPU(quadro_gv100_like())
+    app.run(gpu)
+    assert any(r.stats.shared_instructions for r in gpu.launch_records)
+
+
+def test_softmax_rows_sum_to_one():
+    """The device softmax normalizes every score row (MUFU.RCP is the
+    approximate reciprocal, so allow its relative error)."""
+    from repro.kernels.nn.attention import _EXP_C, SOFTMAX_ROW
+
+    rng = np.random.default_rng(5)
+    rows = (rng.random((8, 8), dtype=np.float32) * np.float32(4.0))
+    gpu = GPU(quadro_gv100_like())
+    buf = gpu.upload(rows)
+    gpu.launch(SOFTMAX_ROW, (1, 1), (8, 1), [buf, 8, _EXP_C])
+    out = gpu.memcpy_dtoh(buf, np.float32, 64).reshape(8, 8)
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-3)

@@ -1,0 +1,95 @@
+"""Quality metrics for the previously exact-output Rodinia/SDK apps.
+
+Every suite application must carry a registered metric (no app falls back
+to the CRITICAL-by-default exact-output rule any more), golden outputs
+must score 1.0/tolerable, small in-tolerance perturbations must stay
+tolerable, and gross corruptions must classify CRITICAL.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import all_applications, get_application
+from repro.sdc.severity import classify_sdc, registered_metric
+
+NEW_METRICS = {
+    "sradv1": "image-snr",
+    "sradv2": "image-snr",
+    "backprop": "weight-delta",
+    "lud": "decomposition-residual",
+    "scp": "elementwise-rel-error",
+    "va": "elementwise-rel-error",
+}
+
+
+def _perturb(golden, scale):
+    """Golden outputs with every array nudged by a relative ``scale``."""
+    out = {}
+    for key, val in golden.items():
+        arr = np.asarray(val, dtype=np.float32)
+        out[key] = (arr * np.float32(1.0 + scale)).astype(np.float32)
+    return out
+
+
+def test_every_suite_app_has_a_metric():
+    for app in all_applications(suite="all"):
+        assert registered_metric(app.name) is not None, app.name
+
+
+@pytest.mark.parametrize("name,metric", sorted(NEW_METRICS.items()))
+def test_metric_name(name, metric):
+    assert registered_metric(name).name == metric
+
+
+@pytest.mark.parametrize("name", sorted(NEW_METRICS))
+def test_golden_scores_perfect(name):
+    app = get_application(name)
+    golden = app.reference()
+    verdict = classify_sdc(name, golden, golden)
+    assert verdict.severity.value == "tolerable"
+    assert verdict.score == 1.0
+    assert verdict.metric == NEW_METRICS[name]
+
+
+@pytest.mark.parametrize("name", sorted(NEW_METRICS))
+def test_tiny_perturbation_is_tolerable(name):
+    """Deviations far inside each metric's threshold classify tolerable —
+    the entire point of replacing the exact-output default."""
+    app = get_application(name)
+    golden = app.reference()
+    verdict = classify_sdc(name, _perturb(golden, 1e-7), golden)
+    assert verdict.severity.value == "tolerable", verdict
+    assert verdict.score > 0.5
+
+
+@pytest.mark.parametrize("name", sorted(NEW_METRICS))
+def test_gross_corruption_is_critical(name):
+    app = get_application(name)
+    golden = app.reference()
+    bad = {k: np.asarray(v, dtype=np.float32).copy()
+           for k, v in golden.items()}
+    key = sorted(bad)[0]
+    flat = bad[key].reshape(-1)
+    flat[: max(1, flat.size // 4)] = np.float32(1e8)
+    verdict = classify_sdc(name, bad, golden)
+    assert verdict.severity.value == "critical", verdict
+    assert verdict.score < 0.5
+
+
+@pytest.mark.parametrize("name", sorted(NEW_METRICS))
+def test_nan_output_is_critical(name):
+    app = get_application(name)
+    golden = app.reference()
+    bad = {k: np.asarray(v, dtype=np.float32).copy()
+           for k, v in golden.items()}
+    key = sorted(bad)[0]
+    bad[key].reshape(-1)[0] = np.float32(np.nan)
+    assert classify_sdc(name, bad, golden).severity.value == "critical"
+
+
+def test_mangled_shapes_fall_back_to_critical():
+    golden = get_application("va").reference()
+    verdict = classify_sdc("va", {"c": np.zeros(3, dtype=np.float32)},
+                           golden)
+    assert verdict.severity.value == "critical"
+    assert verdict.score == 0.0

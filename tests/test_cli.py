@@ -35,7 +35,7 @@ def test_disasm(capsys):
 def test_lint_all_clean(capsys):
     assert main(["lint", "all"]) == 0
     out = capsys.readouterr().out
-    assert "linted 23 kernel(s): clean" in out
+    assert "linted 29 kernel(s): clean" in out
 
 
 def test_lint_single_app_and_kernel(capsys):
